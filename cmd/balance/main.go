@@ -1,0 +1,167 @@
+// Command balance runs the §3.1.1 server-assignment / load-balancing
+// algorithm on a topology described in JSON and prints the assignment tables
+// before and after balancing.
+//
+// Usage:
+//
+//	balance -example            # the paper's Figure 1 instance
+//	balance -f instance.json    # a custom instance
+//	balance -batch 10 -example  # the accelerated multi-user-move variant
+//
+// Instance JSON:
+//
+//	{
+//	  "nodes":  [{"id": 1, "label": "H1", "kind": "host"},
+//	             {"id": 101, "label": "S1", "kind": "server"}],
+//	  "edges":  [{"a": 1, "b": 101, "weight": 1}],
+//	  "users":  {"1": 50},
+//	  "maxLoad": {"101": 100}
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/largemail/largemail/internal/assign"
+	"github.com/largemail/largemail/internal/graph"
+)
+
+type instanceJSON struct {
+	Nodes []struct {
+		ID     graph.NodeID `json:"id"`
+		Label  string       `json:"label"`
+		Region string       `json:"region"`
+		Kind   string       `json:"kind"`
+	} `json:"nodes"`
+	Edges []struct {
+		A      graph.NodeID `json:"a"`
+		B      graph.NodeID `json:"b"`
+		Weight float64      `json:"weight"`
+	} `json:"edges"`
+	Users   map[string]int `json:"users"`
+	MaxLoad map[string]int `json:"maxLoad"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "balance:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("balance", flag.ContinueOnError)
+	example := fs.Bool("example", false, "run the paper's Figure 1 instance")
+	file := fs.String("f", "", "instance JSON file")
+	batch := fs.Int("batch", 1, "users moved per balancing step (paper's speedup)")
+	authLen := fs.Int("authority", 2, "authority-list length to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg assign.Config
+	switch {
+	case *example:
+		ex := graph.Figure1()
+		commW, procW, procTime := assign.PaperWeights()
+		maxLoad := make(map[graph.NodeID]int)
+		for _, s := range ex.Servers {
+			maxLoad[s] = 100
+		}
+		cfg = assign.Config{
+			Topology: ex.G, Hosts: ex.Hosts, Servers: ex.Servers,
+			Users: ex.Users, MaxLoad: maxLoad,
+			ProcTime: procTime, CommW: commW, ProcW: procW,
+		}
+	case *file != "":
+		var err error
+		cfg, err = loadInstance(*file)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -example or -f instance.json")
+	}
+	cfg.MoveBatch = *batch
+
+	a, err := assign.New(cfg)
+	if err != nil {
+		return err
+	}
+	a.Initialize()
+	fmt.Print(a.Table("Initial assignment (nearest server)").Render())
+	fmt.Printf("total cost %.2f, max utilisation %.3f\n\n", a.TotalCost(), a.MaxUtilization())
+
+	stats := a.Balance()
+	fmt.Print(a.Table("After balancing").Render())
+	fmt.Printf("total cost %.2f, max utilisation %.3f\n", a.TotalCost(), a.MaxUtilization())
+	fmt.Printf("sweeps %d, moves %d (users %d), undone %d, overloaded %v\n",
+		stats.Sweeps, stats.Moves, stats.UsersMoved, stats.Undone, stats.Overloaded)
+
+	fmt.Println("\nAuthority lists (primary first):")
+	lists := a.AuthorityLists(*authLen)
+	for _, h := range cfg.Hosts {
+		fmt.Printf("  host %v → %v\n", h, lists[h])
+	}
+	return nil
+}
+
+func loadInstance(path string) (assign.Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return assign.Config{}, err
+	}
+	var in instanceJSON
+	if err := json.Unmarshal(raw, &in); err != nil {
+		return assign.Config{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	g := graph.New()
+	var hosts, servers []graph.NodeID
+	for _, n := range in.Nodes {
+		var kind graph.Kind
+		switch n.Kind {
+		case "host":
+			kind = graph.KindHost
+			hosts = append(hosts, n.ID)
+		case "server":
+			kind = graph.KindServer
+			servers = append(servers, n.ID)
+		default:
+			kind = graph.KindRouter
+		}
+		if err := g.AddNode(graph.Node{ID: n.ID, Label: n.Label, Region: n.Region, Kind: kind}); err != nil {
+			return assign.Config{}, err
+		}
+	}
+	for _, e := range in.Edges {
+		if err := g.AddEdge(e.A, e.B, e.Weight); err != nil {
+			return assign.Config{}, err
+		}
+	}
+	users := make(map[graph.NodeID]int)
+	for k, v := range in.Users {
+		id, err := strconv.Atoi(k)
+		if err != nil {
+			return assign.Config{}, fmt.Errorf("users key %q: %w", k, err)
+		}
+		users[graph.NodeID(id)] = v
+	}
+	maxLoad := make(map[graph.NodeID]int)
+	for k, v := range in.MaxLoad {
+		id, err := strconv.Atoi(k)
+		if err != nil {
+			return assign.Config{}, fmt.Errorf("maxLoad key %q: %w", k, err)
+		}
+		maxLoad[graph.NodeID(id)] = v
+	}
+	commW, procW, procTime := assign.PaperWeights()
+	return assign.Config{
+		Topology: g, Hosts: hosts, Servers: servers,
+		Users: users, MaxLoad: maxLoad,
+		ProcTime: procTime, CommW: commW, ProcW: procW,
+	}, nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunExample(t *testing.T) {
+	if err := run([]string{"-example"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBatched(t *testing.T) {
+	if err := run([]string{"-example", "-batch", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoInput(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestRunJSONInstance(t *testing.T) {
+	const instance = `{
+	  "nodes": [
+	    {"id": 1, "label": "H1", "kind": "host"},
+	    {"id": 2, "label": "H2", "kind": "host"},
+	    {"id": 101, "label": "S1", "kind": "server"},
+	    {"id": 102, "label": "S2", "kind": "server"}
+	  ],
+	  "edges": [
+	    {"a": 1, "b": 101, "weight": 1},
+	    {"a": 2, "b": 102, "weight": 1},
+	    {"a": 101, "b": 102, "weight": 1}
+	  ],
+	  "users": {"1": 80, "2": 10},
+	  "maxLoad": {"101": 60, "102": 60}
+	}`
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := os.WriteFile(path, []byte(instance), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-f", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-f", path}); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if err := run([]string{"-f", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

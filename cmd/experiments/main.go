@@ -1,0 +1,80 @@
+// Command experiments regenerates every table and figure of the paper plus
+// the prose-claim experiments E1–E11 (see DESIGN.md for the index).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run all
+//	experiments -run table2 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/largemail/largemail/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	id := fs.String("run", "all", "experiment ID to run, or 'all'")
+	csv := fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	dotDir := fs.String("dot", "", "also write figures' Graphviz sources into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return nil
+	}
+	var results []experiments.Result
+	if *id == "all" {
+		results = experiments.All()
+	} else {
+		r, ok := experiments.Run(*id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", *id)
+		}
+		results = append(results, r)
+	}
+	if *dotDir != "" {
+		if err := os.MkdirAll(*dotDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for i, r := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		if *dotDir != "" && strings.HasPrefix(r.ID, "figure") && r.Text != "" {
+			path := filepath.Join(*dotDir, r.ID+".dot")
+			if err := os.WriteFile(path, []byte(r.Text), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		if *csv {
+			fmt.Printf("== %s — %s ==\n", r.ID, r.Title)
+			if r.Table != nil {
+				fmt.Print(r.Table.CSV())
+			}
+			for _, n := range r.Notes {
+				fmt.Println("note:", n)
+			}
+		} else {
+			fmt.Print(r.Render())
+		}
+	}
+	return nil
+}

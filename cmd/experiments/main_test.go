@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	if err := run([]string{"-run", "table3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run([]string{"-run", "table1", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run([]string{"-run", "nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunDotOutput(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-run", "figure2", "-dot", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure2.dot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "style=bold") {
+		t.Error("DOT file missing tree highlighting")
+	}
+}

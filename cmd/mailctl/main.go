@@ -1,0 +1,100 @@
+// Command mailctl is the command-line client for maild's wire protocol.
+//
+// Usage:
+//
+//	mailctl -addr 127.0.0.1:7425 register R1.h1.alice [s1 s2]
+//	mailctl submit R1.h2.bob R1.h1.alice "subject" "body"
+//	mailctl getmail R1.h1.alice
+//	mailctl status
+//	mailctl crash s1 | recover s1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/largemail/largemail/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mailctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mailctl", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7425", "maild address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("need a command: register | submit | getmail | status | crash | recover")
+	}
+	c, err := wire.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	switch cmd := rest[0]; cmd {
+	case "register":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: register <user> [servers...]")
+		}
+		if err := c.Register(rest[1], rest[2:]...); err != nil {
+			return err
+		}
+		fmt.Println("registered", rest[1])
+	case "submit":
+		if len(rest) < 5 {
+			return fmt.Errorf("usage: submit <from> <to> <subject> <body>")
+		}
+		id, err := c.Submit(rest[1], []string{rest[2]}, rest[3], rest[4])
+		if err != nil {
+			return err
+		}
+		fmt.Println("accepted", id)
+	case "getmail":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: getmail <user>")
+		}
+		msgs, err := c.GetMail(rest[1])
+		if err != nil {
+			return err
+		}
+		if len(msgs) == 0 {
+			fmt.Println("no new mail")
+			return nil
+		}
+		for _, m := range msgs {
+			fmt.Printf("%s  from %s: %q\n%s\n", m.ID, m.From, m.Subject, m.Body)
+		}
+	case "status":
+		status, err := c.Status()
+		if err != nil {
+			return err
+		}
+		for _, s := range status {
+			state := "up"
+			if !s.Up {
+				state = "DOWN"
+			}
+			fmt.Printf("%-8s %-5s deposits=%d\n", s.Name, state, s.Deposits)
+		}
+	case "crash", "recover":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: %s <server>", cmd)
+		}
+		if err := c.SetAvailability(rest[1], cmd == "recover"); err != nil {
+			return err
+		}
+		fmt.Println(cmd, rest[1], "ok")
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/largemail/largemail/internal/wire"
+)
+
+func TestCommandsAgainstLiveServer(t *testing.T) {
+	srv, err := wire.NewServer("127.0.0.1:0", []string{"s1", "s2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.Addr()
+	steps := [][]string{
+		{"-addr", addr, "register", "R1.h1.alice"},
+		{"-addr", addr, "register", "R1.h2.bob", "s2", "s1"},
+		{"-addr", addr, "submit", "R1.h2.bob", "R1.h1.alice", "subj", "body"},
+		{"-addr", addr, "status"},
+		{"-addr", addr, "getmail", "R1.h1.alice"},
+		{"-addr", addr, "getmail", "R1.h1.alice"}, // "no new mail" path
+		{"-addr", addr, "crash", "s1"},
+		{"-addr", addr, "recover", "s1"},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	srv, err := wire.NewServer("127.0.0.1:0", []string{"s1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.Addr()
+	for _, args := range [][]string{
+		{"-addr", addr},
+		{"-addr", addr, "register"},
+		{"-addr", addr, "submit", "a"},
+		{"-addr", addr, "getmail"},
+		{"-addr", addr, "crash"},
+		{"-addr", addr, "frobnicate"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want usage error", args)
+		}
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if err := run([]string{"-addr", "127.0.0.1:1", "status"}); err == nil {
+		t.Error("unreachable daemon accepted")
+	}
+}

@@ -1,0 +1,55 @@
+// Command maild runs a live mail cluster (goroutine-per-server) behind the
+// TCP wire protocol (internal/wire). It is the deployable face of the
+// reproduction: the paper's authority-list delivery and GetMail semantics,
+// reachable from any process.
+//
+// Usage:
+//
+//	maild -listen 127.0.0.1:7425 -servers s1,s2,s3
+//
+// Stop with SIGINT/SIGTERM; the daemon drains connections and shuts the
+// cluster down.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/largemail/largemail/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "maild:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("maild", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7425", "TCP listen address")
+	servers := fs.String("servers", "s1,s2,s3", "comma-separated mail server names")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := strings.Split(*servers, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	srv, err := wire.NewServer(*listen, names)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("maild listening on %s with servers %v\n", srv.Addr(), names)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("maild: shutting down")
+	srv.Close()
+	return nil
+}

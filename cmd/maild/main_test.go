@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestBadListenAddr(t *testing.T) {
+	if err := run([]string{"-listen", "256.256.256.256:1"}); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSyntax(t *testing.T) {
+	if err := run([]string{"-rounds", "20", "-fail", "0.1", "-hosts", "5", "-servers", "2", "-users", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLocation(t *testing.T) {
+	if err := run([]string{"-design", "location", "-roam", "0.3", "-rounds", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownDesign(t *testing.T) {
+	if err := run([]string{"-design", "quantum"}); err == nil {
+		t.Error("unknown design accepted")
+	}
+}

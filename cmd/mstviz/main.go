@@ -1,0 +1,112 @@
+// Command mstviz computes the §3.3.1-A back-bone MST (+ local MSTs) for a
+// multi-region topology and emits Graphviz DOT with the tree highlighted,
+// plus the §3.3.1-B per-region cost table.
+//
+// Usage:
+//
+//	mstviz                          # the bundled Figure-2-style topology
+//	mstviz -regions 4 -nodes 8      # a random multi-region internetwork
+//	mstviz -distributed             # build local MSTs with distributed GHS
+//	mstviz -source R1               # cost table from region R1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/metrics"
+	"github.com/largemail/largemail/internal/mst"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mstviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mstviz", flag.ContinueOnError)
+	regions := fs.Int("regions", 0, "random topology: number of regions (0 = bundled example)")
+	nodes := fs.Int("nodes", 6, "random topology: nodes per region")
+	seed := fs.Int64("seed", 1, "random topology seed")
+	distributed := fs.Bool("distributed", false, "build local MSTs with the distributed GHS algorithm")
+	source := fs.String("source", "", "source region for the cost table (default: first region)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *graph.Graph
+	if *regions > 0 {
+		rng := rand.New(rand.NewSource(*seed))
+		g = graph.MultiRegion(rng, graph.MultiRegionSpec{
+			Regions: *regions, NodesPerRegion: *nodes,
+			ExtraIntra: *nodes / 2, InterLinks: 2,
+		})
+	} else {
+		g = exampleTopology()
+	}
+
+	res, err := mst.Backbone(g, *distributed)
+	if err != nil {
+		return err
+	}
+	combined := res.Combined
+	if err := g.WriteDOT(os.Stdout, "backbone", &combined); err != nil {
+		return err
+	}
+	fmt.Printf("\n// combined tree weight: %g over %d edges\n", res.TotalWeight(), len(res.Combined.Edges))
+	if *distributed {
+		fmt.Printf("// GHS protocol messages: %d\n", res.Stats.Messages)
+	}
+
+	src := *source
+	if src == "" {
+		src = g.Regions()[0]
+	}
+	rows, err := res.CostTable(src)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable(fmt.Sprintf("// §3.3.1-B cost table (source region %s)", src),
+		"Region", "Backbone", "Local", "Total")
+	for _, r := range rows {
+		t.AddRow(r.Region, r.BackboneCost, r.LocalCost, r.Total)
+	}
+	fmt.Print(t.Render())
+	return nil
+}
+
+// exampleTopology is the Figure-2-style 3-region internetwork.
+func exampleTopology() *graph.Graph {
+	g := graph.New()
+	add := func(id graph.NodeID, region string) {
+		g.MustAddNode(graph.Node{ID: id, Label: fmt.Sprintf("n%d", id), Region: region, Kind: graph.KindRouter})
+	}
+	for _, id := range []graph.NodeID{1, 2, 3, 4} {
+		add(id, "A")
+	}
+	for _, id := range []graph.NodeID{11, 12, 13} {
+		add(id, "B")
+	}
+	for _, id := range []graph.NodeID{21, 22, 23} {
+		add(id, "C")
+	}
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 2)
+	g.MustAddEdge(3, 4, 3)
+	g.MustAddEdge(1, 4, 8)
+	g.MustAddEdge(11, 12, 4)
+	g.MustAddEdge(12, 13, 5)
+	g.MustAddEdge(11, 13, 9)
+	g.MustAddEdge(21, 22, 6)
+	g.MustAddEdge(22, 23, 7)
+	g.MustAddEdge(4, 11, 10)
+	g.MustAddEdge(3, 12, 14)
+	g.MustAddEdge(13, 21, 11)
+	g.MustAddEdge(23, 1, 20)
+	return g
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunBundled(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRandomDistributed(t *testing.T) {
+	if err := run([]string{"-regions", "3", "-nodes", "5", "-distributed"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSourceRegion(t *testing.T) {
+	if err := run([]string{"-source", "B"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-source", "Z"}); err == nil {
+		t.Error("unknown source region accepted")
+	}
+}

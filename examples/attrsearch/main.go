@@ -1,0 +1,114 @@
+// Attrsearch: the attribute-based mail system (§3.3). Users are found by
+// attributes — including misspelled names resolved by fuzzy matching — over
+// the back-bone MST, with the §3.3.1-B cost table gating mass distribution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/largemail/largemail/internal/attr"
+	"github.com/largemail/largemail/internal/core"
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/names"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Three regions of mail servers, each holding user profiles.
+	g := graph.New()
+	add := func(id graph.NodeID, region string) {
+		g.MustAddNode(graph.Node{ID: id, Label: fmt.Sprintf("srv%d", id), Region: region, Kind: graph.KindServer})
+	}
+	for _, id := range []graph.NodeID{1, 2} {
+		add(id, "east")
+	}
+	for _, id := range []graph.NodeID{11, 12} {
+		add(id, "central")
+	}
+	for _, id := range []graph.NodeID{21, 22} {
+		add(id, "west")
+	}
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(11, 12, 2)
+	g.MustAddEdge(21, 22, 3)
+	g.MustAddEdge(2, 11, 10)
+	g.MustAddEdge(12, 21, 12)
+	g.MustAddEdge(22, 1, 30)
+
+	mkProfile := func(user, fullName, org, expertise string) *attr.Profile {
+		p := &attr.Profile{User: names.MustParse(user), Groups: []string{org}}
+		p.Add(attr.TypeName, fullName, attr.Public).
+			Add(attr.TypeOrganization, org, attr.Public).
+			Add(attr.TypeExpertise, expertise, attr.Public).
+			Add(attr.TypeCity, "hidden-city", attr.Restricted)
+		return p
+	}
+	profiles := map[graph.NodeID][]*attr.Profile{
+		1:  {mkProfile("east.h1.liddell", "Alice Liddell", "acme", "distributed systems")},
+		2:  {mkProfile("east.h2.burke", "Brian Burke", "globex", "databases")},
+		11: {mkProfile("central.h1.chen", "Carol Chen", "acme", "mail systems")},
+		12: {mkProfile("central.h2.diaz", "Daniel Diaz", "initech", "mail systems")},
+		21: {mkProfile("west.h1.evans", "Erin Evans", "acme", "networks")},
+		22: {mkProfile("west.h2.fox", "Frank Fox", "globex", "mail systems")},
+	}
+	sys, err := core.NewAttribute(core.AttributeConfig{Topology: g, Profiles: profiles, Seed: 4})
+	if err != nil {
+		return err
+	}
+
+	// Directory look-up with a misspelled name (§3.3-i).
+	misspelled := attr.Query{Predicates: []attr.Predicate{
+		{Type: attr.TypeName, Op: attr.OpFuzzy, Pattern: "Alice Lidell"},
+	}}
+	res, err := sys.Search(1, misspelled, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fuzzy look-up 'Alice Lidell' → %v (searched %d nodes, cost %.1f)\n",
+		res.Matches, res.NodesSearched, res.TrafficCost)
+
+	// Information exchange: find everyone specialized in mail systems.
+	experts := attr.Query{Predicates: []attr.Predicate{
+		{Type: attr.TypeExpertise, Op: attr.OpEquals, Pattern: "mail systems"},
+	}}
+	res, err = sys.Search(1, experts, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("expertise search → %d recipients: %v\n", len(res.Matches), res.Matches)
+
+	// The §3.3.1-B cost table from region east, and a budgeted mass mail.
+	rows, err := sys.CostTable("east")
+	if err != nil {
+		return err
+	}
+	fmt.Println("cost table (source east):")
+	for _, r := range rows {
+		fmt.Printf("  %-8s backbone %5.1f + local %4.1f = %5.1f\n",
+			r.Region, r.BackboneCost, r.LocalCost, r.Total)
+	}
+	budget := rows[1].Total + rows[0].Total // afford the two cheapest regions
+	mm, estimate, err := sys.MassMail(1, "east", experts, budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mass mail under budget %.1f (estimated %.1f): reached %d nodes, %d recipients\n",
+		budget, estimate, mm.NodesSearched, len(mm.Matches))
+
+	// Privacy: restricted attributes only match for group members (§3.3.1).
+	city := attr.Query{Predicates: []attr.Predicate{
+		{Type: attr.TypeCity, Op: attr.OpEquals, Pattern: "hidden-city"},
+	}}
+	outsider, _ := sys.Search(1, city, nil)
+	city.QuerierGroups = []string{"acme"}
+	member, _ := sys.Search(1, city, nil)
+	fmt.Printf("restricted-attribute search: outsider sees %d, acme member sees %d\n",
+		len(outsider.Matches), len(member.Matches))
+	return nil
+}

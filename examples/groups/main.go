@@ -1,0 +1,78 @@
+// Groups: conventional distribution lists (§4.3 "group naming") next to
+// attribute-based mass distribution (§3.3) — the maintained-list baseline
+// the paper's attribute design replaces ("no distribution list has to be
+// available", §3.3.1-B).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/largemail/largemail/internal/attr"
+	"github.com/largemail/largemail/internal/core"
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/names"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ex := graph.Figure1()
+	users := map[graph.NodeID][]string{
+		ex.Hosts[0]: {"alice", "erin"},
+		ex.Hosts[1]: {"bob"},
+		ex.Hosts[2]: {"carol"},
+	}
+	sys, err := core.NewSyntax(core.SyntaxConfig{Topology: ex.G, UsersPerHost: users, Seed: 6})
+	if err != nil {
+		return err
+	}
+	alice := names.MustParse("R1.H1.alice")
+	erin := names.MustParse("R1.H1.erin")
+	bob := names.MustParse("R1.H2.bob")
+	carol := names.MustParse("R1.H3.carol")
+
+	// The maintained way: an administrator curates a distribution list.
+	dir, _ := sys.Directory("R1")
+	team := names.MustParse("R1.lists.gophers")
+	if err := dir.SetGroup(team, []names.Name{alice, bob, carol}); err != nil {
+		return err
+	}
+	if err := sys.Send(erin, []names.Name{team}, "standup", "9am sharp"); err != nil {
+		return err
+	}
+	sys.Run()
+	for _, u := range []names.Name{alice, bob, carol} {
+		a, _ := sys.Agent(u)
+		got := a.GetMail()
+		fmt.Printf("%s received %d message(s) via the %s list\n", u, len(got), team.User)
+	}
+
+	// The attribute way: no list to maintain — recipients are found by what
+	// they are, not by enumeration (here, everyone tagged as a gopher).
+	reg := attr.NewRegistry()
+	for _, u := range []names.Name{alice, bob, carol} {
+		p := &attr.Profile{User: u}
+		p.Add(attr.TypeInterest, "gophers", attr.Public)
+		if err := reg.Put(p); err != nil {
+			return err
+		}
+	}
+	outsider := &attr.Profile{User: erin}
+	outsider.Add(attr.TypeInterest, "crustaceans", attr.Public)
+	if err := reg.Put(outsider); err != nil {
+		return err
+	}
+	matches, err := reg.Search(attr.Query{Predicates: []attr.Predicate{
+		{Type: attr.TypeInterest, Op: attr.OpEquals, Pattern: "gophers"},
+	}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("attribute search found the same audience with no curated list: %v\n", matches)
+	return nil
+}

@@ -1,0 +1,80 @@
+// Reconfig: the §3.1.3 growth scenario. User growth overloads the region's
+// servers; a new server is added and the §3.1.1 assignment algorithm
+// redistributes the load onto it, refreshing authority lists live.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/largemail/largemail/internal/assign"
+	"github.com/largemail/largemail/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ex := graph.Figure1()
+	commW, procW, procTime := assign.PaperWeights()
+	maxLoad := make(map[graph.NodeID]int)
+	for _, s := range ex.Servers {
+		maxLoad[s] = 100
+	}
+	a, err := assign.New(assign.Config{
+		Topology: ex.G, Hosts: ex.Hosts, Servers: ex.Servers,
+		Users: ex.Users, MaxLoad: maxLoad,
+		ProcTime: procTime, CommW: commW, ProcW: procW,
+	})
+	if err != nil {
+		return err
+	}
+	stats := a.Run()
+	fmt.Print(a.Table("Balanced Figure 1 region (270 users, 3×100 capacity)").Render())
+	fmt.Printf("max utilisation %.3f, overloaded: %v\n\n", a.MaxUtilization(), stats.Overloaded)
+
+	// Growth: 90 new users sign up on H2 (§3.1.3a: "if many users are
+	// added, and existing servers are overloaded, then new servers should
+	// be added").
+	stats, err = a.AddUsers(ex.Hosts[1], 90)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after +90 users on H2: max utilisation %.3f, overloaded servers: %v\n",
+		a.MaxUtilization(), stats.Overloaded)
+
+	// Add S4 next to S3 and rebalance (§3.1.3c).
+	s4 := graph.ServerBase + 4
+	ex.G.MustAddNode(graph.Node{ID: s4, Label: "S4", Region: "R1", Kind: graph.KindServer})
+	ex.G.MustAddEdge(s4, ex.Servers[2], 1)
+	stats, err = a.AddServer(s4, 100)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nadded S4: %d moves over %d sweeps redistributed the load\n", stats.Moves, stats.Sweeps)
+	fmt.Print(a.Table("After adding S4 (360 users, 4×100 capacity)").Render())
+	fmt.Printf("max utilisation %.3f, overloaded: %v\n", a.MaxUtilization(), stats.Overloaded)
+
+	fmt.Println("\nrefreshed authority lists (primary, secondary):")
+	lists := a.AuthorityLists(2)
+	label := func(id graph.NodeID) string {
+		n, _ := ex.G.Node(id)
+		return n.Label
+	}
+	for _, h := range ex.Hosts {
+		fmt.Printf("  %s → %s, %s\n", label(h), label(lists[h][0]), label(lists[h][1]))
+	}
+
+	// Shrink again: removing S4 pushes its users back (§3.1.3c: deleted
+	// servers "notify all other servers ... [which] cooperate to share the
+	// load").
+	stats, err = a.RemoveServer(s4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nremoved S4: overloaded again: %v (the region needs its fourth server)\n", stats.Overloaded)
+	return nil
+}

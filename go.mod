@@ -1,0 +1,3 @@
+module github.com/largemail/largemail
+
+go 1.22

@@ -1,0 +1,466 @@
+// Package assign implements the paper's server-assignment and load-balancing
+// algorithm (§3.1.1).
+//
+// Users on hosts are assigned to mail (authority) servers so that two
+// objectives are satisfied: "to minimize the user connection cost which is a
+// function of communication time, processing time, and queuing time" and "to
+// balance the expected load level among servers". The connection cost from
+// host i to server j is
+//
+//	TC(i,j) = C(i,j)·W1 + (Q(ρ_j) + z)·W2
+//
+// where C(i,j) is the zero-load shortest-path communication time, ρ_j =
+// L_j/M_j the server's utilisation, Q the M/M/1 waiting estimate
+// (internal/queueing), z the mean per-request processing time, and W1/W2 the
+// communication/processing weights.
+//
+// The algorithm has two procedures. Initialization assigns all users on a
+// host to the nearest server by communication time alone. Balancing then
+// repeatedly moves users one (or, with MoveBatch > 1, several — the paper's
+// "much faster" variant) at a time from the assigned server with the highest
+// connection cost to the server with the lowest, undoing any move that does
+// not lower the combined cost of the two servers involved, until no host can
+// improve.
+package assign
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/metrics"
+	"github.com/largemail/largemail/internal/queueing"
+)
+
+// Config describes an assignment problem instance.
+type Config struct {
+	Topology *graph.Graph
+	Hosts    []graph.NodeID       // hosts carrying users, in presentation order
+	Servers  []graph.NodeID       // candidate servers, in presentation order
+	Users    map[graph.NodeID]int // N_i: users homed on each host
+	MaxLoad  map[graph.NodeID]int // M_j: maximum users per server
+	ProcTime float64              // z: average processing time per request (time units)
+	CommW    float64              // W1: weight of communication time
+	ProcW    float64              // W2: weight of processing + queueing time
+	// MoveBatch is how many users each balancing step moves at once. Zero
+	// or one gives the paper's base algorithm; larger values give the
+	// paper's accelerated variant.
+	MoveBatch int
+	// MaxIterations bounds the balancing sweeps as a safety net. Zero
+	// means a generous default proportional to the user population.
+	MaxIterations int
+	// ChannelUtil optionally reports the utilisation ρ of the channel
+	// between two adjacent nodes, enabling the paper's final modification:
+	// "include variable communication delays by having approximate queuing
+	// delays that is a function of the channel utilization" (§3.1.1). Each
+	// link's communication time is scaled by (1 + ρ/(1-ρ)). Nil keeps the
+	// paper's base assumption of constant delays ("valid in the case of
+	// light loads on the channel").
+	ChannelUtil func(a, b graph.NodeID) float64
+}
+
+// PaperWeights returns the weight settings of the worked example in §3.1.1:
+// W1 = 4 ("to force the algorithm to select the closest servers ... [taking]
+// into consideration the round-trip communication delay"), W2 = 1, and a
+// message processing time of 0.5 time units.
+func PaperWeights() (commW, procW, procTime float64) { return 4, 1, 0.5 }
+
+// Configuration errors.
+var (
+	ErrNoServers     = errors.New("assign: no servers")
+	ErrNoHosts       = errors.New("assign: no hosts")
+	ErrUnreachable   = errors.New("assign: host cannot reach any server")
+	ErrUnknownNode   = errors.New("assign: node not in topology")
+	ErrNegativeUsers = errors.New("assign: negative user count")
+)
+
+// Assignment is a mutable user-to-server assignment (the A_ij matrix of
+// §3.1.1) with cached zero-load communication costs.
+type Assignment struct {
+	cfg   Config
+	comm  map[graph.NodeID]map[graph.NodeID]float64 // C(i,j), one-way shortest path
+	users map[graph.NodeID]map[graph.NodeID]int     // A[host][server]
+	loads map[graph.NodeID]int                      // L[server]
+}
+
+// New validates cfg, computes the zero-load communication costs, and returns
+// an empty assignment (call Initialize next, or Run for the full pipeline).
+func New(cfg Config) (*Assignment, error) {
+	if len(cfg.Servers) == 0 {
+		return nil, ErrNoServers
+	}
+	if len(cfg.Hosts) == 0 {
+		return nil, ErrNoHosts
+	}
+	if cfg.Topology == nil {
+		return nil, errors.New("assign: nil topology")
+	}
+	if cfg.MoveBatch < 1 {
+		cfg.MoveBatch = 1
+	}
+	// Copy caller-owned slices and maps: reconfiguration mutates them.
+	cfg.Hosts = append([]graph.NodeID(nil), cfg.Hosts...)
+	cfg.Servers = append([]graph.NodeID(nil), cfg.Servers...)
+	users := make(map[graph.NodeID]int, len(cfg.Users))
+	for k, v := range cfg.Users {
+		users[k] = v
+	}
+	cfg.Users = users
+	maxLoad := make(map[graph.NodeID]int, len(cfg.MaxLoad))
+	for k, v := range cfg.MaxLoad {
+		maxLoad[k] = v
+	}
+	cfg.MaxLoad = maxLoad
+	total := 0
+	for _, h := range cfg.Hosts {
+		n := cfg.Users[h]
+		if n < 0 {
+			return nil, fmt.Errorf("%w: host %d has %d", ErrNegativeUsers, h, n)
+		}
+		total += n
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 10 * (total + len(cfg.Hosts)*len(cfg.Servers) + 100)
+	}
+	a := &Assignment{
+		cfg:   cfg,
+		comm:  make(map[graph.NodeID]map[graph.NodeID]float64, len(cfg.Hosts)),
+		users: make(map[graph.NodeID]map[graph.NodeID]int, len(cfg.Hosts)),
+		loads: make(map[graph.NodeID]int, len(cfg.Servers)),
+	}
+	for _, s := range cfg.Servers {
+		if _, ok := cfg.Topology.Node(s); !ok {
+			return nil, fmt.Errorf("%w: server %d", ErrUnknownNode, s)
+		}
+		a.loads[s] = 0
+	}
+	topo := cfg.Topology
+	if cfg.ChannelUtil != nil {
+		weighted, err := utilizationWeighted(cfg.Topology, cfg.ChannelUtil)
+		if err != nil {
+			return nil, err
+		}
+		topo = weighted
+	}
+	for _, h := range cfg.Hosts {
+		if _, ok := cfg.Topology.Node(h); !ok {
+			return nil, fmt.Errorf("%w: host %d", ErrUnknownNode, h)
+		}
+		paths, err := topo.ShortestPaths(h)
+		if err != nil {
+			return nil, err
+		}
+		row := make(map[graph.NodeID]float64, len(cfg.Servers))
+		reachable := false
+		for _, s := range cfg.Servers {
+			if d, ok := paths.Dist[s]; ok {
+				row[s] = d
+				reachable = true
+			} else {
+				row[s] = math.Inf(1)
+			}
+		}
+		if !reachable && cfg.Users[h] > 0 {
+			return nil, fmt.Errorf("%w: host %d", ErrUnreachable, h)
+		}
+		a.comm[h] = row
+		a.users[h] = make(map[graph.NodeID]int, len(cfg.Servers))
+	}
+	return a, nil
+}
+
+// utilizationWeighted returns a copy of g whose edge weights are scaled by
+// the M/M/1 queueing factor (1 + ρ/(1-ρ)) of each channel's utilisation.
+func utilizationWeighted(g *graph.Graph, util func(a, b graph.NodeID) float64) (*graph.Graph, error) {
+	out := graph.New()
+	for _, n := range g.Nodes() {
+		out.MustAddNode(n)
+	}
+	for _, e := range g.Edges() {
+		rho := util(e.A, e.B)
+		factor := 1 + queueing.Wait(rho)
+		if err := out.AddEdge(e.A, e.B, e.Weight*factor); err != nil {
+			return nil, fmt.Errorf("assign: channel-weighted edge %d-%d: %w", e.A, e.B, err)
+		}
+	}
+	return out, nil
+}
+
+// Comm returns the cached zero-load communication cost C(i,j).
+func (a *Assignment) Comm(host, server graph.NodeID) float64 { return a.comm[host][server] }
+
+// Load returns the current load L_j of a server.
+func (a *Assignment) Load(server graph.NodeID) int { return a.loads[server] }
+
+// Assigned returns A[host][server], the users of host assigned to server.
+func (a *Assignment) Assigned(host, server graph.NodeID) int { return a.users[host][server] }
+
+// Utilization returns ρ_j = L_j/M_j for a server.
+func (a *Assignment) Utilization(server graph.NodeID) float64 {
+	return queueing.Utilization(a.loads[server], a.cfg.MaxLoad[server])
+}
+
+// ConnectionCost returns TC(i,j) under the current loads.
+func (a *Assignment) ConnectionCost(host, server graph.NodeID) float64 {
+	c := a.comm[host][server]
+	if math.IsInf(c, 1) {
+		return math.Inf(1)
+	}
+	wait := queueing.Wait(a.Utilization(server))
+	return c*a.cfg.CommW + (wait+a.cfg.ProcTime)*a.cfg.ProcW
+}
+
+// Initialize runs the paper's initialization procedure: "all users on a host
+// are assigned to the nearest server", nearest by communication time alone.
+// Ties break toward the earlier server in cfg.Servers. Any previous
+// assignment is discarded.
+func (a *Assignment) Initialize() {
+	for _, s := range a.cfg.Servers {
+		a.loads[s] = 0
+	}
+	for _, h := range a.cfg.Hosts {
+		a.users[h] = make(map[graph.NodeID]int, len(a.cfg.Servers))
+		n := a.cfg.Users[h]
+		if n == 0 {
+			continue
+		}
+		best := a.nearestServer(h)
+		a.users[h][best] = n
+		a.loads[best] += n
+	}
+}
+
+func (a *Assignment) nearestServer(h graph.NodeID) graph.NodeID {
+	best := a.cfg.Servers[0]
+	bestC := a.comm[h][best]
+	for _, s := range a.cfg.Servers[1:] {
+		if c := a.comm[h][s]; c < bestC {
+			best, bestC = s, c
+		}
+	}
+	return best
+}
+
+// BalanceStats reports what a Balance run did.
+type BalanceStats struct {
+	Sweeps     int            // full passes over the host list
+	Moves      int            // accepted user moves (batches count once)
+	UsersMoved int            // individual users moved
+	Undone     int            // tentative moves that were undone
+	Overloaded []graph.NodeID // servers still above MaxLoad afterwards
+}
+
+// Balance runs the paper's balancing procedure until no host can lower its
+// cost by moving users, then reports whether any servers remain overloaded
+// (the procedure's final "check if some of the servers are still
+// overloaded").
+func (a *Assignment) Balance() BalanceStats {
+	var stats BalanceStats
+	const eps = 1e-9
+	for stats.Sweeps < a.cfg.MaxIterations {
+		stats.Sweeps++
+		changed := false
+		for _, h := range a.cfg.Hosts {
+			for { // keep improving this host while moves help
+				sMin, sMax, ok := a.minMaxServers(h)
+				if !ok || sMin == sMax {
+					break
+				}
+				if !(a.ConnectionCost(h, sMin) < a.ConnectionCost(h, sMax)-eps) {
+					break
+				}
+				batch := a.cfg.MoveBatch
+				if avail := a.users[h][sMax]; batch > avail {
+					batch = avail
+				}
+				before := a.serverCost(sMin) + a.serverCost(sMax)
+				a.move(h, sMax, sMin, batch)
+				after := a.serverCost(sMin) + a.serverCost(sMax)
+				if after < before-eps {
+					changed = true
+					stats.Moves++
+					stats.UsersMoved += batch
+				} else {
+					a.move(h, sMin, sMax, batch) // undo
+					stats.Undone++
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, s := range a.cfg.Servers {
+		if a.loads[s] > a.cfg.MaxLoad[s] {
+			stats.Overloaded = append(stats.Overloaded, s)
+		}
+	}
+	return stats
+}
+
+// minMaxServers finds S_min (cheapest server for host h) and S_max (the
+// costliest server h currently has users on). ok is false when the host has
+// no users assigned anywhere.
+func (a *Assignment) minMaxServers(h graph.NodeID) (sMin, sMax graph.NodeID, ok bool) {
+	minCost := math.Inf(1)
+	maxCost := math.Inf(-1)
+	for _, s := range a.cfg.Servers {
+		c := a.ConnectionCost(h, s)
+		if c < minCost {
+			minCost, sMin = c, s
+		}
+		if a.users[h][s] > 0 && c > maxCost {
+			maxCost, sMax = c, s
+			ok = true
+		}
+	}
+	return sMin, sMax, ok
+}
+
+// serverCost is the total connection cost charged to a server under the
+// current loads: Σ_i A[i][s] · TC(i,s).
+func (a *Assignment) serverCost(s graph.NodeID) float64 {
+	var total float64
+	for _, h := range a.cfg.Hosts {
+		if n := a.users[h][s]; n > 0 {
+			total += float64(n) * a.ConnectionCost(h, s)
+		}
+	}
+	return total
+}
+
+func (a *Assignment) move(h, from, to graph.NodeID, n int) {
+	if n <= 0 {
+		return
+	}
+	a.users[h][from] -= n
+	if a.users[h][from] == 0 {
+		delete(a.users[h], from)
+	}
+	a.users[h][to] += n
+	a.loads[from] -= n
+	a.loads[to] += n
+}
+
+// Run executes the full pipeline: Initialize then Balance.
+func (a *Assignment) Run() BalanceStats {
+	a.Initialize()
+	return a.Balance()
+}
+
+// TotalCost is the system-wide connection cost Σ_i Σ_j A[i][j]·TC(i,j)
+// under the current loads.
+func (a *Assignment) TotalCost() float64 {
+	var total float64
+	for _, s := range a.cfg.Servers {
+		total += a.serverCost(s)
+	}
+	return total
+}
+
+// MaxUtilization returns the highest server utilisation.
+func (a *Assignment) MaxUtilization() float64 {
+	max := 0.0
+	for _, s := range a.cfg.Servers {
+		if u := a.Utilization(s); u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// LoadImbalance returns max_j ρ_j − min_j ρ_j.
+func (a *Assignment) LoadImbalance() float64 {
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, s := range a.cfg.Servers {
+		u := a.Utilization(s)
+		if u < min {
+			min = u
+		}
+		if u > max {
+			max = u
+		}
+	}
+	return max - min
+}
+
+// Row is one line of the paper's assignment tables: users of a host assigned
+// to a server.
+type Row struct {
+	Host   graph.NodeID
+	Server graph.NodeID
+	Users  int
+}
+
+// Rows returns the assignment in the paper's table layout, ordered by host
+// (cfg order) then server (cfg order), omitting zero entries.
+func (a *Assignment) Rows() []Row {
+	var rows []Row
+	for _, h := range a.cfg.Hosts {
+		for _, s := range a.cfg.Servers {
+			if n := a.users[h][s]; n > 0 {
+				rows = append(rows, Row{Host: h, Server: s, Users: n})
+			}
+		}
+	}
+	return rows
+}
+
+// Table renders the current assignment in the layout of the paper's Tables
+// 1–3 (host, server, users) followed by per-server load totals.
+func (a *Assignment) Table(title string) *metrics.Table {
+	t := metrics.NewTable(title, "Host", "Server", "Users")
+	label := func(id graph.NodeID) string {
+		if n, ok := a.cfg.Topology.Node(id); ok && n.Label != "" {
+			return n.Label
+		}
+		return fmt.Sprintf("%d", id)
+	}
+	for _, r := range a.Rows() {
+		t.AddRow(label(r.Host), label(r.Server), r.Users)
+	}
+	for _, s := range a.cfg.Servers {
+		t.AddRow("total", label(s), a.loads[s])
+	}
+	return t
+}
+
+// Loads returns a copy of the per-server load map.
+func (a *Assignment) Loads() map[graph.NodeID]int {
+	out := make(map[graph.NodeID]int, len(a.loads))
+	for k, v := range a.loads {
+		out[k] = v
+	}
+	return out
+}
+
+// AuthorityLists ranks, for each host, the servers by current connection
+// cost and returns the first listLen of them. This realizes the paper's
+// extension — "the algorithm can be extended to assign the [secondary]
+// server instead of only the primary server" — and §3.1.1's requirement that
+// "each user is assigned several authority servers, which are ordered in a
+// list such that the first server in the list is the primary server".
+func (a *Assignment) AuthorityLists(listLen int) map[graph.NodeID][]graph.NodeID {
+	if listLen <= 0 || listLen > len(a.cfg.Servers) {
+		listLen = len(a.cfg.Servers)
+	}
+	out := make(map[graph.NodeID][]graph.NodeID, len(a.cfg.Hosts))
+	for _, h := range a.cfg.Hosts {
+		ranked := append([]graph.NodeID(nil), a.cfg.Servers...)
+		h := h
+		sort.SliceStable(ranked, func(x, y int) bool {
+			cx, cy := a.ConnectionCost(h, ranked[x]), a.ConnectionCost(h, ranked[y])
+			if cx != cy {
+				return cx < cy
+			}
+			return ranked[x] < ranked[y]
+		})
+		// Primary server preference: if the host has users assigned, put
+		// the server holding most of them first among equal-cost choices.
+		out[h] = ranked[:listLen]
+	}
+	return out
+}

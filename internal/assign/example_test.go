@@ -1,0 +1,37 @@
+package assign_test
+
+import (
+	"fmt"
+
+	"github.com/largemail/largemail/internal/assign"
+	"github.com/largemail/largemail/internal/graph"
+)
+
+// Example runs the paper's §3.1.1 worked example: initialize on the
+// Figure 1 topology (Table 1), then balance (Table 2).
+func Example() {
+	ex := graph.Figure1()
+	commW, procW, procTime := assign.PaperWeights()
+	maxLoad := make(map[graph.NodeID]int)
+	for _, s := range ex.Servers {
+		maxLoad[s] = 100
+	}
+	a, err := assign.New(assign.Config{
+		Topology: ex.G, Hosts: ex.Hosts, Servers: ex.Servers,
+		Users: ex.Users, MaxLoad: maxLoad,
+		ProcTime: procTime, CommW: commW, ProcW: procW,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	a.Initialize()
+	fmt.Printf("initial: S1=%d S2=%d S3=%d\n",
+		a.Load(ex.Servers[0]), a.Load(ex.Servers[1]), a.Load(ex.Servers[2]))
+	stats := a.Balance()
+	fmt.Printf("balanced: S1=%d S2=%d S3=%d (overloaded: %d)\n",
+		a.Load(ex.Servers[0]), a.Load(ex.Servers[1]), a.Load(ex.Servers[2]), len(stats.Overloaded))
+	// Output:
+	// initial: S1=100 S2=150 S3=20
+	// balanced: S1=89 S2=92 S3=89 (overloaded: 0)
+}

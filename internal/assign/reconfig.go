@@ -1,0 +1,211 @@
+package assign
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/largemail/largemail/internal/graph"
+)
+
+// This file implements §3.1.3 (Reconfiguration): adding and deleting users,
+// hosts, and servers "starting from a specified configuration", each
+// followed by the balancing procedure so "the load ... [is] redistributed
+// among the servers using the algorithm for server assignment".
+
+// AddServer registers a new candidate server and rebalances. Per §3.1.3c,
+// "adding a new server requires the system to be reconfigured ... the server
+// assignment procedure is performed to redistribute the load so that some
+// users are assigned to the new server."
+func (a *Assignment) AddServer(id graph.NodeID, maxLoad int) (BalanceStats, error) {
+	if _, ok := a.cfg.Topology.Node(id); !ok {
+		return BalanceStats{}, fmt.Errorf("%w: server %d", ErrUnknownNode, id)
+	}
+	if _, dup := a.loads[id]; dup {
+		return BalanceStats{}, fmt.Errorf("assign: server %d already present", id)
+	}
+	paths, err := a.cfg.Topology.ShortestPaths(id)
+	if err != nil {
+		return BalanceStats{}, err
+	}
+	a.cfg.Servers = append(a.cfg.Servers, id)
+	if a.cfg.MaxLoad == nil {
+		a.cfg.MaxLoad = make(map[graph.NodeID]int)
+	}
+	a.cfg.MaxLoad[id] = maxLoad
+	a.loads[id] = 0
+	for _, h := range a.cfg.Hosts {
+		if d, ok := paths.Dist[h]; ok { // undirected: dist(server,host) == dist(host,server)
+			a.comm[h][id] = d
+		} else {
+			a.comm[h][id] = math.Inf(1)
+		}
+	}
+	return a.Balance(), nil
+}
+
+// RemoveServer deletes a server, moves its users to their nearest remaining
+// server, and rebalances. Per §3.1.3c, "the server to be deleted notifies
+// all other servers before it is removed. Those servers then cooperate to
+// share the load of the removed server."
+func (a *Assignment) RemoveServer(id graph.NodeID) (BalanceStats, error) {
+	if _, ok := a.loads[id]; !ok {
+		return BalanceStats{}, fmt.Errorf("assign: server %d not present", id)
+	}
+	if len(a.cfg.Servers) == 1 {
+		return BalanceStats{}, ErrNoServers
+	}
+	servers := a.cfg.Servers[:0]
+	for _, s := range a.cfg.Servers {
+		if s != id {
+			servers = append(servers, s)
+		}
+	}
+	a.cfg.Servers = servers
+	for _, h := range a.cfg.Hosts {
+		if n := a.users[h][id]; n > 0 {
+			delete(a.users[h], id)
+			dest := a.nearestServer(h)
+			a.users[h][dest] += n
+			a.loads[dest] += n
+		}
+		delete(a.comm[h], id)
+	}
+	delete(a.loads, id)
+	delete(a.cfg.MaxLoad, id)
+	return a.Balance(), nil
+}
+
+// AddHost registers a host with the given user population, assigns them to
+// the nearest server, and rebalances (§3.1.3b: "when a new host is added to
+// the system, the new load is distributed among the servers in the region").
+func (a *Assignment) AddHost(id graph.NodeID, users int) (BalanceStats, error) {
+	if _, ok := a.cfg.Topology.Node(id); !ok {
+		return BalanceStats{}, fmt.Errorf("%w: host %d", ErrUnknownNode, id)
+	}
+	if _, dup := a.comm[id]; dup {
+		return BalanceStats{}, fmt.Errorf("assign: host %d already present", id)
+	}
+	if users < 0 {
+		return BalanceStats{}, fmt.Errorf("%w: %d", ErrNegativeUsers, users)
+	}
+	paths, err := a.cfg.Topology.ShortestPaths(id)
+	if err != nil {
+		return BalanceStats{}, err
+	}
+	row := make(map[graph.NodeID]float64, len(a.cfg.Servers))
+	reachable := false
+	for _, s := range a.cfg.Servers {
+		if d, ok := paths.Dist[s]; ok {
+			row[s] = d
+			reachable = true
+		} else {
+			row[s] = math.Inf(1)
+		}
+	}
+	if !reachable && users > 0 {
+		return BalanceStats{}, fmt.Errorf("%w: host %d", ErrUnreachable, id)
+	}
+	a.cfg.Hosts = append(a.cfg.Hosts, id)
+	if a.cfg.Users == nil {
+		a.cfg.Users = make(map[graph.NodeID]int)
+	}
+	a.cfg.Users[id] = users
+	a.comm[id] = row
+	a.users[id] = make(map[graph.NodeID]int, len(a.cfg.Servers))
+	if users > 0 {
+		dest := a.nearestServer(id)
+		a.users[id][dest] = users
+		a.loads[dest] += users
+	}
+	return a.Balance(), nil
+}
+
+// RemoveHost deletes a host and its users, then rebalances (§3.1.3b: "if a
+// host is removed, the load balancing state among the servers is upset and
+// our load balancing algorithm should be applied").
+func (a *Assignment) RemoveHost(id graph.NodeID) (BalanceStats, error) {
+	if _, ok := a.comm[id]; !ok {
+		return BalanceStats{}, fmt.Errorf("assign: host %d not present", id)
+	}
+	for s, n := range a.users[id] {
+		a.loads[s] -= n
+	}
+	delete(a.users, id)
+	delete(a.comm, id)
+	delete(a.cfg.Users, id)
+	hosts := a.cfg.Hosts[:0]
+	for _, h := range a.cfg.Hosts {
+		if h != id {
+			hosts = append(hosts, h)
+		}
+	}
+	a.cfg.Hosts = hosts
+	return a.Balance(), nil
+}
+
+// AddUsers adds n users to an existing host, placing them on the host's
+// currently cheapest server, and rebalances (§3.1.3a).
+func (a *Assignment) AddUsers(host graph.NodeID, n int) (BalanceStats, error) {
+	if _, ok := a.comm[host]; !ok {
+		return BalanceStats{}, fmt.Errorf("assign: host %d not present", host)
+	}
+	if n < 0 {
+		return BalanceStats{}, fmt.Errorf("%w: %d", ErrNegativeUsers, n)
+	}
+	a.cfg.Users[host] += n
+	sMin, _, _ := a.minMaxServers(host)
+	a.users[host][sMin] += n
+	a.loads[sMin] += n
+	return a.Balance(), nil
+}
+
+// RemoveUsers removes n users from a host, taking them from the host's most
+// expensive servers first, and rebalances (§3.1.3a).
+func (a *Assignment) RemoveUsers(host graph.NodeID, n int) (BalanceStats, error) {
+	if _, ok := a.comm[host]; !ok {
+		return BalanceStats{}, fmt.Errorf("assign: host %d not present", host)
+	}
+	if n < 0 {
+		return BalanceStats{}, fmt.Errorf("%w: %d", ErrNegativeUsers, n)
+	}
+	if n > a.cfg.Users[host] {
+		return BalanceStats{}, fmt.Errorf("assign: host %d has only %d users, cannot remove %d",
+			host, a.cfg.Users[host], n)
+	}
+	a.cfg.Users[host] -= n
+	for n > 0 {
+		_, sMax, ok := a.minMaxServers(host)
+		if !ok {
+			break
+		}
+		take := a.users[host][sMax]
+		if take > n {
+			take = n
+		}
+		a.users[host][sMax] -= take
+		if a.users[host][sMax] == 0 {
+			delete(a.users[host], sMax)
+		}
+		a.loads[sMax] -= take
+		n -= take
+	}
+	return a.Balance(), nil
+}
+
+// RandomAssign discards the current assignment and distributes every host's
+// users uniformly at random over the servers — a deliberately naive baseline
+// for the ablation benchmarks.
+func (a *Assignment) RandomAssign(rng *rand.Rand) {
+	for _, s := range a.cfg.Servers {
+		a.loads[s] = 0
+	}
+	for _, h := range a.cfg.Hosts {
+		a.users[h] = make(map[graph.NodeID]int, len(a.cfg.Servers))
+		for k := 0; k < a.cfg.Users[h]; k++ {
+			s := a.cfg.Servers[rng.Intn(len(a.cfg.Servers))]
+			a.users[h][s]++
+			a.loads[s]++
+		}
+	}
+}

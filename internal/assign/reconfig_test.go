@@ -1,0 +1,209 @@
+package assign
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/queueing"
+)
+
+// figure1WithSpareServer builds the Figure 1 example plus a fourth,
+// initially unused server S4 attached to S3.
+func figure1WithSpareServer(t *testing.T) (*Assignment, graph.Example, graph.NodeID) {
+	t.Helper()
+	cfg, ex := figure1Config()
+	spare := graph.ServerBase + 4
+	cfg.Topology.MustAddNode(graph.Node{ID: spare, Label: "S4", Region: "R1", Kind: graph.KindServer})
+	cfg.Topology.MustAddEdge(spare, ex.Servers[2], 1)
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run()
+	return a, ex, spare
+}
+
+func TestAddServerRebalances(t *testing.T) {
+	a, ex, spare := figure1WithSpareServer(t)
+	utilBefore := a.MaxUtilization()
+	stats, err := a.AddServer(spare, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Moves == 0 {
+		t.Error("adding a server moved no users")
+	}
+	if a.Load(spare) == 0 {
+		t.Error("new server got no load; §3.1.3c requires redistribution onto it")
+	}
+	if a.MaxUtilization() > utilBefore {
+		t.Errorf("max utilisation rose after adding a server: %v → %v", utilBefore, a.MaxUtilization())
+	}
+	if got := totalAssigned(a, append(ex.Servers, spare)); got != 270 {
+		t.Errorf("total assigned = %d, want 270", got)
+	}
+}
+
+func TestAddServerErrors(t *testing.T) {
+	a, ex, _ := figure1WithSpareServer(t)
+	if _, err := a.AddServer(9999, 100); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown node: err = %v", err)
+	}
+	if _, err := a.AddServer(ex.Servers[0], 100); err == nil {
+		t.Error("duplicate server accepted")
+	}
+}
+
+func TestRemoveServerRedistributes(t *testing.T) {
+	a, ex, spare := figure1WithSpareServer(t)
+	if _, err := a.AddServer(spare, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RemoveServer(spare); err != nil {
+		t.Fatal(err)
+	}
+	if got := totalAssigned(a, ex.Servers); got != 270 {
+		t.Errorf("total assigned after removal = %d, want 270", got)
+	}
+	for _, h := range ex.Hosts {
+		if a.Assigned(h, spare) != 0 {
+			t.Errorf("host %d still has users on removed server", h)
+		}
+	}
+	if a.Balance().Moves != 0 {
+		t.Error("state not stable after RemoveServer")
+	}
+}
+
+func TestRemoveServerErrors(t *testing.T) {
+	cfg, ex := table3Config()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run()
+	if _, err := a.RemoveServer(9999); err == nil {
+		t.Error("removing unknown server succeeded")
+	}
+	if _, err := a.RemoveServer(ex.Servers[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RemoveServer(ex.Servers[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RemoveServer(ex.Servers[2]); !errors.Is(err, ErrNoServers) {
+		t.Errorf("removing last server: err = %v, want ErrNoServers", err)
+	}
+}
+
+func TestRemoveServerOverloadReported(t *testing.T) {
+	// Removing a server when the remainder cannot absorb its load must
+	// report overload rather than lose users.
+	cfg, ex := table3Config()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run()
+	stats, err := a.RemoveServer(ex.Servers[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := totalAssigned(a, ex.Servers[:2]); got != 220 {
+		t.Errorf("total = %d, want 220", got)
+	}
+	if len(stats.Overloaded) == 0 {
+		t.Error("220 users on 2×100-capacity servers should report overload")
+	}
+}
+
+func TestAddHost(t *testing.T) {
+	cfg, ex := figure1Config()
+	newHost := graph.HostBase + 7
+	cfg.Topology.MustAddNode(graph.Node{ID: newHost, Label: "H7", Region: "R1", Kind: graph.KindHost})
+	cfg.Topology.MustAddEdge(newHost, ex.Servers[2], 1)
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run()
+	if _, err := a.AddHost(newHost, 25); err != nil {
+		t.Fatal(err)
+	}
+	if got := totalAssigned(a, ex.Servers); got != 295 {
+		t.Errorf("total = %d, want 295", got)
+	}
+	if _, err := a.AddHost(newHost, 5); err == nil {
+		t.Error("duplicate AddHost accepted")
+	}
+	if _, err := a.AddHost(8888, 5); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown AddHost err = %v", err)
+	}
+	if _, err := a.RemoveHost(newHost); err != nil {
+		t.Fatal(err)
+	}
+	if got := totalAssigned(a, ex.Servers); got != 270 {
+		t.Errorf("total after RemoveHost = %d, want 270", got)
+	}
+	if _, err := a.RemoveHost(newHost); err == nil {
+		t.Error("double RemoveHost accepted")
+	}
+}
+
+func TestAddRemoveUsers(t *testing.T) {
+	cfg, ex := figure1Config()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run()
+	if _, err := a.AddUsers(ex.Hosts[5], 30); err != nil {
+		t.Fatal(err)
+	}
+	if got := totalAssigned(a, ex.Servers); got != 300 {
+		t.Errorf("total = %d, want 300", got)
+	}
+	if _, err := a.RemoveUsers(ex.Hosts[5], 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := totalAssigned(a, ex.Servers); got != 250 {
+		t.Errorf("total = %d, want 250", got)
+	}
+	if _, err := a.RemoveUsers(ex.Hosts[5], 100000); err == nil {
+		t.Error("removing more users than exist accepted")
+	}
+	if _, err := a.AddUsers(9999, 1); err == nil {
+		t.Error("AddUsers on unknown host accepted")
+	}
+	if _, err := a.AddUsers(ex.Hosts[0], -1); !errors.Is(err, ErrNegativeUsers) {
+		t.Errorf("negative AddUsers err = %v", err)
+	}
+	if _, err := a.RemoveUsers(ex.Hosts[0], -1); !errors.Is(err, ErrNegativeUsers) {
+		t.Errorf("negative RemoveUsers err = %v", err)
+	}
+	if a.MaxUtilization() >= queueing.UtilizationCutoff {
+		t.Errorf("unbalanced after user churn: max util %v", a.MaxUtilization())
+	}
+}
+
+// Growth scenario from §3.1.3a: "if many users are added, and existing
+// servers are overloaded, then new servers should be added" — adding the
+// server must resolve the overload that user growth created.
+func TestGrowthScenario(t *testing.T) {
+	a, ex, spare := figure1WithSpareServer(t)
+	stats, err := a.AddUsers(ex.Hosts[0], 60) // 330 users on 300 capacity
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Overloaded) == 0 {
+		t.Fatal("expected overload after growth beyond capacity")
+	}
+	stats, err = a.AddServer(spare, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Overloaded) != 0 {
+		t.Errorf("overload persists after adding a server: %v", stats.Overloaded)
+	}
+}

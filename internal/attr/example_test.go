@@ -1,0 +1,27 @@
+package attr_test
+
+import (
+	"fmt"
+
+	"github.com/largemail/largemail/internal/attr"
+	"github.com/largemail/largemail/internal/names"
+)
+
+func ExampleLevenshtein() {
+	fmt.Println(attr.Levenshtein("liddell", "lidell"))
+	// Output: 1
+}
+
+func ExampleQuery_Matches() {
+	p := &attr.Profile{User: names.MustParse("east.h1.alice")}
+	p.Add(attr.TypeName, "Alice Liddell", attr.Public).
+		Add(attr.TypeOrganization, "ACME", attr.Public)
+
+	// Directory look-up with a misspelled name (§3.3-i).
+	q := attr.Query{Predicates: []attr.Predicate{
+		{Type: attr.TypeName, Op: attr.OpFuzzy, Pattern: "Alice Lidell"},
+		{Type: attr.TypeOrganization, Op: attr.OpEquals, Pattern: "acme"},
+	}}
+	fmt.Println(q.Matches(p))
+	// Output: true
+}

@@ -1,0 +1,355 @@
+// Package broadcast implements mass distribution and searching over a
+// spanning tree, the mechanism of the paper's attribute-based mail system
+// (§3.3.1).
+//
+// A query enters at any tree node and propagates down the tree ("upon
+// receiving a request from the parent node in the MST, each node sends the
+// message to its children nodes"). Responses converge back up: each node
+// "waits for the messages to come back from all the children nodes. It then
+// combines them into a single summary message and returns it to its parent
+// node." A parent times out on dead children and marks their estimates
+// unavailable, exactly as §3.3.1-B prescribes.
+//
+// Queries can be restricted to target regions; the tree is pruned so
+// branches leading only to non-target regions carry no traffic — this is the
+// flow-control lever of §3.3.1-B, where a sender picks regions from the cost
+// table to stay within budget.
+package broadcast
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/mst"
+	"github.com/largemail/largemail/internal/netsim"
+	"github.com/largemail/largemail/internal/sim"
+)
+
+// Errors reported by the package.
+var (
+	ErrUnknownNode = errors.New("broadcast: node is not part of the tree")
+	ErrNodeDown    = errors.New("broadcast: origin node is down")
+)
+
+// Evaluator computes a node's local contribution to a query — for the mail
+// system, the users on this node matching the attribute predicate. It must
+// not retain query.
+type Evaluator func(node graph.NodeID, query any) []any
+
+// Query is the downward message.
+type Query struct {
+	ID      uint64
+	Origin  graph.NodeID
+	Payload any
+	// Targets restricts evaluation and propagation to these regions;
+	// nil means everywhere.
+	Targets map[string]bool
+}
+
+// Summary is the upward message: one child subtree's combined response.
+type Summary struct {
+	ID    uint64
+	From  graph.NodeID
+	Items []any
+	// Unavailable lists nodes whose subtrees timed out ("the unavailable
+	// estimates can be marked so").
+	Unavailable []graph.NodeID
+	// Nodes counts the nodes that evaluated the query.
+	Nodes int
+}
+
+// Tree runs broadcast/convergecast over a fixed spanning tree on a simulated
+// network. It registers one process per tree node.
+type Tree struct {
+	net     *netsim.Network
+	adj     map[graph.NodeID][]graph.NodeID
+	regions map[graph.NodeID]string
+	// regionsVia[n][nb] is the set of regions reachable from n through
+	// neighbor nb — used to prune targeted queries.
+	regionsVia map[graph.NodeID]map[graph.NodeID]map[string]bool
+	// depthVia[n][nb] is the depth in edges of the deepest path from n
+	// through neighbor nb. A parent's wait for a child scales with this
+	// depth, so a slow-but-healthy deep subtree is not falsely marked
+	// unavailable while a dead immediate child is still detected after one
+	// base timeout.
+	depthVia map[graph.NodeID]map[graph.NodeID]int
+	eval     Evaluator
+	timeout  sim.Time
+	nodes    map[graph.NodeID]*bcastNode
+	nextID   uint64
+	results  map[uint64]Summary
+	done     map[uint64]bool
+}
+
+// Config for Setup.
+type Config struct {
+	Net  *netsim.Network
+	Tree graph.Tree
+	// Eval computes local matches; nil means "no local items".
+	Eval Evaluator
+	// Timeout is how long a parent waits for a child's summary before
+	// marking the subtree unavailable. Zero means 50 paper time units.
+	Timeout sim.Time
+}
+
+// Setup registers a broadcast process on every node of the tree.
+func Setup(cfg Config) (*Tree, error) {
+	if cfg.Net == nil {
+		return nil, errors.New("broadcast: nil network")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 50 * sim.Unit
+	}
+	if cfg.Eval == nil {
+		cfg.Eval = func(graph.NodeID, any) []any { return nil }
+	}
+	t := &Tree{
+		net:        cfg.Net,
+		adj:        cfg.Tree.Adjacency(),
+		regions:    make(map[graph.NodeID]string),
+		regionsVia: make(map[graph.NodeID]map[graph.NodeID]map[string]bool),
+		depthVia:   make(map[graph.NodeID]map[graph.NodeID]int),
+		eval:       cfg.Eval,
+		timeout:    cfg.Timeout,
+		nodes:      make(map[graph.NodeID]*bcastNode),
+		results:    make(map[uint64]Summary),
+		done:       make(map[uint64]bool),
+	}
+	ids := make([]graph.NodeID, 0, len(t.adj))
+	for id := range t.adj {
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, errors.New("broadcast: empty tree")
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n, ok := cfg.Net.Topology().Node(id)
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+		}
+		t.regions[id] = n.Region
+	}
+	t.computeRegionsVia(ids)
+	for _, id := range ids {
+		bn := &bcastNode{id: id, tree: t, pending: make(map[uint64]*pendingQuery)}
+		if err := cfg.Net.Register(id, bn); err != nil {
+			return nil, err
+		}
+		t.nodes[id] = bn
+	}
+	return t, nil
+}
+
+// computeRegionsVia fills the per-direction region reachability sets by DFS
+// from every node (trees are small relative to query volume; this is a
+// one-time cost).
+func (t *Tree) computeRegionsVia(ids []graph.NodeID) {
+	var collect func(at, from graph.NodeID, acc map[string]bool) int
+	collect = func(at, from graph.NodeID, acc map[string]bool) int {
+		acc[t.regions[at]] = true
+		depth := 1
+		for _, nb := range t.adj[at] {
+			if nb != from {
+				if d := 1 + collect(nb, at, acc); d > depth {
+					depth = d
+				}
+			}
+		}
+		return depth
+	}
+	for _, id := range ids {
+		t.regionsVia[id] = make(map[graph.NodeID]map[string]bool)
+		t.depthVia[id] = make(map[graph.NodeID]int)
+		for _, nb := range t.adj[id] {
+			acc := make(map[string]bool)
+			t.depthVia[id][nb] = collect(nb, id, acc)
+			t.regionsVia[id][nb] = acc
+		}
+	}
+}
+
+// wantBranch reports whether a targeted query needs to travel from node to
+// neighbor nb.
+func (t *Tree) wantBranch(node, nb graph.NodeID, targets map[string]bool) bool {
+	if targets == nil {
+		return true
+	}
+	for region := range t.regionsVia[node][nb] {
+		if targets[region] {
+			return true
+		}
+	}
+	return false
+}
+
+// Start injects a query at origin. Targets of nil means all regions. It
+// returns the query ID; the result is available via Result once the
+// convergecast completes (run the scheduler).
+func (t *Tree) Start(origin graph.NodeID, payload any, targets map[string]bool) (uint64, error) {
+	node, ok := t.nodes[origin]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownNode, origin)
+	}
+	if !t.net.IsUp(origin) {
+		return 0, fmt.Errorf("%w: %d", ErrNodeDown, origin)
+	}
+	t.nextID++
+	id := t.nextID
+	q := Query{ID: id, Origin: origin, Payload: payload, Targets: targets}
+	node.begin(q, origin) // origin is its own parent sentinel
+	return id, nil
+}
+
+// Result returns the completed summary for a query, if available.
+func (t *Tree) Result(id uint64) (Summary, bool) {
+	s, ok := t.results[id]
+	return s, ok
+}
+
+// bcastNode is the per-node broadcast process.
+type bcastNode struct {
+	id      graph.NodeID
+	tree    *Tree
+	pending map[uint64]*pendingQuery
+}
+
+type pendingQuery struct {
+	parent   graph.NodeID
+	waiting  map[graph.NodeID]bool
+	items    []any
+	unavail  []graph.NodeID
+	nodes    int
+	timer    *sim.Event
+	finished bool
+}
+
+// Receive implements netsim.Handler.
+func (n *bcastNode) Receive(env netsim.Envelope) {
+	switch p := env.Payload.(type) {
+	case Query:
+		n.begin(p, env.From)
+	case Summary:
+		n.onSummary(p, env.From)
+	}
+}
+
+// begin evaluates the query locally and fans it out to child branches.
+func (n *bcastNode) begin(q Query, parent graph.NodeID) {
+	if _, dup := n.pending[q.ID]; dup {
+		return // duplicate query delivery; trees have no cycles, but be safe
+	}
+	pq := &pendingQuery{parent: parent, waiting: make(map[graph.NodeID]bool)}
+	n.pending[q.ID] = pq
+	if q.Targets == nil || q.Targets[n.tree.regions[n.id]] {
+		pq.items = append(pq.items, n.tree.eval(n.id, q.Payload)...)
+		pq.nodes = 1
+	}
+	for _, nb := range n.tree.adj[n.id] {
+		if nb == parent && parent != n.id {
+			continue
+		}
+		if nb == n.id {
+			continue
+		}
+		if !n.tree.wantBranch(n.id, nb, q.Targets) {
+			continue
+		}
+		pq.waiting[nb] = true
+		_ = n.tree.net.Send(n.id, nb, q)
+	}
+	if len(pq.waiting) == 0 {
+		n.finish(q.ID, pq)
+		return
+	}
+	// Wait proportionally to the deepest awaited subtree, so descendants'
+	// own timeouts can resolve before this node gives up on them.
+	maxDepth := 1
+	for nb := range pq.waiting {
+		if d := n.tree.depthVia[n.id][nb]; d > maxDepth {
+			maxDepth = d
+		}
+	}
+	pq.timer = n.tree.net.Scheduler().After(n.tree.timeout*sim.Time(maxDepth), func() {
+		n.onTimeout(q.ID)
+	})
+}
+
+func (n *bcastNode) onSummary(s Summary, from graph.NodeID) {
+	pq, ok := n.pending[s.ID]
+	if !ok || pq.finished || !pq.waiting[from] {
+		return // late or unexpected summary; subtree already marked unavailable
+	}
+	delete(pq.waiting, from)
+	pq.items = append(pq.items, s.Items...)
+	pq.unavail = append(pq.unavail, s.Unavailable...)
+	pq.nodes += s.Nodes
+	if len(pq.waiting) == 0 {
+		if pq.timer != nil {
+			n.tree.net.Scheduler().Cancel(pq.timer)
+		}
+		n.finish(s.ID, pq)
+	}
+}
+
+// onTimeout gives up on the remaining children, marking them unavailable
+// ("problem may occur if one of the children nodes goes down while the
+// parent node is waiting ... a parent node should time out").
+func (n *bcastNode) onTimeout(id uint64) {
+	pq, ok := n.pending[id]
+	if !ok || pq.finished {
+		return
+	}
+	missing := make([]graph.NodeID, 0, len(pq.waiting))
+	for nb := range pq.waiting {
+		missing = append(missing, nb)
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	pq.unavail = append(pq.unavail, missing...)
+	pq.waiting = make(map[graph.NodeID]bool)
+	n.finish(id, pq)
+}
+
+// finish sends the combined summary to the parent, or records the final
+// result at the origin.
+func (n *bcastNode) finish(id uint64, pq *pendingQuery) {
+	pq.finished = true
+	s := Summary{ID: id, From: n.id, Items: pq.items, Unavailable: pq.unavail, Nodes: pq.nodes}
+	if pq.parent == n.id {
+		n.tree.results[id] = s
+		n.tree.done[id] = true
+		return
+	}
+	_ = n.tree.net.Send(n.id, pq.parent, s)
+}
+
+// SelectRegions is the budget flow control of §3.3.1-B: given the cost table
+// and a budget, it greedily picks the cheapest regions whose cumulative cost
+// stays within budget ("based on the detailed estimate of charges and
+// traffic volume, the user can select his recipients and the level of search
+// he wants"). The source region's own row costs its local weight and is
+// always considered first if affordable.
+func SelectRegions(rows []mst.RegionCostRow, budget float64) (map[string]bool, float64) {
+	sorted := append([]mst.RegionCostRow(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Total != sorted[j].Total {
+			return sorted[i].Total < sorted[j].Total
+		}
+		return sorted[i].Region < sorted[j].Region
+	})
+	chosen := make(map[string]bool)
+	var cost float64
+	for _, r := range sorted {
+		if !r.Reachable {
+			continue
+		}
+		if cost+r.Total > budget {
+			continue
+		}
+		chosen[r.Region] = true
+		cost += r.Total
+	}
+	return chosen, cost
+}

@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/largemail/largemail/internal/core"
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/names"
+)
+
+// Example wires the paper's Figure 1 region as a syntax-directed mail
+// system, sends one message, and retrieves it with GetMail.
+func Example() {
+	ex := graph.Figure1()
+	sys, err := core.NewSyntax(core.SyntaxConfig{
+		Topology: ex.G,
+		UsersPerHost: map[graph.NodeID][]string{
+			ex.Hosts[0]: {"alice"},
+			ex.Hosts[1]: {"bob"},
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	alice := names.MustParse("R1.H1.alice")
+	bob := names.MustParse("R1.H2.bob")
+	if err := sys.Send(alice, []names.Name{bob}, "hello", "body"); err != nil {
+		fmt.Println(err)
+		return
+	}
+	sys.Run()
+	agent, _ := sys.Agent(bob)
+	for _, m := range agent.GetMail() {
+		fmt.Printf("%s: %s\n", m.From, m.Subject)
+	}
+	// Output: R1.H1.alice: hello
+}

@@ -1,0 +1,119 @@
+package evalsys
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/largemail/largemail/internal/sim"
+)
+
+func fullCollector() *Collector {
+	c := NewCollector("test")
+	c.ObserveSetup(sim.Units(1))
+	c.ObserveSetup(sim.Units(3))
+	c.ObserveDelivery(sim.Units(4))
+	c.ObserveResponse(sim.Units(10))
+	c.ObserveResolutionHops(2)
+	for i := 0; i < 10; i++ {
+		c.CountSubmission(i != 9) // one failure
+	}
+	c.CountDelivered(9)
+	c.CountDuplicates(1)
+	c.CountRetries(2)
+	c.CountEvicted(3)
+	c.CountNotified(4)
+	c.CountRetrieval(1)
+	c.CountRetrieval(2)
+	c.CountMigration(1)
+	c.CountMigration(0)
+	c.CountReconfigMessages(7)
+	c.SetTraffic(12500, 50)
+	c.SetStorage(2048)
+	c.SetCapabilities(true, false)
+	return c
+}
+
+func TestReportValues(t *testing.T) {
+	r := fullCollector().Report()
+	if r.System != "test" {
+		t.Errorf("System = %q", r.System)
+	}
+	if r.Efficiency.MeanSetupTime != 2 {
+		t.Errorf("MeanSetupTime = %v", r.Efficiency.MeanSetupTime)
+	}
+	if r.Efficiency.MeanPollsPerCheck != 1.5 {
+		t.Errorf("MeanPollsPerCheck = %v", r.Efficiency.MeanPollsPerCheck)
+	}
+	if math.Abs(r.Reliability.Availability-0.9) > 1e-12 {
+		t.Errorf("Availability = %v", r.Reliability.Availability)
+	}
+	if math.Abs(r.Reliability.DeliveredRate-0.9) > 1e-12 {
+		t.Errorf("DeliveredRate = %v", r.Reliability.DeliveredRate)
+	}
+	if r.Flexibility.RenamesPerMigration != 0.5 {
+		t.Errorf("RenamesPerMigration = %v", r.Flexibility.RenamesPerMigration)
+	}
+	if r.Cost.TotalTrafficCost != 12.5 || r.Cost.TotalMessages != 50 {
+		t.Errorf("Cost = %+v", r.Cost)
+	}
+	if r.Cost.StorageBytes != 2048 {
+		t.Errorf("StorageBytes = %d", r.Cost.StorageBytes)
+	}
+	if !r.Flexibility.SupportsAttributeSend || r.Flexibility.RoamingSupported {
+		t.Errorf("capabilities = %+v", r.Flexibility)
+	}
+}
+
+func TestEmptyCollectorNoNaNs(t *testing.T) {
+	r := NewCollector("empty").Report()
+	for name, v := range map[string]float64{
+		"setup":     r.Efficiency.MeanSetupTime,
+		"delivery":  r.Efficiency.MeanDeliveryTime,
+		"polls":     r.Efficiency.MeanPollsPerCheck,
+		"avail":     r.Reliability.Availability,
+		"delivered": r.Reliability.DeliveredRate,
+		"renames":   r.Flexibility.RenamesPerMigration,
+		"response":  r.Cost.MeanResponseTime,
+	} {
+		if math.IsNaN(v) {
+			t.Errorf("%s is NaN on empty collector", name)
+		}
+	}
+	if s := r.Score(DefaultWeights()); math.IsNaN(s) || s < 0 || s > 1 {
+		t.Errorf("empty Score = %v", s)
+	}
+}
+
+func TestScoreBounds(t *testing.T) {
+	r := fullCollector().Report()
+	for _, w := range []Weights{{}, DefaultWeights(), {Efficiency: 1}, {Cost: 5}} {
+		s := r.Score(w)
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			t.Errorf("Score(%+v) = %v out of [0,1]", w, s)
+		}
+	}
+	if (Report{}).Score(Weights{}) < 0 {
+		t.Error("zero report score negative")
+	}
+}
+
+func TestScorePrefersReliableSystem(t *testing.T) {
+	good := NewCollector("good")
+	good.CountSubmission(true)
+	good.CountDelivered(1)
+	bad := NewCollector("bad")
+	bad.CountSubmission(true) // submitted but never delivered
+	if good.Report().Score(Weights{Reliability: 1}) <= bad.Report().Score(Weights{Reliability: 1}) {
+		t.Error("reliable system did not out-score lossy one")
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := fullCollector().Report().Render()
+	for _, want := range []string{"efficiency", "reliability", "flexibility", "cost", "polls per retrieval"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/largemail/largemail/internal/client"
+	"github.com/largemail/largemail/internal/core"
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/locind"
+	"github.com/largemail/largemail/internal/metrics"
+	"github.com/largemail/largemail/internal/names"
+	"github.com/largemail/largemail/internal/netsim"
+	"github.com/largemail/largemail/internal/server"
+	"github.com/largemail/largemail/internal/sim"
+)
+
+// E12AuthorityListLength validates §3.1.1: "the length of the list depends
+// on the probability of server failures and the degree of reliability
+// required" — longer authority lists buy mail-service availability at the
+// price of extra polls when failures occur.
+func E12AuthorityListLength() Result {
+	t := metrics.NewTable("E12: authority-list length vs service availability (4 servers, p=0.25 churn, 150 rounds)",
+		"ListLen", "ServiceAvail", "Received/Sent", "Polls/Retrieval")
+	notes := []string{}
+	var prevAvail float64 = -1
+	monotone := true
+	for listLen := 1; listLen <= 4; listLen++ {
+		avail, recvRate, polls := authorityLengthRun(listLen, 150, 0.25)
+		t.AddRow(listLen, avail, recvRate, polls)
+		if avail < prevAvail-1e-9 {
+			monotone = false
+		}
+		prevAvail = avail
+	}
+	if monotone {
+		notes = append(notes, "service availability grows monotonically with list length, as §3.1.1 argues")
+	} else {
+		notes = append(notes, "WARNING: availability not monotone in list length")
+	}
+	notes = append(notes,
+		"a single authority server leaves the user locked out whenever it is down",
+		"every accepted message is eventually received at every length (deposit retries + GetMail)")
+	return Result{
+		ID:    "e12",
+		Title: "Authority-list length buys reliability (§3.1.1)",
+		Table: t,
+		Notes: notes,
+	}
+}
+
+// authorityLengthRun builds a 4-server region where alice's authority list
+// is truncated to listLen, churns servers, and measures alice's
+// mail-service availability (Connect success rate), eventual delivery, and
+// polls per retrieval.
+func authorityLengthRun(listLen, rounds int, p float64) (avail, recvRate, pollsPerCheck float64) {
+	const (
+		hA graph.NodeID = 1
+		hB graph.NodeID = 2
+	)
+	serverIDs := []graph.NodeID{101, 102, 103, 104}
+	g := graph.New()
+	g.MustAddNode(graph.Node{ID: hA, Label: "HA", Region: "R1", Kind: graph.KindHost})
+	g.MustAddNode(graph.Node{ID: hB, Label: "HB", Region: "R1", Kind: graph.KindHost})
+	for i, id := range serverIDs {
+		g.MustAddNode(graph.Node{ID: id, Label: fmt.Sprintf("S%d", i+1), Region: "R1", Kind: graph.KindServer})
+	}
+	g.MustAddEdge(hA, serverIDs[0], 1)
+	g.MustAddEdge(hB, serverIDs[1], 1)
+	for i := 0; i+1 < len(serverIDs); i++ {
+		g.MustAddEdge(serverIDs[i], serverIDs[i+1], 1)
+	}
+	sched := sim.New(int64(listLen))
+	net := netsim.New(sched, g)
+	dir := server.NewDirectory("R1")
+	regions := server.NewRegionMap()
+	srvs := make(map[graph.NodeID]*server.Server)
+	for _, id := range serverIDs {
+		srv, err := server.New(server.Config{ID: id, Region: "R1", Net: net, Dir: dir, Regions: regions})
+		if err != nil {
+			panic(err)
+		}
+		srvs[id] = srv
+	}
+	aliceName := names.MustParse("R1.HA.alice")
+	bobName := names.MustParse("R1.HB.bob")
+	aliceList := serverIDs[:listLen]
+	if err := dir.SetAuthority(aliceName, aliceList); err != nil {
+		panic(err)
+	}
+	// Bob keeps the full list so submissions rarely fail on his side.
+	if err := dir.SetAuthority(bobName, []graph.NodeID{serverIDs[1], serverIDs[2], serverIDs[3], serverIDs[0]}); err != nil {
+		panic(err)
+	}
+	hostA, err := client.NewHost(net, hA)
+	if err != nil {
+		panic(err)
+	}
+	hostB, err := client.NewHost(net, hB)
+	if err != nil {
+		panic(err)
+	}
+	lookup := func(id graph.NodeID) *server.Server { return srvs[id] }
+	alice, err := client.NewAgent(aliceName, hostA, lookup, aliceList)
+	if err != nil {
+		panic(err)
+	}
+	bob, err := client.NewAgent(bobName, hostB, lookup, []graph.NodeID{serverIDs[1], serverIDs[2], serverIDs[3], serverIDs[0]})
+	if err != nil {
+		panic(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	sent, accessible := 0, 0
+	for r := 0; r < rounds; r++ {
+		// Churn every server independently, then guarantee global liveness
+		// (at least one server up somewhere) so deposits can always retry.
+		anyUp := false
+		for _, id := range serverIDs {
+			if rng.Float64() < p {
+				net.Crash(id)
+			} else {
+				net.Recover(id)
+				anyUp = true
+			}
+		}
+		if !anyUp {
+			net.Recover(serverIDs[rng.Intn(len(serverIDs))])
+		}
+		if _, err := bob.Send([]names.Name{aliceName}, "s", "b"); err == nil {
+			sent++
+		}
+		sched.RunFor(40 * sim.Unit)
+		// Service availability: can alice reach any of her authority
+		// servers this round?
+		if _, err := alice.Connect(); err == nil {
+			accessible++
+		}
+		alice.GetMail()
+	}
+	for _, id := range serverIDs {
+		net.Recover(id)
+	}
+	sched.RunFor(400 * sim.Unit)
+	sched.Run()
+	alice.GetMail()
+	alice.GetMail()
+	st := alice.Stats()
+	avail = float64(accessible) / float64(rounds)
+	if sent > 0 {
+		recvRate = float64(st.Received) / float64(sent)
+	}
+	if st.Retrievals > 0 {
+		pollsPerCheck = float64(st.Polls) / float64(st.Retrievals)
+	}
+	return avail, recvRate, pollsPerCheck
+}
+
+// E13RemoteAccess quantifies §3.2.4's inter-region trade-off: "a user can
+// remotely access his old region ... but remote access is usually slow and
+// imposes large overhead", so "obtaining a new name for a user who plans to
+// move for a long time may place less overhead on the system". Remote-access
+// cost grows linearly with the number of mail checks; migration (rename +
+// redirect) is a one-time cost.
+func E13RemoteAccess() Result {
+	// Build the Figure 1 region as a location-independent system plus a
+	// distant access point two extra hops away (the "other region" node the
+	// mover reads mail from).
+	ex := graph.Figure1()
+	far := graph.NodeID(900)
+	relay := graph.NodeID(901)
+	ex.G.MustAddNode(graph.Node{ID: relay, Label: "GW", Region: "R2", Kind: graph.KindRouter})
+	ex.G.MustAddNode(graph.Node{ID: far, Label: "FAR", Region: "R2", Kind: graph.KindHost})
+	ex.G.MustAddEdge(ex.Servers[2], relay, 2)
+	ex.G.MustAddEdge(relay, far, 2)
+	users := map[graph.NodeID][]string{
+		ex.Hosts[0]: {"mover"},
+		ex.Hosts[1]: {"sender"},
+	}
+	s, err := core.NewLocation(core.LocationConfig{
+		Topology: ex.G, Region: "R1", UsersPerHost: users, Seed: 91,
+	})
+	if err != nil {
+		panic(err)
+	}
+	mover := names.MustParse("R1.H1.mover")
+	sender, _ := s.Agent(names.MustParse("R1.H2.sender"))
+	agent, _ := s.Agent(mover)
+
+	// One-time migration cost: the measured rename + redirect traffic of
+	// the E8 scenario, plus §3.1.4's requirement that "the senders are
+	// notified about the name changes" — one round trip to each of the
+	// mover's correspondents (20 here, at the region's mean path cost).
+	migrationCost := measureMigrationCost()
+	const correspondents = 20
+	meanPath := meanPathCost(ex.G, ex.Hosts[0])
+	migrationCost += correspondents * 2 * meanPath
+
+	t := metrics.NewTable(
+		fmt.Sprintf("E13: remote access vs migration (remote factor %d×, one-time migration cost %.1f)",
+			locind.RemoteAccessFactor, migrationCost),
+		"MailChecks", "CumulativeRemoteCost", "CheaperOption")
+	cum := 0.0
+	crossover := -1
+	for n := 1; n <= 24; n++ {
+		if err := sender.Send([]names.Name{mover}, "m", "b"); err != nil {
+			panic(err)
+		}
+		s.Run()
+		_, cost := agent.RemoteGetMail(far)
+		cum += cost
+		if n == 1 || n == 2 || n == 4 || n == 8 || n == 16 || n == 24 {
+			opt := "remote access"
+			if cum > migrationCost {
+				opt = "migrate (rename)"
+			}
+			t.AddRow(n, cum, opt)
+		}
+		if crossover < 0 && cum > migrationCost {
+			crossover = n
+		}
+	}
+	notes := []string{
+		fmt.Sprintf("remote-access cost passes the one-time migration cost after %d mail checks", crossover),
+		"§3.2.4: renaming 'may place less overhead on the system' for long-term moves — quantified",
+	}
+	if agent.Inbox() == nil || len(agent.Inbox()) != 24 {
+		notes = append(notes, "WARNING: remote retrieval lost mail")
+	}
+	return Result{
+		ID:    "e13",
+		Title: "Inter-region movement: remote access vs renaming (§3.2.4)",
+		Table: t,
+		Notes: notes,
+	}
+}
+
+// meanPathCost is the mean shortest-path cost from a node to every other
+// node — the expected one-way cost of notifying a random correspondent.
+func meanPathCost(g *graph.Graph, from graph.NodeID) float64 {
+	paths, err := g.ShortestPaths(from)
+	if err != nil {
+		panic(err)
+	}
+	total, n := 0.0, 0
+	for id, d := range paths.Dist {
+		if id == from {
+			continue
+		}
+		total += d
+		n++
+	}
+	return total / float64(n)
+}
+
+// measureMigrationCost runs the E8 syntax-directed migration scenario and
+// returns the network cost it incurred (directory/redirect traffic).
+func measureMigrationCost() float64 {
+	ex := graph.Figure1()
+	g := ex.G
+	h7 := graph.HostBase + 7
+	s4 := graph.ServerBase + 4
+	g.MustAddNode(graph.Node{ID: h7, Label: "H7", Region: "R2", Kind: graph.KindHost})
+	g.MustAddNode(graph.Node{ID: s4, Label: "S4", Region: "R2", Kind: graph.KindServer})
+	g.MustAddEdge(s4, ex.Servers[2], 2)
+	g.MustAddEdge(h7, s4, 1)
+	users := map[graph.NodeID][]string{
+		ex.Hosts[0]: {"mover"},
+		ex.Hosts[1]: {"sender"},
+		h7:          {"resident"},
+	}
+	s, err := core.NewSyntax(core.SyntaxConfig{Topology: g, UsersPerHost: users, Seed: 92})
+	if err != nil {
+		panic(err)
+	}
+	before := s.Net.Stats().Get("cost_milli")
+	old := names.MustParse("R1.H1.mover")
+	newName, err := s.MigrateUser(old, h7)
+	if err != nil {
+		panic(err)
+	}
+	// Five straggler messages to the old name ride the redirect.
+	sender := names.MustParse("R1.H2.sender")
+	for i := 0; i < 5; i++ {
+		if err := s.Send(sender, []names.Name{old}, "follow", "b"); err != nil {
+			panic(err)
+		}
+	}
+	s.Run()
+	agent, _ := s.Agent(newName)
+	agent.GetMail()
+	return float64(s.Net.Stats().Get("cost_milli")-before) / 1000
+}
+
+// E14ConnectionSetup quantifies §3.1.2a's trade-off between the two
+// connection-setup schemes: locally maintained authority lists ("large
+// overhead in maintaining the authority server list ... the lists still
+// need to be updated when there are changes in system configurations")
+// versus querying a name server per connection ("the problem is shifted to
+// locating a name server").
+func E14ConnectionSetup() Result {
+	const (
+		users     = 6
+		reconfigs = 10
+	)
+	t := metrics.NewTable("E14: connection setup — maintained lists vs name-server queries (6 users, 10 reconfigurations)",
+		"Connects/Reconfig", "LocalPushCost", "NameServerQueryCost", "Cheaper")
+	notes := []string{}
+	for _, connects := range []int{0, 1, 5, 20} {
+		localCost := connectionSetupRun(connects, false)
+		nsCost := connectionSetupRun(connects, true)
+		cheaper := "maintained lists"
+		if nsCost < localCost {
+			cheaper = "name server"
+		}
+		t.AddRow(connects, localCost, nsCost, cheaper)
+	}
+	notes = append(notes,
+		"maintained lists pay per reconfiguration; name-server mode pays per connection",
+		"rarely-connecting users favour the name server; busy users favour the local list — the §3.1.2a trade-off")
+	return Result{
+		ID:    "e14",
+		Title: "Connection setup: list maintenance vs name-server queries (§3.1.2a)",
+		Table: t,
+		Notes: notes,
+	}
+}
+
+// connectionSetupRun drives one host with several agents through
+// reconfiguration rounds and returns the list-management traffic cost of
+// the chosen mode.
+func connectionSetupRun(connectsPerReconfig int, nameServerMode bool) float64 {
+	const (
+		hA graph.NodeID = 1
+		s1 graph.NodeID = 101
+		s2 graph.NodeID = 102
+	)
+	g := graph.New()
+	g.MustAddNode(graph.Node{ID: hA, Label: "HA", Region: "R1", Kind: graph.KindHost})
+	g.MustAddNode(graph.Node{ID: s1, Label: "S1", Region: "R1", Kind: graph.KindServer})
+	g.MustAddNode(graph.Node{ID: s2, Label: "S2", Region: "R1", Kind: graph.KindServer})
+	g.MustAddEdge(hA, s1, 1)
+	g.MustAddEdge(s1, s2, 1)
+	sched := sim.New(7)
+	net := netsim.New(sched, g)
+	dir := server.NewDirectory("R1")
+	regions := server.NewRegionMap()
+	srvs := make(map[graph.NodeID]*server.Server)
+	for _, id := range []graph.NodeID{s1, s2} {
+		srv, err := server.New(server.Config{ID: id, Region: "R1", Net: net, Dir: dir, Regions: regions})
+		if err != nil {
+			panic(err)
+		}
+		srvs[id] = srv
+	}
+	lookup := func(id graph.NodeID) *server.Server { return srvs[id] }
+	host, err := client.NewHost(net, hA)
+	if err != nil {
+		panic(err)
+	}
+	lists := [][]graph.NodeID{{s1, s2}, {s2, s1}}
+	agents := make([]*client.Agent, 0, 6)
+	for i := 0; i < 6; i++ {
+		u := names.Name{Region: "R1", Host: "HA", User: fmt.Sprintf("u%d", i)}
+		if err := dir.SetAuthority(u, lists[0]); err != nil {
+			panic(err)
+		}
+		a, err := client.NewAgent(u, host, lookup, lists[0])
+		if err != nil {
+			panic(err)
+		}
+		if nameServerMode {
+			if err := a.UseNameServers([]graph.NodeID{s1, s2}); err != nil {
+				panic(err)
+			}
+		}
+		agents = append(agents, a)
+	}
+	pushRT := 2.0 // round trip host↔nearest server for one list push
+	totalCost := 0.0
+	for r := 0; r < 10; r++ {
+		// Reconfiguration: the authority order flips; the directory is
+		// updated in place (name-server mode reads it fresh); local mode
+		// pushes the new list to every agent.
+		list := lists[(r+1)%2]
+		for _, a := range agents {
+			if err := dir.SetAuthority(a.User(), list); err != nil {
+				panic(err)
+			}
+			if !nameServerMode {
+				if err := a.SetAuthority(list); err != nil {
+					panic(err)
+				}
+				totalCost += pushRT
+			}
+		}
+		for c := 0; c < connectsPerReconfig; c++ {
+			for _, a := range agents {
+				if _, err := a.Connect(); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	if nameServerMode {
+		for _, a := range agents {
+			totalCost += a.Stats().ListCost
+		}
+	}
+	return totalCost
+}

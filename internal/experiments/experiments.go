@@ -1,0 +1,106 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation plus the quantitative claims its prose makes (see DESIGN.md §1
+// for the experiment index). Every experiment is deterministic: fixed seeds,
+// discrete-event simulation, and byte-stable table rendering.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/largemail/largemail/internal/metrics"
+)
+
+// Result is one reproduced table, figure, or claim.
+type Result struct {
+	ID    string // "table1", "figure2", "e1", ...
+	Title string
+	Table *metrics.Table
+	// Notes records the shape checks the experiment performed (who wins,
+	// invariants that held) — the paper-vs-measured statements that feed
+	// EXPERIMENTS.md.
+	Notes []string
+	// Text carries extra rendered artifacts (e.g. DOT sources for the
+	// figures).
+	Text string
+}
+
+// Render formats the result for terminal output.
+func (r Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	if r.Table != nil {
+		b.WriteString(r.Table.Render())
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	if r.Text != "" {
+		b.WriteString(r.Text)
+		if !strings.HasSuffix(r.Text, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// runner produces one Result.
+type runner struct {
+	ID  string
+	Run func() Result
+}
+
+// registry lists every experiment in presentation order.
+func registry() []runner {
+	return []runner{
+		{"figure1", Figure1},
+		{"table1", Table1},
+		{"table2", Table2},
+		{"table3", Table3},
+		{"figure2", Figure2},
+		{"e1", E1PollsPerRetrieval},
+		{"e2", E2NoLoss},
+		{"e3", E3BalancingConvergence},
+		{"e4", E4BroadcastCost},
+		{"e5", E5GHSCorrectness},
+		{"e6", E6ConvergecastFailures},
+		{"e7", E7RoamingOverhead},
+		{"e8", E8MigrationOverhead},
+		{"e9", E9CostTableAccuracy},
+		{"e10", E10AttributeSelectivity},
+		{"e11", E11CriteriaComparison},
+		{"e12", E12AuthorityListLength},
+		{"e13", E13RemoteAccess},
+		{"e14", E14ConnectionSetup},
+	}
+}
+
+// IDs returns every experiment ID in order.
+func IDs() []string {
+	rs := registry()
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string) (Result, bool) {
+	for _, r := range registry() {
+		if r.ID == id {
+			return r.Run(), true
+		}
+	}
+	return Result{}, false
+}
+
+// All executes every experiment in order.
+func All() []Result {
+	rs := registry()
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = r.Run()
+	}
+	return out
+}

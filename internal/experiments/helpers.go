@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/largemail/largemail/internal/client"
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/names"
+	"github.com/largemail/largemail/internal/netsim"
+	"github.com/largemail/largemail/internal/server"
+	"github.com/largemail/largemail/internal/sim"
+)
+
+// retrievalWorld is the E1/E2 rig: one region, three authority servers, a
+// receiving user (alice) with the full authority list, and a sending user
+// (bob) on a separate host.
+type retrievalWorld struct {
+	sched   *sim.Scheduler
+	net     *netsim.Network
+	rng     *rand.Rand
+	servers []graph.NodeID
+	alice   *client.Agent
+	bob     *client.Agent
+}
+
+var (
+	rwAlice = names.MustParse("R1.HA.alice")
+	rwBob   = names.MustParse("R1.HB.bob")
+)
+
+func newRetrievalWorld(seed int64) *retrievalWorld {
+	const (
+		hA graph.NodeID = 1
+		hB graph.NodeID = 2
+		s1 graph.NodeID = 101
+		s2 graph.NodeID = 102
+		s3 graph.NodeID = 103
+	)
+	g := graph.New()
+	g.MustAddNode(graph.Node{ID: hA, Label: "HA", Region: "R1", Kind: graph.KindHost})
+	g.MustAddNode(graph.Node{ID: hB, Label: "HB", Region: "R1", Kind: graph.KindHost})
+	for i, id := range []graph.NodeID{s1, s2, s3} {
+		g.MustAddNode(graph.Node{ID: id, Label: fmt.Sprintf("S%d", i+1), Region: "R1", Kind: graph.KindServer})
+	}
+	g.MustAddEdge(hA, s1, 1)
+	g.MustAddEdge(hB, s2, 1)
+	g.MustAddEdge(s1, s2, 1)
+	g.MustAddEdge(s2, s3, 1)
+
+	sched := sim.New(seed)
+	net := netsim.New(sched, g)
+	dir := server.NewDirectory("R1")
+	regions := server.NewRegionMap()
+	servers := []graph.NodeID{s1, s2, s3}
+	srvs := make(map[graph.NodeID]*server.Server, 3)
+	for _, id := range servers {
+		srv, err := server.New(server.Config{
+			ID: id, Region: "R1", Net: net, Dir: dir, Regions: regions,
+		})
+		if err != nil {
+			panic(err)
+		}
+		srvs[id] = srv
+	}
+	if err := dir.SetAuthority(rwAlice, servers); err != nil {
+		panic(err)
+	}
+	if err := dir.SetAuthority(rwBob, []graph.NodeID{s2, s3, s1}); err != nil {
+		panic(err)
+	}
+	hostA, err := client.NewHost(net, hA)
+	if err != nil {
+		panic(err)
+	}
+	hostB, err := client.NewHost(net, hB)
+	if err != nil {
+		panic(err)
+	}
+	lookup := func(id graph.NodeID) *server.Server { return srvs[id] }
+	alice, err := client.NewAgent(rwAlice, hostA, lookup, servers)
+	if err != nil {
+		panic(err)
+	}
+	bob, err := client.NewAgent(rwBob, hostB, lookup, []graph.NodeID{s2, s3, s1})
+	if err != nil {
+		panic(err)
+	}
+	return &retrievalWorld{
+		sched: sched, net: net, rng: rand.New(rand.NewSource(seed)),
+		servers: servers, alice: alice, bob: bob,
+	}
+}
+
+// churn crashes/recovers alice's authority servers with per-server
+// probability p, always keeping at least one up (the paper's liveness
+// assumption).
+func (w *retrievalWorld) churn(p float64) {
+	anyUp := false
+	for _, id := range w.servers {
+		if w.rng.Float64() < p {
+			w.net.Crash(id)
+		} else {
+			w.net.Recover(id)
+			anyUp = true
+		}
+	}
+	if !anyUp {
+		w.net.Recover(w.servers[w.rng.Intn(len(w.servers))])
+	}
+}
+
+// recoverAll brings every server back up.
+func (w *retrievalWorld) recoverAll() {
+	for _, id := range w.servers {
+		w.net.Recover(id)
+	}
+}
+
+// send has bob submit one message to alice; it reports whether a server
+// accepted the submission.
+func (w *retrievalWorld) send() bool {
+	_, err := w.bob.Send([]names.Name{rwAlice}, "s", "b")
+	return err == nil
+}
+
+// retrievalRun drives rounds of churn+send+retrieve and returns (sent,
+// received, polls, retrievals) where retrieve is GetMail or PollAll.
+func retrievalRun(seed int64, rounds int, p float64, pollAll bool) (sent, received, polls, retrievals int) {
+	w := newRetrievalWorld(seed)
+	retrieve := w.alice.GetMail
+	if pollAll {
+		retrieve = w.alice.PollAll
+	}
+	for r := 0; r < rounds; r++ {
+		w.churn(p)
+		if w.send() {
+			sent++
+		}
+		w.sched.RunFor(40 * sim.Unit)
+		retrieve()
+	}
+	// Settle: recover everything, let retries finish, drain twice (the
+	// second pass clears PreviouslyUnavailableServers stragglers).
+	w.recoverAll()
+	w.sched.RunFor(400 * sim.Unit)
+	w.sched.Run()
+	retrieve()
+	retrieve()
+	st := w.alice.Stats()
+	return sent, st.Received, st.Polls, st.Retrievals
+}

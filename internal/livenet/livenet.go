@@ -1,0 +1,405 @@
+// Package livenet runs the paper's syntax-directed delivery core on a real
+// concurrent runtime: every mail server is a goroutine owning its state and
+// serving requests over channels, and time is wall-clock time.
+//
+// The discrete-event simulation (internal/netsim + internal/server) is the
+// reference used for the experiments; livenet exists to demonstrate that the
+// same algorithms — ordered authority-server lists, deposit-with-failover,
+// and the GetMail retrieval procedure driven by LastCheckingTime vs
+// LastStartTime (§3.1.2c) — are runtime-independent. The package is safe for
+// concurrent use and race-clean under `go test -race`.
+package livenet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/largemail/largemail/internal/mail"
+	"github.com/largemail/largemail/internal/names"
+)
+
+// Errors reported by livenet operations.
+var (
+	ErrServerDown  = errors.New("livenet: server is down")
+	ErrNoAuthority = errors.New("livenet: user has no authority servers")
+	ErrAllDown     = errors.New("livenet: no authority server available")
+	ErrClosed      = errors.New("livenet: cluster closed")
+)
+
+// Directory maps users to their ordered authority-server lists. It is safe
+// for concurrent use.
+type Directory struct {
+	mu    sync.RWMutex
+	lists map[names.Name][]string
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{lists: make(map[names.Name][]string)}
+}
+
+// SetAuthority records the ordered authority list for a user.
+func (d *Directory) SetAuthority(user names.Name, servers []string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(servers) == 0 {
+		delete(d.lists, user)
+		return
+	}
+	d.lists[user] = append([]string(nil), servers...)
+}
+
+// Authority returns the user's ordered authority list.
+func (d *Directory) Authority(user names.Name) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]string(nil), d.lists[user]...)
+}
+
+// request is a unit of work executed by a server's loop goroutine.
+type request struct {
+	fn   func(*serverState)
+	done chan struct{}
+}
+
+// serverState is owned exclusively by the server goroutine.
+type serverState struct {
+	mailboxes map[names.Name]*mail.Mailbox
+}
+
+// Server is one mail server: a goroutine owning mailboxes, reachable through
+// a request channel. Crash/Recover toggle availability without losing the
+// mailbox contents (stable storage, as in the simulation).
+type Server struct {
+	name string
+
+	reqs chan request
+	quit chan struct{}
+	done chan struct{}
+
+	up        atomic.Bool
+	lastStart atomic.Int64 // unix nanos of the last start/recovery
+
+	deposits atomic.Int64
+	checks   atomic.Int64
+}
+
+// Name returns the server's identifier.
+func (s *Server) Name() string { return s.name }
+
+// Up reports whether the server currently accepts requests.
+func (s *Server) Up() bool { return s.up.Load() }
+
+// LastStart reports when the server last started or recovered — the
+// LastStartTime[server] variable of §3.1.2c.
+func (s *Server) LastStart() time.Time { return time.Unix(0, s.lastStart.Load()) }
+
+// Deposits reports how many messages this server has buffered in total.
+func (s *Server) Deposits() int64 { return s.deposits.Load() }
+
+// Checks reports how many CheckMail polls this server has served.
+func (s *Server) Checks() int64 { return s.checks.Load() }
+
+// Crash makes the server reject requests. Buffered mail survives.
+func (s *Server) Crash() { s.up.Store(false) }
+
+// Recover brings the server back and stamps a fresh LastStartTime.
+func (s *Server) Recover() {
+	// Stamp before flipping up so a concurrent GetMail that sees the
+	// server up also sees a LastStartTime no older than the recovery.
+	s.lastStart.Store(time.Now().UnixNano())
+	s.up.Store(true)
+}
+
+// call runs fn on the server goroutine and waits for completion.
+func (s *Server) call(fn func(*serverState)) error {
+	if !s.Up() {
+		return fmt.Errorf("%w: %s", ErrServerDown, s.name)
+	}
+	req := request{fn: fn, done: make(chan struct{})}
+	select {
+	case s.reqs <- req:
+	case <-s.quit:
+		return ErrClosed
+	}
+	select {
+	case <-req.done:
+		return nil
+	case <-s.quit:
+		return ErrClosed
+	}
+}
+
+// Deposit buffers a message for a recipient. It fails when the server is
+// down, letting the caller fail over to the next authority server.
+func (s *Server) Deposit(msg mail.Message, rcpt names.Name) error {
+	err := s.call(func(st *serverState) {
+		mb, ok := st.mailboxes[rcpt]
+		if !ok {
+			mb = mail.NewMailbox(rcpt)
+			st.mailboxes[rcpt] = mb
+		}
+		if mb.Deposit(msg, 0) {
+			s.deposits.Add(1)
+		}
+	})
+	return err
+}
+
+// CheckMail drains the user's mailbox ("get mail from server").
+func (s *Server) CheckMail(user names.Name) ([]mail.Stored, error) {
+	var out []mail.Stored
+	err := s.call(func(st *serverState) {
+		s.checks.Add(1)
+		if mb, ok := st.mailboxes[user]; ok {
+			out = mb.Drain()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MailboxLen reports buffered messages for a user.
+func (s *Server) MailboxLen(user names.Name) (int, error) {
+	n := 0
+	err := s.call(func(st *serverState) {
+		if mb, ok := st.mailboxes[user]; ok {
+			n = mb.Len()
+		}
+	})
+	return n, err
+}
+
+func (s *Server) loop() {
+	defer close(s.done)
+	st := &serverState{mailboxes: make(map[names.Name]*mail.Mailbox)}
+	for {
+		select {
+		case req := <-s.reqs:
+			req.fn(st)
+			close(req.done)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// Cluster is a set of live servers sharing a directory.
+type Cluster struct {
+	dir     *Directory
+	mu      sync.RWMutex
+	servers map[string]*Server
+	closed  atomic.Bool
+	nextSeq atomic.Uint64
+}
+
+// NewCluster returns an empty cluster with its directory.
+func NewCluster() *Cluster {
+	return &Cluster{dir: NewDirectory(), servers: make(map[string]*Server)}
+}
+
+// Directory returns the cluster's shared directory.
+func (c *Cluster) Directory() *Directory { return c.dir }
+
+// AddServer starts a server goroutine. Names must be unique.
+func (c *Cluster) AddServer(name string) (*Server, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.servers[name]; dup {
+		return nil, fmt.Errorf("livenet: server %q already exists", name)
+	}
+	s := &Server{
+		name: name,
+		reqs: make(chan request),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	s.lastStart.Store(time.Now().UnixNano())
+	s.up.Store(true)
+	c.servers[name] = s
+	go s.loop()
+	return s, nil
+}
+
+// Server returns a server by name.
+func (c *Cluster) Server(name string) (*Server, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.servers[name]
+	return s, ok
+}
+
+// Close stops every server goroutine and waits for them to exit.
+func (c *Cluster) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	c.mu.RLock()
+	servers := make([]*Server, 0, len(c.servers))
+	for _, s := range c.servers {
+		servers = append(servers, s)
+	}
+	c.mu.RUnlock()
+	for _, s := range servers {
+		close(s.quit)
+	}
+	for _, s := range servers {
+		<-s.done
+	}
+}
+
+// Submit accepts a message and deposits one copy per recipient at the first
+// available authority server, failing over down the list (§3.1.2c: "mail
+// will be deposited in the first active server from the list"). It returns
+// the assigned message ID.
+func (c *Cluster) Submit(from names.Name, to []names.Name, subject, body string) (mail.MessageID, error) {
+	if c.closed.Load() {
+		return mail.MessageID{}, ErrClosed
+	}
+	msg := mail.Message{
+		ID:      mail.MessageID{Node: 1, Seq: c.nextSeq.Add(1)},
+		From:    from,
+		To:      append([]names.Name(nil), to...),
+		Subject: subject,
+		Body:    body,
+	}
+	for _, rcpt := range msg.To {
+		if err := c.depositFailover(msg, rcpt); err != nil {
+			return mail.MessageID{}, fmt.Errorf("deliver to %v: %w", rcpt, err)
+		}
+	}
+	return msg.ID, nil
+}
+
+// depositFailover walks the recipient's authority list until a deposit
+// sticks.
+func (c *Cluster) depositFailover(msg mail.Message, rcpt names.Name) error {
+	list := c.dir.Authority(rcpt)
+	if len(list) == 0 {
+		return fmt.Errorf("%w: %v", ErrNoAuthority, rcpt)
+	}
+	var lastErr error
+	for _, name := range list {
+		s, ok := c.Server(name)
+		if !ok {
+			continue
+		}
+		if err := s.Deposit(msg, rcpt); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = ErrAllDown
+	}
+	return fmt.Errorf("%w (%v)", ErrAllDown, lastErr)
+}
+
+// Agent is a live user agent implementing the paper's GetMail procedure on
+// wall-clock time. Agents are not safe for concurrent use by multiple
+// goroutines (a user interface is a single actor); distinct agents may run
+// concurrently.
+type Agent struct {
+	user    names.Name
+	cluster *Cluster
+
+	lastChecking time.Time
+	prevUnavail  map[string]bool
+	seen         map[mail.MessageID]bool
+	inbox        []mail.Stored
+	polls        int
+	retrievals   int
+}
+
+// NewAgent creates an agent for a user registered in the directory.
+func (c *Cluster) NewAgent(user names.Name) (*Agent, error) {
+	if len(c.dir.Authority(user)) == 0 {
+		return nil, fmt.Errorf("%w: %v", ErrNoAuthority, user)
+	}
+	return &Agent{
+		user:        user,
+		cluster:     c,
+		prevUnavail: make(map[string]bool),
+		seen:        make(map[mail.MessageID]bool),
+	}, nil
+}
+
+// User returns the agent's name.
+func (a *Agent) User() names.Name { return a.user }
+
+// Inbox returns the messages retrieved so far.
+func (a *Agent) Inbox() []mail.Stored { return append([]mail.Stored(nil), a.inbox...) }
+
+// Polls reports CheckMail calls issued.
+func (a *Agent) Polls() int { return a.polls }
+
+// Retrievals reports GetMail invocations.
+func (a *Agent) Retrievals() int { return a.retrievals }
+
+// Send submits a message through the cluster.
+func (a *Agent) Send(to []names.Name, subject, body string) (mail.MessageID, error) {
+	return a.cluster.Submit(a.user, to, subject, body)
+}
+
+// GetMail is the §3.1.2c retrieval algorithm on wall-clock time: walk the
+// authority list; stop at the first live server that has been up since
+// before the last check; collect from servers previously seen unavailable.
+func (a *Agent) GetMail() []mail.Stored {
+	a.retrievals++
+	before := len(a.inbox)
+	current := time.Now()
+	finished := false
+	for _, name := range a.cluster.dir.Authority(a.user) {
+		if finished {
+			break
+		}
+		s, ok := a.cluster.Server(name)
+		if !ok {
+			continue
+		}
+		if s.Up() {
+			a.poll(s)
+			delete(a.prevUnavail, name)
+			if a.lastChecking.After(s.LastStart()) {
+				finished = true
+			}
+		} else {
+			a.prevUnavail[name] = true
+		}
+	}
+	for _, name := range a.cluster.dir.Authority(a.user) {
+		if !a.prevUnavail[name] {
+			continue
+		}
+		if s, ok := a.cluster.Server(name); ok && s.Up() {
+			a.poll(s)
+			delete(a.prevUnavail, name)
+		}
+	}
+	a.lastChecking = current
+	return append([]mail.Stored(nil), a.inbox[before:]...)
+}
+
+func (a *Agent) poll(s *Server) {
+	a.polls++
+	msgs, err := s.CheckMail(a.user)
+	if err != nil {
+		return
+	}
+	for _, m := range msgs {
+		if a.seen[m.ID] {
+			continue
+		}
+		a.seen[m.ID] = true
+		a.inbox = append(a.inbox, m)
+	}
+}

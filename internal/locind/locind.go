@@ -1,0 +1,387 @@
+// Package locind implements the paper's second design: an electronic mail
+// system with limited location-independent access (§3.2).
+//
+// Names keep the region.host.user syntax, but "the 'host' here indicates the
+// primary location of the user. It does not determine the current access
+// point": users roam to any host inside their region. Regions are divided
+// into hash sub-groups ("a hash function is applied to the name to find out
+// in which sub-group the name belongs", §3.2.2b) and each sub-group is
+// served by an ordered list of the region's servers, so server assignment is
+// independent of the name syntax and "reallocation of servers and
+// reallocation of load can be done by changing the hashing functions"
+// (§3.2.3c) — no renames.
+//
+// Delivery notification follows §3.2.2c: a server holding new mail first
+// tries the user's primary location; "if the user is not at his primary
+// location, the server has to consult with other local servers to find out
+// the current location of the user." Overhead is incurred only when the
+// user roams — the property experiment E7 measures.
+package locind
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/mail"
+	"github.com/largemail/largemail/internal/metrics"
+	"github.com/largemail/largemail/internal/names"
+	"github.com/largemail/largemail/internal/netsim"
+	"github.com/largemail/largemail/internal/sim"
+)
+
+// Errors reported by the package.
+var (
+	ErrWrongRegion = errors.New("locind: name is outside this region")
+	ErrNoServers   = errors.New("locind: no servers configured")
+	ErrUnknownHost = errors.New("locind: unknown host")
+	ErrNoServerUp  = errors.New("locind: no server reachable")
+)
+
+// Protocol payloads.
+type (
+	// Submit asks a server to deliver a message (sent from the user's
+	// current host).
+	Submit struct {
+		From    names.Name
+		To      []names.Name
+		Subject string
+		Body    string
+	}
+	// Deposit hands a message to an authority server of the recipient's
+	// sub-group; acked and retried like the syntax-directed design.
+	Deposit struct {
+		Msg       mail.Message
+		Recipient names.Name
+		Origin    graph.NodeID
+		Token     uint64
+	}
+	// DepositAck confirms a Deposit.
+	DepositAck struct{ Token uint64 }
+	// LoginMsg announces a user's presence at a host to the connecting
+	// server ("whenever a user logs on to a host, the host will inform the
+	// nearest active server", §3.2.2c).
+	LoginMsg struct {
+		User names.Name
+		Host graph.NodeID
+	}
+	// LogoutMsg withdraws the login.
+	LogoutMsg struct{ User names.Name }
+	// NotifyProbe asks a host whether the user is connected there; if so
+	// the alert is delivered with it.
+	NotifyProbe struct {
+		User   names.Name
+		ID     mail.MessageID
+		Server graph.NodeID
+		Token  uint64
+	}
+	// ProbeReply answers a NotifyProbe.
+	ProbeReply struct {
+		Token uint64
+		Found bool
+	}
+	// LocQuery asks another server for a user's current location (the
+	// consultation step of §3.2.2c).
+	LocQuery struct {
+		User  names.Name
+		From  graph.NodeID
+		Token uint64
+	}
+	// LocReply answers a LocQuery; Known is false when the asked server
+	// has no record.
+	LocReply struct {
+		User  names.Name
+		Host  graph.NodeID
+		Known bool
+		Token uint64
+	}
+	// Alert is the final notification to the user's located host.
+	Alert struct {
+		User   names.Name
+		ID     mail.MessageID
+		Server graph.NodeID
+	}
+	// MailboxTransfer bulk-moves a mailbox during rehash reconfiguration.
+	MailboxTransfer struct {
+		User names.Name
+		Msgs []mail.Stored
+	}
+	// Forward relays a message into the recipient's region (§3.2.2b);
+	// acked and retried like Deposit.
+	Forward struct {
+		Msg       mail.Message
+		Recipient names.Name
+		Origin    graph.NodeID
+		Token     uint64
+	}
+	// ForwardAck confirms a Forward.
+	ForwardAck struct{ Token uint64 }
+)
+
+// Federation links the location-independent systems of several regions
+// sharing one network, providing the inter-region step of §3.2.2b: "if the
+// name is not a local name, the server has to contact the corresponding
+// server in the region where the name belongs. The request will be
+// forwarded to that server which will assume the responsibility of
+// resolving the name and delivering the messages."
+type Federation struct {
+	systems map[string]*System
+}
+
+// NewFederation returns an empty federation.
+func NewFederation() *Federation {
+	return &Federation{systems: make(map[string]*System)}
+}
+
+// Add joins a region's system to the federation. Systems must share one
+// netsim.Network.
+func (f *Federation) Add(sys *System) error {
+	if _, dup := f.systems[sys.region]; dup {
+		return fmt.Errorf("locind: region %s already federated", sys.region)
+	}
+	f.systems[sys.region] = sys
+	sys.fed = f
+	return nil
+}
+
+// System returns a member region's system.
+func (f *Federation) System(region string) (*System, bool) {
+	s, ok := f.systems[region]
+	return s, ok
+}
+
+// serversOf returns a region's servers in preference order, or nil for
+// unknown regions.
+func (f *Federation) serversOf(region string) []graph.NodeID {
+	s, ok := f.systems[region]
+	if !ok {
+		return nil
+	}
+	return append([]graph.NodeID(nil), s.servers...)
+}
+
+// Config describes one region's location-independent system.
+type Config struct {
+	Region string
+	Net    *netsim.Network
+	// Servers are the region's mail servers, in preference order.
+	Servers []graph.NodeID
+	// Hosts maps host name tokens to their nodes (needed to find a user's
+	// primary location from their name).
+	Hosts map[string]graph.NodeID
+	// Subgroups is the hash modulus k; zero means max(1, 2×#servers).
+	Subgroups int
+	// ListLen is the authority-list length per sub-group; zero means
+	// min(2, #servers).
+	ListLen int
+	// AckTimeout for deposit retries; zero means 8 paper time units.
+	AckTimeout sim.Time
+}
+
+// System is one region's location-independent mail system.
+type System struct {
+	region     string
+	net        *netsim.Network
+	servers    []graph.NodeID
+	hosts      map[string]graph.NodeID
+	subgroups  int
+	listLen    int
+	ackTimeout sim.Time
+
+	procs  map[graph.NodeID]*Server
+	hostPs map[graph.NodeID]*Hostd
+	stats  *metrics.Registry
+	fed    *Federation // nil outside a federation
+}
+
+// NewSystem registers a Server process on every server node. Host processes
+// are added with AddHost.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Net == nil {
+		return nil, errors.New("locind: nil network")
+	}
+	if len(cfg.Servers) == 0 {
+		return nil, ErrNoServers
+	}
+	if cfg.Subgroups <= 0 {
+		cfg.Subgroups = 2 * len(cfg.Servers)
+	}
+	if cfg.ListLen <= 0 || cfg.ListLen > len(cfg.Servers) {
+		cfg.ListLen = len(cfg.Servers)
+		if cfg.ListLen > 2 {
+			cfg.ListLen = 2
+		}
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 8 * sim.Unit
+	}
+	s := &System{
+		region:     cfg.Region,
+		net:        cfg.Net,
+		servers:    append([]graph.NodeID(nil), cfg.Servers...),
+		hosts:      make(map[string]graph.NodeID, len(cfg.Hosts)),
+		subgroups:  cfg.Subgroups,
+		listLen:    cfg.ListLen,
+		ackTimeout: cfg.AckTimeout,
+		procs:      make(map[graph.NodeID]*Server),
+		hostPs:     make(map[graph.NodeID]*Hostd),
+		stats:      metrics.NewRegistry(),
+	}
+	for tok, id := range cfg.Hosts {
+		s.hosts[tok] = id
+	}
+	for _, id := range cfg.Servers {
+		p := &Server{
+			id: id, sys: s,
+			mailboxes: make(map[names.Name]*mail.Mailbox),
+			locations: make(map[names.Name]graph.NodeID),
+			pending:   make(map[uint64]*pendingDeposit),
+			notifying: make(map[uint64]*pendingNotify),
+		}
+		if err := cfg.Net.Register(id, p); err != nil {
+			return nil, err
+		}
+		s.procs[id] = p
+	}
+	return s, nil
+}
+
+// Stats returns region-wide counters: "deposits", "notify_home",
+// "notify_roaming", "consultations", "rehash_transfers", ...
+func (s *System) Stats() *metrics.Registry { return s.stats }
+
+// Region returns the system's region name.
+func (s *System) Region() string { return s.region }
+
+// Subgroups returns the current hash modulus.
+func (s *System) Subgroups() int { return s.subgroups }
+
+// Server returns the server process on a node.
+func (s *System) Server(id graph.NodeID) (*Server, bool) {
+	p, ok := s.procs[id]
+	return p, ok
+}
+
+// AuthorityFor returns the ordered authority-server list of the user's hash
+// sub-group: sub-group g is served by servers[g mod n], servers[(g+1) mod
+// n], ... for ListLen entries, which spreads sub-groups evenly.
+func (s *System) AuthorityFor(user names.Name) []graph.NodeID {
+	g := user.Subgroup(s.subgroups)
+	n := len(s.servers)
+	out := make([]graph.NodeID, 0, s.listLen)
+	for i := 0; i < s.listLen; i++ {
+		out = append(out, s.servers[(g+i)%n])
+	}
+	return out
+}
+
+// PrimaryHost returns the node of the user's primary location (the host
+// token of their name).
+func (s *System) PrimaryHost(user names.Name) (graph.NodeID, error) {
+	id, ok := s.hosts[user.Host]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownHost, user.Host)
+	}
+	return id, nil
+}
+
+// NearestServer returns the closest up server to a host by path cost — the
+// connection-setup rule of §3.2.2a ("a user always contacts the nearest
+// active server").
+func (s *System) NearestServer(from graph.NodeID) (graph.NodeID, error) {
+	best := graph.NodeID(0)
+	bestCost := -1.0
+	for _, id := range s.servers {
+		if !s.net.IsUp(id) {
+			continue
+		}
+		c, err := s.net.Cost(from, id)
+		if err != nil {
+			continue
+		}
+		if bestCost < 0 || c < bestCost {
+			best, bestCost = id, c
+		}
+	}
+	if bestCost < 0 {
+		return 0, ErrNoServerUp
+	}
+	return best, nil
+}
+
+// Rehash changes the hash modulus — the paper's reconfiguration lever
+// ("reallocation of servers and reallocation of load can be done by
+// changing the hashing functions", §3.2.3c) — and migrates buffered
+// mailboxes whose sub-group authority no longer includes their current
+// server. No user names change. It returns how many mailboxes moved.
+func (s *System) Rehash(k int) (moved int, err error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("locind: invalid sub-group count %d", k)
+	}
+	s.subgroups = k
+	serverIDs := append([]graph.NodeID(nil), s.servers...)
+	sort.Slice(serverIDs, func(i, j int) bool { return serverIDs[i] < serverIDs[j] })
+	for _, sid := range serverIDs {
+		p := s.procs[sid]
+		users := make([]names.Name, 0, len(p.mailboxes))
+		for u := range p.mailboxes {
+			users = append(users, u)
+		}
+		sort.Slice(users, func(i, j int) bool { return users[i].String() < users[j].String() })
+		for _, u := range users {
+			auth := s.AuthorityFor(u)
+			keep := false
+			for _, a := range auth {
+				if a == sid {
+					keep = true
+					break
+				}
+			}
+			if keep {
+				continue
+			}
+			msgs := p.mailboxes[u].Drain()
+			if len(msgs) == 0 {
+				continue
+			}
+			s.stats.Inc("rehash_transfers")
+			moved++
+			_ = s.net.Send(sid, auth[0], MailboxTransfer{User: u, Msgs: msgs})
+		}
+	}
+	return moved, nil
+}
+
+// AddServer appends a server to the region (registering its process) and
+// rehashes so sub-groups spread over it.
+func (s *System) AddServer(id graph.NodeID) error {
+	if _, dup := s.procs[id]; dup {
+		return fmt.Errorf("locind: server %d already present", id)
+	}
+	p := &Server{
+		id: id, sys: s,
+		mailboxes: make(map[names.Name]*mail.Mailbox),
+		locations: make(map[names.Name]graph.NodeID),
+		pending:   make(map[uint64]*pendingDeposit),
+		notifying: make(map[uint64]*pendingNotify),
+	}
+	if err := s.net.Register(id, p); err != nil {
+		return err
+	}
+	s.procs[id] = p
+	s.servers = append(s.servers, id)
+	_, err := s.Rehash(s.subgroups)
+	return err
+}
+
+// otherServers returns the servers except exclude, in preference order.
+func (s *System) otherServers(exclude graph.NodeID) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(s.servers)-1)
+	for _, id := range s.servers {
+		if id != exclude {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,346 @@
+package locind
+
+import (
+	"sort"
+
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/mail"
+	"github.com/largemail/largemail/internal/names"
+	"github.com/largemail/largemail/internal/netsim"
+	"github.com/largemail/largemail/internal/sim"
+)
+
+// Server is one region server of the location-independent design. It
+// resolves recipients by hash sub-group, deposits mail at the sub-group's
+// first active authority server, and notifies recipients at their current
+// location using the probe-primary-then-consult procedure of §3.2.2c.
+type Server struct {
+	id  graph.NodeID
+	sys *System
+
+	mailboxes map[names.Name]*mail.Mailbox
+	// locations is this server's own knowledge of current user locations
+	// ("the connecting server keeps the information about the current
+	// location of this user").
+	locations map[names.Name]graph.NodeID
+
+	nextSeq   uint64
+	nextToken uint64
+	pending   map[uint64]*pendingDeposit
+	notifying map[uint64]*pendingNotify
+}
+
+type pendingDeposit struct {
+	msg        mail.Message
+	recipient  names.Name
+	candidates []graph.NodeID
+	next       int
+	timer      *sim.Event
+	forward    bool // true: inter-region Forward, false: intra-region Deposit
+}
+
+// pendingNotify tracks the notification state machine: probe the primary
+// host, then consult the other servers in order, then alert the located
+// host.
+type pendingNotify struct {
+	user    names.Name
+	msgID   mail.MessageID
+	consult []graph.NodeID // servers still to ask
+}
+
+// ID returns the server's node.
+func (p *Server) ID() graph.NodeID { return p.id }
+
+// MailboxLen reports buffered messages for a user on this server.
+func (p *Server) MailboxLen(user names.Name) int {
+	if mb, ok := p.mailboxes[user]; ok {
+		return mb.Len()
+	}
+	return 0
+}
+
+// CheckMail drains the user's mailbox here (the retrieval the connecting
+// server performs on the user's behalf).
+func (p *Server) CheckMail(user names.Name) ([]mail.Stored, error) {
+	if !p.sys.net.IsUp(p.id) {
+		return nil, ErrNoServerUp
+	}
+	mb, ok := p.mailboxes[user]
+	if !ok {
+		return nil, nil
+	}
+	return mb.Drain(), nil
+}
+
+// KnownLocation returns this server's record of a user's current host.
+func (p *Server) KnownLocation(user names.Name) (graph.NodeID, bool) {
+	h, ok := p.locations[user]
+	return h, ok
+}
+
+// Receive implements netsim.Handler.
+func (p *Server) Receive(env netsim.Envelope) {
+	switch m := env.Payload.(type) {
+	case Submit:
+		p.onSubmit(m)
+	case Deposit:
+		p.onDeposit(m)
+	case DepositAck:
+		p.onDepositAck(m)
+	case LoginMsg:
+		p.onLogin(m)
+	case LogoutMsg:
+		delete(p.locations, m.User)
+	case ProbeReply:
+		p.onProbeReply(m)
+	case LocQuery:
+		p.onLocQuery(m, env.From)
+	case LocReply:
+		p.onLocReply(m)
+	case MailboxTransfer:
+		p.onMailboxTransfer(m)
+	case Forward:
+		p.onForward(m)
+	case ForwardAck:
+		p.onDepositAck(DepositAck{Token: m.Token})
+	default:
+		p.sys.stats.Inc("unknown_payload")
+	}
+}
+
+func (p *Server) onSubmit(m Submit) {
+	p.nextSeq++
+	msg := mail.Message{
+		ID:          mail.MessageID{Node: p.id, Seq: p.nextSeq},
+		From:        m.From,
+		To:          append([]names.Name(nil), m.To...),
+		Subject:     m.Subject,
+		Body:        m.Body,
+		SubmittedAt: p.sys.net.Scheduler().Now(),
+	}
+	p.sys.stats.Inc("submissions")
+	for _, rcpt := range msg.To {
+		if rcpt.Region != p.sys.region {
+			p.forwardRemote(msg, rcpt)
+			continue
+		}
+		p.route(msg, rcpt)
+	}
+}
+
+// route deposits at the recipient's sub-group authority list.
+func (p *Server) route(msg mail.Message, rcpt names.Name) {
+	auth := p.sys.AuthorityFor(rcpt)
+	for _, cand := range auth {
+		if !p.sys.net.IsUp(cand) {
+			continue
+		}
+		if cand == p.id {
+			p.depositLocal(msg, rcpt)
+			return
+		}
+		break
+	}
+	p.nextToken++
+	tok := p.nextToken
+	p.pending[tok] = &pendingDeposit{msg: msg, recipient: rcpt, candidates: auth}
+	p.dispatch(tok)
+}
+
+func (p *Server) dispatch(tok uint64) {
+	pd, ok := p.pending[tok]
+	if !ok || !p.sys.net.IsUp(p.id) {
+		return
+	}
+	n := len(pd.candidates)
+	target := pd.candidates[pd.next%n]
+	for i := 0; i < n; i++ {
+		cand := pd.candidates[(pd.next+i)%n]
+		if p.sys.net.IsUp(cand) {
+			target = cand
+			pd.next = (pd.next + i + 1) % n
+			break
+		}
+	}
+	var payload any
+	if pd.forward {
+		p.sys.stats.Inc("forwards_out")
+		payload = Forward{Msg: pd.msg, Recipient: pd.recipient, Origin: p.id, Token: tok}
+	} else {
+		p.sys.stats.Inc("deposit_transfers")
+		payload = Deposit{Msg: pd.msg, Recipient: pd.recipient, Origin: p.id, Token: tok}
+	}
+	_ = p.sys.net.Send(p.id, target, payload)
+	pd.timer = p.sys.net.Scheduler().After(p.sys.ackTimeout, func() {
+		if _, still := p.pending[tok]; still && p.sys.net.IsUp(p.id) {
+			p.sys.stats.Inc("deposit_retries")
+			p.dispatch(tok)
+		}
+	})
+}
+
+// forwardRemote relays a copy toward the recipient's region through the
+// federation, or counts it unroutable for a standalone system.
+func (p *Server) forwardRemote(msg mail.Message, rcpt names.Name) {
+	var candidates []graph.NodeID
+	if p.sys.fed != nil {
+		candidates = p.sys.fed.serversOf(rcpt.Region)
+	}
+	if len(candidates) == 0 {
+		p.sys.stats.Inc("nonlocal_recipients")
+		return
+	}
+	p.nextToken++
+	tok := p.nextToken
+	p.pending[tok] = &pendingDeposit{msg: msg, recipient: rcpt, candidates: candidates, forward: true}
+	p.dispatch(tok)
+}
+
+// onForward accepts an inter-region relay: ack the origin, then resolve and
+// deliver locally ("[the remote server] will assume the responsibility of
+// resolving the name and delivering the messages", §3.2.2b).
+func (p *Server) onForward(m Forward) {
+	_ = p.sys.net.Send(p.id, m.Origin, ForwardAck{Token: m.Token})
+	p.sys.stats.Inc("forwards_in")
+	if m.Recipient.Region != p.sys.region {
+		p.forwardRemote(m.Msg, m.Recipient) // stale routing: pass it on
+		return
+	}
+	p.route(m.Msg, m.Recipient)
+}
+
+func (p *Server) onDeposit(m Deposit) {
+	_ = p.sys.net.Send(p.id, m.Origin, DepositAck{Token: m.Token})
+	p.depositLocal(m.Msg, m.Recipient)
+}
+
+func (p *Server) onDepositAck(m DepositAck) {
+	if pd, ok := p.pending[m.Token]; ok {
+		if pd.timer != nil {
+			p.sys.net.Scheduler().Cancel(pd.timer)
+		}
+		delete(p.pending, m.Token)
+	}
+}
+
+func (p *Server) mailbox(user names.Name) *mail.Mailbox {
+	mb, ok := p.mailboxes[user]
+	if !ok {
+		mb = mail.NewMailbox(user)
+		p.mailboxes[user] = mb
+	}
+	return mb
+}
+
+func (p *Server) depositLocal(msg mail.Message, rcpt names.Name) {
+	if !p.mailbox(rcpt).Deposit(msg, p.sys.net.Scheduler().Now()) {
+		p.sys.stats.Inc("duplicate_deposits")
+		return
+	}
+	p.sys.stats.Inc("deposits")
+	p.notify(rcpt, msg.ID)
+}
+
+// notify runs §3.2.2c: "from the user name, the primary location of the
+// user can be obtained. The server can send an alert signal to the user if
+// he logs on to his primary location. If the user is not at his primary
+// location, the server has to consult with other local servers."
+func (p *Server) notify(user names.Name, id mail.MessageID) {
+	// Connecting-server fast path: this server saw the login itself.
+	if host, ok := p.locations[user]; ok {
+		p.sys.stats.Inc("notify_known")
+		_ = p.sys.net.Send(p.id, host, Alert{User: user, ID: id, Server: p.id})
+		return
+	}
+	primary, err := p.sys.PrimaryHost(user)
+	if err != nil {
+		p.sys.stats.Inc("notify_unknown_host")
+		return
+	}
+	p.nextToken++
+	tok := p.nextToken
+	p.notifying[tok] = &pendingNotify{user: user, msgID: id, consult: p.sys.otherServers(p.id)}
+	p.sys.stats.Inc("notify_probe_primary")
+	_ = p.sys.net.Send(p.id, primary, NotifyProbe{User: user, ID: id, Server: p.id, Token: tok})
+}
+
+func (p *Server) onProbeReply(m ProbeReply) {
+	pn, ok := p.notifying[m.Token]
+	if !ok {
+		return
+	}
+	if m.Found {
+		// User was at their primary location; the probe already alerted
+		// them. Zero extra traffic — the home case of experiment E7.
+		p.sys.stats.Inc("notify_home")
+		delete(p.notifying, m.Token)
+		return
+	}
+	p.consultNext(m.Token, pn)
+}
+
+// consultNext asks the next live server for the user's location.
+func (p *Server) consultNext(tok uint64, pn *pendingNotify) {
+	for len(pn.consult) > 0 {
+		next := pn.consult[0]
+		pn.consult = pn.consult[1:]
+		if !p.sys.net.IsUp(next) {
+			continue
+		}
+		p.sys.stats.Inc("consultations")
+		_ = p.sys.net.Send(p.id, next, LocQuery{User: pn.user, From: p.id, Token: tok})
+		return
+	}
+	// Nobody knows: the user is offline; mail waits in the mailbox.
+	p.sys.stats.Inc("notify_offline")
+	delete(p.notifying, tok)
+}
+
+func (p *Server) onLocQuery(m LocQuery, from graph.NodeID) {
+	host, known := p.locations[m.User]
+	_ = p.sys.net.Send(p.id, m.From, LocReply{User: m.User, Host: host, Known: known, Token: m.Token})
+}
+
+func (p *Server) onLocReply(m LocReply) {
+	pn, ok := p.notifying[m.Token]
+	if !ok {
+		return
+	}
+	if !m.Known {
+		p.consultNext(m.Token, pn)
+		return
+	}
+	p.sys.stats.Inc("notify_roaming")
+	_ = p.sys.net.Send(p.id, m.Host, Alert{User: pn.user, ID: pn.msgID, Server: p.id})
+	delete(p.notifying, m.Token)
+}
+
+func (p *Server) onLogin(m LoginMsg) {
+	p.locations[m.User] = m.Host
+	p.sys.stats.Inc("logins")
+	// "Notify him as soon as he is connected": buffered mail here triggers
+	// an immediate alert.
+	if mb, ok := p.mailboxes[m.User]; ok && mb.Len() > 0 {
+		_ = p.sys.net.Send(p.id, m.Host, Alert{User: m.User, ID: mb.Peek()[0].ID, Server: p.id})
+	}
+}
+
+func (p *Server) onMailboxTransfer(m MailboxTransfer) {
+	mb := p.mailbox(m.User)
+	now := p.sys.net.Scheduler().Now()
+	for _, s := range m.Msgs {
+		if mb.Deposit(s.Message, now) {
+			p.sys.stats.Inc("rehash_messages_moved")
+		}
+	}
+}
+
+// Users returns the users with mailboxes on this server, sorted.
+func (p *Server) Users() []names.Name {
+	out := make([]names.Name, 0, len(p.mailboxes))
+	for u := range p.mailboxes {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

@@ -1,0 +1,231 @@
+// Package mail defines the message model of the mail systems: envelopes,
+// message identifiers, per-user mailboxes with duplicate suppression, and
+// the retention ("message archiving and clean-up", §3.1.2c) policy that
+// protects server storage.
+package mail
+
+import (
+	"fmt"
+
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/names"
+	"github.com/largemail/largemail/internal/sim"
+)
+
+// MessageID uniquely identifies a message: the node that accepted the
+// submission plus a per-node sequence number.
+type MessageID struct {
+	Node graph.NodeID
+	Seq  uint64
+}
+
+// String formats the ID as "m<node>-<seq>".
+func (id MessageID) String() string { return fmt.Sprintf("m%d-%d", id.Node, id.Seq) }
+
+// IsZero reports whether the ID is unset.
+func (id MessageID) IsZero() bool { return id == MessageID{} }
+
+// Status tracks a message through the delivery pipeline of §3.1.2.
+type Status int
+
+// Message statuses, in pipeline order.
+const (
+	StatusComposed  Status = iota + 1 // built by the user interface
+	StatusSubmitted                   // accepted by a mail server
+	StatusRelayed                     // forwarded toward the recipient's region/server
+	StatusBuffered                    // stored at the recipient's authority server
+	StatusDelivered                   // retrieved by the recipient's user interface
+	StatusRead                        // read by the recipient
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusComposed:
+		return "composed"
+	case StatusSubmitted:
+		return "submitted"
+	case StatusRelayed:
+		return "relayed"
+	case StatusBuffered:
+		return "buffered"
+	case StatusDelivered:
+		return "delivered"
+	case StatusRead:
+		return "read"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Message is a mail message: envelope plus content.
+type Message struct {
+	ID          MessageID
+	From        names.Name
+	To          []names.Name
+	Subject     string
+	Body        string
+	SubmittedAt sim.Time
+	// Expansions counts how many distribution-list expansions this copy
+	// has been through; servers drop copies beyond a limit so cyclic group
+	// definitions cannot loop mail forever.
+	Expansions int
+	// Parts carries optional typed multimedia content (§5 future work).
+	Parts []Part
+}
+
+// Size is the accounted storage size of the message in bytes (content and
+// typed parts; the envelope is bookkeeping).
+func (m Message) Size() int { return len(m.Subject) + len(m.Body) + m.PartsSize() }
+
+// Stored is a message held in a mailbox with its arrival metadata.
+type Stored struct {
+	Message
+	ArrivedAt sim.Time
+	Read      bool
+}
+
+// Mailbox is one user's message store at one server. Messages are kept in
+// arrival order; duplicate deposits of the same MessageID are suppressed.
+// The zero value is not usable; create with NewMailbox.
+type Mailbox struct {
+	owner names.Name
+	msgs  []Stored
+	seen  map[MessageID]bool
+	bytes int
+}
+
+// NewMailbox returns an empty mailbox for the named user.
+func NewMailbox(owner names.Name) *Mailbox {
+	return &Mailbox{owner: owner, seen: make(map[MessageID]bool)}
+}
+
+// Owner returns the mailbox owner's name.
+func (b *Mailbox) Owner() names.Name { return b.owner }
+
+// Deposit stores a message, reporting whether it was newly stored (false
+// for duplicates).
+func (b *Mailbox) Deposit(m Message, at sim.Time) bool {
+	if b.seen[m.ID] {
+		return false
+	}
+	b.seen[m.ID] = true
+	b.msgs = append(b.msgs, Stored{Message: m, ArrivedAt: at})
+	b.bytes += m.Size()
+	return true
+}
+
+// Len reports the number of stored messages.
+func (b *Mailbox) Len() int { return len(b.msgs) }
+
+// Bytes reports the accounted content bytes currently stored.
+func (b *Mailbox) Bytes() int { return b.bytes }
+
+// Peek returns the stored messages without removing them.
+func (b *Mailbox) Peek() []Stored {
+	return append([]Stored(nil), b.msgs...)
+}
+
+// Drain removes and returns all stored messages, in arrival order. The
+// duplicate-suppression memory is retained so re-deposits of drained
+// messages stay suppressed (a retrieved message must not reappear when a
+// recovering server replays traffic).
+func (b *Mailbox) Drain() []Stored {
+	out := b.msgs
+	b.msgs = nil
+	b.bytes = 0
+	return out
+}
+
+// MarkRead flags a stored message as read. It reports whether the message
+// was present.
+func (b *Mailbox) MarkRead(id MessageID) bool {
+	for i := range b.msgs {
+		if b.msgs[i].ID == id {
+			b.msgs[i].Read = true
+			return true
+		}
+	}
+	return false
+}
+
+// Retention is the archiving/clean-up policy of §3.1.2c: "some policy of
+// message archiving and clean-up must be implemented to protect the servers'
+// storage from being used up". Zero fields disable the corresponding limit.
+type Retention struct {
+	MaxMessages int      // keep at most this many messages (oldest evicted first)
+	MaxAge      sim.Time // evict messages older than this
+	ReadOnly    bool     // only evict messages already read
+}
+
+// Cleanup applies the policy at virtual time now and returns the evicted
+// messages (oldest first).
+func (b *Mailbox) Cleanup(p Retention, now sim.Time) []Stored {
+	var evicted []Stored
+	evict := func(i int) bool {
+		s := b.msgs[i]
+		if p.ReadOnly && !s.Read {
+			return false
+		}
+		evicted = append(evicted, s)
+		b.bytes -= s.Size()
+		return true
+	}
+	if p.MaxAge > 0 {
+		kept := b.msgs[:0]
+		for i := range b.msgs {
+			if now-b.msgs[i].ArrivedAt > p.MaxAge && evict(i) {
+				continue
+			}
+			kept = append(kept, b.msgs[i])
+		}
+		b.msgs = kept
+	}
+	if p.MaxMessages > 0 && len(b.msgs) > p.MaxMessages {
+		over := len(b.msgs) - p.MaxMessages
+		kept := b.msgs[:0]
+		for i := range b.msgs {
+			if over > 0 && evict(i) {
+				over--
+				continue
+			}
+			kept = append(kept, b.msgs[i])
+		}
+		b.msgs = kept
+	}
+	return evicted
+}
+
+// ContentType classifies a message part. §5 anticipates that "electronic
+// mail systems should be able to transfer messages that consist of
+// different forms of data such as voice, video, graphs, and facsimile";
+// parts make the envelope carry them uniformly.
+type ContentType string
+
+// Content types from the paper's §5 list plus plain text.
+const (
+	ContentText      ContentType = "text"
+	ContentVoice     ContentType = "voice"
+	ContentVideo     ContentType = "video"
+	ContentGraph     ContentType = "graph"
+	ContentFacsimile ContentType = "facsimile"
+)
+
+// Part is one typed body part of a multimedia message.
+type Part struct {
+	Type ContentType
+	Data []byte
+}
+
+// AddPart appends a typed part to the message, copying data.
+func (m *Message) AddPart(t ContentType, data []byte) {
+	m.Parts = append(m.Parts, Part{Type: t, Data: append([]byte(nil), data...)})
+}
+
+// PartsSize is the total byte size of all typed parts.
+func (m Message) PartsSize() int {
+	total := 0
+	for _, p := range m.Parts {
+		total += len(p.Data)
+	}
+	return total
+}

@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("msgs")
+	r.Add("msgs", 4)
+	r.Add("bytes", 100)
+	r.Add("bytes", -30)
+	if got := r.Get("msgs"); got != 5 {
+		t.Errorf("msgs = %d, want 5", got)
+	}
+	if got := r.Get("bytes"); got != 70 {
+		t.Errorf("bytes = %d, want 70", got)
+	}
+	if got := r.Get("missing"); got != 0 {
+		t.Errorf("missing = %d, want 0", got)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "bytes" || names[1] != "msgs" {
+		t.Errorf("Names() = %v", names)
+	}
+	snap := r.Snapshot()
+	r.Inc("msgs")
+	if snap["msgs"] != 5 {
+		t.Error("Snapshot aliased live counters")
+	}
+	r.Reset()
+	if r.Get("msgs") != 0 || len(r.Names()) != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Sum() != 0 {
+		t.Error("empty summary has nonzero count or sum")
+	}
+	for name, v := range map[string]float64{
+		"Mean": s.Mean(), "Min": s.Min(), "Max": s.Max(),
+		"Quantile": s.Quantile(0.5), "StdDev": s.StdDev(),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s of empty summary = %v, want NaN", name, v)
+		}
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		s.Observe(v)
+	}
+	if s.Count() != 5 || s.Sum() != 15 {
+		t.Errorf("Count/Sum = %d/%v", s.Count(), s.Sum())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("Mean = %v, want 3", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if got := s.Quantile(0.5); got != 3 {
+		t.Errorf("median = %v, want 3", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := s.Quantile(1); got != 5 {
+		t.Errorf("q1 = %v, want 5", got)
+	}
+	if got := s.Quantile(-1); got != 1 {
+		t.Errorf("q(-1) clamped = %v, want 1", got)
+	}
+	if got := s.Quantile(2); got != 5 {
+		t.Errorf("q(2) clamped = %v, want 5", got)
+	}
+	want := math.Sqrt(2) // population stddev of 1..5
+	if math.Abs(s.StdDev()-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev(), want)
+	}
+}
+
+func TestSummaryObserveAfterSort(t *testing.T) {
+	var s Summary
+	s.Observe(10)
+	_ = s.Min() // forces sort
+	s.Observe(1)
+	if s.Min() != 1 {
+		t.Error("Observe after a sorted read lost ordering")
+	}
+}
+
+// Property: quantile output is always one of the observed samples and
+// quantiles are monotone in q.
+func TestPropertyQuantiles(t *testing.T) {
+	f := func(raw []float64, qa, qb float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		set := make(map[float64]bool)
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				v = 0
+			}
+			s.Observe(v)
+			set[v] = true
+		}
+		qa = math.Abs(math.Mod(qa, 1))
+		qb = math.Abs(math.Mod(qb, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		va, vb := s.Quantile(qa), s.Quantile(qb)
+		return set[va] && set[vb] && va <= vb
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Table 1: loads", "Host", "Server", "Users")
+	tb.AddRow("H1", "S1", 50)
+	tb.AddRow("H2", "S2", 60)
+	out := tb.Render()
+	if !strings.Contains(out, "Table 1: loads") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: "Server" column starts at the same offset everywhere.
+	hdrIdx := strings.Index(lines[1], "Server")
+	rowIdx := strings.Index(lines[3], "S1")
+	if hdrIdx != rowIdx {
+		t.Errorf("column misaligned: header at %d, row at %d\n%s", hdrIdx, rowIdx, out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tb.NumRows())
+	}
+}
+
+func TestTableFloatsTrimmed(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(1.5)
+	tb.AddRow(2.0)
+	tb.AddRow(0.125)
+	rows := tb.Rows()
+	if rows[0][0] != "1.5" || rows[1][0] != "2" || rows[2][0] != "0.125" {
+		t.Errorf("float cells = %v", rows)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", `he said "hi"`)
+	tb.AddRow(1, 2)
+	got := tb.CSV()
+	want := "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n1,2\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTableRowsCopy(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("orig")
+	rows := tb.Rows()
+	rows[0][0] = "mutated"
+	if tb.Rows()[0][0] != "orig" {
+		t.Error("Rows() exposed internal storage")
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"z", "a", "m"} {
+		r.Inc(n)
+	}
+	if names := r.Names(); !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+}

@@ -1,0 +1,197 @@
+package mst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/largemail/largemail/internal/graph"
+)
+
+// figure2Graph builds a deterministic 3-region internetwork like Fig. 2.
+func figure2Graph() *graph.Graph {
+	g := graph.New()
+	add := func(id graph.NodeID, region string) {
+		g.MustAddNode(graph.Node{ID: id, Region: region, Kind: graph.KindRouter})
+	}
+	// Region A: 1,2,3; Region B: 11,12,13; Region C: 21,22.
+	for _, id := range []graph.NodeID{1, 2, 3} {
+		add(id, "A")
+	}
+	for _, id := range []graph.NodeID{11, 12, 13} {
+		add(id, "B")
+	}
+	for _, id := range []graph.NodeID{21, 22} {
+		add(id, "C")
+	}
+	// Intra-region links.
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 2)
+	g.MustAddEdge(1, 3, 9)
+	g.MustAddEdge(11, 12, 3)
+	g.MustAddEdge(12, 13, 4)
+	g.MustAddEdge(21, 22, 5)
+	// Inter-region links (border nodes: 3, 11, 13, 21, 22, 2).
+	g.MustAddEdge(3, 11, 10)
+	g.MustAddEdge(2, 11, 12) // heavier A-B alternative
+	g.MustAddEdge(13, 21, 7)
+	g.MustAddEdge(22, 1, 20) // C-A direct, heavy
+	return g
+}
+
+func TestBackboneFigure2(t *testing.T) {
+	g := figure2Graph()
+	res, err := Backbone(g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local MSTs.
+	if w := res.Local["A"].Weight; w != 3 { // 1-2 (1) + 2-3 (2)
+		t.Errorf("region A local MST weight = %v, want 3", w)
+	}
+	if w := res.Local["B"].Weight; w != 7 {
+		t.Errorf("region B local MST weight = %v, want 7", w)
+	}
+	if w := res.Local["C"].Weight; w != 5 {
+		t.Errorf("region C local MST weight = %v, want 5", w)
+	}
+	// Back-bone: cheapest A-B link (3-11, 10) and B-C link (13-21, 7);
+	// the heavy A-C link (20) loses to the A-B-C path in the contracted MST.
+	if len(res.Inter) != 2 {
+		t.Fatalf("inter links = %+v, want 2", res.Inter)
+	}
+	wantInter := map[[2]graph.NodeID]bool{{3, 11}: true, {13, 21}: true}
+	for _, e := range res.Inter {
+		if !wantInter[[2]graph.NodeID{e.A, e.B}] {
+			t.Errorf("unexpected inter link %+v", e)
+		}
+	}
+	// Combined spans everything: 8 nodes → 7 edges.
+	if len(res.Combined.Edges) != 7 {
+		t.Errorf("combined edges = %d, want 7", len(res.Combined.Edges))
+	}
+	if res.TotalWeight() != 3+7+5+10+7 {
+		t.Errorf("total weight = %v, want 32", res.TotalWeight())
+	}
+}
+
+func TestBackboneDistributedMatchesCentralized(t *testing.T) {
+	g := figure2Graph()
+	central, err := Backbone(g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := Backbone(g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(central.TotalWeight()-dist.TotalWeight()) > 1e-9 {
+		t.Errorf("centralized weight %v != distributed %v", central.TotalWeight(), dist.TotalWeight())
+	}
+	if dist.Stats.Messages == 0 {
+		t.Error("distributed run reported no protocol messages")
+	}
+	if central.Stats.Messages != 0 {
+		t.Error("centralized run reported protocol messages")
+	}
+}
+
+func TestBackboneRandomMultiRegion(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.MultiRegion(rng, graph.MultiRegionSpec{
+			Regions: 3 + int(seed%3), NodesPerRegion: 4 + int(seed%4),
+			ExtraIntra: 3, InterLinks: 2,
+		})
+		res, err := Backbone(g, seed%2 == 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Combined is a spanning tree: n-1 edges, connected.
+		if len(res.Combined.Edges) != g.NumNodes()-1 {
+			t.Fatalf("seed %d: %d edges, want %d", seed, len(res.Combined.Edges), g.NumNodes()-1)
+		}
+		span := graph.New()
+		for _, n := range g.Nodes() {
+			span.MustAddNode(n)
+		}
+		for _, e := range res.Combined.Edges {
+			span.MustAddEdge(e.A, e.B, e.Weight)
+		}
+		if !span.Connected() {
+			t.Fatalf("seed %d: combined tree does not span", seed)
+		}
+		// The two-level tree can cost more than the global MST (it is
+		// constrained to respect regions) but never less.
+		global, err := g.KruskalMST()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalWeight() < global.Weight-1e-9 {
+			t.Fatalf("seed %d: two-level tree %v cheaper than global MST %v",
+				seed, res.TotalWeight(), global.Weight)
+		}
+		// Inter-link endpoints are border nodes.
+		border := make(map[graph.NodeID]bool)
+		for _, n := range g.BorderNodes() {
+			border[n.ID] = true
+		}
+		for _, e := range res.Inter {
+			if !border[e.A] || !border[e.B] {
+				t.Fatalf("seed %d: inter link %+v not between border nodes", seed, e)
+			}
+		}
+	}
+}
+
+func TestBackboneSingleRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.MultiRegion(rng, graph.MultiRegionSpec{Regions: 1, NodesPerRegion: 6})
+	res, err := Backbone(g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inter) != 0 {
+		t.Errorf("single region produced inter links: %v", res.Inter)
+	}
+	if len(res.Combined.Edges) != 5 {
+		t.Errorf("combined edges = %d, want 5", len(res.Combined.Edges))
+	}
+}
+
+func TestBackboneEmptyGraph(t *testing.T) {
+	if _, err := Backbone(graph.New(), false); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestCostTable(t *testing.T) {
+	g := figure2Graph()
+	res, err := Backbone(g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.CostTable("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	byRegion := make(map[string]RegionCostRow)
+	for _, r := range rows {
+		byRegion[r.Region] = r
+	}
+	if r := byRegion["A"]; r.BackboneCost != 0 || r.Total != 3 {
+		t.Errorf("A row = %+v, want backbone 0, total 3", r)
+	}
+	if r := byRegion["B"]; r.BackboneCost != 10 || r.Total != 17 {
+		t.Errorf("B row = %+v, want backbone 10, total 17", r)
+	}
+	if r := byRegion["C"]; r.BackboneCost != 17 || r.Total != 22 {
+		t.Errorf("C row = %+v, want backbone 17 (10+7), total 22", r)
+	}
+	if _, err := res.CostTable("Z"); err == nil {
+		t.Error("unknown source region accepted")
+	}
+}

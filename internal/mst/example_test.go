@@ -1,0 +1,35 @@
+package mst_test
+
+import (
+	"fmt"
+
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/mst"
+)
+
+// ExampleBackbone computes the paper's two-level broadcast structure on a
+// small two-region internetwork.
+func ExampleBackbone() {
+	g := graph.New()
+	g.MustAddNode(graph.Node{ID: 1, Region: "A"})
+	g.MustAddNode(graph.Node{ID: 2, Region: "A"})
+	g.MustAddNode(graph.Node{ID: 3, Region: "B"})
+	g.MustAddNode(graph.Node{ID: 4, Region: "B"})
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(3, 4, 2)
+	g.MustAddEdge(2, 3, 5) // the inter-region link
+	res, err := mst.Backbone(g, false)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("local A:", res.Local["A"].Weight)
+	fmt.Println("local B:", res.Local["B"].Weight)
+	fmt.Println("backbone links:", len(res.Inter))
+	fmt.Println("total:", res.TotalWeight())
+	// Output:
+	// local A: 1
+	// local B: 2
+	// backbone links: 1
+	// total: 8
+}

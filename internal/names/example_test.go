@@ -1,0 +1,32 @@
+package names_test
+
+import (
+	"fmt"
+
+	"github.com/largemail/largemail/internal/names"
+)
+
+func ExampleParse() {
+	n, err := names.Parse("east.alpha.alice")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(n.Region, n.Host, n.User)
+	// Output: east alpha alice
+}
+
+func ExampleName_Subgroup() {
+	// The hash sub-group ignores the host token, so a roaming user keeps
+	// their sub-group (§3.2.2b).
+	home := names.MustParse("east.alpha.alice")
+	roaming := names.MustParse("east.omega.alice")
+	fmt.Println(home.Subgroup(8) == roaming.Subgroup(8))
+	// Output: true
+}
+
+func ExampleName_Rename() {
+	old := names.MustParse("east.alpha.alice")
+	fmt.Println(old.Rename("west", "beta"))
+	// Output: west.beta.alice
+}

@@ -1,0 +1,252 @@
+// Package names implements the naming conventions of the paper's mail
+// systems.
+//
+// The paper uses "a three level hierarchical name in the form of
+// region.host.user" (§3.1.1): the region name is globally unique, the host
+// name unique within a region, and the user name locally unique within a
+// host. Names are "structured as a set of alphanumeric strings chosen from a
+// finite alphabet and separated by delimiters" (§2). The set of names
+// complying with the convention is the name space; it is partitioned into
+// region contexts and, within a region, into hash sub-groups (§3.2.2b: "a
+// hash function is applied to the name to find out in which sub-group the
+// name belongs").
+package names
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Delimiter separates the tokens of a hierarchical name. The paper's body
+// uses "region.host.user"; the conclusion writes "region@host@user" — both
+// are accepted on parse, Delimiter is used when formatting.
+const Delimiter = "."
+
+// Validation errors.
+var (
+	ErrEmptyToken   = errors.New("names: empty name token")
+	ErrBadToken     = errors.New("names: token contains characters outside the naming alphabet")
+	ErrBadStructure = errors.New("names: name must have exactly three tokens (region.host.user)")
+)
+
+// Name is a fully qualified, location-dependent user name.
+type Name struct {
+	Region string
+	Host   string
+	User   string
+}
+
+// String formats the name as region.host.user.
+func (n Name) String() string {
+	return n.Region + Delimiter + n.Host + Delimiter + n.User
+}
+
+// IsZero reports whether the name is entirely empty.
+func (n Name) IsZero() bool { return n == Name{} }
+
+// Validate checks the name against the naming convention: exactly three
+// non-empty alphanumeric tokens (hyphen and underscore allowed after the
+// first character).
+func (n Name) Validate() error {
+	for _, tok := range []string{n.Region, n.Host, n.User} {
+		if err := validateToken(tok); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateToken(tok string) error {
+	if tok == "" {
+		return ErrEmptyToken
+	}
+	for i, r := range tok {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case (r == '-' || r == '_') && i > 0:
+		default:
+			return fmt.Errorf("%w: %q", ErrBadToken, tok)
+		}
+	}
+	return nil
+}
+
+// Parse parses "region.host.user" (or "region@host@user") into a Name and
+// validates it.
+func Parse(s string) (Name, error) {
+	sep := Delimiter
+	if strings.Contains(s, "@") && !strings.Contains(s, Delimiter) {
+		sep = "@"
+	}
+	parts := strings.Split(s, sep)
+	if len(parts) != 3 {
+		return Name{}, fmt.Errorf("%w: %q", ErrBadStructure, s)
+	}
+	n := Name{Region: parts[0], Host: parts[1], User: parts[2]}
+	if err := n.Validate(); err != nil {
+		return Name{}, err
+	}
+	return n, nil
+}
+
+// MustParse is Parse for static test fixtures; it panics on error.
+func MustParse(s string) Name {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// SameRegion reports whether two names live in the same region — the test
+// that decides between local resolution and inter-region forwarding
+// (§3.1.2b).
+func (n Name) SameRegion(other Name) bool { return n.Region == other.Region }
+
+// Rename returns the name a migrated user obtains in the syntax-directed
+// design (§3.1.4): the location tokens change, the user token is preserved.
+func (n Name) Rename(newRegion, newHost string) Name {
+	return Name{Region: newRegion, Host: newHost, User: n.User}
+}
+
+// Subgroup maps the name to one of k hash sub-groups within its region.
+// The paper's location-independent design divides regions "into small
+// groups of manageable size using some mapping functions" (§3.2.1) and
+// resolves a name "within the context of that sub-group" (§3.2.2b). The
+// hash covers only the user token, so a user keeps their sub-group while
+// roaming between hosts of the region.
+func (n Name) Subgroup(k int) int {
+	if k <= 0 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(n.Region))
+	h.Write([]byte{0})
+	h.Write([]byte(n.User))
+	return int(h.Sum32() % uint32(k))
+}
+
+// Space is a partitioned name space: the set of registered names grouped by
+// region context. A single centralized database "is too inefficient to use
+// and manage" in a large system (§2), so Space hands out per-region
+// contexts that servers replicate.
+type Space struct {
+	regions map[string]*Context
+}
+
+// NewSpace returns an empty name space.
+func NewSpace() *Space {
+	return &Space{regions: make(map[string]*Context)}
+}
+
+// Context is the subset of the name space for one region.
+type Context struct {
+	Region string
+	byHost map[string]map[string]Name
+	count  int
+}
+
+// Region returns the context for a region, creating it on first use.
+func (s *Space) Region(region string) *Context {
+	c, ok := s.regions[region]
+	if !ok {
+		c = &Context{Region: region, byHost: make(map[string]map[string]Name)}
+		s.regions[region] = c
+	}
+	return c
+}
+
+// Regions returns the number of region contexts.
+func (s *Space) Regions() int { return len(s.regions) }
+
+// Register adds the name to its region's context. Duplicate registrations
+// within a host fail: user names are "locally unique within a host"
+// (§3.1.1).
+func (s *Space) Register(n Name) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	return s.Region(n.Region).register(n)
+}
+
+// Unregister removes the name. Removing an unknown name fails.
+func (s *Space) Unregister(n Name) error {
+	c, ok := s.regions[n.Region]
+	if !ok {
+		return fmt.Errorf("names: unregister %v: unknown region", n)
+	}
+	return c.unregister(n)
+}
+
+// Contains reports whether the exact name is registered.
+func (s *Space) Contains(n Name) bool {
+	c, ok := s.regions[n.Region]
+	if !ok {
+		return false
+	}
+	_, ok = c.byHost[n.Host][n.User]
+	return ok
+}
+
+// Len reports the total number of registered names.
+func (s *Space) Len() int {
+	total := 0
+	for _, c := range s.regions {
+		total += c.count
+	}
+	return total
+}
+
+func (c *Context) register(n Name) error {
+	host := c.byHost[n.Host]
+	if host == nil {
+		host = make(map[string]Name)
+		c.byHost[n.Host] = host
+	}
+	if _, dup := host[n.User]; dup {
+		return fmt.Errorf("names: %v already registered", n)
+	}
+	host[n.User] = n
+	c.count++
+	return nil
+}
+
+func (c *Context) unregister(n Name) error {
+	host := c.byHost[n.Host]
+	if _, ok := host[n.User]; !ok {
+		return fmt.Errorf("names: %v not registered", n)
+	}
+	delete(host, n.User)
+	c.count--
+	return nil
+}
+
+// Len reports the number of names registered in this region context.
+func (c *Context) Len() int { return c.count }
+
+// Lookup finds a registered name by host and user token.
+func (c *Context) Lookup(host, user string) (Name, bool) {
+	n, ok := c.byHost[host][user]
+	return n, ok
+}
+
+// LookupUser finds a registered name by user token alone, scanning the
+// region — the resolution mode of the location-independent design, where
+// the host token is only the primary location (§3.2.1). If several hosts
+// register the same user token, the lexically smallest host wins, keeping
+// resolution deterministic.
+func (c *Context) LookupUser(user string) (Name, bool) {
+	var best Name
+	found := false
+	for _, users := range c.byHost {
+		if n, ok := users[user]; ok {
+			if !found || n.Host < best.Host {
+				best = n
+				found = true
+			}
+		}
+	}
+	return best, found
+}

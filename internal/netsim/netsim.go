@@ -1,0 +1,316 @@
+// Package netsim simulates the message network the mail systems run on.
+//
+// It combines the discrete-event kernel (internal/sim) with a weighted
+// topology (internal/graph) to provide the network model the paper assumes:
+// messages between nodes "arrive after an unpredictable but finite delay,
+// without error and in sequence" (§3.3.1-A) while both endpoints are up, and
+// nodes fail by stopping (a server "may become unavailable because of
+// failure or being disconnected from the network", §3.1.2c) and later
+// recover, at which point their LastStartTime is updated — the timestamp the
+// paper's GetMail algorithm compares against.
+//
+// Delay model: a message from A to B takes (shortest-path cost A→B) ×
+// DelayPerCost microticks. Per-edge delays are constant, so messages on the
+// same route are delivered in sending order, as the GHS MST algorithm
+// requires.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/metrics"
+	"github.com/largemail/largemail/internal/sim"
+)
+
+// Errors reported by Network operations.
+var (
+	ErrUnknownNode   = errors.New("netsim: unknown node")
+	ErrSenderDown    = errors.New("netsim: sending node is down")
+	ErrNoRoute       = errors.New("netsim: no route to destination")
+	ErrNotNeighbors  = errors.New("netsim: nodes are not adjacent")
+	ErrNoHandler     = errors.New("netsim: node has no handler registered")
+	ErrAlreadyExists = errors.New("netsim: handler already registered")
+)
+
+// Envelope is a message in flight, delivered to the destination's Handler.
+type Envelope struct {
+	From, To graph.NodeID
+	Payload  any
+	SentAt   sim.Time
+	Hops     int     // links traversed along the shortest path
+	Cost     float64 // total edge-weight cost of the route
+}
+
+// Handler consumes messages delivered to a node.
+type Handler interface {
+	Receive(env Envelope)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(env Envelope)
+
+// Receive calls f(env).
+func (f HandlerFunc) Receive(env Envelope) { f(env) }
+
+// Recoverer is an optional extension of Handler: nodes implementing it are
+// told when they recover from a crash (with the recovery time, which becomes
+// their LastStartTime).
+type Recoverer interface {
+	Recovered(at sim.Time)
+}
+
+// Crasher is an optional extension of Handler: nodes implementing it are
+// told when they crash, so they can discard volatile state.
+type Crasher interface {
+	Crashed(at sim.Time)
+}
+
+// Network is a simulated message network. Not safe for concurrent use; all
+// activity runs on the scheduler's event loop.
+type Network struct {
+	sched *sim.Scheduler
+	topo  *graph.Graph
+
+	handlers  map[graph.NodeID]Handler
+	down      map[graph.NodeID]bool
+	lastStart map[graph.NodeID]sim.Time
+
+	pathCache map[graph.NodeID]graph.Paths
+
+	// DelayPerCost converts one unit of edge-weight cost into virtual time.
+	// Defaults to sim.Unit (one paper time unit per cost unit).
+	DelayPerCost sim.Time
+
+	stats *metrics.Registry
+}
+
+// New builds a network over a copy of the topology. Mutating the original
+// graph afterwards does not affect the network; use FailLink/RestoreLink for
+// dynamic changes.
+func New(sched *sim.Scheduler, topo *graph.Graph) *Network {
+	return &Network{
+		sched:        sched,
+		topo:         topo.Clone(),
+		handlers:     make(map[graph.NodeID]Handler),
+		down:         make(map[graph.NodeID]bool),
+		lastStart:    make(map[graph.NodeID]sim.Time),
+		pathCache:    make(map[graph.NodeID]graph.Paths),
+		DelayPerCost: sim.Unit,
+		stats:        metrics.NewRegistry(),
+	}
+}
+
+// Scheduler returns the underlying event scheduler.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Topology returns the network's own topology (mutations via graph methods
+// bypass route-cache invalidation; prefer FailLink/RestoreLink).
+func (n *Network) Topology() *graph.Graph { return n.topo }
+
+// Stats returns the traffic counters: "delivered", "dropped_dest_down",
+// "expired", plus "cost_milli" (total delivered route cost ×1000) and
+// "hops".
+func (n *Network) Stats() *metrics.Registry { return n.stats }
+
+// Register installs the handler for a node. Nodes start up.
+func (n *Network) Register(id graph.NodeID, h Handler) error {
+	if _, ok := n.topo.Node(id); !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if _, dup := n.handlers[id]; dup {
+		return fmt.Errorf("%w: %d", ErrAlreadyExists, id)
+	}
+	n.handlers[id] = h
+	n.lastStart[id] = n.sched.Now()
+	return nil
+}
+
+// MustRegister is Register for static wiring; it panics on error.
+func (n *Network) MustRegister(id graph.NodeID, h Handler) {
+	if err := n.Register(id, h); err != nil {
+		panic(err)
+	}
+}
+
+// IsUp reports whether the node is currently up.
+func (n *Network) IsUp(id graph.NodeID) bool {
+	_, registered := n.handlers[id]
+	return registered && !n.down[id]
+}
+
+// LastStart reports when the node last started or recovered — the
+// LastStartTime[server] variable of §3.1.2c. The second result is false for
+// unregistered nodes.
+func (n *Network) LastStart(id graph.NodeID) (sim.Time, bool) {
+	t, ok := n.lastStart[id]
+	return t, ok
+}
+
+// Crash takes a node down. In-flight messages to it will be dropped on
+// arrival. Crashing a node that is already down is a no-op.
+func (n *Network) Crash(id graph.NodeID) {
+	if n.down[id] {
+		return
+	}
+	if h, ok := n.handlers[id]; ok {
+		n.down[id] = true
+		if c, ok := h.(Crasher); ok {
+			c.Crashed(n.sched.Now())
+		}
+	}
+}
+
+// Recover brings a crashed node back up and stamps its LastStartTime with
+// the current instant. Recovering an up node is a no-op.
+func (n *Network) Recover(id graph.NodeID) {
+	if !n.down[id] {
+		return
+	}
+	delete(n.down, id)
+	n.lastStart[id] = n.sched.Now()
+	if r, ok := n.handlers[id].(Recoverer); ok {
+		r.Recovered(n.sched.Now())
+	}
+}
+
+// FailLink removes a link from the live topology and invalidates routes.
+func (n *Network) FailLink(a, b graph.NodeID) error {
+	if err := n.topo.RemoveEdge(a, b); err != nil {
+		return err
+	}
+	n.pathCache = make(map[graph.NodeID]graph.Paths)
+	return nil
+}
+
+// RestoreLink re-adds a link with the given weight and invalidates routes.
+func (n *Network) RestoreLink(a, b graph.NodeID, w float64) error {
+	if err := n.topo.AddEdge(a, b, w); err != nil {
+		return err
+	}
+	n.pathCache = make(map[graph.NodeID]graph.Paths)
+	return nil
+}
+
+func (n *Network) paths(src graph.NodeID) (graph.Paths, error) {
+	if p, ok := n.pathCache[src]; ok {
+		return p, nil
+	}
+	p, err := n.topo.ShortestPaths(src)
+	if err != nil {
+		return graph.Paths{}, err
+	}
+	n.pathCache[src] = p
+	return p, nil
+}
+
+// Cost returns the shortest-path cost between two nodes.
+func (n *Network) Cost(from, to graph.NodeID) (float64, error) {
+	p, err := n.paths(from)
+	if err != nil {
+		return 0, err
+	}
+	d, ok := p.Dist[to]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d→%d", ErrNoRoute, from, to)
+	}
+	return d, nil
+}
+
+// Send routes a message from one node to another along the shortest path.
+// The sender must be up and a route must exist; whether the destination is
+// up is only checked at delivery time (messages to a node that is down on
+// arrival are dropped and counted, which is how the paper's servers "become
+// unavailable for receiving mail").
+func (n *Network) Send(from, to graph.NodeID, payload any) error {
+	if _, ok := n.handlers[from]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, from)
+	}
+	if n.down[from] {
+		return fmt.Errorf("%w: %d", ErrSenderDown, from)
+	}
+	if _, ok := n.topo.Node(to); !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	p, err := n.paths(from)
+	if err != nil {
+		return err
+	}
+	dist, ok := p.Dist[to]
+	if !ok {
+		return fmt.Errorf("%w: %d→%d", ErrNoRoute, from, to)
+	}
+	hops := len(p.PathTo(to)) - 1
+	env := Envelope{
+		From: from, To: to, Payload: payload,
+		SentAt: n.sched.Now(), Hops: hops, Cost: dist,
+	}
+	delay := sim.Time(dist * float64(n.DelayPerCost))
+	n.sched.After(delay, func() { n.deliver(env) })
+	return nil
+}
+
+// SendDirect sends a message across a single link; from and to must be
+// adjacent. This is the primitive the distributed MST algorithm uses
+// ("sending messages over attached links", §3.3.1-A).
+func (n *Network) SendDirect(from, to graph.NodeID, payload any) error {
+	if _, ok := n.handlers[from]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, from)
+	}
+	if n.down[from] {
+		return fmt.Errorf("%w: %d", ErrSenderDown, from)
+	}
+	w, ok := n.topo.Weight(from, to)
+	if !ok {
+		return fmt.Errorf("%w: %d-%d", ErrNotNeighbors, from, to)
+	}
+	env := Envelope{
+		From: from, To: to, Payload: payload,
+		SentAt: n.sched.Now(), Hops: 1, Cost: w,
+	}
+	delay := sim.Time(w * float64(n.DelayPerCost))
+	n.sched.After(delay, func() { n.deliver(env) })
+	return nil
+}
+
+func (n *Network) deliver(env Envelope) {
+	h, ok := n.handlers[env.To]
+	if !ok {
+		n.stats.Inc("dropped_no_handler")
+		return
+	}
+	if n.down[env.To] {
+		n.stats.Inc("dropped_dest_down")
+		return
+	}
+	n.stats.Inc("delivered")
+	n.stats.Add("hops", int64(env.Hops))
+	n.stats.Add("cost_milli", int64(env.Cost*1000+0.5))
+	h.Receive(env)
+}
+
+// Broadcast sends the payload from one node to every other registered node
+// individually — the naive mass-distribution baseline the paper's MST
+// broadcast is compared against. It returns how many sends were issued.
+func (n *Network) Broadcast(from graph.NodeID, payload any) (int, error) {
+	if _, ok := n.handlers[from]; !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownNode, from)
+	}
+	if n.down[from] {
+		return 0, fmt.Errorf("%w: %d", ErrSenderDown, from)
+	}
+	sent := 0
+	for _, id := range n.topo.NodeIDs() {
+		if id == from {
+			continue
+		}
+		if _, registered := n.handlers[id]; !registered {
+			continue
+		}
+		if err := n.Send(from, id, payload); err == nil {
+			sent++
+		}
+	}
+	return sent, nil
+}

@@ -1,0 +1,119 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWait(t *testing.T) {
+	cases := []struct {
+		rho  float64
+		want float64
+	}{
+		{0, 0},
+		{-1, 0},
+		{0.5, 1},
+		{0.75, 3},
+		{0.9, 9},
+		{0.99, SaturationPenalty},
+		{1.0, SaturationPenalty},
+		{1.5, SaturationPenalty},
+		{math.NaN(), 0},
+	}
+	for _, c := range cases {
+		got := Wait(c.rho)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Wait(%v) = %v, want %v", c.rho, got, c.want)
+		}
+	}
+}
+
+func TestWaitMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Abs(math.Mod(a, 1))
+		b = math.Abs(math.Mod(b, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return Wait(a) <= Wait(b)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	cases := []struct {
+		load, max int
+		want      float64
+	}{
+		{50, 100, 0.5},
+		{0, 100, 0},
+		{-5, 100, 0},
+		{150, 100, 1.5},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Utilization(c.load, c.max); got != c.want {
+			t.Errorf("Utilization(%d,%d) = %v, want %v", c.load, c.max, got, c.want)
+		}
+	}
+	if !math.IsInf(Utilization(1, 0), 1) {
+		t.Error("Utilization(1,0) should be +Inf")
+	}
+}
+
+func TestMM1Exact(t *testing.T) {
+	q := MM1{Lambda: 1, Mu: 2} // ρ=0.5
+	if !q.Stable() {
+		t.Fatal("ρ=0.5 queue reported unstable")
+	}
+	if got := q.MeanResponse(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MeanResponse = %v, want 1", got)
+	}
+	if got := q.MeanQueueWait(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MeanQueueWait = %v, want 0.5", got)
+	}
+	if got := q.MeanNumberInSystem(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MeanNumberInSystem = %v, want 1", got)
+	}
+}
+
+func TestMM1Unstable(t *testing.T) {
+	for _, q := range []MM1{{Lambda: 2, Mu: 2}, {Lambda: 3, Mu: 2}, {Lambda: 1, Mu: 0}} {
+		if q.Stable() {
+			t.Errorf("%+v reported stable", q)
+		}
+		if !math.IsInf(q.MeanResponse(), 1) || !math.IsInf(q.MeanQueueWait(), 1) || !math.IsInf(q.MeanNumberInSystem(), 1) {
+			t.Errorf("%+v: unstable queue should have infinite means", q)
+		}
+	}
+}
+
+// Property: Little's law consistency — L = λ·W for stable queues.
+func TestMM1LittlesLaw(t *testing.T) {
+	f := func(l, m uint16) bool {
+		lambda := float64(l%100) + 1
+		mu := lambda + float64(m%100) + 1 // guarantee stability
+		q := MM1{Lambda: lambda, Mu: mu}
+		return math.Abs(q.MeanNumberInSystem()-q.Lambda*q.MeanResponse()) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the paper's Wait estimate coincides with the exact M/M/1 mean
+// number in system ρ/(1-ρ) below the cutoff.
+func TestWaitMatchesMM1Form(t *testing.T) {
+	for rho := 0.01; rho < UtilizationCutoff; rho += 0.07 {
+		q := MM1{Lambda: rho, Mu: 1}
+		if math.Abs(Wait(rho)-q.MeanNumberInSystem()) > 1e-9 {
+			t.Errorf("Wait(%v) diverges from ρ/(1-ρ)", rho)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/names"
+)
+
+// Directory is one region's replicated name database: for every user of the
+// region, the ordered authority-server list ("each user is assigned several
+// authority servers, which are ordered in a list such that the first server
+// in the list is the primary server", §3.1.1).
+//
+// The paper partially replicates this database across the region's servers;
+// in the simulation all servers of a region share one Directory value, which
+// models full intra-region replication with zero lookup cost — consistent
+// with §3.1.2b: "if the recipient is located within the local region then
+// his server can be located directly from other servers in the region".
+type Directory struct {
+	region    string
+	authority map[names.Name][]graph.NodeID
+	redirects map[names.Name]names.Name
+	groups    map[names.Name][]names.Name
+}
+
+// NewDirectory returns an empty directory for a region.
+func NewDirectory(region string) *Directory {
+	return &Directory{
+		region:    region,
+		authority: make(map[names.Name][]graph.NodeID),
+		redirects: make(map[names.Name]names.Name),
+		groups:    make(map[names.Name][]names.Name),
+	}
+}
+
+// Region returns the region this directory covers.
+func (d *Directory) Region() string { return d.region }
+
+// SetAuthority records the ordered authority-server list for a user. The
+// list is copied. An empty list removes the user.
+func (d *Directory) SetAuthority(user names.Name, servers []graph.NodeID) error {
+	if user.Region != d.region {
+		return fmt.Errorf("server: user %v is not in region %s", user, d.region)
+	}
+	if len(servers) == 0 {
+		delete(d.authority, user)
+		return nil
+	}
+	d.authority[user] = append([]graph.NodeID(nil), servers...)
+	return nil
+}
+
+// Authority returns the user's ordered authority-server list, or nil if the
+// user is unknown.
+func (d *Directory) Authority(user names.Name) []graph.NodeID {
+	list := d.authority[user]
+	if list == nil {
+		return nil
+	}
+	return append([]graph.NodeID(nil), list...)
+}
+
+// Users returns every registered user, sorted by name, for deterministic
+// iteration in experiments.
+func (d *Directory) Users() []names.Name {
+	out := make([]names.Name, 0, len(d.authority))
+	for u := range d.authority {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Len reports the number of registered users.
+func (d *Directory) Len() int { return len(d.authority) }
+
+// SetRedirect records that mail for old should be re-addressed to new — the
+// migration mechanism of §3.1.4: "between the two operations, mail addressed
+// to a migrated user can be redirected to the new user address". The old
+// name must belong to this region.
+func (d *Directory) SetRedirect(old, new names.Name) error {
+	if old.Region != d.region {
+		return fmt.Errorf("server: redirect source %v is not in region %s", old, d.region)
+	}
+	d.redirects[old] = new
+	return nil
+}
+
+// Redirect looks up the forwarding address for a migrated user.
+func (d *Directory) Redirect(old names.Name) (names.Name, bool) {
+	n, ok := d.redirects[old]
+	return n, ok
+}
+
+// RemoveRedirect deletes a forwarding record (the end of the migration
+// grace period).
+func (d *Directory) RemoveRedirect(old names.Name) {
+	delete(d.redirects, old)
+}
+
+// SetGroup registers a distribution list: mail addressed to the group name
+// fans out to the members. This is the conventional "group naming"
+// mechanism of §4.3 — the maintained-list baseline the attribute-based
+// design replaces ("no distribution list has to be available", §3.3.1-B).
+// The group name must be in this region and must not collide with a real
+// user. An empty member list removes the group.
+func (d *Directory) SetGroup(group names.Name, members []names.Name) error {
+	if group.Region != d.region {
+		return fmt.Errorf("server: group %v is not in region %s", group, d.region)
+	}
+	if _, isUser := d.authority[group]; isUser {
+		return fmt.Errorf("server: group %v collides with a registered user", group)
+	}
+	if len(members) == 0 {
+		delete(d.groups, group)
+		return nil
+	}
+	d.groups[group] = append([]names.Name(nil), members...)
+	return nil
+}
+
+// Group returns the members of a distribution list.
+func (d *Directory) Group(group names.Name) ([]names.Name, bool) {
+	m, ok := d.groups[group]
+	if !ok {
+		return nil, false
+	}
+	return append([]names.Name(nil), m...), true
+}
+
+// RegionMap is the inter-region routing knowledge every server holds: which
+// server nodes exist in each region, so a message for a non-local name can
+// be "transmitted to one of the servers in the recipient region" (§3.1.2b).
+type RegionMap struct {
+	servers map[string][]graph.NodeID
+}
+
+// NewRegionMap returns an empty region map.
+func NewRegionMap() *RegionMap {
+	return &RegionMap{servers: make(map[string][]graph.NodeID)}
+}
+
+// AddServer records a server as belonging to a region.
+func (m *RegionMap) AddServer(region string, id graph.NodeID) {
+	for _, s := range m.servers[region] {
+		if s == id {
+			return
+		}
+	}
+	m.servers[region] = append(m.servers[region], id)
+}
+
+// RemoveServer removes a server from a region (part of §3.1.3c: the deleted
+// server "notifies all other servers before it is removed").
+func (m *RegionMap) RemoveServer(region string, id graph.NodeID) {
+	list := m.servers[region]
+	out := list[:0]
+	for _, s := range list {
+		if s != id {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		delete(m.servers, region)
+		return
+	}
+	m.servers[region] = out
+}
+
+// Servers returns the servers of a region in registration order.
+func (m *RegionMap) Servers(region string) []graph.NodeID {
+	return append([]graph.NodeID(nil), m.servers[region]...)
+}
+
+// Regions returns all known regions, sorted.
+func (m *RegionMap) Regions() []string {
+	out := make([]string, 0, len(m.servers))
+	for r := range m.servers {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}

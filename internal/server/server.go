@@ -1,0 +1,495 @@
+// Package server implements the paper's mail (authority) server: the process
+// "responsible for obtaining addresses of recipients, sending, buffering,
+// relaying and delivering messages to the mail recipients" (§1).
+//
+// A Server sits on one node of a simulated network and implements the
+// message-delivery pipeline of §3.1.2: it accepts submissions from user
+// interfaces, resolves recipient names syntax-directedly (local region via
+// the replicated Directory, other regions by relaying to a server there),
+// deposits messages at the first active authority server of each recipient,
+// and notifies logged-on recipients. Server-to-server transfers are
+// acknowledged and retried against the next candidate on timeout, which is
+// what makes the design lose no mail while any authority server is
+// reachable.
+//
+// Mailboxes and queued transfers survive crashes (stable storage); what a
+// crashed server cannot do is receive — traffic sent to it while down is
+// dropped by the network and covered by the sender's retry.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/mail"
+	"github.com/largemail/largemail/internal/metrics"
+	"github.com/largemail/largemail/internal/names"
+	"github.com/largemail/largemail/internal/netsim"
+	"github.com/largemail/largemail/internal/sim"
+)
+
+// MaxGroupExpansions bounds nested distribution-list expansion per message
+// copy; deeper nesting is treated as a definition cycle and dropped.
+const MaxGroupExpansions = 8
+
+// Errors reported by Server operations.
+var (
+	ErrDown        = errors.New("server: server is down")
+	ErrUnknownUser = errors.New("server: user has no mailbox here")
+)
+
+// Config configures a Server.
+type Config struct {
+	ID      graph.NodeID
+	Region  string
+	Net     *netsim.Network
+	Dir     *Directory // this region's replicated directory
+	Regions *RegionMap // global region → servers map
+	// Retention is the mailbox clean-up policy; the zero value keeps
+	// everything.
+	Retention mail.Retention
+	// KeepCopies enables §3.1.2c's archive option: "another option can be
+	// provided to allow a copy of the message to be retained on the
+	// server. In that case, some policy of message archiving and clean-up
+	// must be implemented." With KeepCopies, CheckMail returns messages
+	// without removing them, marking them read so a ReadOnly Retention can
+	// reclaim them later.
+	KeepCopies bool
+	// RetryTimeout is how long a transfer waits for its ack before trying
+	// the next candidate. Zero means 8 paper time units, comfortably above
+	// any round trip in the bundled topologies.
+	RetryTimeout sim.Time
+}
+
+// Server is a mail server process. Not safe for concurrent use; it runs on
+// the simulation event loop.
+type Server struct {
+	id      graph.NodeID
+	region  string
+	net     *netsim.Network
+	dir     *Directory
+	regions *RegionMap
+
+	retention    mail.Retention
+	keepCopies   bool
+	retryTimeout sim.Time
+
+	mailboxes map[names.Name]*mail.Mailbox
+	online    map[names.Name]graph.NodeID
+	nextSeq   uint64
+	nextToken uint64
+	pending   map[uint64]*pendingTransfer
+
+	stats *metrics.Registry
+}
+
+// pendingTransfer is a queued server-to-server transfer awaiting its ack.
+type pendingTransfer struct {
+	kind       TransferKind
+	msg        mail.Message
+	recipient  names.Name
+	candidates []graph.NodeID // servers to try, in order
+	next       int            // index of the next candidate to try
+	attempt    int
+	timer      *sim.Event
+}
+
+// New creates a server and registers it on its network node.
+func New(cfg Config) (*Server, error) {
+	if cfg.Net == nil || cfg.Dir == nil || cfg.Regions == nil {
+		return nil, errors.New("server: Net, Dir and Regions are required")
+	}
+	if cfg.Dir.Region() != cfg.Region {
+		return nil, fmt.Errorf("server: directory covers region %q, server is in %q",
+			cfg.Dir.Region(), cfg.Region)
+	}
+	if cfg.RetryTimeout <= 0 {
+		cfg.RetryTimeout = 8 * sim.Unit
+	}
+	s := &Server{
+		id:           cfg.ID,
+		region:       cfg.Region,
+		net:          cfg.Net,
+		dir:          cfg.Dir,
+		regions:      cfg.Regions,
+		retention:    cfg.Retention,
+		keepCopies:   cfg.KeepCopies,
+		retryTimeout: cfg.RetryTimeout,
+		mailboxes:    make(map[names.Name]*mail.Mailbox),
+		online:       make(map[names.Name]graph.NodeID),
+		pending:      make(map[uint64]*pendingTransfer),
+		stats:        metrics.NewRegistry(),
+	}
+	if err := cfg.Net.Register(cfg.ID, s); err != nil {
+		return nil, err
+	}
+	cfg.Regions.AddServer(cfg.Region, cfg.ID)
+	return s, nil
+}
+
+// ID returns the server's node ID.
+func (s *Server) ID() graph.NodeID { return s.id }
+
+// Region returns the server's region.
+func (s *Server) Region() string { return s.region }
+
+// Stats returns the server's counters: "submissions", "deposits_local",
+// "transfers_out", "forwards_in", "retries", "notifies", "cleanup_evicted".
+func (s *Server) Stats() *metrics.Registry { return s.stats }
+
+// Up reports whether the server is currently up.
+func (s *Server) Up() bool { return s.net.IsUp(s.id) }
+
+// LastStart reports when the server last started or recovered — the
+// LastStartTime[server] of §3.1.2c.
+func (s *Server) LastStart() sim.Time {
+	t, _ := s.net.LastStart(s.id)
+	return t
+}
+
+// MailboxLen reports how many messages are buffered for a user here.
+func (s *Server) MailboxLen(user names.Name) int {
+	if mb, ok := s.mailboxes[user]; ok {
+		return mb.Len()
+	}
+	return 0
+}
+
+// StoredBytes reports the total buffered content bytes on this server.
+func (s *Server) StoredBytes() int {
+	total := 0
+	for _, mb := range s.mailboxes {
+		total += mb.Bytes()
+	}
+	return total
+}
+
+func (s *Server) mailbox(user names.Name) *mail.Mailbox {
+	mb, ok := s.mailboxes[user]
+	if !ok {
+		mb = mail.NewMailbox(user)
+		s.mailboxes[user] = mb
+	}
+	return mb
+}
+
+// Receive implements netsim.Handler.
+func (s *Server) Receive(env netsim.Envelope) {
+	switch p := env.Payload.(type) {
+	case SubmitRequest:
+		s.handleSubmit(env.From, p)
+	case Transfer:
+		s.handleTransfer(p)
+	case TransferAck:
+		s.handleAck(p)
+	case Login:
+		s.handleLogin(p)
+	case Logout:
+		delete(s.online, p.User)
+	default:
+		s.stats.Inc("unknown_payload")
+	}
+}
+
+// Crashed implements netsim.Crasher: pending retry timers stop while down.
+func (s *Server) Crashed(sim.Time) {
+	for _, p := range s.pending {
+		if p.timer != nil {
+			s.net.Scheduler().Cancel(p.timer)
+			p.timer = nil
+		}
+	}
+}
+
+// Recovered implements netsim.Recoverer: queued transfers resume from stable
+// storage.
+func (s *Server) Recovered(sim.Time) {
+	tokens := make([]uint64, 0, len(s.pending))
+	for tok := range s.pending {
+		tokens = append(tokens, tok)
+	}
+	sort.Slice(tokens, func(i, j int) bool { return tokens[i] < tokens[j] })
+	for _, tok := range tokens {
+		s.dispatch(tok)
+	}
+}
+
+// handleSubmit accepts a message from a user interface, assigns its ID, and
+// routes a copy to every recipient.
+func (s *Server) handleSubmit(from graph.NodeID, req SubmitRequest) {
+	s.nextSeq++
+	msg := mail.Message{
+		ID:          mail.MessageID{Node: s.id, Seq: s.nextSeq},
+		From:        req.From,
+		To:          append([]names.Name(nil), req.To...),
+		Subject:     req.Subject,
+		Body:        req.Body,
+		SubmittedAt: s.net.Scheduler().Now(),
+	}
+	s.stats.Inc("submissions")
+	// Ack the submitting host so the user interface learns the ID.
+	_ = s.net.Send(s.id, from, SubmitAck{ID: msg.ID})
+	for _, rcpt := range msg.To {
+		s.Route(msg, rcpt)
+	}
+}
+
+// Route sends one copy of msg toward one recipient, the name-resolution-and-
+// forwarding step of §3.1.2b: local names are resolved against the regional
+// directory and deposited at the recipient's first active authority server;
+// non-local names are relayed to a server in the recipient's region.
+func (s *Server) Route(msg mail.Message, rcpt names.Name) {
+	if rcpt.Region == s.region {
+		s.deliverLocal(msg, rcpt)
+		return
+	}
+	candidates := s.regions.Servers(rcpt.Region)
+	if len(candidates) == 0 {
+		s.stats.Inc("unroutable")
+		return
+	}
+	s.enqueue(TransferForward, msg, rcpt, candidates)
+}
+
+// deliverLocal resolves a local recipient and deposits the message at the
+// first active authority server ("mail will be deposited in the first
+// active server from the list", §3.1.2c).
+func (s *Server) deliverLocal(msg mail.Message, rcpt names.Name) {
+	list := s.dir.Authority(rcpt)
+	if len(list) == 0 {
+		// A distribution list fans out to its members (§4.3 group naming).
+		if members, ok := s.dir.Group(rcpt); ok {
+			if msg.Expansions >= MaxGroupExpansions {
+				// Cyclic group definitions (A ∈ B, B ∈ A) would loop mail
+				// between regions forever without this cap.
+				s.stats.Inc("group_loops_dropped")
+				return
+			}
+			s.stats.Inc("group_expansions")
+			expanded := msg
+			expanded.Expansions++
+			for _, member := range members {
+				if member == rcpt {
+					continue // a list must not contain itself
+				}
+				s.Route(expanded, member)
+			}
+			return
+		}
+		// The user may have migrated away (§3.1.4): follow the redirect.
+		if fwd, ok := s.dir.Redirect(rcpt); ok {
+			s.stats.Inc("redirects")
+			s.Route(msg, fwd)
+			return
+		}
+		s.stats.Inc("unresolvable")
+		return
+	}
+	// If this server is the first *active* authority server, deposit
+	// without network traffic.
+	for _, cand := range list {
+		if !s.net.IsUp(cand) {
+			continue
+		}
+		if cand == s.id {
+			s.depositLocal(msg, rcpt)
+			return
+		}
+		break
+	}
+	s.enqueue(TransferDeposit, msg, rcpt, list)
+}
+
+// depositLocal buffers the message here and notifies the recipient if they
+// are logged on.
+func (s *Server) depositLocal(msg mail.Message, rcpt names.Name) {
+	mb := s.mailbox(rcpt)
+	if !mb.Deposit(msg, s.net.Scheduler().Now()) {
+		s.stats.Inc("duplicate_deposits")
+		return
+	}
+	s.stats.Inc("deposits_local")
+	if evicted := mb.Cleanup(s.retention, s.net.Scheduler().Now()); len(evicted) > 0 {
+		s.stats.Add("cleanup_evicted", int64(len(evicted)))
+	}
+	if host, ok := s.online[rcpt]; ok {
+		s.stats.Inc("notifies")
+		_ = s.net.Send(s.id, host, Notify{User: rcpt, ID: msg.ID, Server: s.id})
+	}
+}
+
+// enqueue creates a pending transfer against the candidate list and
+// dispatches its first attempt.
+func (s *Server) enqueue(kind TransferKind, msg mail.Message, rcpt names.Name, candidates []graph.NodeID) {
+	s.nextToken++
+	tok := s.nextToken
+	s.pending[tok] = &pendingTransfer{
+		kind:       kind,
+		msg:        msg,
+		recipient:  rcpt,
+		candidates: append([]graph.NodeID(nil), candidates...),
+	}
+	s.dispatch(tok)
+}
+
+// dispatch sends the pending transfer to its next candidate and arms the
+// retry timer. Candidates are tried cyclically, preferring ones that look
+// up; if none look up the next in order is tried anyway (its state may be
+// stale knowledge).
+func (s *Server) dispatch(tok uint64) {
+	p, ok := s.pending[tok]
+	if !ok || !s.Up() {
+		return
+	}
+	target := s.pickCandidate(p)
+	p.attempt++
+	if p.attempt > 1 {
+		s.stats.Inc("retries")
+	}
+	s.stats.Inc("transfers_out")
+	_ = s.net.Send(s.id, target, Transfer{
+		Kind: p.kind, Msg: p.msg, Recipient: p.recipient,
+		Origin: s.id, Token: tok, Attempt: p.attempt,
+	})
+	p.timer = s.net.Scheduler().After(s.retryTimeout, func() {
+		if _, still := s.pending[tok]; still && s.Up() {
+			s.dispatch(tok)
+		}
+	})
+}
+
+// pickCandidate chooses the next candidate, preferring up servers starting
+// from p.next, wrapping around. The server itself is a valid candidate
+// (e.g. after its own recovery); self-sends deliver locally at zero cost.
+func (s *Server) pickCandidate(p *pendingTransfer) graph.NodeID {
+	n := len(p.candidates)
+	for i := 0; i < n; i++ {
+		cand := p.candidates[(p.next+i)%n]
+		if s.net.IsUp(cand) {
+			p.next = (p.next + i + 1) % n
+			return cand
+		}
+	}
+	// Nothing looks up; advance blindly and let the timeout drive retries.
+	cand := p.candidates[p.next%n]
+	p.next = (p.next + 1) % n
+	return cand
+}
+
+// handleTransfer processes a server-to-server transfer and acks it.
+func (s *Server) handleTransfer(tr Transfer) {
+	_ = s.net.Send(s.id, tr.Origin, TransferAck{Token: tr.Token})
+	switch tr.Kind {
+	case TransferDeposit:
+		s.depositLocal(tr.Msg, tr.Recipient)
+	case TransferForward:
+		s.stats.Inc("forwards_in")
+		if tr.Recipient.Region != s.region {
+			// Mis-routed (e.g. stale region map): route onward.
+			s.Route(tr.Msg, tr.Recipient)
+			return
+		}
+		s.deliverLocal(tr.Msg, tr.Recipient)
+	}
+}
+
+func (s *Server) handleAck(ack TransferAck) {
+	p, ok := s.pending[ack.Token]
+	if !ok {
+		return
+	}
+	if p.timer != nil {
+		s.net.Scheduler().Cancel(p.timer)
+	}
+	delete(s.pending, ack.Token)
+}
+
+func (s *Server) handleLogin(l Login) {
+	s.online[l.User] = l.Host
+	// "...or notify him as soon as he is connected to the system" — tell a
+	// connecting user about buffered mail.
+	if mb, ok := s.mailboxes[l.User]; ok && mb.Len() > 0 {
+		s.stats.Inc("notifies")
+		_ = s.net.Send(s.id, l.Host, Notify{User: l.User, ID: mb.Peek()[0].ID, Server: s.id})
+	}
+}
+
+// PendingTransfers reports how many transfers are queued awaiting acks.
+func (s *Server) PendingTransfers() int { return len(s.pending) }
+
+// CheckMail returns the user's buffered messages — removing them, or, with
+// KeepCopies, retaining read-marked archive copies subject to the retention
+// policy (§3.1.2c). It models the synchronous retrieve step of the GetMail
+// procedure ("get mail from server") and fails when the server is down —
+// the caller is expected to have checked liveness, but a race-free contract
+// beats a convention.
+func (s *Server) CheckMail(user names.Name) ([]mail.Stored, error) {
+	if !s.Up() {
+		return nil, fmt.Errorf("%w: %d", ErrDown, s.id)
+	}
+	mb, ok := s.mailboxes[user]
+	if !ok {
+		return nil, nil
+	}
+	if !s.keepCopies {
+		return mb.Drain(), nil
+	}
+	var out []mail.Stored
+	for _, m := range mb.Peek() {
+		if m.Read {
+			continue // already retrieved; retained as archive copy
+		}
+		mb.MarkRead(m.ID)
+		out = append(out, m)
+	}
+	if evicted := mb.Cleanup(s.retention, s.net.Scheduler().Now()); len(evicted) > 0 {
+		s.stats.Add("cleanup_evicted", int64(len(evicted)))
+	}
+	return out, nil
+}
+
+// ArchivedCount reports how many retained (read) copies a user's mailbox
+// holds under the KeepCopies option.
+func (s *Server) ArchivedCount(user names.Name) int {
+	mb, ok := s.mailboxes[user]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, m := range mb.Peek() {
+		if m.Read {
+			n++
+		}
+	}
+	return n
+}
+
+// PeekMail returns the user's buffered messages without removing them.
+func (s *Server) PeekMail(user names.Name) ([]mail.Stored, error) {
+	if !s.Up() {
+		return nil, fmt.Errorf("%w: %d", ErrDown, s.id)
+	}
+	mb, ok := s.mailboxes[user]
+	if !ok {
+		return nil, nil
+	}
+	return mb.Peek(), nil
+}
+
+// LookupAuthority answers a name-service query: the user's authority list
+// from this server's replicated directory (§3.1.2a: "another method to
+// establish connection between a user and a server is through a name
+// server"). It fails when the server is down.
+func (s *Server) LookupAuthority(user names.Name) ([]graph.NodeID, error) {
+	if !s.Up() {
+		return nil, fmt.Errorf("%w: %d", ErrDown, s.id)
+	}
+	s.stats.Inc("name_queries")
+	list := s.dir.Authority(user)
+	if len(list) == 0 {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownUser, user)
+	}
+	return list, nil
+}

@@ -1,0 +1,17 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"github.com/largemail/largemail/internal/sim"
+)
+
+func ExampleScheduler() {
+	s := sim.New(1)
+	s.After(2*sim.Unit, func() { fmt.Println("two units in:", s.Now()) })
+	s.After(sim.Unit, func() { fmt.Println("one unit in:", s.Now()) })
+	s.Run()
+	// Output:
+	// one unit in: 1u
+	// two units in: 2u
+}

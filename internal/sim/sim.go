@@ -1,0 +1,251 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate for every experiment in this repository: the
+// paper ("Designing Large Electronic Mail Systems", ICDCS 1988) evaluates
+// its algorithms "using simulation", and all of its algorithms are driven by
+// messages that "arrive after an unpredictable but finite delay, without
+// error and in sequence" (§3.3.1-A). A discrete-event scheduler with a
+// virtual clock models exactly that while keeping runs reproducible.
+//
+// A Scheduler owns a virtual clock and a priority queue of events. Events
+// scheduled for the same instant fire in scheduling order, which makes every
+// run with the same seed byte-for-byte deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a virtual time instant measured in microticks.
+//
+// The paper speaks of abstract "time units" (e.g. "the average communication
+// time is one time unit for all communication links", §3.1.1). One paper
+// time unit is Unit microticks so that fractional costs such as the 0.5-unit
+// message processing time stay exact in integer arithmetic.
+type Time int64
+
+// Unit is one paper "time unit" expressed in microticks.
+const Unit Time = 1000
+
+// Units converts a float amount of paper time units to Time, rounding to the
+// nearest microtick.
+func Units(u float64) Time {
+	if u < 0 {
+		return Time(u*float64(Unit) - 0.5)
+	}
+	return Time(u*float64(Unit) + 0.5)
+}
+
+// Units reports the time as a float number of paper time units.
+func (t Time) Units() float64 { return float64(t) / float64(Unit) }
+
+// String formats the time in paper time units.
+func (t Time) String() string { return fmt.Sprintf("%gu", t.Units()) }
+
+// Event is a scheduled callback. The zero value is not usable; events are
+// created by Scheduler.At and Scheduler.After.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // position in the heap, -1 once popped
+}
+
+// At reports the virtual time the event fires at.
+func (e *Event) At() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic discrete-event scheduler. It is not safe for
+// concurrent use: all simulated activity runs on the goroutine that calls
+// Step, Run, or RunUntil.
+type Scheduler struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	rng       *rand.Rand
+	processed uint64
+}
+
+// New returns a Scheduler whose clock starts at 0 and whose random source is
+// seeded with seed. Identical seeds produce identical runs.
+func New(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand returns the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Processed reports how many events have fired so far.
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// Pending reports how many events are scheduled but not yet fired.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// At schedules fn to run at virtual time t. Scheduling in the past (t before
+// Now) fires the event at the current time instead, preserving causality.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run d microticks from now. Negative delays are
+// treated as zero.
+func (s *Scheduler) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Canceling an event that has
+// already fired or been canceled is a no-op.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 {
+		heap.Remove(&s.events, e.index)
+	}
+}
+
+// Step fires the next pending event and advances the clock to its time. It
+// reports whether an event fired.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		s.processed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with time ≤ deadline, then advances the clock to
+// deadline. Events scheduled later stay pending.
+func (s *Scheduler) RunUntil(deadline Time) {
+	for len(s.events) > 0 {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor fires events within the next d microticks and advances the clock by
+// exactly d.
+func (s *Scheduler) RunFor(d Time) { s.RunUntil(s.now + d) }
+
+func (s *Scheduler) peek() *Event {
+	for len(s.events) > 0 {
+		e := s.events[0]
+		if !e.canceled {
+			return e
+		}
+		heap.Pop(&s.events)
+	}
+	return nil
+}
+
+// Ticker repeatedly schedules a callback at a fixed period until stopped.
+type Ticker struct {
+	s      *Scheduler
+	period Time
+	fn     func()
+	ev     *Event
+	done   bool
+}
+
+// Every schedules fn to fire every period microticks, first firing one
+// period from now. It panics if period is not positive, because a
+// zero-period ticker would livelock the scheduler at one instant.
+func (s *Scheduler) Every(period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker period %d", period))
+	}
+	t := &Ticker{s: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.s.After(t.period, func() {
+		if t.done {
+			return
+		}
+		t.fn()
+		if !t.done {
+			t.arm()
+		}
+	})
+}
+
+// Stop prevents future ticks. Safe to call multiple times and from inside
+// the tick callback.
+func (t *Ticker) Stop() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.s.Cancel(t.ev)
+}

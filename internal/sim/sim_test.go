@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnitsRoundTrip(t *testing.T) {
+	cases := []struct {
+		units float64
+		want  Time
+	}{
+		{0, 0},
+		{1, 1000},
+		{0.5, 500},
+		{2.25, 2250},
+		{-1, -1000},
+		{-0.5, -500},
+	}
+	for _, c := range cases {
+		if got := Units(c.units); got != c.want {
+			t.Errorf("Units(%v) = %d, want %d", c.units, got, c.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Units(1.5).String(); got != "1.5u" {
+		t.Errorf("String() = %q, want %q", got, "1.5u")
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Errorf("same-instant events fired out of scheduling order: %v", order)
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	s := New(1)
+	var at Time
+	s.At(100, func() {
+		s.After(50, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 150 {
+		t.Errorf("After fired at %d, want 150", at)
+	}
+}
+
+func TestSchedulingInPastClampsToNow(t *testing.T) {
+	s := New(1)
+	var at Time = -1
+	s.At(100, func() {
+		s.At(10, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 100 {
+		t.Errorf("past event fired at %d, want 100 (clamped)", at)
+	}
+}
+
+func TestNegativeAfterClampsToZeroDelay(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.At(7, func() {
+		s.After(-100, func() { fired = s.Now() == 7 })
+	})
+	s.Run()
+	if !fired {
+		t.Error("negative-delay event did not fire at the current instant")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.At(10, func() { fired = true })
+	s.Cancel(e)
+	s.Cancel(e) // double cancel is a no-op
+	s.Cancel(nil)
+	s.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if s.Processed() != 0 {
+		t.Errorf("Processed() = %d, want 0", s.Processed())
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.At(20, func() { fired = true })
+	s.At(10, func() { s.Cancel(e) })
+	s.Run()
+	if fired {
+		t.Error("event canceled at t=10 still fired at t=20")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(12)
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 10 {
+		t.Fatalf("RunUntil(12) fired %v, want [5 10]", fired)
+	}
+	if s.Now() != 12 {
+		t.Errorf("Now() = %v after RunUntil(12), want 12", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 4 {
+		t.Errorf("after Run, fired %v, want all 4", fired)
+	}
+}
+
+func TestRunUntilEventAtDeadlineFires(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.At(10, func() { fired = true })
+	s.RunUntil(10)
+	if !fired {
+		t.Error("event exactly at the deadline did not fire")
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := New(1)
+	s.At(3, func() {})
+	s.Run()
+	s.RunFor(7)
+	if s.Now() != 10 {
+		t.Errorf("Now() = %v, want 10", s.Now())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	s := New(1)
+	if s.Step() {
+		t.Error("Step() on empty scheduler returned true")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	var ticks []Time
+	tk := s.Every(10, func() {
+		ticks = append(ticks, s.Now())
+	})
+	s.RunUntil(35)
+	tk.Stop()
+	tk.Stop() // idempotent
+	s.RunUntil(100)
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks %v, want 3", len(ticks), ticks)
+	}
+	for i, want := range []Time{10, 20, 30} {
+		if ticks[i] != want {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want)
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	s := New(1)
+	n := 0
+	var tk *Ticker
+	tk = s.Every(5, func() {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	s.Run()
+	if n != 2 {
+		t.Errorf("ticker fired %d times, want 2", n)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Every(0, ...) did not panic")
+		}
+	}()
+	New(1).Every(0, func() {})
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed int64) []Time {
+		s := New(seed)
+		var fired []Time
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			if depth == 0 {
+				return
+			}
+			d := Time(s.Rand().Intn(100))
+			s.After(d, func() {
+				fired = append(fired, s.Now())
+				schedule(depth - 1)
+				schedule(depth - 1)
+			})
+		}
+		schedule(6)
+		s.Run()
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any batch of events, firing order is non-decreasing in time,
+// and the clock after Run equals the max scheduled time.
+func TestPropertyFiringOrderMonotone(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		s := New(99)
+		var fired []Time
+		var max Time
+		for _, d := range delays {
+			at := Time(d)
+			if at > max {
+				max = at
+			}
+			s.At(at, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if s.Now() != max {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		s.At(Time(i), func() {})
+	}
+	s.Run()
+	if s.Processed() != 5 {
+		t.Errorf("Processed() = %d, want 5", s.Processed())
+	}
+}

@@ -1,0 +1,398 @@
+// Package wire exposes a live mail cluster (internal/livenet) over TCP with
+// a newline-delimited JSON protocol. It is the deployable surface of the
+// reproduction: the same authority-list and GetMail semantics the paper
+// defines, reachable from real processes.
+//
+// Protocol: one JSON object per line in each direction. Requests carry an
+// "op" plus op-specific fields; responses carry "ok", an optional "error",
+// and op-specific results. Operations:
+//
+//	register  {user, servers[]}            → {ok}
+//	submit    {from, to[], subject, body}  → {ok, id}
+//	checkmail {user, server}               → {ok, messages[]}
+//	getmail   {user}                       → {ok, messages[]}   (server-side GetMail walk)
+//	status    {}                           → {ok, servers[]}
+//	crash     {server} / recover {server}  → {ok}               (operations testing hook)
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/largemail/largemail/internal/livenet"
+	"github.com/largemail/largemail/internal/mail"
+	"github.com/largemail/largemail/internal/names"
+)
+
+// MaxLine bounds a single protocol line (1 MiB), protecting the server from
+// unbounded memory per connection.
+const MaxLine = 1 << 20
+
+// Request is the client→server frame.
+type Request struct {
+	Op      string   `json:"op"`
+	User    string   `json:"user,omitempty"`
+	Servers []string `json:"servers,omitempty"`
+	Server  string   `json:"server,omitempty"`
+	From    string   `json:"from,omitempty"`
+	To      []string `json:"to,omitempty"`
+	Subject string   `json:"subject,omitempty"`
+	Body    string   `json:"body,omitempty"`
+}
+
+// Message is a mail message on the wire.
+type Message struct {
+	ID      string `json:"id"`
+	From    string `json:"from"`
+	Subject string `json:"subject"`
+	Body    string `json:"body"`
+}
+
+// ServerStatus is one row of a status response.
+type ServerStatus struct {
+	Name     string `json:"name"`
+	Up       bool   `json:"up"`
+	Deposits int64  `json:"deposits"`
+}
+
+// Response is the server→client frame.
+type Response struct {
+	OK       bool           `json:"ok"`
+	Error    string         `json:"error,omitempty"`
+	ID       string         `json:"id,omitempty"`
+	Messages []Message      `json:"messages,omitempty"`
+	Servers  []ServerStatus `json:"servers,omitempty"`
+}
+
+// Server serves the wire protocol over a listener, backed by a live
+// cluster. Create with NewServer; stop with Close.
+type Server struct {
+	cluster *livenet.Cluster
+	names   []string // server names, registration order
+
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+
+	// agents holds one server-side agent per user so the getmail op uses
+	// the paper's retrieval algorithm with persistent LastCheckingTime.
+	agentMu sync.Mutex
+	agents  map[names.Name]*livenet.Agent
+}
+
+// NewServer builds a cluster with the given server names and starts
+// accepting connections on addr (e.g. "127.0.0.1:0"). The returned server
+// owns the cluster.
+func NewServer(addr string, serverNames []string) (*Server, error) {
+	if len(serverNames) == 0 {
+		return nil, errors.New("wire: need at least one server name")
+	}
+	cluster := livenet.NewCluster()
+	for _, n := range serverNames {
+		if _, err := cluster.AddServer(n); err != nil {
+			cluster.Close()
+			return nil, err
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		cluster.Close()
+		return nil, err
+	}
+	s := &Server{
+		cluster: cluster,
+		names:   append([]string(nil), serverNames...),
+		ln:      ln,
+		conns:   make(map[net.Conn]struct{}),
+		agents:  make(map[names.Name]*livenet.Agent),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes every connection, waits for handlers to
+// exit, and shuts down the cluster.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	_ = s.ln.Close()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.cluster.Close()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 4096), MaxLine)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			resp = Response{Error: fmt.Sprintf("bad request: %v", err)}
+		} else {
+			resp = s.dispatch(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req Request) Response {
+	switch req.Op {
+	case "register":
+		return s.opRegister(req)
+	case "submit":
+		return s.opSubmit(req)
+	case "checkmail":
+		return s.opCheckMail(req)
+	case "getmail":
+		return s.opGetMail(req)
+	case "status":
+		return s.opStatus()
+	case "crash", "recover":
+		return s.opAvailability(req)
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func fail(format string, args ...any) Response {
+	return Response{Error: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) opRegister(req Request) Response {
+	user, err := names.Parse(req.User)
+	if err != nil {
+		return fail("user: %v", err)
+	}
+	servers := req.Servers
+	if len(servers) == 0 {
+		servers = s.names // default: all servers, registration order
+	}
+	for _, n := range servers {
+		if _, ok := s.cluster.Server(n); !ok {
+			return fail("unknown server %q", n)
+		}
+	}
+	s.cluster.Directory().SetAuthority(user, servers)
+	return Response{OK: true}
+}
+
+func (s *Server) opSubmit(req Request) Response {
+	from, err := names.Parse(req.From)
+	if err != nil {
+		return fail("from: %v", err)
+	}
+	var to []names.Name
+	for _, raw := range req.To {
+		n, err := names.Parse(raw)
+		if err != nil {
+			return fail("to %q: %v", raw, err)
+		}
+		to = append(to, n)
+	}
+	if len(to) == 0 {
+		return fail("no recipients")
+	}
+	id, err := s.cluster.Submit(from, to, req.Subject, req.Body)
+	if err != nil {
+		return fail("submit: %v", err)
+	}
+	return Response{OK: true, ID: id.String()}
+}
+
+func (s *Server) opCheckMail(req Request) Response {
+	user, err := names.Parse(req.User)
+	if err != nil {
+		return fail("user: %v", err)
+	}
+	srv, ok := s.cluster.Server(req.Server)
+	if !ok {
+		return fail("unknown server %q", req.Server)
+	}
+	msgs, err := srv.CheckMail(user)
+	if err != nil {
+		return fail("checkmail: %v", err)
+	}
+	return Response{OK: true, Messages: wireMessages(msgs)}
+}
+
+func (s *Server) opGetMail(req Request) Response {
+	user, err := names.Parse(req.User)
+	if err != nil {
+		return fail("user: %v", err)
+	}
+	s.agentMu.Lock()
+	agent, ok := s.agents[user]
+	if !ok {
+		agent, err = s.cluster.NewAgent(user)
+		if err != nil {
+			s.agentMu.Unlock()
+			return fail("getmail: %v", err)
+		}
+		s.agents[user] = agent
+	}
+	msgs := agent.GetMail()
+	s.agentMu.Unlock()
+	return Response{OK: true, Messages: wireMessages(msgs)}
+}
+
+func (s *Server) opStatus() Response {
+	var out []ServerStatus
+	for _, n := range s.names {
+		srv, ok := s.cluster.Server(n)
+		if !ok {
+			continue
+		}
+		out = append(out, ServerStatus{Name: n, Up: srv.Up(), Deposits: srv.Deposits()})
+	}
+	return Response{OK: true, Servers: out}
+}
+
+func (s *Server) opAvailability(req Request) Response {
+	srv, ok := s.cluster.Server(req.Server)
+	if !ok {
+		return fail("unknown server %q", req.Server)
+	}
+	if req.Op == "crash" {
+		srv.Crash()
+	} else {
+		srv.Recover()
+	}
+	return Response{OK: true}
+}
+
+func wireMessages(msgs []mail.Stored) []Message {
+	out := make([]Message, 0, len(msgs))
+	for _, m := range msgs {
+		out = append(out, Message{
+			ID: m.ID.String(), From: m.From.String(),
+			Subject: m.Subject, Body: m.Body,
+		})
+	}
+	return out
+}
+
+// Client is a wire-protocol client over one TCP connection. Safe for
+// sequential use; guard with your own mutex for concurrent callers.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+}
+
+// Dial connects to a wire server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), MaxLine)
+	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and reads one response. A Response with ok=false is
+// returned as an error.
+func (c *Client) Do(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return Response{}, err
+		}
+		return Response{}, errors.New("wire: connection closed")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return Response{}, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("wire: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Register records a user's authority list (empty = all servers).
+func (c *Client) Register(user string, servers ...string) error {
+	_, err := c.Do(Request{Op: "register", User: user, Servers: servers})
+	return err
+}
+
+// Submit sends a message and returns its ID.
+func (c *Client) Submit(from string, to []string, subject, body string) (string, error) {
+	resp, err := c.Do(Request{Op: "submit", From: from, To: to, Subject: subject, Body: body})
+	return resp.ID, err
+}
+
+// GetMail runs the server-side GetMail walk for the user.
+func (c *Client) GetMail(user string) ([]Message, error) {
+	resp, err := c.Do(Request{Op: "getmail", User: user})
+	return resp.Messages, err
+}
+
+// Status reports per-server availability and deposit counts.
+func (c *Client) Status() ([]ServerStatus, error) {
+	resp, err := c.Do(Request{Op: "status"})
+	return resp.Servers, err
+}
+
+// SetAvailability crashes or recovers a named server.
+func (c *Client) SetAvailability(server string, up bool) error {
+	op := "recover"
+	if !up {
+		op = "crash"
+	}
+	_, err := c.Do(Request{Op: op, Server: server})
+	return err
+}
