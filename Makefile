@@ -1,0 +1,20 @@
+# Tier-1: the seed gate — must always pass.
+.PHONY: tier1
+tier1:
+	go build ./...
+	go test ./...
+
+# Tier-2: vet + the full suite under the race detector, including the
+# deterministic chaos soaks (seeded; the live soak runs in well under 30s).
+.PHONY: tier2
+tier2: tier1
+	go vet ./...
+	go test -race ./...
+
+# Chaos: just the fault-injection soaks, verbosely.
+.PHONY: chaos
+chaos:
+	go test -race -v -run 'TestChaosSoak' ./internal/faults/
+
+.PHONY: all
+all: tier2

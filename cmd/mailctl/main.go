@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"github.com/largemail/largemail/internal/wire"
 )
@@ -74,7 +75,7 @@ func run(args []string) error {
 			fmt.Printf("%s  from %s: %q\n%s\n", m.ID, m.From, m.Subject, m.Body)
 		}
 	case "status":
-		status, err := c.Status()
+		status, counters, err := c.StatusFull()
 		if err != nil {
 			return err
 		}
@@ -84,6 +85,17 @@ func run(args []string) error {
 				state = "DOWN"
 			}
 			fmt.Printf("%-8s %-5s deposits=%d\n", s.Name, state, s.Deposits)
+		}
+		if len(counters) > 0 {
+			fmt.Println("counters:")
+			keys := make([]string, 0, len(counters))
+			for k := range counters {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("  %-20s %d\n", k, counters[k])
+			}
 		}
 	case "crash", "recover":
 		if len(rest) != 2 {

@@ -7,6 +7,7 @@
 //	mailsim                                  # defaults: syntax design
 //	mailsim -design location -roam 0.3
 //	mailsim -hosts 12 -servers 4 -users 8 -rounds 500 -fail 0.1 -seed 7
+//	mailsim -faults -seed 42                 # seeded chaos soak + no-loss audit
 package main
 
 import (
@@ -38,8 +39,13 @@ func run(args []string) error {
 	failProb := fs.Float64("fail", 0, "per-round server crash probability")
 	roamProb := fs.Float64("roam", 0, "per-round user roam probability (location design)")
 	seed := fs.Int64("seed", 1, "deterministic seed")
+	faultsMode := fs.Bool("faults", false, "run the seeded chaos soak (fault schedule + no-loss audit) instead of the workload")
+	faultTicks := fs.Int("fault-ticks", 120, "fault-schedule horizon in ticks (with -faults)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *faultsMode {
+		return runFaults(*seed, *rounds*3, *faultTicks)
 	}
 
 	g, userMap := regionTopology(*hosts, *servers, *users, *seed)

@@ -220,6 +220,18 @@ func (s *SyntaxSystem) Server(id graph.NodeID) (*server.Server, bool) {
 	return srv, ok
 }
 
+// Hosts returns every host process, sorted by node ID. Hosts collect the
+// submission acks, which is how callers learn which submissions the system
+// has durably accepted.
+func (s *SyntaxSystem) Hosts() []*client.Host {
+	out := make([]*client.Host, 0, len(s.hosts))
+	for _, h := range s.hosts {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
 // Assignment returns a region's load-balanced assignment.
 func (s *SyntaxSystem) Assignment(region string) (*assign.Assignment, bool) {
 	a, ok := s.assigns[region]

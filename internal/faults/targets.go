@@ -1,0 +1,150 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/livenet"
+	"github.com/largemail/largemail/internal/netsim"
+	"github.com/largemail/largemail/internal/sim"
+)
+
+// SimTarget injects a schedule into the discrete-event network. Node names
+// in events are resolved through the Nodes map; one schedule tick equals
+// Tick units of virtual time.
+type SimTarget struct {
+	Net   *netsim.Network
+	Nodes map[string]graph.NodeID
+	Tick  sim.Time
+
+	// failed remembers the weight of links this target removed, so a
+	// LinkRestore re-adds exactly what a LinkFail took away and replays of
+	// overlapping windows stay idempotent.
+	failed map[[2]graph.NodeID]float64
+}
+
+// NewSimTarget wires an injector to a simulated network. tick is the
+// virtual duration of one schedule tick (e.g. 10*sim.Unit).
+func NewSimTarget(net *netsim.Network, nodes map[string]graph.NodeID, tick sim.Time) *SimTarget {
+	return &SimTarget{
+		Net: net, Nodes: nodes, Tick: tick,
+		failed: make(map[[2]graph.NodeID]float64),
+	}
+}
+
+func (t *SimTarget) node(name string) (graph.NodeID, error) {
+	id, ok := t.Nodes[name]
+	if !ok {
+		return 0, fmt.Errorf("faults: unknown sim node %q", name)
+	}
+	return id, nil
+}
+
+func linkKey(a, b graph.NodeID) [2]graph.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]graph.NodeID{a, b}
+}
+
+// Inject implements Injector on the simulated network.
+func (t *SimTarget) Inject(e Event) error {
+	id, err := t.node(e.Target)
+	if err != nil {
+		return err
+	}
+	switch e.Kind {
+	case Crash:
+		t.Net.Crash(id)
+	case Recover:
+		t.Net.Recover(id)
+	case LinkFail, LinkRestore:
+		peer, err := t.node(e.Peer)
+		if err != nil {
+			return err
+		}
+		key := linkKey(id, peer)
+		if e.Kind == LinkFail {
+			if _, failed := t.failed[key]; failed {
+				return nil // window overlap: already down
+			}
+			w, ok := t.Net.Topology().Weight(id, peer)
+			if !ok {
+				return fmt.Errorf("faults: no link %s-%s", e.Target, e.Peer)
+			}
+			if err := t.Net.FailLink(id, peer); err != nil {
+				return err
+			}
+			t.failed[key] = w
+			return nil
+		}
+		w, failed := t.failed[key]
+		if !failed {
+			return nil // window overlap: already restored
+		}
+		delete(t.failed, key)
+		return t.Net.RestoreLink(id, peer, w)
+	case Latency:
+		t.Net.SetExtraDelay(id, sim.Time(e.DelayTicks)*t.Tick)
+	case Drop:
+		t.Net.SetDropProb(id, e.Prob)
+	default:
+		return fmt.Errorf("faults: unknown event kind %v", e.Kind)
+	}
+	return nil
+}
+
+// LiveTarget injects a schedule into a live cluster. Link events carry over
+// as per-server reachability: the live transport's topology is
+// client–server, so "the link to s1 failed" means s1 is running but
+// unreachable (§3.1.2c's "disconnected from the network"); whichever of
+// Target/Peer names a known server is toggled. One schedule tick equals
+// Tick of wall-clock time.
+type LiveTarget struct {
+	Cluster *livenet.Cluster
+	Tick    time.Duration
+}
+
+// NewLiveTarget wires an injector to a live cluster. tick is the wall-clock
+// duration of one schedule tick (e.g. time.Millisecond).
+func NewLiveTarget(c *livenet.Cluster, tick time.Duration) *LiveTarget {
+	return &LiveTarget{Cluster: c, Tick: tick}
+}
+
+func (t *LiveTarget) server(e Event) (*livenet.Server, error) {
+	if s, ok := t.Cluster.Server(e.Target); ok {
+		return s, nil
+	}
+	if e.Peer != "" {
+		if s, ok := t.Cluster.Server(e.Peer); ok {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("faults: no live server for event %v", e)
+}
+
+// Inject implements Injector on the live cluster.
+func (t *LiveTarget) Inject(e Event) error {
+	s, err := t.server(e)
+	if err != nil {
+		return err
+	}
+	switch e.Kind {
+	case Crash:
+		s.Crash()
+	case Recover:
+		s.Recover()
+	case LinkFail:
+		s.SetReachable(false)
+	case LinkRestore:
+		s.SetReachable(true)
+	case Latency:
+		s.SetLatency(time.Duration(e.DelayTicks) * t.Tick)
+	case Drop:
+		s.SetDropProb(e.Prob)
+	default:
+		return fmt.Errorf("faults: unknown event kind %v", e.Kind)
+	}
+	return nil
+}

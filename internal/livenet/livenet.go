@@ -13,11 +13,13 @@ package livenet
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/largemail/largemail/internal/mail"
+	"github.com/largemail/largemail/internal/metrics"
 	"github.com/largemail/largemail/internal/names"
 )
 
@@ -27,7 +29,20 @@ var (
 	ErrNoAuthority = errors.New("livenet: user has no authority servers")
 	ErrAllDown     = errors.New("livenet: no authority server available")
 	ErrClosed      = errors.New("livenet: cluster closed")
+	// ErrUnreachable marks a server that is running but cut off from the
+	// network — §3.1.2c's "disconnected from the network" failure mode,
+	// injected by internal/faults link events.
+	ErrUnreachable = errors.New("livenet: server unreachable (link down)")
+	// ErrInjected marks a request discarded by an injected transient drop
+	// fault. Unlike ErrServerDown/ErrUnreachable it does NOT mean the server
+	// is unavailable: callers must retry the same server, not fail over past
+	// it, or the GetMail walk would stop short of the spilled mail.
+	ErrInjected = errors.New("livenet: injected message drop")
 )
+
+// maxTransientRetries bounds immediate same-server retries of injected
+// transient failures before a deposit is handed to the spool.
+const maxTransientRetries = 4
 
 // Directory maps users to their ordered authority-server lists. It is safe
 // for concurrent use.
@@ -74,7 +89,8 @@ type serverState struct {
 // a request channel. Crash/Recover toggle availability without losing the
 // mailbox contents (stable storage, as in the simulation).
 type Server struct {
-	name string
+	name  string
+	stats *metrics.Shared // cluster-wide counters (shared, concurrency-safe)
 
 	reqs chan request
 	quit chan struct{}
@@ -82,6 +98,12 @@ type Server struct {
 
 	up        atomic.Bool
 	lastStart atomic.Int64 // unix nanos of the last start/recovery
+
+	// Fault-injection state (internal/faults): link reachability, added
+	// request latency, and transient drop probability in per-mille.
+	unreach   atomic.Bool
+	latencyNs atomic.Int64
+	dropMilli atomic.Int64
 
 	deposits atomic.Int64
 	checks   atomic.Int64
@@ -114,10 +136,60 @@ func (s *Server) Recover() {
 	s.up.Store(true)
 }
 
-// call runs fn on the server goroutine and waits for completion.
+// SetReachable toggles the server's network link. An unreachable server is
+// running (Up stays true) but every request fails with ErrUnreachable.
+// Restoring reachability stamps a fresh LastStartTime: §3.1.2c counts
+// "being disconnected from the network" as unavailability, so reconnection
+// must look like a recovery to the GetMail walk — deposits that failed over
+// past the partitioned server are only found because of this stamp.
+func (s *Server) SetReachable(ok bool) {
+	if ok {
+		s.lastStart.Store(time.Now().UnixNano())
+		s.unreach.Store(false)
+		return
+	}
+	s.unreach.Store(true)
+}
+
+// Reachable reports whether the server's network link is up.
+func (s *Server) Reachable() bool { return !s.unreach.Load() }
+
+// SetLatency makes every request to this server take at least d longer —
+// an injected slow-link fault. Zero clears it.
+func (s *Server) SetLatency(d time.Duration) { s.latencyNs.Store(int64(d)) }
+
+// SetDropProb makes requests to this server fail with ErrInjected with
+// probability p before they execute — an injected lossy-link fault. The
+// request is never half-applied: a dropped CheckMail has not drained the
+// mailbox. p is clamped to [0, 1]; zero clears the fault.
+func (s *Server) SetDropProb(p float64) {
+	switch {
+	case p <= 0:
+		s.dropMilli.Store(0)
+	case p >= 1:
+		s.dropMilli.Store(1000)
+	default:
+		s.dropMilli.Store(int64(p * 1000))
+	}
+}
+
+// call runs fn on the server goroutine and waits for completion. Injected
+// faults gate the call up front, so a failed call has not executed at all.
 func (s *Server) call(fn func(*serverState)) error {
+	if d := time.Duration(s.latencyNs.Load()); d > 0 {
+		time.Sleep(d) // the caller's goroutine stalls, not the server loop
+	}
 	if !s.Up() {
 		return fmt.Errorf("%w: %s", ErrServerDown, s.name)
+	}
+	if !s.Reachable() {
+		return fmt.Errorf("%w: %s", ErrUnreachable, s.name)
+	}
+	if p := s.dropMilli.Load(); p > 0 && rand.Int63n(1000) < p {
+		if s.stats != nil {
+			s.stats.Inc("injected_drops")
+		}
+		return fmt.Errorf("%w: %s", ErrInjected, s.name)
 	}
 	req := request{fn: fn, done: make(chan struct{})}
 	select {
@@ -196,15 +268,32 @@ type Cluster struct {
 	servers map[string]*Server
 	closed  atomic.Bool
 	nextSeq atomic.Uint64
+	stats   *metrics.Shared
+
+	spoolMu sync.Mutex
+	spool   *spool
 }
 
 // NewCluster returns an empty cluster with its directory.
 func NewCluster() *Cluster {
-	return &Cluster{dir: NewDirectory(), servers: make(map[string]*Server)}
+	return &Cluster{
+		dir:     NewDirectory(),
+		servers: make(map[string]*Server),
+		stats:   metrics.NewShared(),
+	}
 }
 
 // Directory returns the cluster's shared directory.
 func (c *Cluster) Directory() *Directory { return c.dir }
+
+// Metrics returns a snapshot of the cluster's robustness counters:
+// "submit_spooled", "spool_redelivered", "spool_retries", "spool_depth",
+// "deposit_failovers", "deposit_retries", "injected_drops".
+func (c *Cluster) Metrics() map[string]int64 {
+	snap := c.stats.Snapshot()
+	snap["spool_depth"] = int64(c.SpoolDepth())
+	return snap
+}
 
 // AddServer starts a server goroutine. Names must be unique.
 func (c *Cluster) AddServer(name string) (*Server, error) {
@@ -217,10 +306,11 @@ func (c *Cluster) AddServer(name string) (*Server, error) {
 		return nil, fmt.Errorf("livenet: server %q already exists", name)
 	}
 	s := &Server{
-		name: name,
-		reqs: make(chan request),
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
+		name:  name,
+		stats: c.stats,
+		reqs:  make(chan request),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
 	}
 	s.lastStart.Store(time.Now().UnixNano())
 	s.up.Store(true)
@@ -237,10 +327,17 @@ func (c *Cluster) Server(name string) (*Server, bool) {
 	return s, ok
 }
 
-// Close stops every server goroutine and waits for them to exit.
+// Close stops the spool worker and every server goroutine, waiting for them
+// to exit.
 func (c *Cluster) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
+	}
+	c.spoolMu.Lock()
+	sp := c.spool
+	c.spoolMu.Unlock()
+	if sp != nil {
+		sp.stop()
 	}
 	c.mu.RLock()
 	servers := make([]*Server, 0, len(c.servers))
@@ -258,8 +355,15 @@ func (c *Cluster) Close() {
 
 // Submit accepts a message and deposits one copy per recipient at the first
 // available authority server, failing over down the list (§3.1.2c: "mail
-// will be deposited in the first active server from the list"). It returns
-// the assigned message ID.
+// will be deposited in the first active server from the list"). All
+// recipients are attempted even when some fail; the assigned message ID is
+// returned together with the per-recipient errors joined via errors.Join.
+//
+// With the spool enabled (EnableSpool), a recipient copy that cannot be
+// deposited anywhere right now is buffered for background redelivery instead
+// of failing — Submit then only errors for recipients with no authority list
+// at all, and an accepted message is never lost (§3.1.2b buffering, claim
+// E2).
 func (c *Cluster) Submit(from names.Name, to []names.Name, subject, body string) (mail.MessageID, error) {
 	if c.closed.Load() {
 		return mail.MessageID{}, ErrClosed
@@ -271,32 +375,64 @@ func (c *Cluster) Submit(from names.Name, to []names.Name, subject, body string)
 		Subject: subject,
 		Body:    body,
 	}
+	var errs []error
 	for _, rcpt := range msg.To {
-		if err := c.depositFailover(msg, rcpt); err != nil {
-			return mail.MessageID{}, fmt.Errorf("deliver to %v: %w", rcpt, err)
+		err := c.depositFailover(msg, rcpt)
+		if err == nil {
+			continue
 		}
+		if !errors.Is(err, ErrNoAuthority) {
+			c.spoolMu.Lock()
+			sp := c.spool
+			c.spoolMu.Unlock()
+			if sp != nil {
+				sp.add(msg, rcpt)
+				c.stats.Inc("submit_spooled")
+				continue // accepted: the spool guarantees redelivery
+			}
+		}
+		errs = append(errs, fmt.Errorf("deliver to %v: %w", rcpt, err))
 	}
-	return msg.ID, nil
+	return msg.ID, errors.Join(errs...)
 }
 
-// depositFailover walks the recipient's authority list until a deposit
-// sticks.
+// depositFailover deposits one recipient copy following §3.1.2c: walk the
+// authority list, skipping servers that are down or unreachable (their
+// recovery stamps a fresh LastStartTime, which is what lets GetMail find
+// mail that failed over past them), and deposit at the first available
+// server.
+//
+// Transient faults (ErrInjected) are retried a few times against the same
+// server and then reported to the caller — they must never cause failover,
+// because skipping a live, stable server would strand the copy beyond the
+// point where the recipient's GetMail walk stops.
 func (c *Cluster) depositFailover(msg mail.Message, rcpt names.Name) error {
 	list := c.dir.Authority(rcpt)
 	if len(list) == 0 {
 		return fmt.Errorf("%w: %v", ErrNoAuthority, rcpt)
 	}
 	var lastErr error
-	for _, name := range list {
+	for i, name := range list {
 		s, ok := c.Server(name)
 		if !ok {
 			continue
 		}
-		if err := s.Deposit(msg, rcpt); err != nil {
-			lastErr = err
-			continue
+		err := s.Deposit(msg, rcpt)
+		for r := 0; errors.Is(err, ErrInjected) && r < maxTransientRetries; r++ {
+			c.stats.Inc("deposit_retries")
+			err = s.Deposit(msg, rcpt)
 		}
-		return nil
+		if err == nil {
+			if i > 0 {
+				c.stats.Inc("deposit_failovers")
+			}
+			return nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrServerDown) || errors.Is(err, ErrUnreachable) {
+			continue // unavailability is stamped at recovery; failover is safe
+		}
+		return err // transient persisted: retry later, never skip a live server
 	}
 	if lastErr == nil {
 		lastErr = ErrAllDown
@@ -353,6 +489,9 @@ func (a *Agent) Send(to []names.Name, subject, body string) (mail.MessageID, err
 // GetMail is the §3.1.2c retrieval algorithm on wall-clock time: walk the
 // authority list; stop at the first live server that has been up since
 // before the last check; collect from servers previously seen unavailable.
+// A server whose poll fails — down, unreachable, or an injected drop — joins
+// PreviouslyUnavailableServers and is retried on later retrievals; its
+// buffered mail is untouched by the failed poll.
 func (a *Agent) GetMail() []mail.Stored {
 	a.retrievals++
 	before := len(a.inbox)
@@ -367,7 +506,10 @@ func (a *Agent) GetMail() []mail.Stored {
 			continue
 		}
 		if s.Up() {
-			a.poll(s)
+			if err := a.poll(s); err != nil {
+				a.prevUnavail[name] = true
+				continue
+			}
 			delete(a.prevUnavail, name)
 			if a.lastChecking.After(s.LastStart()) {
 				finished = true
@@ -381,7 +523,9 @@ func (a *Agent) GetMail() []mail.Stored {
 			continue
 		}
 		if s, ok := a.cluster.Server(name); ok && s.Up() {
-			a.poll(s)
+			if err := a.poll(s); err != nil {
+				continue // stays previously-unavailable for the next retrieval
+			}
 			delete(a.prevUnavail, name)
 		}
 	}
@@ -389,11 +533,26 @@ func (a *Agent) GetMail() []mail.Stored {
 	return append([]mail.Stored(nil), a.inbox[before:]...)
 }
 
-func (a *Agent) poll(s *Server) {
+// PreviouslyUnavailable returns the agent's PreviouslyUnavailableServers
+// list (§3.1.2c), in authority-list order.
+func (a *Agent) PreviouslyUnavailable() []string {
+	var out []string
+	for _, name := range a.cluster.dir.Authority(a.user) {
+		if a.prevUnavail[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// LastCheckingTime returns the agent's LastCheckingTime[user] variable.
+func (a *Agent) LastCheckingTime() time.Time { return a.lastChecking }
+
+func (a *Agent) poll(s *Server) error {
 	a.polls++
 	msgs, err := s.CheckMail(a.user)
 	if err != nil {
-		return
+		return err
 	}
 	for _, m := range msgs {
 		if a.seen[m.ID] {
@@ -402,4 +561,5 @@ func (a *Agent) poll(s *Server) {
 		a.seen[m.ID] = true
 		a.inbox = append(a.inbox, m)
 	}
+	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Registry is a set of named counters. The zero value is not usable; create
@@ -56,6 +57,48 @@ func (r *Registry) Snapshot() map[string]int64 {
 // Reset zeroes every counter.
 func (r *Registry) Reset() {
 	r.counters = make(map[string]int64)
+}
+
+// Shared is a Registry variant that is safe for concurrent use. The live
+// runtime (internal/livenet, internal/wire) mutates counters from many
+// goroutines — server loops, the spool worker, fault injection — so unlike
+// Registry it guards the map with a mutex. Create with NewShared.
+type Shared struct {
+	mu       sync.Mutex
+	counters map[string]int64
+}
+
+// NewShared returns an empty concurrent counter set.
+func NewShared() *Shared {
+	return &Shared{counters: make(map[string]int64)}
+}
+
+// Add increments the named counter by delta (which may be negative).
+func (s *Shared) Add(name string, delta int64) {
+	s.mu.Lock()
+	s.counters[name] += delta
+	s.mu.Unlock()
+}
+
+// Inc increments the named counter by one.
+func (s *Shared) Inc(name string) { s.Add(name, 1) }
+
+// Get returns the value of the named counter (zero if never touched).
+func (s *Shared) Get(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
+
+// Snapshot returns a consistent copy of all counters.
+func (s *Shared) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
 }
 
 // Summary accumulates scalar samples and reports order statistics. The zero

@@ -1,0 +1,164 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/sim"
+)
+
+// TestExtraDelayAddsToDelivery: injected latency on either endpoint is
+// added to the path delay; clearing it restores baseline timing.
+func TestExtraDelayAddsToDelivery(t *testing.T) {
+	sched, net, recs := lineNet(t)
+	net.SetExtraDelay(3, 2*sim.Unit)
+	if err := net.Send(0, 3, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if len(recs[3].got) != 1 {
+		t.Fatalf("delivered %d, want 1", len(recs[3].got))
+	}
+	if want := 3*sim.Unit + 2*sim.Unit; sched.Now() != want {
+		t.Errorf("delivery at %v, want %v (path + injected)", sched.Now(), want)
+	}
+	net.SetExtraDelay(3, 0) // clear
+	if err := net.Send(0, 3, "fast"); err != nil {
+		t.Fatal(err)
+	}
+	start := sched.Now()
+	sched.Run()
+	if got := sched.Now() - start; got != 3*sim.Unit {
+		t.Errorf("post-clear delay = %v, want %v", got, 3*sim.Unit)
+	}
+}
+
+// TestDropProbOneEatsEverything: probability 1 on the destination drops
+// every delivery and counts it; probability 0 clears the hook.
+func TestDropProbOneEatsEverything(t *testing.T) {
+	sched, net, recs := lineNet(t)
+	net.SetDropProb(3, 1)
+	for i := 0; i < 5; i++ {
+		if err := net.Send(0, 3, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.Run()
+	if len(recs[3].got) != 0 {
+		t.Fatalf("delivered %d with drop probability 1", len(recs[3].got))
+	}
+	if got := net.Stats().Get("dropped_injected"); got != 5 {
+		t.Errorf("dropped_injected = %d, want 5", got)
+	}
+	net.SetDropProb(3, 0)
+	if err := net.Send(0, 3, "through"); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if len(recs[3].got) != 1 {
+		t.Error("message dropped after clearing the hook")
+	}
+}
+
+// TestDropProbDeterministicAcrossRuns: the drop coin uses the scheduler's
+// seeded RNG, so two identical runs drop the identical subset.
+func TestDropProbDeterministicAcrossRuns(t *testing.T) {
+	run := func() []int {
+		sched, net, recs := lineNet(t)
+		net.SetDropProb(3, 0.5)
+		for i := 0; i < 40; i++ {
+			if err := net.Send(0, 3, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sched.Run()
+		var got []int
+		for _, env := range recs[3].got {
+			got = append(got, env.Payload.(int))
+		}
+		return got
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 40 {
+		t.Fatalf("drop p=0.5 delivered %d/40 — hook not engaged", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs delivered %d vs %d messages", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run divergence at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRestoreLinkStampsLastStart: restoring a link is a recovery event for
+// both endpoints under §3.1.2c ("disconnected from the network" counts as
+// unavailability) — LastStartTime is stamped and Recoverer handlers fire,
+// which is what lets GetMail walk past a formerly partitioned server and
+// lets servers re-dispatch queued transfers.
+func TestRestoreLinkStampsLastStart(t *testing.T) {
+	sched, net, recs := lineNet(t)
+	if err := net.FailLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(5 * sim.Unit)
+	before1, _ := net.LastStart(1)
+	if err := net.RestoreLink(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	after1, _ := net.LastStart(1)
+	after2, _ := net.LastStart(2)
+	if !(after1 > before1) || after1 != sched.Now() || after2 != sched.Now() {
+		t.Errorf("LastStart after restore = %v/%v, want both stamped at %v",
+			after1, after2, sched.Now())
+	}
+	if len(recs[1].recoveries) != 1 || len(recs[2].recoveries) != 1 {
+		t.Errorf("recoveries fired = %d/%d, want 1/1",
+			len(recs[1].recoveries), len(recs[2].recoveries))
+	}
+	// A crashed endpoint is NOT resurrected by a link repair.
+	if err := net.FailLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	net.Crash(2)
+	if err := net.RestoreLink(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if net.IsUp(2) {
+		t.Error("link restore resurrected a crashed node")
+	}
+	if len(recs[2].recoveries) != 1 {
+		t.Errorf("crashed endpoint got a recovery callback from link restore")
+	}
+}
+
+// TestExtraDelayBothEndpointsAccumulates: delays on sender and receiver
+// stack.
+func TestExtraDelayBothEndpointsAccumulates(t *testing.T) {
+	sched, net, recs := lineNet(t)
+	net.SetExtraDelay(0, sim.Unit)
+	net.SetExtraDelay(3, sim.Unit)
+	if err := net.Send(0, 3, "x"); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if len(recs[3].got) != 1 {
+		t.Fatal("not delivered")
+	}
+	if want := 5 * sim.Unit; sched.Now() != want {
+		t.Errorf("delivery at %v, want %v", sched.Now(), want)
+	}
+}
+
+func TestDropProbClamped(t *testing.T) {
+	_, net, _ := lineNet(t)
+	net.SetDropProb(graph.NodeID(3), 7.5) // clamped to 1
+	net.SetDropProb(graph.NodeID(2), -4)  // clamped away (cleared)
+	if p := net.dropProb[3]; p != 1 {
+		t.Errorf("dropProb = %v, want clamped to 1", p)
+	}
+	if _, ok := net.dropProb[2]; ok {
+		t.Error("negative probability retained")
+	}
+}

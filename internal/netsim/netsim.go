@@ -77,6 +77,11 @@ type Network struct {
 	down      map[graph.NodeID]bool
 	lastStart map[graph.NodeID]sim.Time
 
+	// Fault-injection hooks (internal/faults): per-node added delay and
+	// per-node inbound drop probability.
+	extraDelay map[graph.NodeID]sim.Time
+	dropProb   map[graph.NodeID]float64
+
 	pathCache map[graph.NodeID]graph.Paths
 
 	// DelayPerCost converts one unit of edge-weight cost into virtual time.
@@ -96,6 +101,8 @@ func New(sched *sim.Scheduler, topo *graph.Graph) *Network {
 		handlers:     make(map[graph.NodeID]Handler),
 		down:         make(map[graph.NodeID]bool),
 		lastStart:    make(map[graph.NodeID]sim.Time),
+		extraDelay:   make(map[graph.NodeID]sim.Time),
+		dropProb:     make(map[graph.NodeID]float64),
 		pathCache:    make(map[graph.NodeID]graph.Paths),
 		DelayPerCost: sim.Unit,
 		stats:        metrics.NewRegistry(),
@@ -110,8 +117,8 @@ func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 func (n *Network) Topology() *graph.Graph { return n.topo }
 
 // Stats returns the traffic counters: "delivered", "dropped_dest_down",
-// "expired", plus "cost_milli" (total delivered route cost ×1000) and
-// "hops".
+// "dropped_injected", "expired", plus "cost_milli" (total delivered route
+// cost ×1000) and "hops".
 func (n *Network) Stats() *metrics.Registry { return n.stats }
 
 // Register installs the handler for a node. Nodes start up.
@@ -185,12 +192,56 @@ func (n *Network) FailLink(a, b graph.NodeID) error {
 }
 
 // RestoreLink re-adds a link with the given weight and invalidates routes.
+//
+// Restoring a link also stamps a fresh LastStartTime on both (up, registered)
+// endpoints and fires their Recoverer hook: §3.1.2c counts "being
+// disconnected from the network" as unavailability, so reconnection is a
+// recovery for the GetMail algorithm — without the stamp, an agent would stop
+// its retrieval walk at a formerly partitioned server and miss mail that
+// failed over past it while it was unreachable.
 func (n *Network) RestoreLink(a, b graph.NodeID, w float64) error {
 	if err := n.topo.AddEdge(a, b, w); err != nil {
 		return err
 	}
 	n.pathCache = make(map[graph.NodeID]graph.Paths)
+	for _, id := range []graph.NodeID{a, b} {
+		h, registered := n.handlers[id]
+		if !registered || n.down[id] {
+			continue // a crashed endpoint stamps when Recover runs
+		}
+		n.lastStart[id] = n.sched.Now()
+		if r, ok := h.(Recoverer); ok {
+			r.Recovered(n.sched.Now())
+		}
+	}
 	return nil
+}
+
+// SetExtraDelay adds d to the delivery delay of every message sent from or
+// to the node — an injected-latency fault. Zero clears the fault. Negative
+// values are treated as zero.
+func (n *Network) SetExtraDelay(id graph.NodeID, d sim.Time) {
+	if d <= 0 {
+		delete(n.extraDelay, id)
+		return
+	}
+	n.extraDelay[id] = d
+}
+
+// SetDropProb makes messages destined to the node be dropped with
+// probability p on arrival (counted as "dropped_injected") — an injected
+// lossy-link fault. Drops are drawn from the scheduler's seeded random
+// source, so runs stay deterministic. p is clamped to [0, 1]; zero clears
+// the fault.
+func (n *Network) SetDropProb(id graph.NodeID, p float64) {
+	if p <= 0 {
+		delete(n.dropProb, id)
+		return
+	}
+	if p > 1 {
+		p = 1
+	}
+	n.dropProb[id] = p
 }
 
 func (n *Network) paths(src graph.NodeID) (graph.Paths, error) {
@@ -246,7 +297,7 @@ func (n *Network) Send(from, to graph.NodeID, payload any) error {
 		From: from, To: to, Payload: payload,
 		SentAt: n.sched.Now(), Hops: hops, Cost: dist,
 	}
-	delay := sim.Time(dist * float64(n.DelayPerCost))
+	delay := sim.Time(dist*float64(n.DelayPerCost)) + n.extraDelay[from] + n.extraDelay[to]
 	n.sched.After(delay, func() { n.deliver(env) })
 	return nil
 }
@@ -269,7 +320,7 @@ func (n *Network) SendDirect(from, to graph.NodeID, payload any) error {
 		From: from, To: to, Payload: payload,
 		SentAt: n.sched.Now(), Hops: 1, Cost: w,
 	}
-	delay := sim.Time(w * float64(n.DelayPerCost))
+	delay := sim.Time(w*float64(n.DelayPerCost)) + n.extraDelay[from] + n.extraDelay[to]
 	n.sched.After(delay, func() { n.deliver(env) })
 	return nil
 }
@@ -282,6 +333,10 @@ func (n *Network) deliver(env Envelope) {
 	}
 	if n.down[env.To] {
 		n.stats.Inc("dropped_dest_down")
+		return
+	}
+	if p := n.dropProb[env.To]; p > 0 && n.sched.Rand().Float64() < p {
+		n.stats.Inc("dropped_injected")
 		return
 	}
 	n.stats.Inc("delivered")

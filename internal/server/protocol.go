@@ -22,9 +22,13 @@ type SubmitRequest struct {
 }
 
 // SubmitAck confirms acceptance of a submission, carrying the message ID the
-// server assigned. Sent back to the submitting host.
+// server assigned plus the echoed subject so the submitting host can match
+// the ack to the request it answers (submissions from one host may be acked
+// out of order when they went to different servers). Sent back to the
+// submitting host.
 type SubmitAck struct {
-	ID mail.MessageID
+	ID      mail.MessageID
+	Subject string
 }
 
 // TransferKind distinguishes the two server-to-server transfer steps of the

@@ -230,7 +230,7 @@ func (s *Server) handleSubmit(from graph.NodeID, req SubmitRequest) {
 	}
 	s.stats.Inc("submissions")
 	// Ack the submitting host so the user interface learns the ID.
-	_ = s.net.Send(s.id, from, SubmitAck{ID: msg.ID})
+	_ = s.net.Send(s.id, from, SubmitAck{ID: msg.ID, Subject: msg.Subject})
 	for _, rcpt := range msg.To {
 		s.Route(msg, rcpt)
 	}

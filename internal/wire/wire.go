@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/largemail/largemail/internal/livenet"
 	"github.com/largemail/largemail/internal/mail"
@@ -66,6 +67,10 @@ type Response struct {
 	ID       string         `json:"id,omitempty"`
 	Messages []Message      `json:"messages,omitempty"`
 	Servers  []ServerStatus `json:"servers,omitempty"`
+	// Counters carries the cluster's fault/retry/spool counters on status
+	// responses (injected_drops, deposit_retries, deposit_failovers,
+	// submit_spooled, spool_redelivered, spool_retries, spool_depth, ...).
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // Server serves the wire protocol over a listener, backed by a live
@@ -99,6 +104,12 @@ func NewServer(addr string, serverNames []string) (*Server, error) {
 			cluster.Close()
 			return nil, err
 		}
+	}
+	// Spooled redelivery makes submits accept-and-retry instead of failing
+	// outright when every authority server is briefly down.
+	if err := cluster.EnableSpool(livenet.SpoolConfig{}); err != nil {
+		cluster.Close()
+		return nil, err
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -180,6 +191,11 @@ func (s *Server) handle(conn net.Conn) {
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
+	}
+	// A line past MaxLine stops the scanner without consuming it; tell the
+	// client why instead of silently hanging up on them.
+	if errors.Is(scanner.Err(), bufio.ErrTooLong) {
+		_ = enc.Encode(Response{Error: fmt.Sprintf("request line exceeds %d bytes", MaxLine)})
 	}
 }
 
@@ -292,7 +308,7 @@ func (s *Server) opStatus() Response {
 		}
 		out = append(out, ServerStatus{Name: n, Up: srv.Up(), Deposits: srv.Deposits()})
 	}
-	return Response{OK: true, Servers: out}
+	return Response{OK: true, Servers: out, Counters: s.cluster.Metrics()}
 }
 
 func (s *Server) opAvailability(req Request) Response {
@@ -319,34 +335,147 @@ func wireMessages(msgs []mail.Stored) []Message {
 	return out
 }
 
-// Client is a wire-protocol client over one TCP connection. Safe for
-// sequential use; guard with your own mutex for concurrent callers.
+// Options tune a Client's fault behavior.
+type Options struct {
+	// Timeout is the per-request deadline covering write and response read
+	// (default 5s). A request against a hung or partitioned server fails
+	// with a timeout error instead of blocking forever. Negative disables.
+	Timeout time.Duration
+	// Retries bounds how many extra attempts Do makes when a request
+	// provably never reached the server — a failed dial or a failed write
+	// (the protocol executes only complete newline-terminated lines, and a
+	// failed write never delivers the terminator). Responses that time out
+	// after a successful write are NOT retried: the request may have
+	// executed, and submit is not idempotent. Default 2; negative disables.
+	Retries int
+	// RetryBackoff is the pause before each retry (default 50ms).
+	RetryBackoff time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout == 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	return o
+}
+
+// Client is a wire-protocol client. It owns one TCP connection at a time
+// and transparently reconnects after a broken one. Safe for sequential use;
+// guard with your own mutex for concurrent callers.
 type Client struct {
+	addr string
+	opts Options
+
 	conn net.Conn
 	enc  *json.Encoder
 	sc   *bufio.Scanner
 }
 
-// Dial connects to a wire server.
+// Dial connects to a wire server with default Options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions connects to a wire server with explicit deadline/retry
+// behavior.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults()}
+	if err := c.connect(); err != nil {
 		return nil, err
 	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 4096), MaxLine)
-	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
+	return c, nil
+}
+
+func (c *Client) connect() error {
+	d := net.Dialer{}
+	if c.opts.Timeout > 0 {
+		d.Timeout = c.opts.Timeout
+	}
+	conn, err := d.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.enc = json.NewEncoder(conn)
+	c.sc = bufio.NewScanner(conn)
+	c.sc.Buffer(make([]byte, 0, 4096), MaxLine)
+	return nil
+}
+
+// drop discards a broken connection; the next Do reconnects.
+func (c *Client) drop() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
 }
 
 // Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// Do sends one request and reads one response. A Response with ok=false is
-// returned as an error.
-func (c *Client) Do(req Request) (Response, error) {
-	if err := c.enc.Encode(req); err != nil {
-		return Response{}, err
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
 	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Do sends one request and reads one response, under the configured
+// deadline. Dial and write failures are retried up to Options.Retries times
+// (reconnecting in between); a failure after the request was fully written
+// is returned as-is, with the connection dropped so the next call starts
+// fresh. A Response with ok=false is returned as an error.
+func (c *Client) Do(req Request) (Response, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.opts.RetryBackoff)
+		}
+		if c.conn == nil {
+			if err := c.connect(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		if c.opts.Timeout > 0 {
+			_ = c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+		}
+		if err := c.enc.Encode(req); err != nil {
+			// The newline terminator never made it out, so the server will
+			// not execute this request: safe to retry on a new connection.
+			c.drop()
+			lastErr = err
+			continue
+		}
+		resp, err := c.readResponse()
+		if err != nil {
+			// The request may have executed server-side; surface the error
+			// rather than risking a duplicate submit.
+			c.drop()
+			return Response{}, err
+		}
+		if c.opts.Timeout > 0 {
+			_ = c.conn.SetDeadline(time.Time{})
+		}
+		if !resp.OK {
+			return resp, fmt.Errorf("wire: %s", resp.Error)
+		}
+		return resp, nil
+	}
+	return Response{}, fmt.Errorf("wire: request failed after %d attempts: %w",
+		c.opts.Retries+1, lastErr)
+}
+
+func (c *Client) readResponse() (Response, error) {
 	if !c.sc.Scan() {
 		if err := c.sc.Err(); err != nil {
 			return Response{}, err
@@ -356,9 +485,6 @@ func (c *Client) Do(req Request) (Response, error) {
 	var resp Response
 	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
 		return Response{}, err
-	}
-	if !resp.OK {
-		return resp, fmt.Errorf("wire: %s", resp.Error)
 	}
 	return resp, nil
 }
@@ -385,6 +511,13 @@ func (c *Client) GetMail(user string) ([]Message, error) {
 func (c *Client) Status() ([]ServerStatus, error) {
 	resp, err := c.Do(Request{Op: "status"})
 	return resp.Servers, err
+}
+
+// StatusFull reports the server rows plus the cluster's fault/retry/spool
+// counters.
+func (c *Client) StatusFull() ([]ServerStatus, map[string]int64, error) {
+	resp, err := c.Do(Request{Op: "status"})
+	return resp.Servers, resp.Counters, err
 }
 
 // SetAvailability crashes or recovers a named server.
