@@ -2,19 +2,29 @@
 .PHONY: tier1
 tier1:
 	go build ./...
+	go vet ./...
 	go test ./...
 
-# Tier-2: vet + the full suite under the race detector, including the
-# deterministic chaos soaks (seeded; the live soak runs in well under 30s).
+# Tier-2: the full suite under the race detector — this exercises the
+# parallel Dijkstra fan-out and AllPairs worker pool in internal/graph and
+# internal/assign, plus the deterministic chaos soaks (seeded; the live soak
+# runs in well under 30s).
 .PHONY: tier2
 tier2: tier1
-	go vet ./...
 	go test -race ./...
 
 # Chaos: just the fault-injection soaks, verbosely.
 .PHONY: chaos
 chaos:
 	go test -race -v -run 'TestChaosSoak' ./internal/faults/
+
+# Bench: the full benchmark suite with -benchmem, converted to BENCH_PR2.json
+# (name → ns/op, allocs/op, domain metrics) for the committed perf trajectory.
+# -benchtime 0.2s keeps the run inside the CI budget; the scale benches take a
+# couple of seconds each regardless because one iteration is that big.
+.PHONY: bench
+bench:
+	go test -run '^$$' -bench . -benchmem -benchtime 0.2s ./... | go run ./cmd/benchjson -o BENCH_PR2.json
 
 .PHONY: all
 all: tier2

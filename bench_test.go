@@ -263,6 +263,48 @@ func benchBalance(b *testing.B, batch int) {
 	b.ReportMetric(float64(moves), "moves")
 }
 
+// BenchmarkE3BalanceScale2k measures the assignment engine on the PR's
+// large-topology instance through the public API: 2 000 nodes, 24 servers,
+// ≈108 000 users, batched moves. The matching reference-engine numbers live
+// in internal/assign (BenchmarkBalanceScaleReference).
+func BenchmarkE3BalanceScale2k(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.RandomConnected(rng, 2000, 6000, 1)
+	ids := g.NodeIDs()
+	srv := ids[:24]
+	hst := ids[24:]
+	users := make(map[graph.NodeID]int, len(hst))
+	total := 0
+	for _, h := range hst {
+		users[h] = 20 + rng.Intn(71)
+		total += users[h]
+	}
+	maxLoad := make(map[graph.NodeID]int, len(srv))
+	for _, s := range srv {
+		maxLoad[s] = total/len(srv) + total/(3*len(srv))
+	}
+	commW, procW, procTime := assign.PaperWeights()
+	a, err := assign.New(assign.Config{
+		Topology: g, Hosts: hst, Servers: srv,
+		Users: users, MaxLoad: maxLoad,
+		ProcTime: procTime, CommW: commW, ProcW: procW,
+		MoveBatch: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stats assign.BalanceStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Initialize()
+		stats = a.Balance()
+	}
+	b.ReportMetric(float64(total), "users")
+	b.ReportMetric(float64(stats.Moves), "moves")
+	b.ReportMetric(float64(stats.UsersMoved), "users_moved")
+	b.ReportMetric(a.MaxUtilization(), "max_util")
+}
+
 // BenchmarkE4TreeBroadcast measures one full broadcast+convergecast over the
 // back-bone MST of a 6×8 multi-region internetwork.
 func BenchmarkE4TreeBroadcast(b *testing.B) {

@@ -7,6 +7,8 @@
 //	balance -example            # the paper's Figure 1 instance
 //	balance -f instance.json    # a custom instance
 //	balance -batch 10 -example  # the accelerated multi-user-move variant
+//	balance -gen 2000 -servers 24 -users 100000 -seed 7 -batch 10
+//	                            # a generated large instance (summary output)
 //
 // Instance JSON:
 //
@@ -23,8 +25,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
+	"time"
 
 	"github.com/largemail/largemail/internal/assign"
 	"github.com/largemail/largemail/internal/graph"
@@ -59,12 +63,22 @@ func run(args []string) error {
 	file := fs.String("f", "", "instance JSON file")
 	batch := fs.Int("batch", 1, "users moved per balancing step (paper's speedup)")
 	authLen := fs.Int("authority", 2, "authority-list length to print")
+	gen := fs.Int("gen", 0, "generate a random connected topology with this many nodes")
+	genServers := fs.Int("servers", 8, "servers in the generated topology")
+	genUsers := fs.Int("users", 10000, "total users spread over the generated hosts")
+	seed := fs.Int64("seed", 1, "generator seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	var cfg assign.Config
 	switch {
+	case *gen > 0:
+		var err error
+		cfg, err = genInstance(*gen, *genServers, *genUsers, *seed)
+		if err != nil {
+			return err
+		}
 	case *example:
 		ex := graph.Figure1()
 		commW, procW, procTime := assign.PaperWeights()
@@ -88,10 +102,27 @@ func run(args []string) error {
 	}
 	cfg.MoveBatch = *batch
 
+	start := time.Now()
 	a, err := assign.New(cfg)
 	if err != nil {
 		return err
 	}
+	build := time.Since(start)
+
+	// Generated instances are too big for the full tables — print a summary.
+	if len(cfg.Hosts) > 40 {
+		start = time.Now()
+		stats := a.Run()
+		fmt.Printf("instance: %d hosts, %d servers, %d users, batch %d\n",
+			len(cfg.Hosts), len(cfg.Servers), totalUsers(cfg), cfg.MoveBatch)
+		fmt.Printf("construction (validate + parallel Dijkstra fan-out): %v\n", build)
+		fmt.Printf("initialize + balance: %v\n", time.Since(start))
+		fmt.Printf("total cost %.2f, max utilisation %.3f\n", a.TotalCost(), a.MaxUtilization())
+		fmt.Printf("sweeps %d, moves %d (users %d), undone %d, overloaded %d servers\n",
+			stats.Sweeps, stats.Moves, stats.UsersMoved, stats.Undone, len(stats.Overloaded))
+		return nil
+	}
+
 	a.Initialize()
 	fmt.Print(a.Table("Initial assignment (nearest server)").Render())
 	fmt.Printf("total cost %.2f, max utilisation %.3f\n\n", a.TotalCost(), a.MaxUtilization())
@@ -108,6 +139,47 @@ func run(args []string) error {
 		fmt.Printf("  host %v → %v\n", h, lists[h])
 	}
 	return nil
+}
+
+func totalUsers(cfg assign.Config) int {
+	total := 0
+	for _, n := range cfg.Users {
+		total += n
+	}
+	return total
+}
+
+// genInstance builds a random connected instance: the first k node IDs are
+// the servers, the rest are hosts sharing users total users, and every
+// server gets capacity for its fair share plus a third of slack.
+func genInstance(nodes, k, users int, seed int64) (assign.Config, error) {
+	if k < 1 || k >= nodes {
+		return assign.Config{}, fmt.Errorf("-servers %d must be in [1, nodes)", k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.RandomConnected(rng, nodes, 3*nodes, 1)
+	ids := g.NodeIDs()
+	servers := ids[:k]
+	hosts := ids[k:]
+	userMap := make(map[graph.NodeID]int, len(hosts))
+	per := users / len(hosts)
+	rem := users % len(hosts)
+	for i, h := range hosts {
+		userMap[h] = per
+		if i < rem {
+			userMap[h]++
+		}
+	}
+	maxLoad := make(map[graph.NodeID]int, k)
+	for _, s := range servers {
+		maxLoad[s] = users/k + users/(3*k) + 1
+	}
+	commW, procW, procTime := assign.PaperWeights()
+	return assign.Config{
+		Topology: g, Hosts: hosts, Servers: servers,
+		Users: userMap, MaxLoad: maxLoad,
+		ProcTime: procTime, CommW: commW, ProcW: procW,
+	}, nil
 }
 
 func loadInstance(path string) (assign.Config, error) {

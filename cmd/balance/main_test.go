@@ -18,6 +18,18 @@ func TestRunBatched(t *testing.T) {
 	}
 }
 
+func TestRunGenerated(t *testing.T) {
+	if err := run([]string{"-gen", "120", "-servers", "6", "-users", "4000", "-seed", "3", "-batch", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGeneratedBadServers(t *testing.T) {
+	if err := run([]string{"-gen", "10", "-servers", "10"}); err == nil {
+		t.Error("servers >= nodes accepted")
+	}
+}
+
 func TestRunNoInput(t *testing.T) {
 	if err := run(nil); err == nil {
 		t.Error("missing input accepted")

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParseBench(t *testing.T) {
+	r, ok := parseBench("BenchmarkBalanceScaleDense-8   \t      12\t   3973042 ns/op\t      1742 moves\t   2.203 max_util", "p")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if r.Name != "BenchmarkBalanceScaleDense" {
+		t.Errorf("name = %q", r.Name)
+	}
+	if r.Iterations != 12 {
+		t.Errorf("iterations = %d", r.Iterations)
+	}
+	if r.Metrics["ns/op"] != 3973042 || r.Metrics["moves"] != 1742 || r.Metrics["max_util"] != 2.203 {
+		t.Errorf("metrics = %v", r.Metrics)
+	}
+	if r.Pkg != "p" {
+		t.Errorf("pkg = %q", r.Pkg)
+	}
+}
+
+func TestParseBenchNoCPUSuffix(t *testing.T) {
+	r, ok := parseBench("BenchmarkX 5 100 ns/op", "p")
+	if !ok || r.Name != "BenchmarkX" || r.Metrics["ns/op"] != 100 {
+		t.Fatalf("got %+v ok=%v", r, ok)
+	}
+}
+
+func TestParseBenchRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX --- SKIP",           // odd field count, non-numeric
+		"BenchmarkY",                    // bare name
+		"BenchmarkZ-4 notanint 1 ns/op", // bad iteration count
+	} {
+		if _, ok := parseBench(line, ""); ok {
+			t.Errorf("line %q accepted", line)
+		}
+	}
+}

@@ -21,13 +21,31 @@
 // connection cost to the server with the lowest, undoing any move that does
 // not lower the combined cost of the two servers involved, until no host can
 // improve.
+//
+// # Scaling
+//
+// The engine stores the assignment state densely: hosts and servers get
+// contiguous indices, C(i,j) and A[i][j] live in [host][server] slices, and
+// each server carries two running sums — its load L_s and Σ_i A[i][s]·C(i,s).
+// A server's total cost is then the closed form
+//
+//	cost(s) = W1·ΣnC(s) + L_s·W2·(Q(ρ_s) + z)
+//
+// evaluated in O(1), so every tentative move/undo in Balance costs O(S) per
+// host (the min/max scan) instead of O(H+S). The zero-load communication
+// costs are computed by per-host Dijkstra runs fanned out across GOMAXPROCS
+// workers on the topology's frozen view (graph.Frozen). The retained
+// map-based implementation (reference.go) pins down exact equivalence.
 package assign
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/largemail/largemail/internal/graph"
 	"github.com/largemail/largemail/internal/metrics"
@@ -76,26 +94,18 @@ var (
 	ErrNegativeUsers = errors.New("assign: negative user count")
 )
 
-// Assignment is a mutable user-to-server assignment (the A_ij matrix of
-// §3.1.1) with cached zero-load communication costs.
-type Assignment struct {
-	cfg   Config
-	comm  map[graph.NodeID]map[graph.NodeID]float64 // C(i,j), one-way shortest path
-	users map[graph.NodeID]map[graph.NodeID]int     // A[host][server]
-	loads map[graph.NodeID]int                      // L[server]
-}
-
-// New validates cfg, computes the zero-load communication costs, and returns
-// an empty assignment (call Initialize next, or Run for the full pipeline).
-func New(cfg Config) (*Assignment, error) {
+// normalizeConfig validates the parts of cfg that don't require path
+// computation and returns a defensive copy (shared by the optimized engine
+// and the reference implementation).
+func normalizeConfig(cfg Config) (Config, error) {
 	if len(cfg.Servers) == 0 {
-		return nil, ErrNoServers
+		return Config{}, ErrNoServers
 	}
 	if len(cfg.Hosts) == 0 {
-		return nil, ErrNoHosts
+		return Config{}, ErrNoHosts
 	}
 	if cfg.Topology == nil {
-		return nil, errors.New("assign: nil topology")
+		return Config{}, errors.New("assign: nil topology")
 	}
 	if cfg.MoveBatch < 1 {
 		cfg.MoveBatch = 1
@@ -117,24 +127,67 @@ func New(cfg Config) (*Assignment, error) {
 	for _, h := range cfg.Hosts {
 		n := cfg.Users[h]
 		if n < 0 {
-			return nil, fmt.Errorf("%w: host %d has %d", ErrNegativeUsers, h, n)
+			return Config{}, fmt.Errorf("%w: host %d has %d", ErrNegativeUsers, h, n)
 		}
 		total += n
 	}
 	if cfg.MaxIterations <= 0 {
 		cfg.MaxIterations = 10 * (total + len(cfg.Hosts)*len(cfg.Servers) + 100)
 	}
-	a := &Assignment{
-		cfg:   cfg,
-		comm:  make(map[graph.NodeID]map[graph.NodeID]float64, len(cfg.Hosts)),
-		users: make(map[graph.NodeID]map[graph.NodeID]int, len(cfg.Hosts)),
-		loads: make(map[graph.NodeID]int, len(cfg.Servers)),
-	}
 	for _, s := range cfg.Servers {
 		if _, ok := cfg.Topology.Node(s); !ok {
-			return nil, fmt.Errorf("%w: server %d", ErrUnknownNode, s)
+			return Config{}, fmt.Errorf("%w: server %d", ErrUnknownNode, s)
 		}
-		a.loads[s] = 0
+	}
+	for _, h := range cfg.Hosts {
+		if _, ok := cfg.Topology.Node(h); !ok {
+			return Config{}, fmt.Errorf("%w: host %d", ErrUnknownNode, h)
+		}
+	}
+	return cfg, nil
+}
+
+// Assignment is a mutable user-to-server assignment (the A_ij matrix of
+// §3.1.1). State is dense: comm and users are [hostIdx][serverIdx] slices,
+// loads/maxLoad/sumNC are per-server slices, and hostIdx/serverIdx map node
+// IDs to their positions in cfg.Hosts/cfg.Servers.
+type Assignment struct {
+	cfg Config
+
+	hostIdx   map[graph.NodeID]int
+	serverIdx map[graph.NodeID]int
+	comm      [][]float64 // C(i,j), one-way shortest path
+	users     [][]int     // A[host][server]
+	loads     []int       // L[server]
+	maxLoad   []int       // M[server], mirrors cfg.MaxLoad
+	sumNC     []float64   // Σ_i A[i][s]·C(i,s), maintained incrementally
+}
+
+// New validates cfg, computes the zero-load communication costs (per-host
+// Dijkstra fan-out across GOMAXPROCS workers), and returns an empty
+// assignment (call Initialize next, or Run for the full pipeline).
+func New(cfg Config) (*Assignment, error) {
+	cfg, err := normalizeConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	a := &Assignment{
+		cfg:       cfg,
+		hostIdx:   make(map[graph.NodeID]int, len(cfg.Hosts)),
+		serverIdx: make(map[graph.NodeID]int, len(cfg.Servers)),
+		comm:      make([][]float64, len(cfg.Hosts)),
+		users:     make([][]int, len(cfg.Hosts)),
+		loads:     make([]int, len(cfg.Servers)),
+		maxLoad:   make([]int, len(cfg.Servers)),
+		sumNC:     make([]float64, len(cfg.Servers)),
+	}
+	for i, h := range cfg.Hosts {
+		a.hostIdx[h] = i
+		a.users[i] = make([]int, len(cfg.Servers))
+	}
+	for j, s := range cfg.Servers {
+		a.serverIdx[s] = j
+		a.maxLoad[j] = cfg.MaxLoad[s]
 	}
 	topo := cfg.Topology
 	if cfg.ChannelUtil != nil {
@@ -144,31 +197,78 @@ func New(cfg Config) (*Assignment, error) {
 		}
 		topo = weighted
 	}
-	for _, h := range cfg.Hosts {
-		if _, ok := cfg.Topology.Node(h); !ok {
-			return nil, fmt.Errorf("%w: host %d", ErrUnknownNode, h)
-		}
-		paths, err := topo.ShortestPaths(h)
-		if err != nil {
-			return nil, err
-		}
-		row := make(map[graph.NodeID]float64, len(cfg.Servers))
-		reachable := false
-		for _, s := range cfg.Servers {
-			if d, ok := paths.Dist[s]; ok {
-				row[s] = d
-				reachable = true
-			} else {
-				row[s] = math.Inf(1)
-			}
-		}
-		if !reachable && cfg.Users[h] > 0 {
-			return nil, fmt.Errorf("%w: host %d", ErrUnreachable, h)
-		}
-		a.comm[h] = row
-		a.users[h] = make(map[graph.NodeID]int, len(cfg.Servers))
+	if err := a.fillComm(topo); err != nil {
+		return nil, err
 	}
 	return a, nil
+}
+
+// fillComm computes every host's zero-load communication cost row on topo's
+// frozen view, one Dijkstra per host, fanned out across GOMAXPROCS workers.
+func (a *Assignment) fillComm(topo *graph.Graph) error {
+	f := topo.Frozen()
+	srvFz := make([]int, len(a.cfg.Servers))
+	for j, s := range a.cfg.Servers {
+		fi, ok := f.IndexOf(s)
+		if !ok {
+			return fmt.Errorf("%w: server %d", ErrUnknownNode, s)
+		}
+		srvFz[j] = fi
+	}
+	hostFz := make([]int, len(a.cfg.Hosts))
+	for i, h := range a.cfg.Hosts {
+		fi, ok := f.IndexOf(h)
+		if !ok {
+			return fmt.Errorf("%w: host %d", ErrUnknownNode, h)
+		}
+		hostFz[i] = fi
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(a.cfg.Hosts) {
+		workers = len(a.cfg.Hosts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int32 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			dist := make([]float64, f.Len())
+			prev := make([]int32, f.Len())
+			for {
+				i := int(atomic.AddInt32(&next, 1))
+				if i >= len(a.cfg.Hosts) {
+					return
+				}
+				f.ShortestFrom(hostFz[i], dist, prev)
+				row := make([]float64, len(srvFz))
+				for j, fz := range srvFz {
+					row[j] = dist[fz] // +Inf when unreachable
+				}
+				a.comm[i] = row
+			}
+		}()
+	}
+	wg.Wait()
+	for i, h := range a.cfg.Hosts {
+		if a.cfg.Users[h] == 0 {
+			continue
+		}
+		reachable := false
+		for _, c := range a.comm[i] {
+			if !math.IsInf(c, 1) {
+				reachable = true
+				break
+			}
+		}
+		if !reachable {
+			return fmt.Errorf("%w: host %d", ErrUnreachable, h)
+		}
+	}
+	return nil
 }
 
 // utilizationWeighted returns a copy of g whose edge weights are scaled by
@@ -189,26 +289,58 @@ func utilizationWeighted(g *graph.Graph, util func(a, b graph.NodeID) float64) (
 }
 
 // Comm returns the cached zero-load communication cost C(i,j).
-func (a *Assignment) Comm(host, server graph.NodeID) float64 { return a.comm[host][server] }
+func (a *Assignment) Comm(host, server graph.NodeID) float64 {
+	hi, ok1 := a.hostIdx[host]
+	si, ok2 := a.serverIdx[server]
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return a.comm[hi][si]
+}
 
 // Load returns the current load L_j of a server.
-func (a *Assignment) Load(server graph.NodeID) int { return a.loads[server] }
+func (a *Assignment) Load(server graph.NodeID) int {
+	if si, ok := a.serverIdx[server]; ok {
+		return a.loads[si]
+	}
+	return 0
+}
 
 // Assigned returns A[host][server], the users of host assigned to server.
-func (a *Assignment) Assigned(host, server graph.NodeID) int { return a.users[host][server] }
+func (a *Assignment) Assigned(host, server graph.NodeID) int {
+	hi, ok1 := a.hostIdx[host]
+	si, ok2 := a.serverIdx[server]
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return a.users[hi][si]
+}
 
 // Utilization returns ρ_j = L_j/M_j for a server.
 func (a *Assignment) Utilization(server graph.NodeID) float64 {
-	return queueing.Utilization(a.loads[server], a.cfg.MaxLoad[server])
+	if si, ok := a.serverIdx[server]; ok {
+		return queueing.Utilization(a.loads[si], a.maxLoad[si])
+	}
+	return queueing.Utilization(0, a.cfg.MaxLoad[server])
 }
 
 // ConnectionCost returns TC(i,j) under the current loads.
 func (a *Assignment) ConnectionCost(host, server graph.NodeID) float64 {
-	c := a.comm[host][server]
+	c := a.Comm(host, server)
 	if math.IsInf(c, 1) {
 		return math.Inf(1)
 	}
 	wait := queueing.Wait(a.Utilization(server))
+	return c*a.cfg.CommW + (wait+a.cfg.ProcTime)*a.cfg.ProcW
+}
+
+// connCostAt is ConnectionCost on dense indices — the Balance hot path.
+func (a *Assignment) connCostAt(hi, si int) float64 {
+	c := a.comm[hi][si]
+	if math.IsInf(c, 1) {
+		return math.Inf(1)
+	}
+	wait := queueing.Wait(queueing.Utilization(a.loads[si], a.maxLoad[si]))
 	return c*a.cfg.CommW + (wait+a.cfg.ProcTime)*a.cfg.ProcW
 }
 
@@ -217,27 +349,36 @@ func (a *Assignment) ConnectionCost(host, server graph.NodeID) float64 {
 // Ties break toward the earlier server in cfg.Servers. Any previous
 // assignment is discarded.
 func (a *Assignment) Initialize() {
-	for _, s := range a.cfg.Servers {
-		a.loads[s] = 0
+	for j := range a.loads {
+		a.loads[j] = 0
+		a.sumNC[j] = 0
 	}
-	for _, h := range a.cfg.Hosts {
-		a.users[h] = make(map[graph.NodeID]int, len(a.cfg.Servers))
-		n := a.cfg.Users[h]
+	for hi := range a.users {
+		row := a.users[hi]
+		for j := range row {
+			row[j] = 0
+		}
+		n := a.cfg.Users[a.cfg.Hosts[hi]]
 		if n == 0 {
 			continue
 		}
-		best := a.nearestServer(h)
-		a.users[h][best] = n
+		best := a.nearestServerIdx(hi)
+		row[best] = n
 		a.loads[best] += n
+		a.sumNC[best] += float64(n) * a.comm[hi][best]
 	}
 }
 
-func (a *Assignment) nearestServer(h graph.NodeID) graph.NodeID {
-	best := a.cfg.Servers[0]
-	bestC := a.comm[h][best]
-	for _, s := range a.cfg.Servers[1:] {
-		if c := a.comm[h][s]; c < bestC {
-			best, bestC = s, c
+// nearestServerIdx returns the dense index of the server with the cheapest
+// zero-load communication cost from host hi; ties break toward the earlier
+// server in cfg.Servers.
+func (a *Assignment) nearestServerIdx(hi int) int {
+	row := a.comm[hi]
+	best := 0
+	bestC := row[0]
+	for j := 1; j < len(row); j++ {
+		if row[j] < bestC {
+			best, bestC = j, row[j]
 		}
 	}
 	return best
@@ -255,35 +396,36 @@ type BalanceStats struct {
 // Balance runs the paper's balancing procedure until no host can lower its
 // cost by moving users, then reports whether any servers remain overloaded
 // (the procedure's final "check if some of the servers are still
-// overloaded").
+// overloaded"). Each accept/undo decision evaluates the two affected
+// servers' closed-form costs in O(1).
 func (a *Assignment) Balance() BalanceStats {
 	var stats BalanceStats
 	const eps = 1e-9
 	for stats.Sweeps < a.cfg.MaxIterations {
 		stats.Sweeps++
 		changed := false
-		for _, h := range a.cfg.Hosts {
+		for hi := range a.cfg.Hosts {
 			for { // keep improving this host while moves help
-				sMin, sMax, ok := a.minMaxServers(h)
+				sMin, sMax, ok := a.minMaxAt(hi)
 				if !ok || sMin == sMax {
 					break
 				}
-				if !(a.ConnectionCost(h, sMin) < a.ConnectionCost(h, sMax)-eps) {
+				if !(a.connCostAt(hi, sMin) < a.connCostAt(hi, sMax)-eps) {
 					break
 				}
 				batch := a.cfg.MoveBatch
-				if avail := a.users[h][sMax]; batch > avail {
+				if avail := a.users[hi][sMax]; batch > avail {
 					batch = avail
 				}
-				before := a.serverCost(sMin) + a.serverCost(sMax)
-				a.move(h, sMax, sMin, batch)
-				after := a.serverCost(sMin) + a.serverCost(sMax)
+				before := a.serverCostAt(sMin) + a.serverCostAt(sMax)
+				a.moveAt(hi, sMax, sMin, batch)
+				after := a.serverCostAt(sMin) + a.serverCostAt(sMax)
 				if after < before-eps {
 					changed = true
 					stats.Moves++
 					stats.UsersMoved += batch
 				} else {
-					a.move(h, sMin, sMax, batch) // undo
+					a.moveAt(hi, sMin, sMax, batch) // undo
 					stats.Undone++
 					break
 				}
@@ -293,56 +435,55 @@ func (a *Assignment) Balance() BalanceStats {
 			break
 		}
 	}
-	for _, s := range a.cfg.Servers {
-		if a.loads[s] > a.cfg.MaxLoad[s] {
+	for j, s := range a.cfg.Servers {
+		if a.loads[j] > a.maxLoad[j] {
 			stats.Overloaded = append(stats.Overloaded, s)
 		}
 	}
 	return stats
 }
 
-// minMaxServers finds S_min (cheapest server for host h) and S_max (the
-// costliest server h currently has users on). ok is false when the host has
-// no users assigned anywhere.
-func (a *Assignment) minMaxServers(h graph.NodeID) (sMin, sMax graph.NodeID, ok bool) {
+// minMaxAt finds S_min (cheapest server for host hi) and S_max (the
+// costliest server hi currently has users on). ok is false when the host
+// has no users assigned anywhere.
+func (a *Assignment) minMaxAt(hi int) (sMin, sMax int, ok bool) {
 	minCost := math.Inf(1)
 	maxCost := math.Inf(-1)
-	for _, s := range a.cfg.Servers {
-		c := a.ConnectionCost(h, s)
+	row := a.users[hi]
+	for j := range a.cfg.Servers {
+		c := a.connCostAt(hi, j)
 		if c < minCost {
-			minCost, sMin = c, s
+			minCost, sMin = c, j
 		}
-		if a.users[h][s] > 0 && c > maxCost {
-			maxCost, sMax = c, s
+		if row[j] > 0 && c > maxCost {
+			maxCost, sMax = c, j
 			ok = true
 		}
 	}
 	return sMin, sMax, ok
 }
 
-// serverCost is the total connection cost charged to a server under the
-// current loads: Σ_i A[i][s] · TC(i,s).
-func (a *Assignment) serverCost(s graph.NodeID) float64 {
-	var total float64
-	for _, h := range a.cfg.Hosts {
-		if n := a.users[h][s]; n > 0 {
-			total += float64(n) * a.ConnectionCost(h, s)
-		}
-	}
-	return total
+// serverCostAt is the total connection cost charged to a server under the
+// current loads, Σ_i A[i][s]·TC(i,s), evaluated in O(1) from the running
+// sums: W1·ΣnC(s) + L_s·W2·(Q(ρ_s)+z). The reference implementation must
+// use this exact expression so accept/undo decisions agree bit-for-bit.
+func (a *Assignment) serverCostAt(si int) float64 {
+	wait := queueing.Wait(queueing.Utilization(a.loads[si], a.maxLoad[si]))
+	return a.cfg.CommW*a.sumNC[si] + float64(a.loads[si])*a.cfg.ProcW*(wait+a.cfg.ProcTime)
 }
 
-func (a *Assignment) move(h, from, to graph.NodeID, n int) {
+// moveAt moves n users of host hi between servers, maintaining the running
+// sums in O(1).
+func (a *Assignment) moveAt(hi, from, to, n int) {
 	if n <= 0 {
 		return
 	}
-	a.users[h][from] -= n
-	if a.users[h][from] == 0 {
-		delete(a.users[h], from)
-	}
-	a.users[h][to] += n
+	a.users[hi][from] -= n
+	a.users[hi][to] += n
 	a.loads[from] -= n
 	a.loads[to] += n
+	a.sumNC[from] -= float64(n) * a.comm[hi][from]
+	a.sumNC[to] += float64(n) * a.comm[hi][to]
 }
 
 // Run executes the full pipeline: Initialize then Balance.
@@ -355,8 +496,8 @@ func (a *Assignment) Run() BalanceStats {
 // under the current loads.
 func (a *Assignment) TotalCost() float64 {
 	var total float64
-	for _, s := range a.cfg.Servers {
-		total += a.serverCost(s)
+	for j := range a.cfg.Servers {
+		total += a.serverCostAt(j)
 	}
 	return total
 }
@@ -364,8 +505,8 @@ func (a *Assignment) TotalCost() float64 {
 // MaxUtilization returns the highest server utilisation.
 func (a *Assignment) MaxUtilization() float64 {
 	max := 0.0
-	for _, s := range a.cfg.Servers {
-		if u := a.Utilization(s); u > max {
+	for j := range a.cfg.Servers {
+		if u := queueing.Utilization(a.loads[j], a.maxLoad[j]); u > max {
 			max = u
 		}
 	}
@@ -375,8 +516,8 @@ func (a *Assignment) MaxUtilization() float64 {
 // LoadImbalance returns max_j ρ_j − min_j ρ_j.
 func (a *Assignment) LoadImbalance() float64 {
 	min, max := math.Inf(1), math.Inf(-1)
-	for _, s := range a.cfg.Servers {
-		u := a.Utilization(s)
+	for j := range a.cfg.Servers {
+		u := queueing.Utilization(a.loads[j], a.maxLoad[j])
 		if u < min {
 			min = u
 		}
@@ -399,9 +540,9 @@ type Row struct {
 // (cfg order) then server (cfg order), omitting zero entries.
 func (a *Assignment) Rows() []Row {
 	var rows []Row
-	for _, h := range a.cfg.Hosts {
-		for _, s := range a.cfg.Servers {
-			if n := a.users[h][s]; n > 0 {
+	for hi, h := range a.cfg.Hosts {
+		for si, s := range a.cfg.Servers {
+			if n := a.users[hi][si]; n > 0 {
 				rows = append(rows, Row{Host: h, Server: s, Users: n})
 			}
 		}
@@ -422,17 +563,17 @@ func (a *Assignment) Table(title string) *metrics.Table {
 	for _, r := range a.Rows() {
 		t.AddRow(label(r.Host), label(r.Server), r.Users)
 	}
-	for _, s := range a.cfg.Servers {
-		t.AddRow("total", label(s), a.loads[s])
+	for j, s := range a.cfg.Servers {
+		t.AddRow("total", label(s), a.loads[j])
 	}
 	return t
 }
 
 // Loads returns a copy of the per-server load map.
 func (a *Assignment) Loads() map[graph.NodeID]int {
-	out := make(map[graph.NodeID]int, len(a.loads))
-	for k, v := range a.loads {
-		out[k] = v
+	out := make(map[graph.NodeID]int, len(a.cfg.Servers))
+	for j, s := range a.cfg.Servers {
+		out[s] = a.loads[j]
 	}
 	return out
 }

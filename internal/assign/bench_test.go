@@ -1,0 +1,143 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/largemail/largemail/internal/graph"
+)
+
+// scaleConfig builds the large-topology instance the PR's headline
+// benchmarks run on: 2 000 nodes (24 servers, 1 976 hosts), 8 000 links,
+// ≈108 000 users. Integer edge weights keep the dense/reference comparison
+// bit-exact (see reference.go).
+func scaleConfig() Config {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.RandomConnected(rng, 2000, 6000, 1)
+	ids := g.NodeIDs()
+	servers := ids[:24]
+	hosts := ids[24:]
+	users := make(map[graph.NodeID]int, len(hosts))
+	total := 0
+	for _, h := range hosts {
+		users[h] = 20 + rng.Intn(71)
+		total += users[h]
+	}
+	maxLoad := make(map[graph.NodeID]int, len(servers))
+	for _, s := range servers {
+		maxLoad[s] = total/len(servers) + total/(3*len(servers))
+	}
+	commW, procW, procTime := PaperWeights()
+	return Config{
+		Topology: g, Hosts: hosts, Servers: servers,
+		Users: users, MaxLoad: maxLoad,
+		ProcTime: procTime, CommW: commW, ProcW: procW,
+		MoveBatch: 10,
+	}
+}
+
+func reportBalance(b *testing.B, stats BalanceStats, users, maxUtil float64) {
+	b.ReportMetric(float64(stats.Sweeps), "sweeps")
+	b.ReportMetric(float64(stats.Moves), "moves")
+	b.ReportMetric(float64(stats.UsersMoved), "users_moved")
+	b.ReportMetric(users, "users")
+	b.ReportMetric(maxUtil, "max_util")
+}
+
+// BenchmarkBalanceScaleDense measures Initialize+Balance on the optimized
+// engine: dense matrices, incrementally maintained ΣnC, O(S) move cost.
+// Compare its ns/op against BenchmarkBalanceScaleReference for the PR's
+// headline speedup; both engines provably produce identical assignments
+// (TestPropertyDenseMatchesReference).
+func BenchmarkBalanceScaleDense(b *testing.B) {
+	cfg := scaleConfig()
+	a, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stats BalanceStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Initialize()
+		stats = a.Balance()
+	}
+	total := 0
+	for _, s := range cfg.Servers {
+		total += a.Load(s)
+	}
+	reportBalance(b, stats, float64(total), a.MaxUtilization())
+}
+
+// BenchmarkBalanceScaleReference measures the same Initialize+Balance on the
+// retained pre-optimization engine (map state, O(H) serverCost rescans).
+func BenchmarkBalanceScaleReference(b *testing.B) {
+	cfg := scaleConfig()
+	r, err := referenceBalance(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stats BalanceStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats = r.run()
+	}
+	maxUtil := 0.0
+	total := 0
+	for _, s := range r.cfg.Servers {
+		total += r.loads[s]
+		if u := float64(r.loads[s]) / float64(r.cfg.MaxLoad[s]); u > maxUtil {
+			maxUtil = u
+		}
+	}
+	reportBalance(b, stats, float64(total), maxUtil)
+}
+
+// BenchmarkNewScaleParallel measures full engine construction — validation
+// plus the per-host Dijkstra fan-out across GOMAXPROCS workers — on the
+// 2 000-node instance.
+func BenchmarkNewScaleParallel(b *testing.B) {
+	cfg := scaleConfig()
+	cfg.Topology.Frozen() // CSR build is a one-time cost, not per-New
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewScaleReferenceSerial measures the pre-optimization serial
+// construction: one map-based ShortestPaths call per host.
+func BenchmarkNewScaleReferenceSerial(b *testing.B) {
+	cfg := scaleConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := referenceBalance(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReconfigScale measures the §3.1.3 churn loop at scale: add users,
+// remove users, and re-home a removed server's population, each followed by
+// the incremental rebalance.
+func BenchmarkReconfigScale(b *testing.B) {
+	cfg := scaleConfig()
+	a, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a.Run()
+	hosts := cfg.Hosts
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := hosts[i%len(hosts)]
+		if _, err := a.AddUsers(h, 40); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.RemoveUsers(h, 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(a.MaxUtilization(), "max_util")
+}

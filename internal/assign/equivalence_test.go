@@ -1,0 +1,228 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/largemail/largemail/internal/graph"
+)
+
+// randomEquivInstance builds a random balancing instance on a connected
+// topology with distinct integer edge weights (so every communication cost,
+// and therefore every accept/undo comparison, is exactly representable —
+// see reference.go).
+func randomEquivInstance(seed int64) Config {
+	rng := rand.New(rand.NewSource(seed))
+	n := 10 + rng.Intn(30)
+	g := graph.RandomConnected(rng, n, n/2+rng.Intn(n), 1)
+	ids := g.NodeIDs()
+	numServers := 2 + rng.Intn(5)
+	servers := ids[:numServers]
+	hosts := ids[numServers:]
+	users := make(map[graph.NodeID]int)
+	maxLoad := make(map[graph.NodeID]int)
+	total := 0
+	for _, h := range hosts {
+		if rng.Intn(6) == 0 {
+			users[h] = 0 // zero-population hosts must be tolerated
+			continue
+		}
+		users[h] = rng.Intn(80)
+		total += users[h]
+	}
+	for _, s := range servers {
+		maxLoad[s] = total/numServers + 10 + rng.Intn(40)
+	}
+	commW, procW, procTime := PaperWeights()
+	return Config{
+		Topology: g, Hosts: hosts, Servers: servers,
+		Users: users, MaxLoad: maxLoad,
+		ProcTime: procTime, CommW: commW, ProcW: procW,
+		MoveBatch: 1 + rng.Intn(8),
+	}
+}
+
+func sameStats(a, b BalanceStats) bool {
+	if a.Sweeps != b.Sweeps || a.Moves != b.Moves ||
+		a.UsersMoved != b.UsersMoved || a.Undone != b.Undone {
+		return false
+	}
+	if len(a.Overloaded) != len(b.Overloaded) {
+		return false
+	}
+	for i := range a.Overloaded {
+		if a.Overloaded[i] != b.Overloaded[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The optimized dense engine must reproduce the retained map-based
+// reference bit-for-bit: same communication costs, same accepted/undone
+// moves, same final assignment, loads, and stats, on random topologies.
+func TestPropertyDenseMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		cfg := randomEquivInstance(seed)
+		dense, err := New(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: New: %v", seed, err)
+		}
+		ref, err := referenceBalance(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: referenceBalance: %v", seed, err)
+		}
+		// The parallel Dijkstra fan-out must agree with the serial per-host
+		// ShortestPaths the reference uses.
+		for _, h := range cfg.Hosts {
+			for _, s := range cfg.Servers {
+				got, want := dense.Comm(h, s), ref.comm[h][s]
+				if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+					t.Fatalf("seed %d: Comm(%d,%d) = %v, reference %v", seed, h, s, got, want)
+				}
+			}
+		}
+		sDense := dense.Run()
+		sRef := ref.run()
+		if !sameStats(sDense, sRef) {
+			t.Fatalf("seed %d: stats diverged: dense %+v, reference %+v", seed, sDense, sRef)
+		}
+		for _, h := range cfg.Hosts {
+			for _, s := range cfg.Servers {
+				if got, want := dense.Assigned(h, s), ref.users[h][s]; got != want {
+					t.Fatalf("seed %d: Assigned(%d,%d) = %d, reference %d", seed, h, s, got, want)
+				}
+			}
+		}
+		for _, s := range cfg.Servers {
+			if got, want := dense.Load(s), ref.loads[s]; got != want {
+				t.Fatalf("seed %d: Load(%d) = %d, reference %d", seed, s, got, want)
+			}
+		}
+		// Integer communication costs: the incremental ΣnC and the rescan
+		// agree exactly, so the total costs must too.
+		if got, want := dense.TotalCost(), ref.totalCost(); got != want {
+			t.Fatalf("seed %d: TotalCost = %v, reference %v", seed, got, want)
+		}
+		// Both engines must agree the state is stable.
+		if m1, m2 := dense.Balance().Moves, ref.balance().Moves; m1 != 0 || m2 != 0 {
+			t.Fatalf("seed %d: post-balance moves dense=%d reference=%d, want 0", seed, m1, m2)
+		}
+	}
+}
+
+// Equivalence must also hold when the channel-utilization modification
+// rescales edge weights (costs stop being integers, so compare with a
+// tolerance and require identical integer state but allow the rare case of
+// both engines making the same decisions — seeds where they diverge on
+// sub-ulp cost ties would fail loudly).
+func TestDenseMatchesReferenceChannelUtil(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		cfg := randomEquivInstance(seed)
+		cfg.ChannelUtil = func(a, b graph.NodeID) float64 {
+			return float64((int(a)+int(b))%5) / 10 // ρ ∈ {0, .1, .2, .3, .4}
+		}
+		dense, err := New(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ref, err := referenceBalance(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sDense := dense.Run()
+		sRef := ref.run()
+		if !sameStats(sDense, sRef) {
+			t.Fatalf("seed %d: stats diverged: dense %+v, reference %+v", seed, sDense, sRef)
+		}
+		for _, s := range cfg.Servers {
+			if dense.Load(s) != ref.loads[s] {
+				t.Fatalf("seed %d: loads diverged on server %d", seed, s)
+			}
+		}
+		if got, want := dense.TotalCost(), ref.totalCost(); math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("seed %d: TotalCost = %v, reference %v", seed, got, want)
+		}
+	}
+}
+
+// After a burst of reconfiguration ops, rebuilding the dense engine from
+// the mutated config must agree with a fresh reference run — reconfig keeps
+// the dense state (index maps, running sums) consistent.
+func TestReconfigKeepsDenseStateConsistent(t *testing.T) {
+	cfg := randomEquivInstance(7)
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run()
+	// Exercise every reconfig op.
+	ids := cfg.Topology.NodeIDs()
+	newServer := cfg.Hosts[len(cfg.Hosts)-1] // promote a host node to server too
+	_ = newServer
+	if _, err := a.AddUsers(cfg.Hosts[0], 17); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RemoveUsers(cfg.Hosts[0], 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RemoveServer(cfg.Servers[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AddServer(cfg.Servers[1], 500); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RemoveHost(cfg.Hosts[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AddHost(cfg.Hosts[2], 33); err != nil {
+		t.Fatal(err)
+	}
+	_ = ids
+	// Invariants: loads match the users matrix, sumNC matches a rescan.
+	for si, s := range a.cfg.Servers {
+		load := 0
+		var sumNC float64
+		for hi := range a.cfg.Hosts {
+			load += a.users[hi][si]
+			sumNC += float64(a.users[hi][si]) * a.comm[hi][si]
+		}
+		if load != a.loads[si] {
+			t.Errorf("server %d: loads=%d, rescan=%d", s, a.loads[si], load)
+		}
+		if math.Abs(sumNC-a.sumNC[si]) > 1e-9*(1+math.Abs(sumNC)) {
+			t.Errorf("server %d: sumNC=%v, rescan=%v", s, a.sumNC[si], sumNC)
+		}
+	}
+	// Index maps point where they claim.
+	for i, h := range a.cfg.Hosts {
+		if a.hostIdx[h] != i {
+			t.Errorf("hostIdx[%d] = %d, want %d", h, a.hostIdx[h], i)
+		}
+	}
+	for j, s := range a.cfg.Servers {
+		if a.serverIdx[s] != j {
+			t.Errorf("serverIdx[%d] = %d, want %d", s, a.serverIdx[s], j)
+		}
+		if a.maxLoad[j] != a.cfg.MaxLoad[s] {
+			t.Errorf("maxLoad[%d] = %d, want %d", j, a.maxLoad[j], a.cfg.MaxLoad[s])
+		}
+	}
+	// Population conserved.
+	total := 0
+	for _, h := range a.cfg.Hosts {
+		total += a.cfg.Users[h]
+	}
+	got := 0
+	for j := range a.cfg.Servers {
+		got += a.loads[j]
+	}
+	if got != total {
+		t.Errorf("assigned %d users, population %d", got, total)
+	}
+	// And the state is stable.
+	if m := a.Balance().Moves; m != 0 {
+		t.Errorf("state not stable after reconfig: %d moves", m)
+	}
+}

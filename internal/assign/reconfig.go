@@ -12,6 +12,26 @@ import (
 // hosts, and servers "starting from a specified configuration", each
 // followed by the balancing procedure so "the load ... [is] redistributed
 // among the servers using the algorithm for server assignment".
+//
+// Reconfiguration ops mutate the dense state (append or remove a row/column
+// of the comm/users matrices and the per-server slices); they are O(H·S)
+// worst case, which is fine for the rare structural changes — the hot path
+// is the Balance call that follows each of them.
+
+// serverDistances runs one Dijkstra from id on the topology's frozen view
+// and returns the distance to every host, in cfg.Hosts order (undirected:
+// dist(server,host) == dist(host,server)). Unreachable hosts get +Inf.
+func (a *Assignment) distancesFrom(id graph.NodeID) ([]float64, error) {
+	f := a.cfg.Topology.Frozen()
+	fi, ok := f.IndexOf(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	dist := make([]float64, f.Len())
+	prev := make([]int32, f.Len())
+	f.ShortestFrom(fi, dist, prev)
+	return dist, nil
+}
 
 // AddServer registers a new candidate server and rebalances. Per §3.1.3c,
 // "adding a new server requires the system to be reconfigured ... the server
@@ -21,25 +41,31 @@ func (a *Assignment) AddServer(id graph.NodeID, maxLoad int) (BalanceStats, erro
 	if _, ok := a.cfg.Topology.Node(id); !ok {
 		return BalanceStats{}, fmt.Errorf("%w: server %d", ErrUnknownNode, id)
 	}
-	if _, dup := a.loads[id]; dup {
+	if _, dup := a.serverIdx[id]; dup {
 		return BalanceStats{}, fmt.Errorf("assign: server %d already present", id)
 	}
-	paths, err := a.cfg.Topology.ShortestPaths(id)
+	dist, err := a.distancesFrom(id)
 	if err != nil {
 		return BalanceStats{}, err
 	}
+	f := a.cfg.Topology.Frozen()
+	si := len(a.cfg.Servers)
 	a.cfg.Servers = append(a.cfg.Servers, id)
+	a.serverIdx[id] = si
 	if a.cfg.MaxLoad == nil {
 		a.cfg.MaxLoad = make(map[graph.NodeID]int)
 	}
 	a.cfg.MaxLoad[id] = maxLoad
-	a.loads[id] = 0
-	for _, h := range a.cfg.Hosts {
-		if d, ok := paths.Dist[h]; ok { // undirected: dist(server,host) == dist(host,server)
-			a.comm[h][id] = d
-		} else {
-			a.comm[h][id] = math.Inf(1)
+	a.maxLoad = append(a.maxLoad, maxLoad)
+	a.loads = append(a.loads, 0)
+	a.sumNC = append(a.sumNC, 0)
+	for hi, h := range a.cfg.Hosts {
+		d := math.Inf(1)
+		if fi, ok := f.IndexOf(h); ok {
+			d = dist[fi]
 		}
+		a.comm[hi] = append(a.comm[hi], d)
+		a.users[hi] = append(a.users[hi], 0)
 	}
 	return a.Balance(), nil
 }
@@ -49,30 +75,41 @@ func (a *Assignment) AddServer(id graph.NodeID, maxLoad int) (BalanceStats, erro
 // all other servers before it is removed. Those servers then cooperate to
 // share the load of the removed server."
 func (a *Assignment) RemoveServer(id graph.NodeID) (BalanceStats, error) {
-	if _, ok := a.loads[id]; !ok {
+	si, ok := a.serverIdx[id]
+	if !ok {
 		return BalanceStats{}, fmt.Errorf("assign: server %d not present", id)
 	}
 	if len(a.cfg.Servers) == 1 {
 		return BalanceStats{}, ErrNoServers
 	}
-	servers := a.cfg.Servers[:0]
-	for _, s := range a.cfg.Servers {
-		if s != id {
-			servers = append(servers, s)
-		}
+	// Capture the orphaned users before the column disappears.
+	orphans := make([]int, len(a.cfg.Hosts))
+	for hi := range a.cfg.Hosts {
+		orphans[hi] = a.users[hi][si]
 	}
-	a.cfg.Servers = servers
-	for _, h := range a.cfg.Hosts {
-		if n := a.users[h][id]; n > 0 {
-			delete(a.users[h], id)
-			dest := a.nearestServer(h)
-			a.users[h][dest] += n
-			a.loads[dest] += n
-		}
-		delete(a.comm[h], id)
+	// Remove column si everywhere and reindex the servers after it.
+	a.cfg.Servers = append(a.cfg.Servers[:si], a.cfg.Servers[si+1:]...)
+	a.loads = append(a.loads[:si], a.loads[si+1:]...)
+	a.maxLoad = append(a.maxLoad[:si], a.maxLoad[si+1:]...)
+	a.sumNC = append(a.sumNC[:si], a.sumNC[si+1:]...)
+	delete(a.serverIdx, id)
+	for j := si; j < len(a.cfg.Servers); j++ {
+		a.serverIdx[a.cfg.Servers[j]] = j
 	}
-	delete(a.loads, id)
+	for hi := range a.cfg.Hosts {
+		a.comm[hi] = append(a.comm[hi][:si], a.comm[hi][si+1:]...)
+		a.users[hi] = append(a.users[hi][:si], a.users[hi][si+1:]...)
+	}
 	delete(a.cfg.MaxLoad, id)
+	// Re-home the orphans on each host's nearest remaining server.
+	for hi, n := range orphans {
+		if n > 0 {
+			dest := a.nearestServerIdx(hi)
+			a.users[hi][dest] += n
+			a.loads[dest] += n
+			a.sumNC[dest] += float64(n) * a.comm[hi][dest]
+		}
+	}
 	return a.Balance(), nil
 }
 
@@ -83,40 +120,46 @@ func (a *Assignment) AddHost(id graph.NodeID, users int) (BalanceStats, error) {
 	if _, ok := a.cfg.Topology.Node(id); !ok {
 		return BalanceStats{}, fmt.Errorf("%w: host %d", ErrUnknownNode, id)
 	}
-	if _, dup := a.comm[id]; dup {
+	if _, dup := a.hostIdx[id]; dup {
 		return BalanceStats{}, fmt.Errorf("assign: host %d already present", id)
 	}
 	if users < 0 {
 		return BalanceStats{}, fmt.Errorf("%w: %d", ErrNegativeUsers, users)
 	}
-	paths, err := a.cfg.Topology.ShortestPaths(id)
+	dist, err := a.distancesFrom(id)
 	if err != nil {
 		return BalanceStats{}, err
 	}
-	row := make(map[graph.NodeID]float64, len(a.cfg.Servers))
+	f := a.cfg.Topology.Frozen()
+	row := make([]float64, len(a.cfg.Servers))
 	reachable := false
-	for _, s := range a.cfg.Servers {
-		if d, ok := paths.Dist[s]; ok {
-			row[s] = d
+	for j, s := range a.cfg.Servers {
+		d := math.Inf(1)
+		if fi, ok := f.IndexOf(s); ok {
+			d = dist[fi]
+		}
+		row[j] = d
+		if !math.IsInf(d, 1) {
 			reachable = true
-		} else {
-			row[s] = math.Inf(1)
 		}
 	}
 	if !reachable && users > 0 {
 		return BalanceStats{}, fmt.Errorf("%w: host %d", ErrUnreachable, id)
 	}
+	hi := len(a.cfg.Hosts)
 	a.cfg.Hosts = append(a.cfg.Hosts, id)
+	a.hostIdx[id] = hi
 	if a.cfg.Users == nil {
 		a.cfg.Users = make(map[graph.NodeID]int)
 	}
 	a.cfg.Users[id] = users
-	a.comm[id] = row
-	a.users[id] = make(map[graph.NodeID]int, len(a.cfg.Servers))
+	a.comm = append(a.comm, row)
+	a.users = append(a.users, make([]int, len(a.cfg.Servers)))
 	if users > 0 {
-		dest := a.nearestServer(id)
-		a.users[id][dest] = users
+		dest := a.nearestServerIdx(hi)
+		a.users[hi][dest] = users
 		a.loads[dest] += users
+		a.sumNC[dest] += float64(users) * a.comm[hi][dest]
 	}
 	return a.Balance(), nil
 }
@@ -125,45 +168,50 @@ func (a *Assignment) AddHost(id graph.NodeID, users int) (BalanceStats, error) {
 // host is removed, the load balancing state among the servers is upset and
 // our load balancing algorithm should be applied").
 func (a *Assignment) RemoveHost(id graph.NodeID) (BalanceStats, error) {
-	if _, ok := a.comm[id]; !ok {
+	hi, ok := a.hostIdx[id]
+	if !ok {
 		return BalanceStats{}, fmt.Errorf("assign: host %d not present", id)
 	}
-	for s, n := range a.users[id] {
-		a.loads[s] -= n
-	}
-	delete(a.users, id)
-	delete(a.comm, id)
-	delete(a.cfg.Users, id)
-	hosts := a.cfg.Hosts[:0]
-	for _, h := range a.cfg.Hosts {
-		if h != id {
-			hosts = append(hosts, h)
+	for j, n := range a.users[hi] {
+		if n > 0 {
+			a.loads[j] -= n
+			a.sumNC[j] -= float64(n) * a.comm[hi][j]
 		}
 	}
-	a.cfg.Hosts = hosts
+	a.cfg.Hosts = append(a.cfg.Hosts[:hi], a.cfg.Hosts[hi+1:]...)
+	a.comm = append(a.comm[:hi], a.comm[hi+1:]...)
+	a.users = append(a.users[:hi], a.users[hi+1:]...)
+	delete(a.hostIdx, id)
+	for i := hi; i < len(a.cfg.Hosts); i++ {
+		a.hostIdx[a.cfg.Hosts[i]] = i
+	}
+	delete(a.cfg.Users, id)
 	return a.Balance(), nil
 }
 
 // AddUsers adds n users to an existing host, placing them on the host's
 // currently cheapest server, and rebalances (§3.1.3a).
 func (a *Assignment) AddUsers(host graph.NodeID, n int) (BalanceStats, error) {
-	if _, ok := a.comm[host]; !ok {
+	hi, ok := a.hostIdx[host]
+	if !ok {
 		return BalanceStats{}, fmt.Errorf("assign: host %d not present", host)
 	}
 	if n < 0 {
 		return BalanceStats{}, fmt.Errorf("%w: %d", ErrNegativeUsers, n)
 	}
 	a.cfg.Users[host] += n
-	sMin, _, _ := a.minMaxServers(host)
-	a.users[host][sMin] += n
+	sMin, _, _ := a.minMaxAt(hi)
+	a.users[hi][sMin] += n
 	a.loads[sMin] += n
+	a.sumNC[sMin] += float64(n) * a.comm[hi][sMin]
 	return a.Balance(), nil
 }
 
 // RemoveUsers removes n users from a host, taking them from the host's most
 // expensive servers first, and rebalances (§3.1.3a).
 func (a *Assignment) RemoveUsers(host graph.NodeID, n int) (BalanceStats, error) {
-	if _, ok := a.comm[host]; !ok {
+	hi, ok := a.hostIdx[host]
+	if !ok {
 		return BalanceStats{}, fmt.Errorf("assign: host %d not present", host)
 	}
 	if n < 0 {
@@ -175,19 +223,17 @@ func (a *Assignment) RemoveUsers(host graph.NodeID, n int) (BalanceStats, error)
 	}
 	a.cfg.Users[host] -= n
 	for n > 0 {
-		_, sMax, ok := a.minMaxServers(host)
+		_, sMax, ok := a.minMaxAt(hi)
 		if !ok {
 			break
 		}
-		take := a.users[host][sMax]
+		take := a.users[hi][sMax]
 		if take > n {
 			take = n
 		}
-		a.users[host][sMax] -= take
-		if a.users[host][sMax] == 0 {
-			delete(a.users[host], sMax)
-		}
+		a.users[hi][sMax] -= take
 		a.loads[sMax] -= take
+		a.sumNC[sMax] -= float64(take) * a.comm[hi][sMax]
 		n -= take
 	}
 	return a.Balance(), nil
@@ -197,15 +243,20 @@ func (a *Assignment) RemoveUsers(host graph.NodeID, n int) (BalanceStats, error)
 // users uniformly at random over the servers — a deliberately naive baseline
 // for the ablation benchmarks.
 func (a *Assignment) RandomAssign(rng *rand.Rand) {
-	for _, s := range a.cfg.Servers {
-		a.loads[s] = 0
+	for j := range a.loads {
+		a.loads[j] = 0
+		a.sumNC[j] = 0
 	}
-	for _, h := range a.cfg.Hosts {
-		a.users[h] = make(map[graph.NodeID]int, len(a.cfg.Servers))
-		for k := 0; k < a.cfg.Users[h]; k++ {
-			s := a.cfg.Servers[rng.Intn(len(a.cfg.Servers))]
-			a.users[h][s]++
-			a.loads[s]++
+	for hi := range a.users {
+		row := a.users[hi]
+		for j := range row {
+			row[j] = 0
+		}
+		for k := 0; k < a.cfg.Users[a.cfg.Hosts[hi]]; k++ {
+			si := rng.Intn(len(a.cfg.Servers))
+			row[si]++
+			a.loads[si]++
+			a.sumNC[si] += a.comm[hi][si]
 		}
 	}
 }

@@ -12,12 +12,12 @@
 package graph
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node within one Graph.
@@ -80,10 +80,14 @@ var (
 )
 
 // Graph is a weighted undirected graph. The zero value is not usable; create
-// with New. Graph is not safe for concurrent mutation.
+// with New. Graph is not safe for concurrent mutation, but concurrent
+// read-only use (queries and the algorithms below) is safe.
 type Graph struct {
 	nodes map[NodeID]Node
 	adj   map[NodeID]map[NodeID]float64
+
+	mu     sync.Mutex // guards frozen
+	frozen *Frozen    // cached indexed view; nil until built, reset on mutation
 }
 
 // New returns an empty graph.
@@ -101,6 +105,7 @@ func (g *Graph) AddNode(n Node) error {
 	}
 	g.nodes[n.ID] = n
 	g.adj[n.ID] = make(map[NodeID]float64)
+	g.invalidate()
 	return nil
 }
 
@@ -130,6 +135,7 @@ func (g *Graph) AddEdge(a, b NodeID, w float64) error {
 	}
 	g.adj[a][b] = w
 	g.adj[b][a] = w
+	g.invalidate()
 	return nil
 }
 
@@ -147,6 +153,7 @@ func (g *Graph) RemoveEdge(a, b NodeID) error {
 	}
 	delete(g.adj[a], b)
 	delete(g.adj[b], a)
+	g.invalidate()
 	return nil
 }
 
@@ -160,6 +167,7 @@ func (g *Graph) RemoveNode(id NodeID) error {
 	}
 	delete(g.adj, id)
 	delete(g.nodes, id)
+	g.invalidate()
 	return nil
 }
 
@@ -201,22 +209,13 @@ func (g *Graph) NodeIDs() []NodeID {
 	return out
 }
 
-// Edges returns all undirected edges sorted by (A, B).
+// Edges returns all undirected edges sorted by (A, B). The sort is computed
+// once per topology on the frozen view; each call returns a fresh copy the
+// caller may mutate.
 func (g *Graph) Edges() []Edge {
-	var out []Edge
-	for a, nbs := range g.adj {
-		for b, w := range nbs {
-			if a < b {
-				out = append(out, Edge{A: a, B: b, Weight: w})
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
+	cached := g.Frozen().Edges()
+	out := make([]Edge, len(cached))
+	copy(out, cached)
 	return out
 }
 
@@ -344,25 +343,6 @@ func (g *Graph) Subgraph(ids []NodeID) *Graph {
 	return s
 }
 
-// pathItem is a priority-queue entry for Dijkstra.
-type pathItem struct {
-	id   NodeID
-	dist float64
-}
-
-type pathHeap []pathItem
-
-func (h pathHeap) Len() int { return len(h) }
-func (h pathHeap) Less(i, j int) bool {
-	if h[i].dist != h[j].dist {
-		return h[i].dist < h[j].dist
-	}
-	return h[i].id < h[j].id // tie-break on ID for determinism
-}
-func (h pathHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
-func (h *pathHeap) Push(x any)     { *h = append(*h, x.(pathItem)) }
-func (h *pathHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
-
 // Paths holds single-source shortest-path results.
 type Paths struct {
 	Source NodeID
@@ -375,26 +355,23 @@ type Paths struct {
 // procedure initializes connection costs with (§3.1.1). Unreachable nodes
 // are absent from Dist.
 func (g *Graph) ShortestPaths(src NodeID) (Paths, error) {
-	if _, ok := g.nodes[src]; !ok {
+	f := g.Frozen()
+	si, ok := f.IndexOf(src)
+	if !ok {
 		return Paths{}, fmt.Errorf("%w: %d", ErrNodeNotFound, src)
 	}
-	p := Paths{Source: src, Dist: make(map[NodeID]float64), Prev: make(map[NodeID]NodeID)}
-	p.Dist[src] = 0
-	h := &pathHeap{{id: src, dist: 0}}
-	done := make(map[NodeID]bool)
-	for h.Len() > 0 {
-		it := heap.Pop(h).(pathItem)
-		if done[it.id] {
+	n := f.Len()
+	dist := make([]float64, n)
+	prev := make([]int32, n)
+	f.ShortestFrom(si, dist, prev)
+	p := Paths{Source: src, Dist: make(map[NodeID]float64, n), Prev: make(map[NodeID]NodeID, n)}
+	for i := 0; i < n; i++ {
+		if math.IsInf(dist[i], 1) {
 			continue
 		}
-		done[it.id] = true
-		for nb, w := range g.adj[it.id] {
-			nd := it.dist + w
-			if cur, ok := p.Dist[nb]; !ok || nd < cur {
-				p.Dist[nb] = nd
-				p.Prev[nb] = it.id
-				heap.Push(h, pathItem{id: nb, dist: nd})
-			}
+		p.Dist[f.IDOf(i)] = dist[i]
+		if prev[i] >= 0 {
+			p.Prev[f.IDOf(i)] = f.IDOf(int(prev[i]))
 		}
 	}
 	return p, nil
@@ -421,33 +398,46 @@ func (p Paths) PathTo(dst NodeID) []NodeID {
 }
 
 // AllPairs computes shortest-path distances between every pair of nodes.
+// The per-source Dijkstras fan out across GOMAXPROCS workers on the frozen
+// view; the result is identical to running ShortestPaths serially.
 func (g *Graph) AllPairs() (map[NodeID]map[NodeID]float64, error) {
-	out := make(map[NodeID]map[NodeID]float64, len(g.nodes))
-	for id := range g.nodes {
-		p, err := g.ShortestPaths(id)
-		if err != nil {
-			return nil, err
+	f := g.Frozen()
+	dense := f.AllPairs()
+	n := f.Len()
+	out := make(map[NodeID]map[NodeID]float64, n)
+	for i := 0; i < n; i++ {
+		row := make(map[NodeID]float64, n)
+		for j, d := range dense[i] {
+			if !math.IsInf(d, 1) {
+				row[f.IDOf(j)] = d
+			}
 		}
-		out[id] = p.Dist
+		out[f.IDOf(i)] = row
 	}
 	return out, nil
 }
 
-// unionFind is a disjoint-set forest with path compression for Kruskal.
-type unionFind map[NodeID]NodeID
+// unionFind is a disjoint-set forest with path compression over dense
+// indices, for Kruskal.
+type unionFind []int32
 
-func (u unionFind) find(x NodeID) NodeID {
-	r, ok := u[x]
-	if !ok || r == x {
-		u[x] = x
-		return x
+func newUnionFind(n int) unionFind {
+	u := make(unionFind, n)
+	for i := range u {
+		u[i] = int32(i)
 	}
-	root := u.find(r)
-	u[x] = root
-	return root
+	return u
 }
 
-func (u unionFind) union(a, b NodeID) bool {
+func (u unionFind) find(x int32) int32 {
+	for u[x] != x {
+		u[x] = u[u[x]] // path halving
+		x = u[x]
+	}
+	return x
+}
+
+func (u unionFind) union(a, b int32) bool {
 	ra, rb := u.find(a), u.find(b)
 	if ra == rb {
 		return false
@@ -493,75 +483,105 @@ func (t Tree) Adjacency() map[NodeID][]NodeID {
 // deterministically by edge endpoints. It fails if the graph is disconnected
 // or empty of nodes.
 func (g *Graph) KruskalMST() (Tree, error) {
-	if len(g.nodes) == 0 {
+	f := g.Frozen()
+	if f.Len() == 0 {
 		return Tree{}, ErrDisconnected
 	}
-	edges := g.Edges()
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].Weight != edges[j].Weight {
-			return edges[i].Weight < edges[j].Weight
-		}
-		if edges[i].A != edges[j].A {
-			return edges[i].A < edges[j].A
-		}
-		return edges[i].B < edges[j].B
-	})
-	uf := make(unionFind)
+	uf := newUnionFind(f.Len())
 	var t Tree
-	for _, e := range edges {
-		if uf.union(e.A, e.B) {
+	for i, e := range f.byWeight { // pre-sorted by (Weight, A, B) on the frozen view
+		if uf.union(f.bwIdx[i][0], f.bwIdx[i][1]) {
 			t.Edges = append(t.Edges, e)
 			t.Weight += e.Weight
 		}
 	}
-	if len(t.Edges) != len(g.nodes)-1 {
+	if len(t.Edges) != f.Len()-1 {
 		return Tree{}, ErrDisconnected
 	}
 	return t, nil
 }
 
-// PrimMST computes a minimum-weight spanning tree with Prim's algorithm.
-// For graphs with distinct edge weights it returns the same tree as
-// KruskalMST; it exists as an independent cross-check.
+// PrimMST computes a minimum-weight spanning tree with Prim's algorithm
+// (lazy-deletion edge heap over the frozen view, O(E log E) instead of the
+// previous quadratic frontier rescans). For graphs with distinct edge
+// weights it returns the same tree as KruskalMST; it exists as an
+// independent cross-check. Ties break on (weight, lower endpoint, higher
+// endpoint) for determinism.
 func (g *Graph) PrimMST() (Tree, error) {
-	if len(g.nodes) == 0 {
+	f := g.Frozen()
+	n := f.Len()
+	if n == 0 {
 		return Tree{}, ErrDisconnected
 	}
-	start := g.NodeIDs()[0]
-	inTree := map[NodeID]bool{start: true}
 	type cand struct {
-		edge Edge
-		cost float64
+		w        float64
+		from, to int32
 	}
-	var t Tree
-	for len(inTree) < len(g.nodes) {
-		best := cand{cost: math.Inf(1)}
-		found := false
-		// Deterministic scan over sorted members and sorted neighbors.
-		members := make([]NodeID, 0, len(inTree))
-		for id := range inTree {
-			members = append(members, id)
+	less := func(a, b cand) bool {
+		if a.w != b.w {
+			return a.w < b.w
 		}
-		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-		for _, id := range members {
-			for _, nb := range g.Neighbors(id) {
-				if inTree[nb] {
-					continue
-				}
-				w := g.adj[id][nb]
-				if w < best.cost {
-					best = cand{edge: normEdge(id, nb, w), cost: w}
-					found = true
-				}
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		return a.to < b.to
+	}
+	var h []cand
+	push := func(c cand) {
+		h = append(h, c)
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if less(h[p], h[i]) || !less(h[i], h[p]) {
+				break
+			}
+			h[p], h[i] = h[i], h[p]
+			i = p
+		}
+	}
+	pop := func() cand {
+		top := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		for i := 0; ; {
+			l, r, m := 2*i+1, 2*i+2, i
+			if l < last && less(h[l], h[m]) {
+				m = l
+			}
+			if r < last && less(h[r], h[m]) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+		return top
+	}
+	inTree := make([]bool, n)
+	addFrontier := func(i int32) {
+		inTree[i] = true
+		nbrs, wts := f.Row(int(i))
+		for k, nb := range nbrs {
+			if !inTree[nb] {
+				push(cand{w: wts[k], from: i, to: nb})
 			}
 		}
-		if !found {
+	}
+	addFrontier(0) // dense index 0 == lowest NodeID, the previous start node
+	var t Tree
+	for len(t.Edges) < n-1 {
+		if len(h) == 0 {
 			return Tree{}, ErrDisconnected
 		}
-		inTree[best.edge.A] = true
-		inTree[best.edge.B] = true
-		t.Edges = append(t.Edges, best.edge)
-		t.Weight += best.cost
+		c := pop()
+		if inTree[c.to] {
+			continue
+		}
+		t.Edges = append(t.Edges, normEdge(f.IDOf(int(c.from)), f.IDOf(int(c.to)), c.w))
+		t.Weight += c.w
+		addFrontier(c.to)
 	}
 	sort.Slice(t.Edges, func(i, j int) bool {
 		if t.Edges[i].A != t.Edges[j].A {

@@ -95,8 +95,11 @@ func New(net *netsim.Network, members []graph.NodeID) (*Algorithm, error) {
 	if !sub.Connected() {
 		return nil, ErrDisconnected
 	}
-	seen := make(map[float64]bool)
-	for _, e := range sub.Edges() {
+	// One frozen build serves the duplicate-weight scan and the per-node
+	// adjacency setup below — no per-call re-sorts or map walks.
+	f := sub.Frozen()
+	seen := make(map[float64]bool, len(f.Edges()))
+	for _, e := range f.Edges() {
 		if seen[e.Weight] {
 			return nil, fmt.Errorf("%w: %v", ErrDuplicateWeights, e.Weight)
 		}
@@ -118,10 +121,12 @@ func New(net *netsim.Network, members []graph.NodeID) (*Algorithm, error) {
 			weights: make(map[graph.NodeID]float64),
 			bestWt:  math.Inf(1),
 		}
-		for _, nb := range sub.Neighbors(id) {
-			w, _ := sub.Weight(id, nb)
+		fi, _ := f.IndexOf(id)
+		nbrs, wts := f.Row(fi)
+		for k, nbIdx := range nbrs {
+			nb := f.IDOf(int(nbIdx))
 			n.edges[nb] = edgeBasic
-			n.weights[nb] = w
+			n.weights[nb] = wts[k]
 		}
 		if err := net.Register(id, n); err != nil {
 			return nil, err
