@@ -18,6 +18,19 @@ tier2: tier1
 chaos:
 	go test -race -v -run 'TestChaosSoak' ./internal/faults/
 
+# Tier-2 observability slice: the concurrency-sensitive instrumentation
+# surface (registry/histograms/tracer, the live cluster that feeds them, and
+# the wire status op that ships them) under the race detector.
+.PHONY: tier2-obs
+tier2-obs:
+	go test -race ./internal/obs/ ./internal/livenet/ ./internal/wire/
+
+# Obs demo: the live chaos soak with the per-message trace audit enabled,
+# printing counters and per-stage latency quantiles from the obs registry.
+.PHONY: obs-demo
+obs-demo:
+	go run ./examples/chaos
+
 # Bench: the full benchmark suite with -benchmem, converted to BENCH_PR2.json
 # (name → ns/op, allocs/op, domain metrics) for the committed perf trajectory.
 # -benchtime 0.2s keeps the run inside the CI budget; the scale benches take a

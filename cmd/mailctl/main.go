@@ -5,16 +5,21 @@
 //	mailctl -addr 127.0.0.1:7425 register R1.h1.alice [s1 s2]
 //	mailctl submit R1.h2.bob R1.h1.alice "subject" "body"
 //	mailctl getmail R1.h1.alice
-//	mailctl status
+//	mailctl status [-json]
 //	mailctl crash s1 | recover s1
+//
+// status renders the cluster's versioned observability snapshot: per-server
+// rows, counters/gauges, and per-stage latency quantiles. With -json the raw
+// snapshot is printed instead, for scripting.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
+	"github.com/largemail/largemail/internal/obs"
 	"github.com/largemail/largemail/internal/wire"
 )
 
@@ -75,28 +80,24 @@ func run(args []string) error {
 			fmt.Printf("%s  from %s: %q\n%s\n", m.ID, m.From, m.Subject, m.Body)
 		}
 	case "status":
-		status, counters, err := c.StatusFull()
+		sfs := flag.NewFlagSet("status", flag.ContinueOnError)
+		asJSON := sfs.Bool("json", false, "print the raw snapshot as JSON")
+		if err := sfs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		snap, err := c.StatusSnapshot()
 		if err != nil {
 			return err
 		}
-		for _, s := range status {
-			state := "up"
-			if !s.Up {
-				state = "DOWN"
+		if *asJSON {
+			out, err := json.MarshalIndent(snap, "", "  ")
+			if err != nil {
+				return err
 			}
-			fmt.Printf("%-8s %-5s deposits=%d\n", s.Name, state, s.Deposits)
+			fmt.Println(string(out))
+			return nil
 		}
-		if len(counters) > 0 {
-			fmt.Println("counters:")
-			keys := make([]string, 0, len(counters))
-			for k := range counters {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, k := range keys {
-				fmt.Printf("  %-20s %d\n", k, counters[k])
-			}
-		}
+		renderStatus(snap)
 	case "crash", "recover":
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: %s <server>", cmd)
@@ -109,4 +110,31 @@ func run(args []string) error {
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 	return nil
+}
+
+// renderStatus prints the snapshot as the server table followed by the
+// registry's counter and latency tables (latencies scaled ns → ms).
+func renderStatus(snap wire.StatusSnapshot) {
+	fmt.Printf("status v%d\n", snap.Version)
+	for _, s := range snap.Servers {
+		state := "up"
+		if !s.Up {
+			state = "DOWN"
+		}
+		fmt.Printf("%-8s %-5s deposits=%d\n", s.Name, state, s.Deposits)
+	}
+	reg := obs.Snapshot{
+		Version:    snap.Version,
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Histograms: snap.Histograms,
+	}
+	if len(reg.Counters)+len(reg.Gauges) > 0 {
+		fmt.Println()
+		fmt.Print(reg.CounterTable("counters").Render())
+	}
+	if len(reg.Histograms) > 0 {
+		fmt.Println()
+		fmt.Print(reg.LatencyTable("latencies", 1e6, "ms").Render())
+	}
 }

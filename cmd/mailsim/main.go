@@ -137,7 +137,7 @@ func runSyntax(g *graph.Graph, userMap map[graph.NodeID][]string, rng *rand.Rand
 		a.GetMail()
 	}
 	fmt.Print(s.Evaluate().Render())
-	printNetStats(s.Net.Stats().Snapshot())
+	printNetStats(s.Net.Stats().Counters())
 	return nil
 }
 
@@ -179,7 +179,7 @@ func runLocation(g *graph.Graph, userMap map[graph.NodeID][]string, rng *rand.Ra
 		a.GetMail()
 	}
 	fmt.Print(s.Evaluate().Render())
-	printNetStats(s.Net.Stats().Snapshot())
+	printNetStats(s.Net.Stats().Counters())
 	_ = failProb // location servers stay up: tracking consistency under churn is future work (§5)
 	return nil
 }

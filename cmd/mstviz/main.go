@@ -17,8 +17,8 @@ import (
 	"os"
 
 	"github.com/largemail/largemail/internal/graph"
-	"github.com/largemail/largemail/internal/metrics"
 	"github.com/largemail/largemail/internal/mst"
+	"github.com/largemail/largemail/internal/obs"
 )
 
 func main() {
@@ -71,7 +71,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	t := metrics.NewTable(fmt.Sprintf("// §3.3.1-B cost table (source region %s)", src),
+	t := obs.NewTable(fmt.Sprintf("// §3.3.1-B cost table (source region %s)", src),
 		"Region", "Backbone", "Local", "Total")
 	for _, r := range rows {
 		t.AddRow(r.Region, r.BackboneCost, r.LocalCost, r.Total)

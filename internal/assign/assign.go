@@ -48,7 +48,7 @@ import (
 	"sync/atomic"
 
 	"github.com/largemail/largemail/internal/graph"
-	"github.com/largemail/largemail/internal/metrics"
+	"github.com/largemail/largemail/internal/obs"
 	"github.com/largemail/largemail/internal/queueing"
 )
 
@@ -552,8 +552,8 @@ func (a *Assignment) Rows() []Row {
 
 // Table renders the current assignment in the layout of the paper's Tables
 // 1–3 (host, server, users) followed by per-server load totals.
-func (a *Assignment) Table(title string) *metrics.Table {
-	t := metrics.NewTable(title, "Host", "Server", "Users")
+func (a *Assignment) Table(title string) *obs.Table {
+	t := obs.NewTable(title, "Host", "Server", "Users")
 	label := func(id graph.NodeID) string {
 		if n, ok := a.cfg.Topology.Node(id); ok && n.Label != "" {
 			return n.Label

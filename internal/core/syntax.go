@@ -18,6 +18,7 @@ import (
 	"github.com/largemail/largemail/internal/mail"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/netsim"
+	"github.com/largemail/largemail/internal/obs"
 	"github.com/largemail/largemail/internal/server"
 	"github.com/largemail/largemail/internal/sim"
 )
@@ -65,6 +66,9 @@ type SyntaxSystem struct {
 	renames    int64
 	migrations int64
 	reconfigs  int64
+
+	reg   *obs.Registry
+	trace *obs.Tracer
 }
 
 // NewSyntax builds the system: per region it runs the §3.1.1 assignment
@@ -77,8 +81,12 @@ func NewSyntax(cfg SyntaxConfig) (*SyntaxSystem, error) {
 	if cfg.AuthorityLen <= 0 {
 		cfg.AuthorityLen = 2
 	}
+	sched := sim.New(cfg.Seed)
+	reg := obs.NewRegistry()
 	s := &SyntaxSystem{
-		Sched:     sim.New(cfg.Seed),
+		Sched:     sched,
+		reg:       reg,
+		trace:     obs.NewTracer(func() int64 { return int64(sched.Now()) }, reg),
 		cfg:       cfg,
 		assigns:   make(map[string]*assign.Assignment),
 		dirs:      make(map[string]*server.Directory),
@@ -151,6 +159,7 @@ func NewSyntax(cfg SyntaxConfig) (*SyntaxSystem, error) {
 			srv, err := server.New(server.Config{
 				ID: sv, Region: region, Net: s.Net,
 				Dir: dir, Regions: s.regionMap, Retention: cfg.Retention,
+				Trace: s.trace,
 			})
 			if err != nil {
 				return nil, err
@@ -184,6 +193,15 @@ func NewSyntax(cfg SyntaxConfig) (*SyntaxSystem, error) {
 }
 
 func (s *SyntaxSystem) lookupServer(id graph.NodeID) *server.Server { return s.servers[id] }
+
+// Obs returns the deployment-wide instrument registry holding the tracer-fed
+// "lat_<stage>" and "lat_e2e" histograms (in microticks; divide by sim.Unit
+// for paper time units).
+func (s *SyntaxSystem) Obs() *obs.Registry { return s.reg }
+
+// Tracer returns the deployment-wide message-lifecycle tracer shared by
+// every server, running on the simulated clock.
+func (s *SyntaxSystem) Tracer() *obs.Tracer { return s.trace }
 
 // Agent returns the user's mail agent.
 func (s *SyntaxSystem) Agent(user names.Name) (*client.Agent, error) {
@@ -353,6 +371,7 @@ func (s *SyntaxSystem) AddServer(id graph.NodeID, region string, maxLoad int) er
 	srv, err := server.New(server.Config{
 		ID: id, Region: region, Net: s.Net,
 		Dir: s.dirs[region], Regions: s.regionMap, Retention: s.cfg.Retention,
+		Trace: s.trace,
 	})
 	if err != nil {
 		return err
@@ -429,6 +448,16 @@ func (s *SyntaxSystem) Evaluate() evalsys.Report {
 		c.CountMigration(1) // syntax-directed migration always renames
 	}
 	c.CountReconfigMessages(s.reconfigs)
+	// Response time (§4.4) comes straight from the lifecycle traces:
+	// submission → retrieval per message, on the simulated clock.
+	for _, id := range s.trace.IDs() {
+		tr, _ := s.trace.Trace(id)
+		sub, okS := tr.StageAt(obs.StageSubmit)
+		ret, okR := tr.StageAt(obs.StageRetrieve)
+		if okS && okR {
+			c.ObserveResponse(sim.Time(ret - sub))
+		}
+	}
 	net := s.Net.Stats()
 	c.SetTraffic(net.Get("cost_milli"), net.Get("delivered"))
 	c.SetStorage(storage)

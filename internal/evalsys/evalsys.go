@@ -13,7 +13,7 @@ import (
 	"math"
 	"strings"
 
-	"github.com/largemail/largemail/internal/metrics"
+	"github.com/largemail/largemail/internal/obs"
 	"github.com/largemail/largemail/internal/sim"
 )
 
@@ -132,10 +132,10 @@ func saturating(v float64) float64 { return clamp01(v) }
 type Collector struct {
 	system string
 
-	setup      metrics.Summary
-	delivery   metrics.Summary
-	response   metrics.Summary
-	resolution metrics.Summary
+	setup      obs.Summary
+	delivery   obs.Summary
+	response   obs.Summary
+	resolution obs.Summary
 
 	submitted      int64
 	submitFailures int64
@@ -267,7 +267,7 @@ func (c *Collector) Report() Report {
 	return r
 }
 
-func meanOrZero(s *metrics.Summary) float64 {
+func meanOrZero(s *obs.Summary) float64 {
 	if s.Count() == 0 {
 		return 0
 	}
@@ -278,7 +278,7 @@ func meanOrZero(s *metrics.Summary) float64 {
 func (r Report) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "§4 criteria — %s\n", r.System)
-	t := metrics.NewTable("", "criterion", "measure", "value")
+	t := obs.NewTable("", "criterion", "measure", "value")
 	t.AddRow("efficiency", "mean setup time (u)", r.Efficiency.MeanSetupTime)
 	t.AddRow("efficiency", "mean delivery time (u)", r.Efficiency.MeanDeliveryTime)
 	t.AddRow("efficiency", "polls per retrieval", r.Efficiency.MeanPollsPerCheck)

@@ -8,9 +8,9 @@ import (
 	"github.com/largemail/largemail/internal/assign"
 	"github.com/largemail/largemail/internal/broadcast"
 	"github.com/largemail/largemail/internal/graph"
-	"github.com/largemail/largemail/internal/metrics"
 	"github.com/largemail/largemail/internal/mst"
 	"github.com/largemail/largemail/internal/netsim"
+	"github.com/largemail/largemail/internal/obs"
 	"github.com/largemail/largemail/internal/sim"
 )
 
@@ -19,7 +19,7 @@ import (
 // sweeping the per-round server-failure probability and comparing the
 // paper's GetMail against the poll-all baseline.
 func E1PollsPerRetrieval() Result {
-	t := metrics.NewTable("E1: polls per retrieval, GetMail vs poll-all (3 authority servers)",
+	t := obs.NewTable("E1: polls per retrieval, GetMail vs poll-all (3 authority servers)",
 		"FailureProb", "GetMailPolls/Chk", "PollAllPolls/Chk", "GetMailRecv", "PollAllRecv")
 	const rounds = 200
 	var steady float64
@@ -48,7 +48,7 @@ func E1PollsPerRetrieval() Result {
 // fail": under heavy randomized churn every accepted submission is
 // eventually retrieved exactly once.
 func E2NoLoss() Result {
-	t := metrics.NewTable("E2: no message loss under server failures (p=0.3, 120 rounds)",
+	t := obs.NewTable("E2: no message loss under server failures (p=0.3, 120 rounds)",
 		"Seed", "Sent", "Received", "Lost")
 	lostTotal := 0
 	for seed := int64(0); seed < 6; seed++ {
@@ -72,7 +72,7 @@ func E2NoLoss() Result {
 // the nearest-server initialization on growing random instances, plus the
 // paper's batched-move speedup.
 func E3BalancingConvergence() Result {
-	t := metrics.NewTable("E3: balancing vs nearest-server initialization",
+	t := obs.NewTable("E3: balancing vs nearest-server initialization",
 		"Instance", "NearCost", "BalCost", "Improve%", "NearMaxU", "BalMaxU", "Sweeps", "Moves", "BatchMoves")
 	type inst struct {
 		name           string
@@ -176,7 +176,7 @@ func randomAssignConfig(hosts, servers int, seed int64) assign.Config {
 // all servers in the system ... the performance of the system will be
 // poor").
 func E4BroadcastCost() Result {
-	t := metrics.NewTable("E4: broadcast traffic cost, back-bone MST vs unicast flood",
+	t := obs.NewTable("E4: broadcast traffic cost, back-bone MST vs unicast flood",
 		"Topology", "Nodes", "TreeCost", "FloodCost", "Flood/Tree")
 	notes := []string{}
 	for _, spec := range []struct {
@@ -244,7 +244,7 @@ func E4BroadcastCost() Result {
 // E5GHSCorrectness cross-checks the distributed GHS MST against Kruskal and
 // the [GAL83] message bound 5·N·log2(N) + 2·E.
 func E5GHSCorrectness() Result {
-	t := metrics.NewTable("E5: distributed GHS vs centralized Kruskal",
+	t := obs.NewTable("E5: distributed GHS vs centralized Kruskal",
 		"Seed", "Nodes", "Edges", "MSTWeight", "GHSWeight", "Messages", "GAL83Bound")
 	mismatches := 0
 	for seed := int64(0); seed < 10; seed++ {

@@ -9,10 +9,10 @@ import (
 	"github.com/largemail/largemail/internal/core"
 	"github.com/largemail/largemail/internal/evalsys"
 	"github.com/largemail/largemail/internal/graph"
-	"github.com/largemail/largemail/internal/metrics"
 	"github.com/largemail/largemail/internal/mst"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/netsim"
+	"github.com/largemail/largemail/internal/obs"
 	"github.com/largemail/largemail/internal/sim"
 )
 
@@ -20,7 +20,7 @@ import (
 // node should time out if it waits for a certain period of time and the
 // unavailable estimates can be marked so."
 func E6ConvergecastFailures() Result {
-	t := metrics.NewTable("E6: convergecast under node failures (Fig. 2 topology, query from node 1)",
+	t := obs.NewTable("E6: convergecast under node failures (Fig. 2 topology, query from node 1)",
 		"CrashedNodes", "NodesReached", "ItemsCollected", "MarkedUnavailable")
 	scenarios := []struct {
 		name    string
@@ -129,7 +129,7 @@ func E7RoamingOverhead() Result {
 	}
 	homeC, homeP, homeM := run(false)
 	roamC, roamP, roamM := run(true)
-	t := metrics.NewTable("E7: delivery overhead, user at primary vs roaming (10 deliveries)",
+	t := obs.NewTable("E7: delivery overhead, user at primary vs roaming (10 deliveries)",
 		"Scenario", "Consultations", "PrimaryProbes", "NetMessages", "Msgs/Delivery")
 	t.AddRow("at primary", homeC, homeP, homeM, float64(homeM)/deliveries)
 	t.AddRow("roaming", roamC, roamP, roamM, float64(roamM)/deliveries)
@@ -147,7 +147,7 @@ func E7RoamingOverhead() Result {
 // E8MigrationOverhead compares migration in the two designs (§3.1.4 vs
 // §3.2.4): renames, redirect traffic, and continued delivery.
 func E8MigrationOverhead() Result {
-	t := metrics.NewTable("E8: user migration, syntax-directed vs location-independent",
+	t := obs.NewTable("E8: user migration, syntax-directed vs location-independent",
 		"Design", "Renames", "RedirectedMsgs", "FollowUpDelivered")
 
 	// Syntax-directed: cross-region migration with redirect.
@@ -273,7 +273,7 @@ func E9CostTableAccuracy() Result {
 		panic(err)
 	}
 	q := attr.Query{Predicates: []attr.Predicate{{Type: attr.TypeExpertise, Op: attr.OpPrefix, Pattern: "mail"}}}
-	t := metrics.NewTable("E9: §3.3.1-B cost table vs measured targeted-broadcast traffic (source region A)",
+	t := obs.NewTable("E9: §3.3.1-B cost table vs measured targeted-broadcast traffic (source region A)",
 		"TargetRegion", "EstTotal", "MeasuredCost", "Measured/Est")
 	notes := []string{}
 	for _, row := range rows {
@@ -303,7 +303,7 @@ func E9CostTableAccuracy() Result {
 // directory look-up and mass-distribution style queries (§3.3).
 func E10AttributeSelectivity() Result {
 	s, g := attributeFixture()
-	t := metrics.NewTable("E10: attribute search selectivity (40 profiles across 10 nodes)",
+	t := obs.NewTable("E10: attribute search selectivity (40 profiles across 10 nodes)",
 		"Query", "Matches", "NodesSearched", "TreeCost", "FloodCost")
 	queries := []struct {
 		name string
@@ -400,7 +400,7 @@ func E11CriteriaComparison() Result {
 	repL := loc.Evaluate()
 
 	w := evalsys.DefaultWeights()
-	t := metrics.NewTable("E11: §4 criteria, syntax-directed vs location-independent (same workload)",
+	t := obs.NewTable("E11: §4 criteria, syntax-directed vs location-independent (same workload)",
 		"Measure", "SyntaxDirected", "LocationIndependent")
 	t.AddRow("delivered rate", repS.Reliability.DeliveredRate, repL.Reliability.DeliveredRate)
 	t.AddRow("polls per retrieval", repS.Efficiency.MeanPollsPerCheck, repL.Efficiency.MeanPollsPerCheck)

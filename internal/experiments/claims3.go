@@ -8,9 +8,9 @@ import (
 	"github.com/largemail/largemail/internal/core"
 	"github.com/largemail/largemail/internal/graph"
 	"github.com/largemail/largemail/internal/locind"
-	"github.com/largemail/largemail/internal/metrics"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/netsim"
+	"github.com/largemail/largemail/internal/obs"
 	"github.com/largemail/largemail/internal/server"
 	"github.com/largemail/largemail/internal/sim"
 )
@@ -20,7 +20,7 @@ import (
 // required" — longer authority lists buy mail-service availability at the
 // price of extra polls when failures occur.
 func E12AuthorityListLength() Result {
-	t := metrics.NewTable("E12: authority-list length vs service availability (4 servers, p=0.25 churn, 150 rounds)",
+	t := obs.NewTable("E12: authority-list length vs service availability (4 servers, p=0.25 churn, 150 rounds)",
 		"ListLen", "ServiceAvail", "Received/Sent", "Polls/Retrieval")
 	notes := []string{}
 	var prevAvail float64 = -1
@@ -196,7 +196,7 @@ func E13RemoteAccess() Result {
 	meanPath := meanPathCost(ex.G, ex.Hosts[0])
 	migrationCost += correspondents * 2 * meanPath
 
-	t := metrics.NewTable(
+	t := obs.NewTable(
 		fmt.Sprintf("E13: remote access vs migration (remote factor %d×, one-time migration cost %.1f)",
 			locind.RemoteAccessFactor, migrationCost),
 		"MailChecks", "CumulativeRemoteCost", "CheaperOption")
@@ -303,7 +303,7 @@ func E14ConnectionSetup() Result {
 		users     = 6
 		reconfigs = 10
 	)
-	t := metrics.NewTable("E14: connection setup — maintained lists vs name-server queries (6 users, 10 reconfigurations)",
+	t := obs.NewTable("E14: connection setup — maintained lists vs name-server queries (6 users, 10 reconfigurations)",
 		"Connects/Reconfig", "LocalPushCost", "NameServerQueryCost", "Cheaper")
 	notes := []string{}
 	for _, connects := range []int{0, 1, 5, 20} {

@@ -8,14 +8,14 @@ import (
 	"fmt"
 	"strings"
 
-	"github.com/largemail/largemail/internal/metrics"
+	"github.com/largemail/largemail/internal/obs"
 )
 
 // Result is one reproduced table, figure, or claim.
 type Result struct {
 	ID    string // "table1", "figure2", "e1", ...
 	Title string
-	Table *metrics.Table
+	Table *obs.Table
 	// Notes records the shape checks the experiment performed (who wins,
 	// invariants that held) — the paper-vs-measured statements that feed
 	// EXPERIMENTS.md.

@@ -6,8 +6,8 @@ import (
 
 	"github.com/largemail/largemail/internal/assign"
 	"github.com/largemail/largemail/internal/graph"
-	"github.com/largemail/largemail/internal/metrics"
 	"github.com/largemail/largemail/internal/mst"
+	"github.com/largemail/largemail/internal/obs"
 	"github.com/largemail/largemail/internal/queueing"
 )
 
@@ -36,7 +36,7 @@ func figure1Assignment() (*assign.Assignment, graph.Example) {
 // distribution of the running example.
 func Figure1() Result {
 	ex := graph.Figure1()
-	t := metrics.NewTable("Figure 1: topology and user distribution",
+	t := obs.NewTable("Figure 1: topology and user distribution",
 		"Node", "Kind", "Users", "Links")
 	for _, n := range ex.G.Nodes() {
 		var links []string
@@ -139,7 +139,7 @@ func Figure2() Result {
 	if err != nil {
 		panic(err)
 	}
-	t := metrics.NewTable("Figure 2: back-bone MST and local MSTs",
+	t := obs.NewTable("Figure 2: back-bone MST and local MSTs",
 		"Region", "LocalMSTWeight", "LocalEdges")
 	for _, region := range g.Regions() {
 		local := res.Local[region]

@@ -124,13 +124,50 @@ func TestChaosSoakSim(t *testing.T) {
 		t.Fatalf("submitted %d, want >= 500", res.Submitted)
 	}
 	if !res.Ok() {
-		t.Fatalf("invariant violated: lost=%v duplicates=%v", res.Lost, res.Duplicates)
+		t.Fatalf("invariant violated: lost=%v duplicates=%v tracegaps=%v",
+			res.Lost, res.Duplicates, res.TraceGaps)
 	}
 	if res.Committed < res.Submitted/2 {
 		t.Errorf("only %d/%d committed — fault load too heavy to be meaningful", res.Committed, res.Submitted)
 	}
 	if res.Received < res.Committed {
 		t.Errorf("received %d < committed %d", res.Received, res.Committed)
+	}
+}
+
+// TestChaosSoakSimTraceAudit re-runs the sim soak and checks the audit has
+// teeth: the tracer actually recorded span chains (at least one per
+// committed message) and every committed chain is complete. A tracing
+// regression that silently stopped stamping would fail here, not just show
+// an empty TraceGaps.
+func TestChaosSoakSimTraceAudit(t *testing.T) {
+	sys, nodes := chaosSimWorld(t, 42)
+	sched, err := faults.Compile(chaosSimSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.NewSimTarget(sys.Net, nodes, chaosTick)
+	res, err := faults.Soak(faults.NewSimSystem(sys, chaosTick), inj, sched, faults.SoakConfig{
+		Messages: 600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TraceGaps) != 0 {
+		t.Fatalf("%d committed messages have incomplete span chains: %v",
+			len(res.TraceGaps), res.TraceGaps)
+	}
+	if n := sys.Tracer().Len(); n < res.Committed {
+		t.Errorf("tracer holds %d traces, want >= %d committed", n, res.Committed)
+	}
+	// The per-stage histograms were fed from the same registry the tracer
+	// writes to — retrieval closed lat_e2e for every delivered message.
+	hs := sys.Obs().Histogram("lat_e2e", nil).Snapshot()
+	if hs.Count == 0 {
+		t.Fatal("lat_e2e histogram empty after a full soak")
+	}
+	if hs.P50 <= 0 || hs.P95 < hs.P50 || hs.P99 < hs.P95 {
+		t.Errorf("implausible quantiles: %+v", hs)
 	}
 }
 
@@ -221,10 +258,20 @@ func TestChaosSoakLive(t *testing.T) {
 		t.Fatalf("submitted %d, want >= 500", res.Submitted)
 	}
 	if !res.Ok() {
-		t.Fatalf("invariant violated: lost=%v duplicates=%v", res.Lost, res.Duplicates)
+		t.Fatalf("invariant violated: lost=%v duplicates=%v tracegaps=%v",
+			res.Lost, res.Duplicates, res.TraceGaps)
 	}
 	if res.Committed < res.Submitted/2 {
 		t.Errorf("only %d/%d committed", res.Committed, res.Submitted)
+	}
+	// The trace audit ran against real spans: the cluster's tracer stamped
+	// every committed message even across crash/recover windows, and the
+	// same registry carries the per-stage latency distributions.
+	if n := c.Tracer().Len(); n < res.Committed {
+		t.Errorf("tracer holds %d traces, want >= %d committed", n, res.Committed)
+	}
+	if hs := c.Obs().Histogram("lat_e2e", nil).Snapshot(); hs.Count == 0 {
+		t.Error("lat_e2e histogram empty after live soak")
 	}
 	m := c.Metrics()
 	if m["spool_redelivered"] == 0 && m["deposit_failovers"] == 0 {

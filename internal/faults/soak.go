@@ -37,6 +37,18 @@ type System interface {
 	Settle()
 }
 
+// TraceAuditor is the optional observability contract of a soak system: one
+// that can cross-check the message-lifecycle traces (internal/obs) against
+// its commit ledger. When a System implements it, Soak records the audit in
+// SoakResult.TraceGaps and Ok requires it to pass — every committed message
+// must show a complete submit → deposit → retrieve span chain, even when its
+// delivery crossed crash/recover windows.
+type TraceAuditor interface {
+	// AuditTraces returns one entry per committed message whose span chain
+	// is missing or incomplete, formatted "subject (id)", sorted.
+	AuditTraces() []string
+}
+
 // SimSystem adapts a core.SyntaxSystem to the soak. One schedule tick is
 // Tick units of virtual time, so soaks on the simulator are fully
 // deterministic and cost no wall-clock.
@@ -105,6 +117,28 @@ func (s *SimSystem) Step(n int) { s.Sys.RunFor(sim.Time(n) * s.Tick) }
 // retry timers and in-flight transfers complete.
 func (s *SimSystem) Settle() { s.Sys.Run() }
 
+// AuditTraces implements TraceAuditor against the deployment-wide tracer:
+// every acked (committed) message must have a complete span chain.
+func (s *SimSystem) AuditTraces() []string {
+	subjects := make(map[string]string) // id -> subject
+	var ids []string
+	for _, h := range s.Sys.Hosts() {
+		for _, ack := range h.Acks() {
+			id := ack.ID.String()
+			if _, dup := subjects[id]; dup {
+				continue
+			}
+			subjects[id] = ack.Subject
+			ids = append(ids, id)
+		}
+	}
+	var out []string
+	for _, id := range s.Sys.Tracer().Incomplete(ids) {
+		out = append(out, fmt.Sprintf("%s (%s)", subjects[id], id))
+	}
+	return out
+}
+
 // LiveSystem adapts a livenet.Cluster to the soak. One schedule tick is
 // Tick of wall-clock time. Agents must be pre-registered with AddUser.
 type LiveSystem struct {
@@ -118,6 +152,8 @@ type LiveSystem struct {
 	byName    map[string]names.Name
 	agents    map[string]*livenet.Agent
 	committed []string
+	ids       []string          // committed message IDs, submit order
+	subjects  map[string]string // committed id -> subject
 }
 
 // NewLiveSystem wraps a live cluster. tick is the wall-clock length of one
@@ -125,8 +161,9 @@ type LiveSystem struct {
 func NewLiveSystem(c *livenet.Cluster, tick time.Duration) *LiveSystem {
 	return &LiveSystem{
 		Cluster: c, Tick: tick,
-		byName: make(map[string]names.Name),
-		agents: make(map[string]*livenet.Agent),
+		byName:   make(map[string]names.Name),
+		agents:   make(map[string]*livenet.Agent),
+		subjects: make(map[string]string),
 	}
 }
 
@@ -150,9 +187,11 @@ func (s *LiveSystem) Users() []string { return append([]string(nil), s.users...)
 // error from Cluster.Submit means the message was deposited or spooled for
 // guaranteed redelivery.
 func (s *LiveSystem) Submit(from, to, subject string) error {
-	_, err := s.Cluster.Submit(s.byName[from], []names.Name{s.byName[to]}, subject, "chaos soak")
+	id, err := s.Cluster.Submit(s.byName[from], []names.Name{s.byName[to]}, subject, "chaos soak")
 	if err == nil {
 		s.committed = append(s.committed, subject)
+		s.ids = append(s.ids, id.String())
+		s.subjects[id.String()] = subject
 	}
 	return err
 }
@@ -190,6 +229,17 @@ func (s *LiveSystem) Settle() {
 	}
 }
 
+// AuditTraces implements TraceAuditor against the cluster's tracer: every
+// committed message must have a complete span chain, spool redeliveries and
+// crash windows included.
+func (s *LiveSystem) AuditTraces() []string {
+	var out []string
+	for _, id := range s.Cluster.Tracer().Incomplete(s.ids) {
+		out = append(out, fmt.Sprintf("%s (%s)", s.subjects[id], id))
+	}
+	return out
+}
+
 // SoakConfig tunes the workload the harness applies alongside a schedule.
 type SoakConfig struct {
 	Messages      int // total submissions, spread over the schedule horizon
@@ -223,15 +273,20 @@ type SoakResult struct {
 
 	Lost       []string // committed subjects never retrieved
 	Duplicates []string // subjects retrieved more than once
+	// TraceGaps lists committed messages with missing or incomplete
+	// lifecycle span chains, when the system implements TraceAuditor.
+	TraceGaps []string
 }
 
 // Ok reports whether the run preserved the no-loss / no-duplication
-// invariant.
-func (r SoakResult) Ok() bool { return len(r.Lost) == 0 && len(r.Duplicates) == 0 }
+// invariant and (when audited) left no lifecycle trace incomplete.
+func (r SoakResult) Ok() bool {
+	return len(r.Lost) == 0 && len(r.Duplicates) == 0 && len(r.TraceGaps) == 0
+}
 
 func (r SoakResult) String() string {
-	return fmt.Sprintf("soak: %d submitted (%d errors), %d committed, %d received, %d lost, %d duplicated, %d fault events",
-		r.Submitted, r.SubmitErrors, r.Committed, r.Received, len(r.Lost), len(r.Duplicates), r.Events)
+	return fmt.Sprintf("soak: %d submitted (%d errors), %d committed, %d received, %d lost, %d duplicated, %d trace gaps, %d fault events",
+		r.Submitted, r.SubmitErrors, r.Committed, r.Received, len(r.Lost), len(r.Duplicates), len(r.TraceGaps), r.Events)
 }
 
 // Soak drives sys through the schedule while submitting cfg.Messages
@@ -328,5 +383,8 @@ func Soak(sys System, inj Injector, sched Schedule, cfg SoakConfig) (SoakResult,
 	}
 	sort.Strings(res.Lost)
 	sort.Strings(res.Duplicates)
+	if auditor, ok := sys.(TraceAuditor); ok {
+		res.TraceGaps = auditor.AuditTraces()
+	}
 	return res, nil
 }

@@ -19,8 +19,8 @@ import (
 	"time"
 
 	"github.com/largemail/largemail/internal/mail"
-	"github.com/largemail/largemail/internal/metrics"
 	"github.com/largemail/largemail/internal/names"
+	"github.com/largemail/largemail/internal/obs"
 )
 
 // Errors reported by livenet operations.
@@ -90,7 +90,7 @@ type serverState struct {
 // mailbox contents (stable storage, as in the simulation).
 type Server struct {
 	name  string
-	stats *metrics.Shared // cluster-wide counters (shared, concurrency-safe)
+	stats *obs.Registry // cluster-wide instrument registry (concurrency-safe)
 
 	reqs chan request
 	quit chan struct{}
@@ -105,8 +105,10 @@ type Server struct {
 	latencyNs atomic.Int64
 	dropMilli atomic.Int64
 
-	deposits atomic.Int64
-	checks   atomic.Int64
+	// Per-server named instruments ("<name>.deposits", "<name>.checks") in
+	// the cluster registry, so the status snapshot carries them per entity.
+	deposits *obs.Counter
+	checks   *obs.Counter
 }
 
 // Name returns the server's identifier.
@@ -120,10 +122,10 @@ func (s *Server) Up() bool { return s.up.Load() }
 func (s *Server) LastStart() time.Time { return time.Unix(0, s.lastStart.Load()) }
 
 // Deposits reports how many messages this server has buffered in total.
-func (s *Server) Deposits() int64 { return s.deposits.Load() }
+func (s *Server) Deposits() int64 { return s.deposits.Value() }
 
 // Checks reports how many CheckMail polls this server has served.
-func (s *Server) Checks() int64 { return s.checks.Load() }
+func (s *Server) Checks() int64 { return s.checks.Value() }
 
 // Crash makes the server reject requests. Buffered mail survives.
 func (s *Server) Crash() { s.up.Store(false) }
@@ -215,7 +217,7 @@ func (s *Server) Deposit(msg mail.Message, rcpt names.Name) error {
 			st.mailboxes[rcpt] = mb
 		}
 		if mb.Deposit(msg, 0) {
-			s.deposits.Add(1)
+			s.deposits.Inc()
 		}
 	})
 	return err
@@ -225,7 +227,7 @@ func (s *Server) Deposit(msg mail.Message, rcpt names.Name) error {
 func (s *Server) CheckMail(user names.Name) ([]mail.Stored, error) {
 	var out []mail.Stored
 	err := s.call(func(st *serverState) {
-		s.checks.Add(1)
+		s.checks.Inc()
 		if mb, ok := st.mailboxes[user]; ok {
 			out = mb.Drain()
 		}
@@ -268,31 +270,53 @@ type Cluster struct {
 	servers map[string]*Server
 	closed  atomic.Bool
 	nextSeq atomic.Uint64
-	stats   *metrics.Shared
+	stats   *obs.Registry
+	trace   *obs.Tracer
 
 	spoolMu sync.Mutex
 	spool   *spool
 }
 
-// NewCluster returns an empty cluster with its directory.
+// NewCluster returns an empty cluster with its directory. Lifecycle tracing
+// is always on: every submitted message is stamped through the pipeline on
+// the wall clock, feeding the per-stage latency histograms in Obs().
 func NewCluster() *Cluster {
+	reg := obs.NewRegistry()
 	return &Cluster{
 		dir:     NewDirectory(),
 		servers: make(map[string]*Server),
-		stats:   metrics.NewShared(),
+		stats:   reg,
+		trace:   obs.NewTracer(obs.WallClock, reg),
 	}
 }
 
 // Directory returns the cluster's shared directory.
 func (c *Cluster) Directory() *Directory { return c.dir }
 
-// Metrics returns a snapshot of the cluster's robustness counters:
-// "submit_spooled", "spool_redelivered", "spool_retries", "spool_depth",
-// "deposit_failovers", "deposit_retries", "injected_drops".
+// Obs returns the cluster's instrument registry: robustness counters,
+// per-server "<name>.deposits"/"<name>.checks", and the tracer-fed
+// "lat_<stage>"/"lat_e2e" histograms.
+func (c *Cluster) Obs() *obs.Registry { return c.stats }
+
+// Tracer returns the cluster's message-lifecycle tracer.
+func (c *Cluster) Tracer() *obs.Tracer { return c.trace }
+
+// Metrics returns a flat snapshot of the cluster's counters, including the
+// robustness set ("submit_spooled", "spool_redelivered", "spool_retries",
+// "spool_depth", "deposit_failovers", "deposit_retries", "injected_drops")
+// and the per-server "<name>.deposits"/"<name>.checks" counters.
 func (c *Cluster) Metrics() map[string]int64 {
-	snap := c.stats.Snapshot()
+	snap := c.stats.Counters()
 	snap["spool_depth"] = int64(c.SpoolDepth())
 	return snap
+}
+
+// Snapshot returns the structured, versioned observability snapshot of the
+// cluster — counters, gauges, and latency histograms — refreshing the
+// "spool_depth" gauge first. This is what the wire "status" op ships.
+func (c *Cluster) Snapshot() obs.Snapshot {
+	c.stats.Gauge("spool_depth").Set(int64(c.SpoolDepth()))
+	return c.stats.Snapshot()
 }
 
 // AddServer starts a server goroutine. Names must be unique.
@@ -306,11 +330,13 @@ func (c *Cluster) AddServer(name string) (*Server, error) {
 		return nil, fmt.Errorf("livenet: server %q already exists", name)
 	}
 	s := &Server{
-		name:  name,
-		stats: c.stats,
-		reqs:  make(chan request),
-		quit:  make(chan struct{}),
-		done:  make(chan struct{}),
+		name:     name,
+		stats:    c.stats,
+		deposits: c.stats.Counter(name + ".deposits"),
+		checks:   c.stats.Counter(name + ".checks"),
+		reqs:     make(chan request),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	s.lastStart.Store(time.Now().UnixNano())
 	s.up.Store(true)
@@ -375,6 +401,7 @@ func (c *Cluster) Submit(from names.Name, to []names.Name, subject, body string)
 		Subject: subject,
 		Body:    body,
 	}
+	c.trace.Stamp(msg.ID.String(), obs.StageSubmit, "cluster")
 	var errs []error
 	for _, rcpt := range msg.To {
 		err := c.depositFailover(msg, rcpt)
@@ -411,6 +438,7 @@ func (c *Cluster) depositFailover(msg mail.Message, rcpt names.Name) error {
 	if len(list) == 0 {
 		return fmt.Errorf("%w: %v", ErrNoAuthority, rcpt)
 	}
+	c.trace.Stamp(msg.ID.String(), obs.StageResolve, "directory")
 	var lastErr error
 	for i, name := range list {
 		s, ok := c.Server(name)
@@ -426,6 +454,7 @@ func (c *Cluster) depositFailover(msg mail.Message, rcpt names.Name) error {
 			if i > 0 {
 				c.stats.Inc("deposit_failovers")
 			}
+			c.trace.Stamp(msg.ID.String(), obs.StageDeposit, name)
 			return nil
 		}
 		lastErr = err
@@ -560,6 +589,7 @@ func (a *Agent) poll(s *Server) error {
 		}
 		a.seen[m.ID] = true
 		a.inbox = append(a.inbox, m)
+		a.cluster.trace.Stamp(m.ID.String(), obs.StageRetrieve, s.name)
 	}
 	return nil
 }

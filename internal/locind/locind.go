@@ -25,9 +25,9 @@ import (
 
 	"github.com/largemail/largemail/internal/graph"
 	"github.com/largemail/largemail/internal/mail"
-	"github.com/largemail/largemail/internal/metrics"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/netsim"
+	"github.com/largemail/largemail/internal/obs"
 	"github.com/largemail/largemail/internal/sim"
 )
 
@@ -191,7 +191,7 @@ type System struct {
 
 	procs  map[graph.NodeID]*Server
 	hostPs map[graph.NodeID]*Hostd
-	stats  *metrics.Registry
+	stats  *obs.Registry
 	fed    *Federation // nil outside a federation
 }
 
@@ -226,7 +226,7 @@ func NewSystem(cfg Config) (*System, error) {
 		ackTimeout: cfg.AckTimeout,
 		procs:      make(map[graph.NodeID]*Server),
 		hostPs:     make(map[graph.NodeID]*Hostd),
-		stats:      metrics.NewRegistry(),
+		stats:      obs.NewRegistry(),
 	}
 	for tok, id := range cfg.Hosts {
 		s.hosts[tok] = id
@@ -249,7 +249,7 @@ func NewSystem(cfg Config) (*System, error) {
 
 // Stats returns region-wide counters: "deposits", "notify_home",
 // "notify_roaming", "consultations", "rehash_transfers", ...
-func (s *System) Stats() *metrics.Registry { return s.stats }
+func (s *System) Stats() *obs.Registry { return s.stats }
 
 // Region returns the system's region name.
 func (s *System) Region() string { return s.region }

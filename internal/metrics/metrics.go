@@ -1,302 +1,47 @@
-// Package metrics provides the light-weight instrumentation used to score
-// runs against the paper's §4 evaluation criteria and to render the paper's
-// tables: named counters, sample summaries, and aligned text tables with CSV
-// export.
+// Package metrics is a thin compatibility layer over internal/obs, which now
+// owns all instrumentation: named counters, gauges, latency histograms,
+// sample summaries, and the aligned text/CSV tables.
+//
+// Deprecated: import internal/obs directly. This alias package exists for one
+// PR to keep external forks compiling and will be removed.
 package metrics
 
-import (
-	"fmt"
-	"math"
-	"sort"
-	"strings"
-	"sync"
-)
+import "github.com/largemail/largemail/internal/obs"
 
-// Registry is a set of named counters. The zero value is not usable; create
-// with NewRegistry. Registry is not safe for concurrent use: simulated code
-// runs single-threaded on the event loop.
-type Registry struct {
-	counters map[string]int64
-}
+// Registry is the instrument registry.
+//
+// Deprecated: use obs.Registry. The obs registry is safe for concurrent use,
+// so the old Registry/Shared split is gone — both alias the same type. Note
+// Snapshot() now returns a structured obs.Snapshot; use Counters() for the
+// old map-of-counters form.
+type Registry = obs.Registry
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{counters: make(map[string]int64)}
-}
+//
+// Deprecated: use obs.NewRegistry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
 
-// Add increments the named counter by delta (which may be negative).
-func (r *Registry) Add(name string, delta int64) {
-	r.counters[name] += delta
-}
+// Shared is the concurrency-safe registry variant.
+//
+// Deprecated: use obs.Registry, which is always safe for concurrent use.
+type Shared = obs.Registry
 
-// Inc increments the named counter by one.
-func (r *Registry) Inc(name string) { r.Add(name, 1) }
+// NewShared returns an empty concurrent registry.
+//
+// Deprecated: use obs.NewRegistry.
+func NewShared() *Shared { return obs.NewRegistry() }
 
-// Get returns the value of the named counter (zero if never touched).
-func (r *Registry) Get(name string) int64 { return r.counters[name] }
+// Summary accumulates scalar samples and reports exact order statistics.
+//
+// Deprecated: use obs.Summary.
+type Summary = obs.Summary
 
-// Names returns all counter names, sorted.
-func (r *Registry) Names() []string {
-	out := make([]string, 0, len(r.counters))
-	for n := range r.counters {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// Snapshot returns a copy of all counters.
-func (r *Registry) Snapshot() map[string]int64 {
-	out := make(map[string]int64, len(r.counters))
-	for k, v := range r.counters {
-		out[k] = v
-	}
-	return out
-}
-
-// Reset zeroes every counter.
-func (r *Registry) Reset() {
-	r.counters = make(map[string]int64)
-}
-
-// Shared is a Registry variant that is safe for concurrent use. The live
-// runtime (internal/livenet, internal/wire) mutates counters from many
-// goroutines — server loops, the spool worker, fault injection — so unlike
-// Registry it guards the map with a mutex. Create with NewShared.
-type Shared struct {
-	mu       sync.Mutex
-	counters map[string]int64
-}
-
-// NewShared returns an empty concurrent counter set.
-func NewShared() *Shared {
-	return &Shared{counters: make(map[string]int64)}
-}
-
-// Add increments the named counter by delta (which may be negative).
-func (s *Shared) Add(name string, delta int64) {
-	s.mu.Lock()
-	s.counters[name] += delta
-	s.mu.Unlock()
-}
-
-// Inc increments the named counter by one.
-func (s *Shared) Inc(name string) { s.Add(name, 1) }
-
-// Get returns the value of the named counter (zero if never touched).
-func (s *Shared) Get(name string) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.counters[name]
-}
-
-// Snapshot returns a consistent copy of all counters.
-func (s *Shared) Snapshot() map[string]int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]int64, len(s.counters))
-	for k, v := range s.counters {
-		out[k] = v
-	}
-	return out
-}
-
-// Summary accumulates scalar samples and reports order statistics. The zero
-// value is ready to use.
-type Summary struct {
-	samples []float64
-	sorted  bool
-	sum     float64
-}
-
-// Observe records one sample.
-func (s *Summary) Observe(v float64) {
-	s.samples = append(s.samples, v)
-	s.sorted = false
-	s.sum += v
-}
-
-// Count reports the number of samples.
-func (s *Summary) Count() int { return len(s.samples) }
-
-// Sum reports the total of all samples.
-func (s *Summary) Sum() float64 { return s.sum }
-
-// Mean reports the sample mean, or NaN with no samples.
-func (s *Summary) Mean() float64 {
-	if len(s.samples) == 0 {
-		return math.NaN()
-	}
-	return s.sum / float64(len(s.samples))
-}
-
-// Min reports the smallest sample, or NaN with no samples.
-func (s *Summary) Min() float64 {
-	if len(s.samples) == 0 {
-		return math.NaN()
-	}
-	s.sortSamples()
-	return s.samples[0]
-}
-
-// Max reports the largest sample, or NaN with no samples.
-func (s *Summary) Max() float64 {
-	if len(s.samples) == 0 {
-		return math.NaN()
-	}
-	s.sortSamples()
-	return s.samples[len(s.samples)-1]
-}
-
-// Quantile reports the q-quantile (0 ≤ q ≤ 1) by nearest-rank, or NaN with
-// no samples. Out-of-range q is clamped.
-func (s *Summary) Quantile(q float64) float64 {
-	if len(s.samples) == 0 {
-		return math.NaN()
-	}
-	s.sortSamples()
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	idx := int(math.Ceil(q*float64(len(s.samples)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	return s.samples[idx]
-}
-
-// StdDev reports the population standard deviation, or NaN with no samples.
-func (s *Summary) StdDev() float64 {
-	n := len(s.samples)
-	if n == 0 {
-		return math.NaN()
-	}
-	mean := s.Mean()
-	var ss float64
-	for _, v := range s.samples {
-		d := v - mean
-		ss += d * d
-	}
-	return math.Sqrt(ss / float64(n))
-}
-
-func (s *Summary) sortSamples() {
-	if !s.sorted {
-		sort.Float64s(s.samples)
-		s.sorted = true
-	}
-}
-
-// Table is a simple column-aligned text table, used to render the paper's
-// Tables 1–3 and the experiment reports.
-type Table struct {
-	Title   string
-	Headers []string
-	rows    [][]string
-}
+// Table is the aligned text/CSV table renderer.
+//
+// Deprecated: use obs.Table.
+type Table = obs.Table
 
 // NewTable returns a table with the given title and column headers.
-func NewTable(title string, headers ...string) *Table {
-	return &Table{Title: title, Headers: headers}
-}
-
-// AddRow appends a row; cells are formatted with %v.
-func (t *Table) AddRow(cells ...any) {
-	row := make([]string, len(cells))
-	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			row[i] = trimFloat(v)
-		default:
-			row[i] = fmt.Sprintf("%v", c)
-		}
-	}
-	t.rows = append(t.rows, row)
-}
-
-func trimFloat(v float64) string {
-	s := fmt.Sprintf("%.3f", v)
-	s = strings.TrimRight(s, "0")
-	return strings.TrimRight(s, ".")
-}
-
-// NumRows reports the number of data rows.
-func (t *Table) NumRows() int { return len(t.rows) }
-
-// Rows returns a copy of the raw cell data.
-func (t *Table) Rows() [][]string {
-	out := make([][]string, len(t.rows))
-	for i, r := range t.rows {
-		out[i] = append([]string(nil), r...)
-	}
-	return out
-}
-
-// Render formats the table as aligned text.
-func (t *Table) Render() string {
-	widths := make([]int, len(t.Headers))
-	for i, h := range t.Headers {
-		widths[i] = len(h)
-	}
-	for _, row := range t.rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
-		}
-	}
-	var b strings.Builder
-	if t.Title != "" {
-		b.WriteString(t.Title)
-		b.WriteByte('\n')
-	}
-	writeRow := func(cells []string) {
-		for i, cell := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			b.WriteString(cell)
-			if i < len(cells)-1 {
-				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
-			}
-		}
-		b.WriteByte('\n')
-	}
-	writeRow(t.Headers)
-	sep := make([]string, len(t.Headers))
-	for i := range sep {
-		sep[i] = strings.Repeat("-", widths[i])
-	}
-	writeRow(sep)
-	for _, row := range t.rows {
-		writeRow(row)
-	}
-	return b.String()
-}
-
-// CSV formats the table as comma-separated values with a header row. Cells
-// containing commas or quotes are quoted.
-func (t *Table) CSV() string {
-	var b strings.Builder
-	writeRow := func(cells []string) {
-		for i, cell := range cells {
-			if i > 0 {
-				b.WriteByte(',')
-			}
-			if strings.ContainsAny(cell, ",\"\n") {
-				b.WriteString(`"` + strings.ReplaceAll(cell, `"`, `""`) + `"`)
-			} else {
-				b.WriteString(cell)
-			}
-		}
-		b.WriteByte('\n')
-	}
-	writeRow(t.Headers)
-	for _, row := range t.rows {
-		writeRow(row)
-	}
-	return b.String()
-}
+//
+// Deprecated: use obs.NewTable.
+func NewTable(title string, headers ...string) *Table { return obs.NewTable(title, headers...) }

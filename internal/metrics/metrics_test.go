@@ -28,10 +28,10 @@ func TestRegistry(t *testing.T) {
 	if len(names) != 2 || names[0] != "bytes" || names[1] != "msgs" {
 		t.Errorf("Names() = %v", names)
 	}
-	snap := r.Snapshot()
+	snap := r.Counters()
 	r.Inc("msgs")
 	if snap["msgs"] != 5 {
-		t.Error("Snapshot aliased live counters")
+		t.Error("Counters aliased live counters")
 	}
 	r.Reset()
 	if r.Get("msgs") != 0 || len(r.Names()) != 0 {

@@ -20,7 +20,7 @@ import (
 	"fmt"
 
 	"github.com/largemail/largemail/internal/graph"
-	"github.com/largemail/largemail/internal/metrics"
+	"github.com/largemail/largemail/internal/obs"
 	"github.com/largemail/largemail/internal/sim"
 )
 
@@ -88,13 +88,15 @@ type Network struct {
 	// Defaults to sim.Unit (one paper time unit per cost unit).
 	DelayPerCost sim.Time
 
-	stats *metrics.Registry
+	stats   *obs.Registry
+	latency *obs.Histogram // "lat_net_delivery": send→deliver, microticks
 }
 
 // New builds a network over a copy of the topology. Mutating the original
 // graph afterwards does not affect the network; use FailLink/RestoreLink for
 // dynamic changes.
 func New(sched *sim.Scheduler, topo *graph.Graph) *Network {
+	reg := obs.NewRegistry()
 	return &Network{
 		sched:        sched,
 		topo:         topo.Clone(),
@@ -105,7 +107,8 @@ func New(sched *sim.Scheduler, topo *graph.Graph) *Network {
 		dropProb:     make(map[graph.NodeID]float64),
 		pathCache:    make(map[graph.NodeID]graph.Paths),
 		DelayPerCost: sim.Unit,
-		stats:        metrics.NewRegistry(),
+		stats:        reg,
+		latency:      reg.Histogram("lat_net_delivery", nil),
 	}
 }
 
@@ -116,10 +119,11 @@ func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 // bypass route-cache invalidation; prefer FailLink/RestoreLink).
 func (n *Network) Topology() *graph.Graph { return n.topo }
 
-// Stats returns the traffic counters: "delivered", "dropped_dest_down",
-// "dropped_injected", "expired", plus "cost_milli" (total delivered route
-// cost ×1000) and "hops".
-func (n *Network) Stats() *metrics.Registry { return n.stats }
+// Stats returns the traffic instruments: counters "delivered",
+// "dropped_dest_down", "dropped_injected", "expired", "cost_milli" (total
+// delivered route cost ×1000) and "hops", plus the "lat_net_delivery"
+// histogram of send→deliver latency in microticks.
+func (n *Network) Stats() *obs.Registry { return n.stats }
 
 // Register installs the handler for a node. Nodes start up.
 func (n *Network) Register(id graph.NodeID, h Handler) error {
@@ -342,6 +346,7 @@ func (n *Network) deliver(env Envelope) {
 	n.stats.Inc("delivered")
 	n.stats.Add("hops", int64(env.Hops))
 	n.stats.Add("cost_milli", int64(env.Cost*1000+0.5))
+	n.latency.Observe(float64(n.sched.Now() - env.SentAt))
 	h.Receive(env)
 }
 

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates scalar samples and reports order statistics. Unlike
+// Histogram it keeps every sample (exact quantiles, O(n) memory) and is NOT
+// safe for concurrent use — it serves the single-threaded simulation and
+// result post-processing. The zero value is ready to use.
+type Summary struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(v float64) {
+	s.samples = append(s.samples, v)
+	s.sorted = false
+	s.sum += v
+}
+
+// Count reports the number of samples.
+func (s *Summary) Count() int { return len(s.samples) }
+
+// Sum reports the total of all samples.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean reports the sample mean, or NaN with no samples.
+func (s *Summary) Mean() float64 {
+	if len(s.samples) == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+// Min reports the smallest sample, or NaN with no samples.
+func (s *Summary) Min() float64 {
+	if len(s.samples) == 0 {
+		return math.NaN()
+	}
+	s.sortSamples()
+	return s.samples[0]
+}
+
+// Max reports the largest sample, or NaN with no samples.
+func (s *Summary) Max() float64 {
+	if len(s.samples) == 0 {
+		return math.NaN()
+	}
+	s.sortSamples()
+	return s.samples[len(s.samples)-1]
+}
+
+// Quantile reports the q-quantile (0 ≤ q ≤ 1) by nearest-rank, or NaN with
+// no samples. Out-of-range q is clamped.
+func (s *Summary) Quantile(q float64) float64 {
+	if len(s.samples) == 0 {
+		return math.NaN()
+	}
+	s.sortSamples()
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	idx := int(math.Ceil(q*float64(len(s.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s.samples[idx]
+}
+
+// StdDev reports the population standard deviation, or NaN with no samples.
+func (s *Summary) StdDev() float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return math.NaN()
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, v := range s.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+func (s *Summary) sortSamples() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}
+
+// Table is a simple column-aligned text table, used to render the paper's
+// Tables 1–3, the experiment reports, and registry snapshots.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// NumRows reports the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns a copy of the raw cell data.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV formats the table as comma-separated values with a header row. Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(cell, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

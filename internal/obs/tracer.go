@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Stage identifies one step of the §3.1.2 message-delivery pipeline.
+type Stage uint8
+
+// Pipeline stages, in delivery order. Submit, Deposit and Retrieve form the
+// mandatory backbone of a trace; Resolve, Relay and Notify appear when the
+// delivery actually took those paths (a local deposit never relays, an
+// offline recipient is never notified).
+const (
+	StageSubmit   Stage = iota + 1 // accepted by a mail server / cluster
+	StageResolve                   // recipient name resolved to an authority list
+	StageRelay                     // forwarded toward the recipient's region/server
+	StageDeposit                   // buffered at an authority server
+	StageNotify                    // arrival alert sent to an online recipient
+	StageRetrieve                  // collected by the recipient's user interface
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageSubmit:
+		return "submit"
+	case StageResolve:
+		return "resolve"
+	case StageRelay:
+		return "relay"
+	case StageDeposit:
+		return "deposit"
+	case StageNotify:
+		return "notify"
+	case StageRetrieve:
+		return "retrieve"
+	default:
+		return fmt.Sprintf("Stage(%d)", uint8(s))
+	}
+}
+
+// SpanEvent is one stamped step of a message's lifecycle.
+type SpanEvent struct {
+	Stage Stage  `json:"stage"`
+	At    int64  `json:"at"`              // clock units (microticks or ns)
+	Where string `json:"where,omitempty"` // server/cluster that stamped it
+}
+
+// Trace is the recorded lifecycle of one message, in stamp order.
+type Trace struct {
+	ID     string      `json:"id"`
+	Events []SpanEvent `json:"events"`
+}
+
+// StageAt returns the instant of the first event of the given stage.
+func (t Trace) StageAt(s Stage) (int64, bool) {
+	for _, e := range t.Events {
+		if e.Stage == s {
+			return e.At, true
+		}
+	}
+	return 0, false
+}
+
+// Complete reports whether the trace covers the mandatory backbone of the
+// pipeline — submit, deposit and retrieve all present, in causal order.
+// Resolve/relay/notify are path-dependent and not required.
+func (t Trace) Complete() bool {
+	sub, okS := t.StageAt(StageSubmit)
+	dep, okD := t.StageAt(StageDeposit)
+	ret, okR := t.StageAt(StageRetrieve)
+	return okS && okD && okR && sub <= dep && dep <= ret
+}
+
+// Tracer stamps message-lifecycle spans. All methods are safe for concurrent
+// use and are no-ops on a nil receiver, so call sites need no guards when
+// tracing is not wired.
+//
+// Each stamp also feeds the bound registry (when present): the span from the
+// previous stamped event to this one lands in histogram "lat_<stage>", and a
+// retrieve stamp additionally records the submit→retrieve span in "lat_e2e".
+// That is how per-stage p50/p95/p99 tables and the trace audit come from the
+// same instrumentation.
+type Tracer struct {
+	clock Clock
+	reg   *Registry
+
+	mu     sync.Mutex
+	traces map[string]*Trace
+}
+
+// NewTracer returns a tracer reading instants from clock and feeding span
+// histograms into reg (nil reg disables the histograms, not the traces).
+func NewTracer(clock Clock, reg *Registry) *Tracer {
+	return &Tracer{clock: clock, reg: reg, traces: make(map[string]*Trace)}
+}
+
+// Stamp records that the message reached a pipeline stage at the current
+// instant. where names the component that stamped (server name, cluster).
+func (t *Tracer) Stamp(id string, stage Stage, where string) {
+	if t == nil {
+		return
+	}
+	now := t.clock()
+	t.mu.Lock()
+	tr := t.traces[id]
+	if tr == nil {
+		tr = &Trace{ID: id}
+		t.traces[id] = tr
+	}
+	var prev int64
+	hasPrev := false
+	if n := len(tr.Events); n > 0 {
+		prev = tr.Events[n-1].At
+		hasPrev = true
+	}
+	var submitAt int64
+	submitOK := false
+	if stage == StageRetrieve {
+		submitAt, submitOK = tr.StageAt(StageSubmit)
+	}
+	tr.Events = append(tr.Events, SpanEvent{Stage: stage, At: now, Where: where})
+	t.mu.Unlock()
+
+	if t.reg == nil {
+		return
+	}
+	if hasPrev {
+		t.reg.Histogram("lat_"+stage.String(), nil).Observe(float64(now - prev))
+	}
+	if submitOK {
+		t.reg.Histogram("lat_e2e", nil).Observe(float64(now - submitAt))
+	}
+}
+
+// Trace returns a copy of the message's recorded lifecycle.
+func (t *Tracer) Trace(id string) (Trace, bool) {
+	if t == nil {
+		return Trace{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr, ok := t.traces[id]
+	if !ok {
+		return Trace{}, false
+	}
+	out := Trace{ID: tr.ID, Events: append([]SpanEvent(nil), tr.Events...)}
+	return out, true
+}
+
+// Len reports how many messages have at least one stamped event.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.traces)
+}
+
+// IDs returns every traced message ID, sorted.
+func (t *Tracer) IDs() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]string, 0, len(t.traces))
+	for id := range t.traces {
+		out = append(out, id)
+	}
+	t.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Incomplete returns the subset of ids whose traces are missing or fail
+// Trace.Complete, sorted — the audit primitive the chaos soak builds on:
+// every committed message must show a complete submit→retrieve span chain,
+// even across crash/recover windows.
+func (t *Tracer) Incomplete(ids []string) []string {
+	var out []string
+	for _, id := range ids {
+		tr, ok := t.Trace(id)
+		if !ok || !tr.Complete() {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset drops every recorded trace.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.traces = make(map[string]*Trace)
+}

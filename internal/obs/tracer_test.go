@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fakeClock is a manually advanced Clock for deterministic tracer tests.
+type fakeClock struct{ now int64 }
+
+func (c *fakeClock) Now() int64 { return c.now }
+
+func TestTracerCompleteChain(t *testing.T) {
+	clk := &fakeClock{}
+	reg := NewRegistry()
+	tr := NewTracer(clk.Now, reg)
+
+	clk.now = 10
+	tr.Stamp("m1-1", StageSubmit, "s1")
+	clk.now = 15
+	tr.Stamp("m1-1", StageResolve, "s1")
+	clk.now = 25
+	tr.Stamp("m1-1", StageDeposit, "s2")
+	clk.now = 30
+	tr.Stamp("m1-1", StageNotify, "s2")
+	clk.now = 60
+	tr.Stamp("m1-1", StageRetrieve, "s2")
+
+	trace, ok := tr.Trace("m1-1")
+	if !ok || len(trace.Events) != 5 {
+		t.Fatalf("trace = %+v ok=%v", trace, ok)
+	}
+	if !trace.Complete() {
+		t.Error("full chain should be complete")
+	}
+	if at, ok := trace.StageAt(StageDeposit); !ok || at != 25 {
+		t.Errorf("deposit at %d ok=%v, want 25", at, ok)
+	}
+
+	// Per-stage histograms hold the deltas from the previous event.
+	if hs := reg.Histogram("lat_deposit", nil).Snapshot(); hs.Count != 1 || hs.Sum != 10 {
+		t.Errorf("lat_deposit = %+v, want one sample of 10", hs)
+	}
+	if hs := reg.Histogram("lat_retrieve", nil).Snapshot(); hs.Count != 1 || hs.Sum != 30 {
+		t.Errorf("lat_retrieve = %+v, want one sample of 30", hs)
+	}
+	// End-to-end = retrieve − submit.
+	if hs := reg.Histogram("lat_e2e", nil).Snapshot(); hs.Count != 1 || hs.Sum != 50 {
+		t.Errorf("lat_e2e = %+v, want one sample of 50", hs)
+	}
+	// Submit has no predecessor: no lat_submit histogram was created.
+	if _, ok := reg.Snapshot().Histograms["lat_submit"]; ok {
+		t.Error("lat_submit should not exist for the first event")
+	}
+}
+
+func TestTraceIncomplete(t *testing.T) {
+	clk := &fakeClock{}
+	tr := NewTracer(clk.Now, nil)
+
+	clk.now = 1
+	tr.Stamp("full", StageSubmit, "s1")
+	tr.Stamp("partial", StageSubmit, "s1")
+	clk.now = 2
+	tr.Stamp("full", StageDeposit, "s1")
+	clk.now = 3
+	tr.Stamp("full", StageRetrieve, "s1")
+
+	gaps := tr.Incomplete([]string{"full", "partial", "never-seen"})
+	if len(gaps) != 2 || gaps[0] != "never-seen" || gaps[1] != "partial" {
+		t.Errorf("Incomplete = %v, want [never-seen partial]", gaps)
+	}
+	if got := tr.Incomplete([]string{"full"}); len(got) != 0 {
+		t.Errorf("Incomplete([full]) = %v, want empty", got)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Error("Reset did not clear traces")
+	}
+}
+
+func TestTraceCausalOrderRequired(t *testing.T) {
+	tr := Trace{ID: "x", Events: []SpanEvent{
+		{Stage: StageSubmit, At: 100},
+		{Stage: StageDeposit, At: 50}, // deposit before submit: broken
+		{Stage: StageRetrieve, At: 200},
+	}}
+	if tr.Complete() {
+		t.Error("out-of-order trace must not be complete")
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Stamp("id", StageSubmit, "s1") // must not panic
+	if _, ok := tr.Trace("id"); ok {
+		t.Error("nil tracer returned a trace")
+	}
+	if tr.Len() != 0 {
+		t.Error("nil tracer Len != 0")
+	}
+	if got := tr.Incomplete([]string{"a"}); len(got) != 1 || got[0] != "a" {
+		t.Errorf("nil tracer Incomplete = %v, want [a]", got)
+	}
+	tr.Reset() // must not panic
+}
+
+func TestStageStrings(t *testing.T) {
+	want := map[Stage]string{
+		StageSubmit: "submit", StageResolve: "resolve", StageRelay: "relay",
+		StageDeposit: "deposit", StageNotify: "notify", StageRetrieve: "retrieve",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}
+
+// TestTracerConcurrent stamps many message lifecycles from parallel
+// goroutines; meaningful under -race.
+func TestTracerConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(WallClock, reg)
+	const workers = 8
+	const msgs = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				id := fmt.Sprintf("m%d-%d", w, i)
+				tr.Stamp(id, StageSubmit, "s1")
+				tr.Stamp(id, StageDeposit, "s1")
+				tr.Stamp(id, StageRetrieve, "s1")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != workers*msgs {
+		t.Errorf("Len = %d, want %d", tr.Len(), workers*msgs)
+	}
+	var ids []string
+	for w := 0; w < workers; w++ {
+		for i := 0; i < msgs; i++ {
+			ids = append(ids, fmt.Sprintf("m%d-%d", w, i))
+		}
+	}
+	if gaps := tr.Incomplete(ids); len(gaps) != 0 {
+		t.Errorf("%d incomplete traces after concurrent stamping", len(gaps))
+	}
+	if hs := reg.Histogram("lat_e2e", nil).Snapshot(); hs.Count != workers*msgs {
+		t.Errorf("lat_e2e count = %d, want %d", hs.Count, workers*msgs)
+	}
+}

@@ -24,9 +24,9 @@ import (
 
 	"github.com/largemail/largemail/internal/graph"
 	"github.com/largemail/largemail/internal/mail"
-	"github.com/largemail/largemail/internal/metrics"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/netsim"
+	"github.com/largemail/largemail/internal/obs"
 	"github.com/largemail/largemail/internal/sim"
 )
 
@@ -61,6 +61,11 @@ type Config struct {
 	// the next candidate. Zero means 8 paper time units, comfortably above
 	// any round trip in the bundled topologies.
 	RetryTimeout sim.Time
+	// Trace, when set, stamps every message's progress through the §3.1.2
+	// pipeline (submit → resolve → relay → deposit → notify → retrieve).
+	// Typically one tracer is shared by every server of a deployment so a
+	// relayed message accumulates a single span chain. Nil disables tracing.
+	Trace *obs.Tracer
 }
 
 // Server is a mail server process. Not safe for concurrent use; it runs on
@@ -82,7 +87,8 @@ type Server struct {
 	nextToken uint64
 	pending   map[uint64]*pendingTransfer
 
-	stats *metrics.Registry
+	stats *obs.Registry
+	trace *obs.Tracer // nil-safe; shared across the deployment when set
 }
 
 // pendingTransfer is a queued server-to-server transfer awaiting its ack.
@@ -120,7 +126,8 @@ func New(cfg Config) (*Server, error) {
 		mailboxes:    make(map[names.Name]*mail.Mailbox),
 		online:       make(map[names.Name]graph.NodeID),
 		pending:      make(map[uint64]*pendingTransfer),
-		stats:        metrics.NewRegistry(),
+		stats:        obs.NewRegistry(),
+		trace:        cfg.Trace,
 	}
 	if err := cfg.Net.Register(cfg.ID, s); err != nil {
 		return nil, err
@@ -137,7 +144,7 @@ func (s *Server) Region() string { return s.region }
 
 // Stats returns the server's counters: "submissions", "deposits_local",
 // "transfers_out", "forwards_in", "retries", "notifies", "cleanup_evicted".
-func (s *Server) Stats() *metrics.Registry { return s.stats }
+func (s *Server) Stats() *obs.Registry { return s.stats }
 
 // Up reports whether the server is currently up.
 func (s *Server) Up() bool { return s.net.IsUp(s.id) }
@@ -229,6 +236,7 @@ func (s *Server) handleSubmit(from graph.NodeID, req SubmitRequest) {
 		SubmittedAt: s.net.Scheduler().Now(),
 	}
 	s.stats.Inc("submissions")
+	s.trace.Stamp(msg.ID.String(), obs.StageSubmit, s.whereLabel())
 	// Ack the submitting host so the user interface learns the ID.
 	_ = s.net.Send(s.id, from, SubmitAck{ID: msg.ID, Subject: msg.Subject})
 	for _, rcpt := range msg.To {
@@ -250,6 +258,7 @@ func (s *Server) Route(msg mail.Message, rcpt names.Name) {
 		s.stats.Inc("unroutable")
 		return
 	}
+	s.trace.Stamp(msg.ID.String(), obs.StageRelay, s.whereLabel())
 	s.enqueue(TransferForward, msg, rcpt, candidates)
 }
 
@@ -287,6 +296,7 @@ func (s *Server) deliverLocal(msg mail.Message, rcpt names.Name) {
 		s.stats.Inc("unresolvable")
 		return
 	}
+	s.trace.Stamp(msg.ID.String(), obs.StageResolve, s.whereLabel())
 	// If this server is the first *active* authority server, deposit
 	// without network traffic.
 	for _, cand := range list {
@@ -311,11 +321,13 @@ func (s *Server) depositLocal(msg mail.Message, rcpt names.Name) {
 		return
 	}
 	s.stats.Inc("deposits_local")
+	s.trace.Stamp(msg.ID.String(), obs.StageDeposit, s.whereLabel())
 	if evicted := mb.Cleanup(s.retention, s.net.Scheduler().Now()); len(evicted) > 0 {
 		s.stats.Add("cleanup_evicted", int64(len(evicted)))
 	}
 	if host, ok := s.online[rcpt]; ok {
 		s.stats.Inc("notifies")
+		s.trace.Stamp(msg.ID.String(), obs.StageNotify, s.whereLabel())
 		_ = s.net.Send(s.id, host, Notify{User: rcpt, ID: msg.ID, Server: s.id})
 	}
 }
@@ -412,6 +424,7 @@ func (s *Server) handleLogin(l Login) {
 	// connecting user about buffered mail.
 	if mb, ok := s.mailboxes[l.User]; ok && mb.Len() > 0 {
 		s.stats.Inc("notifies")
+		s.trace.Stamp(mb.Peek()[0].ID.String(), obs.StageNotify, s.whereLabel())
 		_ = s.net.Send(s.id, l.Host, Notify{User: l.User, ID: mb.Peek()[0].ID, Server: s.id})
 	}
 }
@@ -434,7 +447,9 @@ func (s *Server) CheckMail(user names.Name) ([]mail.Stored, error) {
 		return nil, nil
 	}
 	if !s.keepCopies {
-		return mb.Drain(), nil
+		out := mb.Drain()
+		s.stampRetrieved(out)
+		return out, nil
 	}
 	var out []mail.Stored
 	for _, m := range mb.Peek() {
@@ -447,8 +462,24 @@ func (s *Server) CheckMail(user names.Name) ([]mail.Stored, error) {
 	if evicted := mb.Cleanup(s.retention, s.net.Scheduler().Now()); len(evicted) > 0 {
 		s.stats.Add("cleanup_evicted", int64(len(evicted)))
 	}
+	s.stampRetrieved(out)
 	return out, nil
 }
+
+// stampRetrieved closes the lifecycle span of each collected message.
+func (s *Server) stampRetrieved(msgs []mail.Stored) {
+	if s.trace == nil {
+		return
+	}
+	where := s.whereLabel()
+	for _, m := range msgs {
+		s.trace.Stamp(m.ID.String(), obs.StageRetrieve, where)
+	}
+}
+
+// whereLabel names this server in span events, matching the per-entity
+// instrument prefix convention ("s<node>").
+func (s *Server) whereLabel() string { return fmt.Sprintf("s%d", s.id) }
 
 // ArchivedCount reports how many retained (read) copies a user's mailbox
 // holds under the KeepCopies option.

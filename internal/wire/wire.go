@@ -11,8 +11,13 @@
 //	submit    {from, to[], subject, body}  → {ok, id}
 //	checkmail {user, server}               → {ok, messages[]}
 //	getmail   {user}                       → {ok, messages[]}   (server-side GetMail walk)
-//	status    {}                           → {ok, servers[]}
+//	status    {}                           → {ok, status}       (versioned observability snapshot)
 //	crash     {server} / recover {server}  → {ok}               (operations testing hook)
+//
+// The status result is a versioned StatusSnapshot: per-server rows plus the
+// cluster's full instrument set — counters, gauges, and per-stage latency
+// histograms with precomputed p50/p95/p99 — so operational tooling (mailctl)
+// and the machine-readable exports read the same registry.
 package wire
 
 import (
@@ -27,6 +32,7 @@ import (
 	"github.com/largemail/largemail/internal/livenet"
 	"github.com/largemail/largemail/internal/mail"
 	"github.com/largemail/largemail/internal/names"
+	"github.com/largemail/largemail/internal/obs"
 )
 
 // MaxLine bounds a single protocol line (1 MiB), protecting the server from
@@ -60,17 +66,34 @@ type ServerStatus struct {
 	Deposits int64  `json:"deposits"`
 }
 
+// StatusSnapshot is the versioned result of the status op: per-server rows
+// plus the cluster's full instrument set. Version follows obs.SnapshotVersion
+// so consumers can key rendering decisions when the schema evolves.
+type StatusSnapshot struct {
+	Version int            `json:"version"`
+	Servers []ServerStatus `json:"servers"`
+	// Counters holds the cluster's flat counters: the fault/retry/spool set
+	// (injected_drops, deposit_retries, deposit_failovers, submit_spooled,
+	// spool_redelivered, spool_retries, ...) plus the per-server
+	// "<name>.deposits"/"<name>.checks" instruments.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Gauges holds point-in-time levels, e.g. "spool_depth".
+	Gauges map[string]int64 `json:"gauges,omitempty"`
+	// Histograms holds the tracer-fed per-stage latency distributions
+	// ("lat_submit", "lat_deposit", "lat_retrieve", "lat_e2e", ...) with
+	// precomputed p50/p95/p99, in nanoseconds.
+	Histograms map[string]obs.HistogramSnapshot `json:"histograms,omitempty"`
+}
+
 // Response is the server→client frame.
 type Response struct {
-	OK       bool           `json:"ok"`
-	Error    string         `json:"error,omitempty"`
-	ID       string         `json:"id,omitempty"`
-	Messages []Message      `json:"messages,omitempty"`
-	Servers  []ServerStatus `json:"servers,omitempty"`
-	// Counters carries the cluster's fault/retry/spool counters on status
-	// responses (injected_drops, deposit_retries, deposit_failovers,
-	// submit_spooled, spool_redelivered, spool_retries, spool_depth, ...).
-	Counters map[string]int64 `json:"counters,omitempty"`
+	OK       bool      `json:"ok"`
+	Error    string    `json:"error,omitempty"`
+	ID       string    `json:"id,omitempty"`
+	Messages []Message `json:"messages,omitempty"`
+	// Status carries the versioned observability snapshot on status
+	// responses.
+	Status *StatusSnapshot `json:"status,omitempty"`
 }
 
 // Server serves the wire protocol over a listener, backed by a live
@@ -300,15 +323,22 @@ func (s *Server) opGetMail(req Request) Response {
 }
 
 func (s *Server) opStatus() Response {
-	var out []ServerStatus
+	var rows []ServerStatus
 	for _, n := range s.names {
 		srv, ok := s.cluster.Server(n)
 		if !ok {
 			continue
 		}
-		out = append(out, ServerStatus{Name: n, Up: srv.Up(), Deposits: srv.Deposits()})
+		rows = append(rows, ServerStatus{Name: n, Up: srv.Up(), Deposits: srv.Deposits()})
 	}
-	return Response{OK: true, Servers: out, Counters: s.cluster.Metrics()}
+	snap := s.cluster.Snapshot()
+	return Response{OK: true, Status: &StatusSnapshot{
+		Version:    snap.Version,
+		Servers:    rows,
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Histograms: snap.Histograms,
+	}}
 }
 
 func (s *Server) opAvailability(req Request) Response {
@@ -509,15 +539,36 @@ func (c *Client) GetMail(user string) ([]Message, error) {
 
 // Status reports per-server availability and deposit counts.
 func (c *Client) Status() ([]ServerStatus, error) {
-	resp, err := c.Do(Request{Op: "status"})
-	return resp.Servers, err
+	snap, err := c.StatusSnapshot()
+	return snap.Servers, err
 }
 
-// StatusFull reports the server rows plus the cluster's fault/retry/spool
-// counters.
+// StatusFull reports the server rows plus a flat counter map (counters and
+// gauges merged, so the old keys — including "spool_depth" — keep working).
+// Prefer StatusSnapshot for the structured form with histograms.
 func (c *Client) StatusFull() ([]ServerStatus, map[string]int64, error) {
+	snap, err := c.StatusSnapshot()
+	if err != nil {
+		return snap.Servers, nil, err
+	}
+	flat := make(map[string]int64, len(snap.Counters)+len(snap.Gauges))
+	for k, v := range snap.Counters {
+		flat[k] = v
+	}
+	for k, v := range snap.Gauges {
+		flat[k] = v
+	}
+	return snap.Servers, flat, nil
+}
+
+// StatusSnapshot fetches the versioned observability snapshot: server rows,
+// counters, gauges, and per-stage latency histograms.
+func (c *Client) StatusSnapshot() (StatusSnapshot, error) {
 	resp, err := c.Do(Request{Op: "status"})
-	return resp.Servers, resp.Counters, err
+	if err != nil || resp.Status == nil {
+		return StatusSnapshot{}, err
+	}
+	return *resp.Status, nil
 }
 
 // SetAvailability crashes or recovers a named server.

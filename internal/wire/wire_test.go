@@ -4,6 +4,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"github.com/largemail/largemail/internal/obs"
 )
 
 // newServer starts a three-server wire daemon on a loopback port.
@@ -267,5 +269,55 @@ func TestServerSurvivesGarbageRequests(t *testing.T) {
 	}
 	if err := c.Register("R1.h1.still-works"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestStatusSnapshotStructured(t *testing.T) {
+	s := newServer(t)
+	c := newClient(t, s)
+	if err := c.Register("R1.h1.alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("R1.h1.bob"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Submit("R1.h1.alice", []string{"R1.h1.bob"}, "hi", "body")
+	if err != nil || id == "" {
+		t.Fatalf("submit: id=%q err=%v", id, err)
+	}
+	if _, err := c.GetMail("R1.h1.bob"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := c.StatusSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != obs.SnapshotVersion {
+		t.Errorf("version = %d, want %d", snap.Version, obs.SnapshotVersion)
+	}
+	if len(snap.Servers) != 3 {
+		t.Errorf("servers = %+v, want 3 rows", snap.Servers)
+	}
+	// One deposit happened somewhere: the per-server counters carry it.
+	var deposits int64
+	for _, row := range snap.Servers {
+		deposits += snap.Counters[row.Name+".deposits"]
+	}
+	if deposits != 1 {
+		t.Errorf("summed <name>.deposits = %d, want 1", deposits)
+	}
+	if _, ok := snap.Gauges["spool_depth"]; !ok {
+		t.Errorf("gauges = %v, want spool_depth", snap.Gauges)
+	}
+	// The lifecycle tracer fed the per-stage histograms end to end.
+	for _, h := range []string{"lat_deposit", "lat_retrieve", "lat_e2e"} {
+		hs, ok := snap.Histograms[h]
+		if !ok || hs.Count == 0 {
+			t.Errorf("histogram %s missing or empty: %+v", h, hs)
+		}
+	}
+	if hs := snap.Histograms["lat_e2e"]; hs.P50 <= 0 || hs.P99 < hs.P50 {
+		t.Errorf("lat_e2e quantiles implausible: %+v", hs)
 	}
 }
