@@ -13,6 +13,31 @@ tier1:
 tier2: tier1
 	go test -race ./...
 
+# Tier-1 under the race detector: the seed gate with -race, as one target —
+# what CI runs on every PR alongside plain tier1.
+.PHONY: tier1-race
+tier1-race:
+	go test -race ./...
+
+# Fuzz smoke: a short bounded run of each wire-protocol fuzz target (the
+# corpora under internal/wire/testdata/fuzz/ always run as regression seeds
+# in plain `go test`; this additionally mutates for ~5s per target).
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzParseRequest$$' -fuzztime 5s ./internal/wire/
+	go test -run '^$$' -fuzz '^FuzzStatusSnapshot$$' -fuzztime 5s ./internal/wire/
+
+# Check: the full pre-merge gate.
+.PHONY: check
+check: tier1 tier1-race fuzz-smoke
+
+# Mailbench: the capacity harness acceptance run — a million-user population
+# on 64 simulated servers, no faults, auditors on, capacity sweep written to
+# BENCH_PR4.json.
+.PHONY: mailbench
+mailbench:
+	go run ./cmd/mailbench -transport netsim -users 1000000 -servers 64 -seed 1 -o BENCH_PR4.json
+
 # Chaos: just the fault-injection soaks, verbosely.
 .PHONY: chaos
 chaos:

@@ -13,130 +13,32 @@
 //
 // becomes {"name": ..., "pkg": ..., "iterations": ..., "metrics": {unit:
 // value, ...}} — ns/op, B/op, allocs/op, and every b.ReportMetric domain
-// metric all land in the same metrics map.
+// metric all land in the same metrics map. The format lives in
+// internal/benchfmt, shared with cmd/mailbench.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
+
+	"github.com/largemail/largemail/internal/benchfmt"
 )
-
-type result struct {
-	Name       string             `json:"name"`
-	Pkg        string             `json:"pkg"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-}
-
-type doc struct {
-	Goos       string   `json:"goos,omitempty"`
-	Goarch     string   `json:"goarch,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []result `json:"benchmarks"`
-}
 
 func main() {
 	out := flag.String("o", "", "write JSON here (default stdout)")
 	flag.Parse()
 
-	var d doc
-	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Println(line)
-		switch {
-		case strings.HasPrefix(line, "goos: "):
-			d.Goos = strings.TrimPrefix(line, "goos: ")
-		case strings.HasPrefix(line, "goarch: "):
-			d.Goarch = strings.TrimPrefix(line, "goarch: ")
-		case strings.HasPrefix(line, "cpu: "):
-			d.CPU = strings.TrimPrefix(line, "cpu: ")
-		case strings.HasPrefix(line, "pkg: "):
-			pkg = strings.TrimPrefix(line, "pkg: ")
-		case strings.HasPrefix(line, "Benchmark"):
-			if r, ok := parseBench(line, pkg); ok {
-				d.Benchmarks = append(d.Benchmarks, r)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
+	d, err := benchfmt.ParseStream(os.Stdin, os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
 		os.Exit(1)
 	}
-	sort.Slice(d.Benchmarks, func(i, j int) bool {
-		if d.Benchmarks[i].Pkg != d.Benchmarks[j].Pkg {
-			return d.Benchmarks[i].Pkg < d.Benchmarks[j].Pkg
-		}
-		return d.Benchmarks[i].Name < d.Benchmarks[j].Name
-	})
-	buf, err := json.MarshalIndent(&d, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: marshal:", err)
-		os.Exit(1)
-	}
-	buf = append(buf, '\n')
-	if *out == "" {
-		os.Stdout.Write(buf)
-		return
-	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := d.WriteFile(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(d.Benchmarks), *out)
-}
-
-// parseBench parses one result line: name, iteration count, then
-// value/unit pairs. Lines that don't fit (e.g. "BenchmarkX --- SKIP") are
-// ignored.
-func parseBench(line, pkg string) (result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || len(fields)%2 != 0 {
-		return result{}, false
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(d.Benchmarks), *out)
 	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return result{}, false
-	}
-	r := result{
-		Name:       strings.TrimSuffix(fields[0], "-"+lastCPUSuffix(fields[0])),
-		Pkg:        pkg,
-		Iterations: iters,
-		Metrics:    make(map[string]float64, (len(fields)-2)/2),
-	}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return result{}, false
-		}
-		r.Metrics[fields[i+1]] = v
-	}
-	return r, true
-}
-
-// lastCPUSuffix returns the trailing GOMAXPROCS digits of "Name-8" (empty if
-// the name carries no suffix, as under -cpu 1).
-func lastCPUSuffix(name string) string {
-	i := strings.LastIndexByte(name, '-')
-	if i < 0 {
-		return ""
-	}
-	suffix := name[i+1:]
-	for _, c := range suffix {
-		if c < '0' || c > '9' {
-			return ""
-		}
-	}
-	if suffix == "" {
-		return ""
-	}
-	return suffix
 }

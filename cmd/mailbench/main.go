@@ -1,0 +1,359 @@
+// Command mailbench runs the internal/loadgen closed-loop workload engine
+// as a capacity harness: it sweeps population × server-count combinations
+// on either transport, audits the paper's invariants online (exactly-once
+// deposit, no loss under faults, monotone LastCheckingTime, the §3.1.2c
+// ≈1-poll guarantee), reports per-stage latency quantiles from the obs
+// snapshot, compares the §3.1.1 assignment's predicted utilization and
+// Q(ρ)=ρ/(1−ρ) waits against the deposits each server actually served, and
+// emits the committed benchmark document (internal/benchfmt).
+//
+// Typical runs:
+//
+//	go run ./cmd/mailbench -transport netsim -users 1000000 -servers 64 -seed 1
+//	go run ./cmd/mailbench -transport netsim -users 1000000 -servers 64 -seed 1 -faults
+//	go run ./cmd/mailbench -transport livenet -users 2000 -servers 8
+//	go run ./cmd/mailbench -users 10000,100000 -servers 16,64 -o BENCH_PR4.json
+//
+// The exit status is non-zero when any run finishes with auditor
+// violations, so the harness doubles as a correctness gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/largemail/largemail/internal/benchfmt"
+	"github.com/largemail/largemail/internal/faults"
+	"github.com/largemail/largemail/internal/loadgen"
+	"github.com/largemail/largemail/internal/obs"
+	"github.com/largemail/largemail/internal/sim"
+)
+
+// params is one sweep point.
+type params struct {
+	transport string
+	users     int
+	servers   int
+	regions   int
+	seed      int64
+	messages  int
+	sessions  int
+	ticks     int
+	faults    bool
+}
+
+func main() {
+	transport := flag.String("transport", "netsim", "netsim (event time) or livenet (wall clock)")
+	usersFlag := flag.String("users", "10000", "population sizes to sweep (comma-separated)")
+	serversFlag := flag.String("servers", "8", "total server counts to sweep (comma-separated)")
+	regions := flag.Int("regions", 4, "regions to spread servers across")
+	seed := flag.Int64("seed", 1, "workload and fault-schedule seed")
+	messages := flag.Int("messages", 5000, "message budget per run")
+	sessions := flag.Int("sessions", 512, "concurrent closed-loop user sessions")
+	ticks := flag.Int("ticks", 120, "minimum run horizon in schedule ticks")
+	withFaults := flag.Bool("faults", false, "inject a compiled crash/link/latency/drop schedule")
+	out := flag.String("o", "BENCH_PR4.json", "benchmark document path (empty = stdout)")
+	flag.Parse()
+
+	if *transport != "netsim" && *transport != "livenet" {
+		fmt.Fprintf(os.Stderr, "mailbench: unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
+	userSweep, err := parseInts(*usersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mailbench: -users:", err)
+		os.Exit(2)
+	}
+	serverSweep, err := parseInts(*serversFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mailbench: -servers:", err)
+		os.Exit(2)
+	}
+
+	doc := benchfmt.Doc{Goos: runtime.GOOS, Goarch: runtime.GOARCH}
+	violations := 0
+	for _, users := range userSweep {
+		for _, servers := range serverSweep {
+			res, bad, err := run(params{
+				transport: *transport, users: users, servers: servers,
+				regions: *regions, seed: *seed, messages: *messages,
+				sessions: *sessions, ticks: *ticks, faults: *withFaults,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mailbench:", err)
+				os.Exit(1)
+			}
+			doc.Benchmarks = append(doc.Benchmarks, res)
+			violations += bad
+		}
+	}
+	if err := doc.WriteFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "mailbench: write:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d runs to %s\n", len(doc.Benchmarks), *out)
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "mailbench: %d auditor violations\n", violations)
+		os.Exit(1)
+	}
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad value %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// population derives the regional layout for a sweep point: servers spread
+// across min(regions, servers) regions, trimming to an even split.
+func population(p params) loadgen.Population {
+	regions := p.regions
+	if regions > p.servers {
+		regions = p.servers
+	}
+	if regions < 1 {
+		regions = 1
+	}
+	spr := p.servers / regions
+	if spr*regions != p.servers {
+		fmt.Fprintf(os.Stderr, "mailbench: %d servers do not split across %d regions; using %d\n",
+			p.servers, regions, spr*regions)
+	}
+	return loadgen.Population{
+		Users:            p.users,
+		Regions:          regions,
+		ServersPerRegion: spr,
+	}
+}
+
+// faultProfile scales a standard chaos mix to the deployment size, using
+// only the driver's safe fault surface.
+func faultProfile(drv loadgen.Driver, p params, ticks int) (*faults.Schedule, error) {
+	spec := drv.FaultSurface()
+	spec.Seed = p.seed
+	spec.Ticks = ticks
+	spec.Crashes = len(spec.Servers)/8 + 2
+	spec.Latencies = len(spec.Servers)/16 + 1
+	if len(spec.Links) > 0 {
+		spec.LinkFaults = 2
+	}
+	if len(spec.DropTargets) > 0 {
+		spec.Drops = 2
+	}
+	sched, err := faults.Compile(spec)
+	if err != nil {
+		return nil, fmt.Errorf("compile fault schedule: %w", err)
+	}
+	return &sched, nil
+}
+
+// run executes one sweep point and renders its report.
+func run(p params) (benchfmt.Result, int, error) {
+	pop := population(p)
+	var (
+		drv   loadgen.Driver
+		close func()
+		scale float64
+		unit  string
+	)
+	switch p.transport {
+	case "netsim":
+		d, err := loadgen.NewSimDriver(loadgen.SimConfig{Seed: p.seed, Pop: pop})
+		if err != nil {
+			return benchfmt.Result{}, 0, err
+		}
+		drv, close = d, func() {}
+		scale, unit = float64(sim.Unit), "units"
+	default:
+		d, err := loadgen.NewLiveDriver(loadgen.LiveConfig{Pop: pop})
+		if err != nil {
+			return benchfmt.Result{}, 0, err
+		}
+		drv, close = d, d.Close
+		scale, unit = 1e6, "ms"
+	}
+	defer close()
+
+	cfg := loadgen.Config{
+		Seed: p.seed, Messages: p.messages, Sessions: p.sessions, Ticks: p.ticks,
+	}
+	if p.faults {
+		sched, err := faultProfile(drv, p, p.ticks)
+		if err != nil {
+			return benchfmt.Result{}, 0, err
+		}
+		cfg.Schedule = sched
+	}
+
+	label := fmt.Sprintf("%s users=%d servers=%d faults=%v seed=%d",
+		p.transport, p.users, p.servers, p.faults, p.seed)
+	fmt.Printf("=== %s\n", label)
+	start := time.Now()
+	rep := loadgen.New(drv, cfg).Run()
+	elapsed := time.Since(start)
+
+	fmt.Printf("submitted %d messages (%d copies) in %d ticks, %d retrievals, "+
+		"%d polls, %d dup-suppressed — %s wall\n",
+		rep.Submitted, rep.Copies, rep.Ticks, rep.Retrievals, rep.Polls,
+		rep.Duplicates, elapsed.Round(time.Millisecond))
+
+	snap := drv.Snapshot()
+	fmt.Print(snap.LatencyTable("stage latency", scale, unit).Render())
+	printUtilization(rep.Loads)
+
+	bad := 0
+	if !rep.Ok {
+		for k, v := range rep.Violations {
+			bad += v
+			fmt.Printf("VIOLATION %s: %d\n", k, v)
+		}
+		for _, ex := range rep.Examples {
+			fmt.Printf("  e.g. %s\n", ex)
+		}
+	} else {
+		fmt.Println("auditors: clean (exactly-once, no-loss, monotone LCT, poll efficiency)")
+	}
+	fmt.Println()
+
+	res := benchfmt.Result{
+		Name:       benchName(p),
+		Pkg:        "cmd/mailbench",
+		Iterations: 1,
+		Metrics:    metrics(rep, snap, elapsed, scale),
+	}
+	return res, bad, nil
+}
+
+func benchName(p params) string {
+	name := fmt.Sprintf("Mailbench/%s/users=%d/servers=%d", p.transport, p.users, p.servers)
+	if p.faults {
+		name += "/faults"
+	}
+	return name
+}
+
+// printUtilization renders predicted vs observed load per server (full
+// table for small fleets, aggregate always).
+func printUtilization(loads []loadgen.ServerLoad) {
+	if len(loads) == 0 {
+		return
+	}
+	var deposits int64
+	var totalLoad int
+	maxRho, sumRho := 0.0, 0.0
+	for _, l := range loads {
+		deposits += l.Deposits
+		totalLoad += l.Load
+		sumRho += l.Rho
+		if l.Rho > maxRho {
+			maxRho = l.Rho
+		}
+	}
+	if len(loads) <= 16 {
+		t := obs.NewTable("utilization vs Q(ρ)", "server", "region", "load", "max", "ρ", "Q(ρ)", "deposits")
+		for _, l := range loads {
+			t.AddRow(l.Name, l.Region, l.Load, l.MaxLoad,
+				fmt.Sprintf("%.3f", l.Rho), fmt.Sprintf("%.3f", l.QWait), l.Deposits)
+		}
+		fmt.Print(t.Render())
+	}
+	fmt.Printf("utilization: mean ρ %.3f, max ρ %.3f, predicted-vs-observed share error %.4f\n",
+		sumRho/float64(len(loads)), maxRho, shareError(loads, totalLoad, deposits))
+}
+
+// shareError is the max over servers of |observed deposit share − predicted
+// load share| — how far the run's actual traffic drifted from the §3.1.1
+// balance the Q(ρ) predictions assume.
+func shareError(loads []loadgen.ServerLoad, totalLoad int, deposits int64) float64 {
+	if totalLoad == 0 || deposits == 0 {
+		return 0
+	}
+	worst := 0.0
+	for _, l := range loads {
+		diff := float64(l.Deposits)/float64(deposits) - float64(l.Load)/float64(totalLoad)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > worst {
+			worst = diff
+		}
+	}
+	return worst
+}
+
+// metrics flattens the run into the benchmark document's metric map. Stage
+// latencies are reported in the transport's table unit (sim units / ms).
+func metrics(rep loadgen.Report, snap obs.Snapshot, elapsed time.Duration, scale float64) map[string]float64 {
+	m := map[string]float64{
+		"messages":   float64(rep.Submitted),
+		"copies":     float64(rep.Copies),
+		"retrievals": float64(rep.Retrievals),
+		"polls":      float64(rep.Polls),
+		"dups":       float64(rep.Duplicates),
+		"ticks":      float64(rep.Ticks),
+		"violations": 0,
+		"ns/op":      float64(elapsed.Nanoseconds()),
+	}
+	for _, v := range rep.Violations {
+		m["violations"] += float64(v)
+	}
+	if rep.Retrievals > 0 {
+		m["polls_per_retrieval"] = float64(rep.Polls) / float64(rep.Retrievals)
+	}
+	names := make([]string, 0, len(snap.Histograms))
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		if h.Count == 0 {
+			continue
+		}
+		m[n+"_p50"] = h.P50 / scale
+		m[n+"_p95"] = h.P95 / scale
+		m[n+"_p99"] = h.P99 / scale
+	}
+	var deposits int64
+	var totalLoad int
+	maxRho, sumRho, maxQ := 0.0, 0.0, 0.0
+	for _, l := range rep.Loads {
+		deposits += l.Deposits
+		totalLoad += l.Load
+		sumRho += l.Rho
+		if l.Rho > maxRho {
+			maxRho = l.Rho
+		}
+		if l.QWait > maxQ {
+			maxQ = l.QWait
+		}
+	}
+	if n := len(rep.Loads); n > 0 {
+		m["rho_mean"] = sumRho / float64(n)
+		m["rho_max"] = maxRho
+		m["q_wait_max"] = maxQ
+		m["util_share_err"] = shareError(rep.Loads, totalLoad, deposits)
+	}
+	return m
+}

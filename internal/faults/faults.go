@@ -152,6 +152,16 @@ func (sp Spec) withDefaults() Spec {
 			sp.MaxOutage = sp.MinOutage
 		}
 	}
+	// A window of length Ticks (or more) leaves no room to place a start
+	// inside the horizon: window() draws start from [0, Ticks−length), which
+	// is empty. Clamp both bounds to Ticks−1 so every caller-supplied outage
+	// still fits strictly inside [0, Ticks].
+	if sp.MaxOutage > sp.Ticks-1 {
+		sp.MaxOutage = sp.Ticks - 1
+	}
+	if sp.MinOutage > sp.MaxOutage {
+		sp.MinOutage = sp.MaxOutage
+	}
 	if sp.MaxDelayTicks <= 0 {
 		sp.MaxDelayTicks = 2
 	}

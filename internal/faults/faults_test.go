@@ -91,6 +91,29 @@ func TestCompileWindowsPairedAndClosed(t *testing.T) {
 	}
 }
 
+func TestCompileOversizedOutageClamped(t *testing.T) {
+	// A MaxOutage at or beyond the horizon used to feed rng.Intn a
+	// non-positive span and panic; it must clamp so windows still fit.
+	sp := chaosSpec()
+	sp.MinOutage = 50
+	sp.MaxOutage = sp.Ticks + 10
+	sched, err := Compile(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := sched.Horizon(); h > sp.Ticks {
+		t.Fatalf("horizon %d beyond spec ticks %d", h, sp.Ticks)
+	}
+
+	// Even MinOutage beyond the horizon must compile (both bounds clamp).
+	sp = chaosSpec()
+	sp.MinOutage = sp.Ticks * 2
+	sp.MaxOutage = sp.Ticks * 3
+	if _, err := Compile(sp); err != nil {
+		t.Fatalf("oversized MinOutage: %v", err)
+	}
+}
+
 func TestCompileProtectedTargetsExcluded(t *testing.T) {
 	sp := chaosSpec()
 	sp.Protected = []string{"s1"}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -351,6 +352,18 @@ func (c *Cluster) Server(name string) (*Server, bool) {
 	defer c.mu.RUnlock()
 	s, ok := c.servers[name]
 	return s, ok
+}
+
+// ServerNames returns every server's name, sorted.
+func (c *Cluster) ServerNames() []string {
+	c.mu.RLock()
+	out := make([]string, 0, len(c.servers))
+	for name := range c.servers {
+		out = append(out, name)
+	}
+	c.mu.RUnlock()
+	sort.Strings(out)
+	return out
 }
 
 // Close stops the spool worker and every server goroutine, waiting for them

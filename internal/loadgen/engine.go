@@ -1,0 +1,298 @@
+package loadgen
+
+import (
+	"math/rand"
+
+	"github.com/largemail/largemail/internal/faults"
+)
+
+// Config parameterizes one closed-loop run.
+type Config struct {
+	Seed int64
+	// Messages is the total message budget across all sessions (default
+	// 200). The run keeps ticking past Ticks until the budget is spent.
+	Messages int
+	// Sessions is how many concurrent user sessions drive traffic (default
+	// min(32, population size)). Session k is user k·stride, spreading the
+	// senders evenly across hosts and regions.
+	Sessions int
+	// Ticks is the minimum horizon in schedule ticks; raised to the fault
+	// schedule's horizon so every injected window closes inside the run
+	// (default 50).
+	Ticks int
+	// RetrieveEvery is the sweep period: every touched user runs GetMail
+	// once per this many ticks (default 4).
+	RetrieveEvery int
+	// Workload sets the per-message distributions.
+	Workload Workload
+	// Schedule, when non-nil, is a compiled fault schedule injected as its
+	// ticks come due. Its presence disables the strict §3.1.2c poll audit —
+	// extra polls during failures are the algorithm working as designed.
+	Schedule *faults.Schedule
+	// SettleRounds is how many consecutive empty retrieval sweeps end the
+	// drain phase (default 3); MaxSettle caps the sweeps (default 200).
+	SettleRounds int
+	MaxSettle    int
+}
+
+func (c Config) withDefaults(pop Population) Config {
+	if c.Messages <= 0 {
+		c.Messages = 200
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 32
+	}
+	if c.Sessions > pop.Users {
+		c.Sessions = pop.Users
+	}
+	if c.Ticks <= 0 {
+		c.Ticks = 50
+	}
+	if c.Schedule != nil && c.Schedule.Horizon() > c.Ticks {
+		c.Ticks = c.Schedule.Horizon()
+	}
+	if c.RetrieveEvery <= 0 {
+		c.RetrieveEvery = 4
+	}
+	c.Workload = c.Workload.withDefaults()
+	if c.SettleRounds <= 0 {
+		c.SettleRounds = 3
+	}
+	if c.MaxSettle <= 0 {
+		c.MaxSettle = 200
+	}
+	return c
+}
+
+// Report is what one engine run produced and proved.
+type Report struct {
+	Submitted  int  // messages committed
+	Copies     int  // recipient copies committed (≥ Submitted)
+	Retrievals int  // GetMail invocations
+	Polls      int  // CheckMail calls across all retrievals
+	Duplicates int  // agent-side dedup suppressions
+	Ticks      int  // main-loop ticks actually run
+	Ok         bool // zero auditor violations
+
+	Violations map[string]int // violation totals by kind
+	Examples   []string       // up to maxViolationDetail example violations
+	Loads      []ServerLoad   // predicted vs observed per-server load
+}
+
+// session is one closed-loop user: send, think, send again.
+type session struct {
+	user int
+	next int // tick of the next send
+}
+
+// Engine drives a Driver with a seeded closed-loop workload while the
+// Auditors check the paper's invariants online. One engine, two transports:
+// everything here is transport-agnostic.
+type Engine struct {
+	drv Driver
+	cfg Config
+	rng *rand.Rand
+	aud *Auditors
+
+	// OnTick, when set before Run, fires after each main-loop tick — the
+	// hook reconfiguration tests use to add/remove servers or migrate users
+	// mid-run. Setting it disables the strict poll audit (reconfiguration
+	// legitimately forces extra polls).
+	OnTick func(tick int)
+
+	sessions  []*session
+	touched   map[int]bool
+	sweepList []int    // touched users, in first-touch order
+	committed []string // message IDs owed complete traces
+	submitted int
+}
+
+// New builds an engine over drv. Run may be called once.
+func New(drv Driver, cfg Config) *Engine {
+	pop := drv.Population()
+	cfg = cfg.withDefaults(pop)
+	e := &Engine{
+		drv:     drv,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		touched: make(map[int]bool),
+	}
+	stride := pop.Users / cfg.Sessions
+	if stride < 1 {
+		stride = 1
+	}
+	for k := 0; k < cfg.Sessions; k++ {
+		u := (k * stride) % pop.Users
+		e.sessions = append(e.sessions, &session{
+			user: u,
+			next: k % cfg.Workload.ThinkMax, // stagger first sends
+		})
+	}
+	return e
+}
+
+// Auditors exposes the run's auditors (valid during OnTick and after Run).
+func (e *Engine) Auditors() *Auditors { return e.aud }
+
+// CreditRetrieved forwards out-of-band deliveries (e.g. a pre-migration
+// drain) to the auditors so the no-loss ledger stays balanced.
+func (e *Engine) CreditRetrieved(u int, ids []string) {
+	e.touch(u)
+	e.aud.CreditRetrieved(u, ids)
+}
+
+func (e *Engine) touch(u int) {
+	if !e.touched[u] {
+		e.touched[u] = true
+		e.sweepList = append(e.sweepList, u)
+	}
+}
+
+// pickRecipient draws one recipient ≠ from, local to the sender's region
+// with probability LocalBias.
+func (e *Engine) pickRecipient(from int) int {
+	pop := e.drv.Population()
+	for try := 0; try < 8; try++ {
+		var gh int
+		if e.rng.Float64() < e.cfg.Workload.LocalBias {
+			r := pop.RegionOf(from)
+			gh = r*pop.HostsPerRegion + e.rng.Intn(pop.HostsPerRegion)
+		} else {
+			gh = e.rng.Intn(pop.TotalHosts())
+		}
+		n := pop.UsersOnHost(gh)
+		if n == 0 {
+			continue
+		}
+		u := e.rng.Intn(n)*pop.TotalHosts() + gh
+		if u != from && u < pop.Users {
+			return u
+		}
+	}
+	return (from + 1) % pop.Users
+}
+
+func (e *Engine) fire(s *session, tick int, rep *Report) {
+	w := e.cfg.Workload
+	n := w.sampleRecipients(e.rng)
+	rcpts := make([]int, 0, n)
+	seen := map[int]bool{s.user: true}
+	for len(rcpts) < n {
+		u := e.pickRecipient(s.user)
+		if seen[u] {
+			break // small population: accept fewer recipients over looping
+		}
+		seen[u] = true
+		rcpts = append(rcpts, u)
+	}
+	if len(rcpts) == 0 {
+		return
+	}
+	body := make([]byte, w.sampleBody(e.rng))
+	for i := range body {
+		body[i] = 'a' + byte((i+tick)%26)
+	}
+	id, err := e.drv.Submit(s.user, rcpts, "bench", string(body))
+	if err != nil {
+		// No commit: every authority server of the sender was down. The
+		// closed loop retries after a think; nothing is owed to the ledger.
+		return
+	}
+	e.submitted++
+	rep.Submitted++
+	rep.Copies += len(rcpts)
+	e.committed = append(e.committed, id)
+	e.aud.RecordSubmit(id, rcpts)
+	e.touch(s.user)
+	for _, u := range rcpts {
+		e.touch(u)
+	}
+}
+
+// sweep retrieves for every touched user; returns copies retrieved.
+func (e *Engine) sweep(rep *Report) int {
+	got := 0
+	for _, u := range e.sweepList {
+		res := e.drv.Retrieve(u)
+		rep.Retrievals++
+		rep.Polls += res.Polls
+		rep.Duplicates += res.Duplicates
+		e.aud.RecordRetrieve(u, res)
+		got += len(res.IDs)
+	}
+	return got
+}
+
+// Run executes the closed loop: inject due faults, fire ready sessions,
+// sweep retrievals, advance one tick — until the horizon is past and the
+// message budget is spent — then drain, settle, and close the audit.
+func (e *Engine) Run() Report {
+	pop := e.drv.Population()
+	pollStrict := e.cfg.Schedule == nil && e.OnTick == nil
+	e.aud = NewAuditors(pop.AuthorityLen, pollStrict)
+	var rep Report
+
+	inj := e.drv.Injector()
+	var events []faults.Event
+	if e.cfg.Schedule != nil {
+		events = e.cfg.Schedule.Events
+	}
+	nextEvent := 0
+
+	// Hard cap: horizon plus a generous allowance of ticks per undrawn
+	// message, so a stalled driver cannot loop forever.
+	hardCap := e.cfg.Ticks + 4*e.cfg.Messages + 64
+	tick := 0
+	for tick < e.cfg.Ticks || e.submitted < e.cfg.Messages {
+		if tick >= hardCap {
+			break
+		}
+		for nextEvent < len(events) && events[nextEvent].Tick <= tick {
+			_ = inj.Inject(events[nextEvent])
+			nextEvent++
+		}
+		for _, s := range e.sessions {
+			if tick >= s.next && e.submitted < e.cfg.Messages {
+				e.fire(s, tick, &rep)
+				s.next = tick + e.cfg.Workload.sampleThink(e.rng)
+			}
+		}
+		if tick > 0 && tick%e.cfg.RetrieveEvery == 0 {
+			e.sweep(&rep)
+		}
+		e.drv.Step(1)
+		if e.OnTick != nil {
+			e.OnTick(tick)
+		}
+		tick++
+	}
+	// Close any windows past the loop (cap exits only).
+	for nextEvent < len(events) {
+		_ = inj.Inject(events[nextEvent])
+		nextEvent++
+	}
+	rep.Ticks = tick
+
+	// Drain: settle in-flight work, then sweep until SettleRounds
+	// consecutive sweeps retrieve nothing.
+	e.drv.Settle()
+	empty := 0
+	for round := 0; round < e.cfg.MaxSettle && empty < e.cfg.SettleRounds; round++ {
+		if e.sweep(&rep) == 0 {
+			empty++
+		} else {
+			empty = 0
+		}
+		e.drv.Step(1)
+		e.drv.Settle()
+	}
+
+	e.aud.FinishOutstanding()
+	e.aud.RecordTraceGaps(e.drv.Tracer().Incomplete(e.committed))
+
+	rep.Ok = e.aud.Ok()
+	rep.Violations = e.aud.Counts()
+	rep.Examples = e.aud.Violations()
+	rep.Loads = e.drv.ServerLoads()
+	return rep
+}

@@ -1,0 +1,228 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/largemail/largemail/internal/faults"
+	"github.com/largemail/largemail/internal/livenet"
+	"github.com/largemail/largemail/internal/names"
+	"github.com/largemail/largemail/internal/obs"
+	"github.com/largemail/largemail/internal/queueing"
+)
+
+// LiveConfig parameterizes a LiveDriver.
+type LiveConfig struct {
+	Pop Population
+	// Tick is the wall-clock duration of one schedule tick (default 2ms).
+	Tick time.Duration
+	// Spool configures the redelivery spool; the zero value takes the
+	// spool's own defaults. The spool is always enabled: it is what makes a
+	// live Submit an all-or-nothing commit (only a recipient with no
+	// authority list at all can fail), which is the commit-point contract
+	// the no-loss auditor depends on.
+	Spool livenet.SpoolConfig
+}
+
+// LiveDriver drives the livenet transport: goroutine servers, wall-clock
+// time, spool-backed redelivery. Server gs of region r is named
+// "S<r·ServersPerRegion+s>"; user authority lists are AuthorityLen servers
+// of the user's region starting at slot (host mod ServersPerRegion), so
+// primary load spreads evenly without running the full §3.1.1 engine — the
+// predicted loads in ServerLoads use that same round-robin placement.
+type LiveDriver struct {
+	cfg     LiveConfig
+	pop     Population
+	cluster *livenet.Cluster
+
+	agents    map[int]*livenet.Agent
+	prevPolls map[int]int
+}
+
+// NewLiveDriver builds the cluster and starts one goroutine per server.
+// Call Close when done.
+func NewLiveDriver(cfg LiveConfig) (*LiveDriver, error) {
+	cfg.Pop = cfg.Pop.withDefaults()
+	if cfg.Tick <= 0 {
+		cfg.Tick = 2 * time.Millisecond
+	}
+	d := &LiveDriver{
+		cfg:       cfg,
+		pop:       cfg.Pop,
+		cluster:   livenet.NewCluster(),
+		agents:    make(map[int]*livenet.Agent),
+		prevPolls: make(map[int]int),
+	}
+	for gs := 0; gs < d.pop.TotalServers(); gs++ {
+		if _, err := d.cluster.AddServer(d.serverName(gs)); err != nil {
+			d.cluster.Close()
+			return nil, err
+		}
+	}
+	if err := d.cluster.EnableSpool(cfg.Spool); err != nil {
+		d.cluster.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// Close stops the spool and every server goroutine.
+func (d *LiveDriver) Close() { d.cluster.Close() }
+
+// Cluster exposes the underlying cluster for tests.
+func (d *LiveDriver) Cluster() *livenet.Cluster { return d.cluster }
+
+func (d *LiveDriver) serverName(gs int) string { return fmt.Sprintf("S%d", gs) }
+
+// authority returns user u's ordered authority list: AuthorityLen servers
+// of u's region, starting at the slot the user's host maps to.
+func (d *LiveDriver) authority(u int) []string {
+	r := d.pop.RegionOf(u)
+	start := d.pop.HostOf(u) % d.pop.ServersPerRegion
+	out := make([]string, 0, d.pop.AuthorityLen)
+	for i := 0; i < d.pop.AuthorityLen; i++ {
+		s := (start + i) % d.pop.ServersPerRegion
+		out = append(out, d.serverName(r*d.pop.ServersPerRegion+s))
+	}
+	return out
+}
+
+// ensure lazily registers user u in the directory and creates its agent.
+func (d *LiveDriver) ensure(u int) (*livenet.Agent, names.Name, error) {
+	name := d.pop.Name(u)
+	if ag, ok := d.agents[u]; ok {
+		return ag, name, nil
+	}
+	d.cluster.Directory().SetAuthority(name, d.authority(u))
+	ag, err := d.cluster.NewAgent(name)
+	if err != nil {
+		return nil, name, err
+	}
+	d.agents[u] = ag
+	return ag, name, nil
+}
+
+// Population implements Driver.
+func (d *LiveDriver) Population() Population { return d.pop }
+
+// Submit implements Driver. With the spool enabled a nil error means every
+// recipient copy is committed — deposited now or owed by the spool.
+func (d *LiveDriver) Submit(from int, to []int, subject, body string) (string, error) {
+	_, fromName, err := d.ensure(from)
+	if err != nil {
+		return "", err
+	}
+	rcpts := make([]names.Name, 0, len(to))
+	for _, u := range to {
+		_, name, err := d.ensure(u)
+		if err != nil {
+			return "", err
+		}
+		rcpts = append(rcpts, name)
+	}
+	id, err := d.cluster.Submit(fromName, rcpts, subject, body)
+	if err != nil {
+		return "", err
+	}
+	return id.String(), nil
+}
+
+// Retrieve implements Driver.
+func (d *LiveDriver) Retrieve(u int) RetrieveResult {
+	ag, _, err := d.ensure(u)
+	if err != nil {
+		return RetrieveResult{}
+	}
+	got := ag.GetMail()
+	res := RetrieveResult{
+		Polls:        ag.Polls() - d.prevPolls[u],
+		LastChecking: ag.LastCheckingTime().UnixNano(),
+	}
+	d.prevPolls[u] = ag.Polls()
+	for _, m := range got {
+		res.IDs = append(res.IDs, m.ID.String())
+	}
+	return res
+}
+
+// Step implements Driver: one tick is a short wall-clock sleep.
+func (d *LiveDriver) Step(n int) {
+	if n > 0 {
+		time.Sleep(time.Duration(n) * d.cfg.Tick)
+	}
+}
+
+// Settle implements Driver: wait for the redelivery spool to drain.
+func (d *LiveDriver) Settle() {
+	for i := 0; i < 500; i++ {
+		if d.cluster.SpoolDepth() == 0 {
+			return
+		}
+		time.Sleep(d.cfg.Tick)
+	}
+}
+
+// Snapshot implements Driver.
+func (d *LiveDriver) Snapshot() obs.Snapshot { return d.cluster.Snapshot() }
+
+// Tracer implements Driver.
+func (d *LiveDriver) Tracer() *obs.Tracer { return d.cluster.Tracer() }
+
+// Injector implements Driver.
+func (d *LiveDriver) Injector() faults.Injector {
+	return faults.NewLiveTarget(d.cluster, d.cfg.Tick)
+}
+
+// FaultSurface implements Driver. On the live transport servers are safe
+// drop targets (transient drops are retried on the same server, never
+// failed over), and link faults resolve to server unreachability — which
+// stamps LastStartTime on restore, so the GetMail walk recovers deposits
+// that failed over past the partition.
+func (d *LiveDriver) FaultSurface() faults.Spec {
+	var sp faults.Spec
+	sp.Servers = d.cluster.ServerNames()
+	sp.DropTargets = append([]string(nil), sp.Servers...)
+	for r := 0; r < d.pop.Regions; r++ {
+		if d.pop.ServersPerRegion < 3 {
+			continue // a 2-server region cannot spare a link
+		}
+		for s := 0; s < d.pop.ServersPerRegion; s++ {
+			gs := r*d.pop.ServersPerRegion + s
+			next := r*d.pop.ServersPerRegion + (s+1)%d.pop.ServersPerRegion
+			sp.Links = append(sp.Links, [2]string{d.serverName(gs), d.serverName(next)})
+		}
+	}
+	return sp
+}
+
+// ServerLoads implements Driver: predicted load from the round-robin
+// placement (host gh's users' primary is slot gh mod ServersPerRegion),
+// observed deposits from the per-server counters.
+func (d *LiveDriver) ServerLoads() []ServerLoad {
+	deposits := d.cluster.Obs().Counters()
+	perServer := 0
+	if d.pop.TotalServers() > 0 {
+		perServer = d.pop.Users / d.pop.TotalServers()
+	}
+	maxLoad := perServer + perServer/4 + 4
+	loads := make([]int, d.pop.TotalServers())
+	for gh := 0; gh < d.pop.TotalHosts(); gh++ {
+		r := gh / d.pop.HostsPerRegion
+		loads[r*d.pop.ServersPerRegion+gh%d.pop.ServersPerRegion] += d.pop.UsersOnHost(gh)
+	}
+	out := make([]ServerLoad, 0, len(loads))
+	for gs, l := range loads {
+		name := d.serverName(gs)
+		rho := float64(l) / float64(maxLoad)
+		out = append(out, ServerLoad{
+			Name:     name,
+			Region:   d.pop.RegionName(gs / d.pop.ServersPerRegion),
+			Load:     l,
+			MaxLoad:  maxLoad,
+			Rho:      rho,
+			QWait:    queueing.Wait(rho),
+			Deposits: deposits[name+".deposits"],
+		})
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+// Package loadgen is the repository's closed-loop workload engine: it
+// synthesizes a user population with regional locality, drives seeded
+// submit/retrieve traffic through a mail system behind the Driver interface
+// (netsim event-time via SimDriver, livenet wall-clock via LiveDriver), and
+// audits the paper's correctness claims online while it measures.
+//
+// The ROADMAP's north star is "heavy traffic from millions of users"; the
+// population here is therefore virtual: users are integer indices with an
+// O(1) index → (region, host) mapping, and only users actually touched by
+// the workload (senders, recipients) materialize directories and agents.
+// That is what lets a single process drive a million-user population — the
+// same trick the paper's own evaluation plays by simulating user counts
+// rather than user processes (§3.1.1 balances user *counts* per host).
+//
+// The invariant auditors (Auditors) layer on the existing obs tracer and
+// the faults soak's ledger discipline: exactly-once deposit per recipient
+// copy, no loss of committed messages across injected crashes, monotone
+// LastCheckingTime per user, and §3.1.2c's "≈1 poll per retrieval when
+// failure-free" guarantee — all checked during the run, not post-hoc.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/largemail/largemail/internal/names"
+)
+
+// Population describes the shape of a synthetic user population. Users are
+// virtual indices in [0, Users); user u lives on global host u mod
+// TotalHosts, and hosts are grouped HostsPerRegion per region — so
+// consecutive user indices spread round-robin across every host and region.
+type Population struct {
+	Users            int // population size (virtual; only touched users materialize)
+	Regions          int // default 2
+	HostsPerRegion   int // default 2 × ServersPerRegion
+	ServersPerRegion int // default 4
+	// AuthorityLen is the per-user authority-list length, clamped to
+	// ServersPerRegion (default 2).
+	AuthorityLen int
+}
+
+func (p Population) withDefaults() Population {
+	if p.Users <= 0 {
+		p.Users = 1000
+	}
+	if p.Regions <= 0 {
+		p.Regions = 2
+	}
+	if p.ServersPerRegion <= 0 {
+		p.ServersPerRegion = 4
+	}
+	if p.HostsPerRegion <= 0 {
+		p.HostsPerRegion = 2 * p.ServersPerRegion
+	}
+	if p.AuthorityLen <= 0 {
+		p.AuthorityLen = 2
+	}
+	if p.AuthorityLen > p.ServersPerRegion {
+		p.AuthorityLen = p.ServersPerRegion
+	}
+	return p
+}
+
+// TotalHosts returns the number of host machines across all regions.
+func (p Population) TotalHosts() int { return p.Regions * p.HostsPerRegion }
+
+// TotalServers returns the number of mail servers across all regions.
+func (p Population) TotalServers() int { return p.Regions * p.ServersPerRegion }
+
+// HostOf maps a user index to its global host index.
+func (p Population) HostOf(u int) int { return u % p.TotalHosts() }
+
+// RegionOf maps a user index to its region index.
+func (p Population) RegionOf(u int) int { return p.HostOf(u) / p.HostsPerRegion }
+
+// UsersOnHost reports how many users the population homes on a global host
+// index — the N_i counts the §3.1.1 assignment balances.
+func (p Population) UsersOnHost(gh int) int {
+	t := p.TotalHosts()
+	n := p.Users / t
+	if gh < p.Users%t {
+		n++
+	}
+	return n
+}
+
+// Name returns the user's syntax-directed name: region Rr, host token hg,
+// user token u<index>.
+func (p Population) Name(u int) names.Name {
+	return names.Name{
+		Region: fmt.Sprintf("R%d", p.RegionOf(u)),
+		Host:   fmt.Sprintf("h%d", p.HostOf(u)),
+		User:   fmt.Sprintf("u%d", u),
+	}
+}
+
+// RegionName returns the token for a region index.
+func (p Population) RegionName(r int) string { return fmt.Sprintf("R%d", r) }
+
+// Workload describes the per-message distributions of the closed-loop
+// sessions: how many recipients, how large a body, how long a user thinks
+// between sends, and how regionally local their correspondents are.
+type Workload struct {
+	// MaxRecipients caps the per-message recipient count; counts are drawn
+	// 1..MaxRecipients with a geometric-ish decay (default 3).
+	MaxRecipients int
+	// LocalBias is the probability that each recipient lives in the
+	// sender's region (default 0.8 — the locality assumption behind the
+	// paper's regional partitioning, §3.1.2b).
+	LocalBias float64
+	// MinBody/MaxBody bound the message body size in bytes (defaults 64
+	// and 2048).
+	MinBody, MaxBody int
+	// ThinkMin/ThinkMax bound a session's think time between sends, in
+	// schedule ticks (defaults 3 and 12).
+	ThinkMin, ThinkMax int
+}
+
+func (w Workload) withDefaults() Workload {
+	if w.MaxRecipients <= 0 {
+		w.MaxRecipients = 3
+	}
+	if w.LocalBias <= 0 || w.LocalBias > 1 {
+		w.LocalBias = 0.8
+	}
+	if w.MinBody <= 0 {
+		w.MinBody = 64
+	}
+	if w.MaxBody < w.MinBody {
+		w.MaxBody = 2048
+		if w.MaxBody < w.MinBody {
+			w.MaxBody = w.MinBody
+		}
+	}
+	if w.ThinkMin <= 0 {
+		w.ThinkMin = 3
+	}
+	if w.ThinkMax < w.ThinkMin {
+		w.ThinkMax = 12
+		if w.ThinkMax < w.ThinkMin {
+			w.ThinkMax = w.ThinkMin
+		}
+	}
+	return w
+}
+
+// sampleRecipients draws a recipient count in [1, MaxRecipients]: each
+// additional recipient survives with probability 0.4, so most mail is
+// person-to-person with a decaying multi-recipient tail.
+func (w Workload) sampleRecipients(rng *rand.Rand) int {
+	n := 1
+	for n < w.MaxRecipients && rng.Float64() < 0.4 {
+		n++
+	}
+	return n
+}
+
+// sampleBody draws a body size in [MinBody, MaxBody], skewed small by
+// taking the minimum of two uniform draws.
+func (w Workload) sampleBody(rng *rand.Rand) int {
+	span := w.MaxBody - w.MinBody + 1
+	a, b := rng.Intn(span), rng.Intn(span)
+	if b < a {
+		a = b
+	}
+	return w.MinBody + a
+}
+
+// sampleThink draws a think time in [ThinkMin, ThinkMax] ticks.
+func (w Workload) sampleThink(rng *rand.Rand) int {
+	return w.ThinkMin + rng.Intn(w.ThinkMax-w.ThinkMin+1)
+}

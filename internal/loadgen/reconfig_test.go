@@ -1,0 +1,119 @@
+package loadgen
+
+import (
+	"testing"
+)
+
+// TestReconfigUnderLoad exercises the §3.1.3 reconfiguration operations —
+// server addition, user migration (§3.1.4), and server deletion — while the
+// closed-loop population is actively submitting and retrieving. The auditors
+// are the oracle: every committed copy must still be retrieved exactly once
+// (including mail drained during migration and mail evacuated off a deleted
+// server), LastCheckingTime stays monotone per user, and the post-run
+// assignment still respects every server's capacity.
+func TestReconfigUnderLoad(t *testing.T) {
+	drv, err := NewSimDriver(SimConfig{
+		Seed: 11,
+		Pop: Population{
+			Users:            240,
+			Regions:          2,
+			ServersPerRegion: 3,
+			AuthorityLen:     2,
+		},
+		SpareServersPerRegion: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := drv.Population()
+
+	// The migration victim: a region-0 user moved to a region-1 host.
+	victim := 2
+	if pop.RegionOf(victim) != 0 {
+		t.Fatalf("test setup: user %d not in region 0", victim)
+	}
+	newHost := pop.HostsPerRegion // first host of region 1
+	removeTarget := drv.ServerLoads()[0].Name
+
+	eng := New(drv, Config{
+		Seed:          11,
+		Messages:      150,
+		Sessions:      16,
+		Ticks:         80,
+		RetrieveEvery: 4,
+	})
+	var added string
+	var migrated, removed bool
+	eng.OnTick = func(tick int) {
+		switch tick {
+		case 20:
+			label, err := drv.AddServer(0)
+			if err != nil {
+				t.Fatalf("tick %d AddServer: %v", tick, err)
+			}
+			added = label
+		case 36:
+			drained, err := drv.MigrateUser(victim, newHost)
+			if err != nil {
+				t.Fatalf("tick %d MigrateUser: %v", tick, err)
+			}
+			// Mail drained under the old name was committed; credit it so
+			// the no-loss ledger knows it reached the user.
+			eng.CreditRetrieved(victim, drained)
+			migrated = true
+		case 52:
+			if err := drv.RemoveServer(removeTarget); err != nil {
+				t.Fatalf("tick %d RemoveServer(%s): %v", tick, removeTarget, err)
+			}
+			removed = true
+		}
+	}
+	rep := eng.Run()
+
+	if !migrated || !removed || added == "" {
+		t.Fatalf("reconfig ops did not all fire: added=%q migrated=%v removed=%v",
+			added, migrated, removed)
+	}
+	if !rep.Ok {
+		t.Fatalf("auditors flagged violations under reconfig: %v\nexamples: %v",
+			rep.Violations, rep.Examples)
+	}
+	if rep.Submitted != 150 {
+		t.Errorf("Submitted = %d, want 150", rep.Submitted)
+	}
+
+	// The migration really happened: the victim resolves to a region-1 name.
+	if got := drv.UserName(victim); got.Region != pop.RegionName(1) {
+		t.Errorf("migrated user resolves to %v, want region %s", got, pop.RegionName(1))
+	}
+
+	// Assignment invariants after add + migrate + delete: the deleted server
+	// is gone from the load table, the added one is present, no server is
+	// over capacity, and the whole population is still assigned somewhere.
+	total := 0
+	for _, sl := range rep.Loads {
+		if sl.Name == removeTarget {
+			t.Errorf("deleted server %s still in load table", sl.Name)
+		}
+		if sl.Load > sl.MaxLoad {
+			t.Errorf("server %s over capacity: %d > %d", sl.Name, sl.Load, sl.MaxLoad)
+		}
+		total += sl.Load
+	}
+	if total != pop.Users {
+		t.Errorf("assigned users = %d, want %d", total, pop.Users)
+	}
+	foundAdded := false
+	for _, sl := range rep.Loads {
+		if sl.Name == added {
+			foundAdded = true
+		}
+	}
+	if !foundAdded {
+		t.Errorf("added server %s missing from load table", added)
+	}
+	if len(rep.Loads) != pop.TotalServers() {
+		t.Errorf("load table has %d servers, want %d (add and delete should cancel)",
+			len(rep.Loads), pop.TotalServers())
+	}
+}

@@ -1,0 +1,642 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/largemail/largemail/internal/assign"
+	"github.com/largemail/largemail/internal/client"
+	"github.com/largemail/largemail/internal/faults"
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/mail"
+	"github.com/largemail/largemail/internal/names"
+	"github.com/largemail/largemail/internal/netsim"
+	"github.com/largemail/largemail/internal/obs"
+	"github.com/largemail/largemail/internal/queueing"
+	"github.com/largemail/largemail/internal/server"
+	"github.com/largemail/largemail/internal/sim"
+)
+
+// Node ID layout for generated topologies. Hosts and servers get disjoint
+// ranges sized for million-user populations (graph.HostBase/ServerBase are
+// only 100 apart — too tight for 128 hosts).
+const (
+	simHostBase   graph.NodeID = 0
+	simServerBase graph.NodeID = 1 << 20
+)
+
+// SimConfig configures a SimDriver.
+type SimConfig struct {
+	Seed int64
+	Pop  Population
+	// Tick is the virtual length of one schedule tick (default 10 units).
+	Tick sim.Time
+	// SpareServersPerRegion adds unwired server nodes to each region's
+	// topology so AddServer reconfigurations have hardware to claim
+	// (default 0).
+	SpareServersPerRegion int
+	// Retention is each server's mailbox clean-up policy (zero keeps all).
+	Retention mail.Retention
+}
+
+// SimDriver drives the discrete-event transport: it builds its own regional
+// topology (host spokes, intra-region server ring, inter-region ring), runs
+// the §3.1.1 assignment per region to derive authority lists and predicted
+// utilization, and materializes directories and agents lazily as the
+// workload touches users — core.NewSyntax creates every agent eagerly,
+// which a million-user population cannot afford.
+type SimDriver struct {
+	cfg   SimConfig
+	pop   Population
+	sched *sim.Scheduler
+	net   *netsim.Network
+	topo  *graph.Graph
+
+	reg   *obs.Registry
+	trace *obs.Tracer
+
+	regionMap *server.RegionMap
+	dirs      []*server.Directory  // per region
+	assigns   []*assign.Assignment // per region
+	maxLoad   int                  // per-server capacity M_j
+
+	servers map[graph.NodeID]*server.Server
+	active  []graph.NodeID                 // wired servers, sorted
+	spares  [][]graph.NodeID               // per region, unwired spare nodes
+	lists   map[graph.NodeID][]graph.NodeID // per-host authority lists, current
+
+	hosts   map[graph.NodeID]*client.Host
+	agents  map[int]*client.Agent
+	nameOf  map[int]names.Name // overrides for migrated users
+	hostIdx map[int]int        // overrides for migrated users' host index
+}
+
+// NewSimDriver builds the simulated world for a population.
+func NewSimDriver(cfg SimConfig) (*SimDriver, error) {
+	cfg.Pop = cfg.Pop.withDefaults()
+	if cfg.Tick <= 0 {
+		cfg.Tick = 10 * sim.Unit
+	}
+	p := cfg.Pop
+	d := &SimDriver{
+		cfg:       cfg,
+		pop:       p,
+		sched:     sim.New(cfg.Seed),
+		regionMap: server.NewRegionMap(),
+		servers:   make(map[graph.NodeID]*server.Server),
+		lists:     make(map[graph.NodeID][]graph.NodeID),
+		hosts:     make(map[graph.NodeID]*client.Host),
+		agents:    make(map[int]*client.Agent),
+		nameOf:    make(map[int]names.Name),
+		hostIdx:   make(map[int]int),
+	}
+	{
+		p := cfg.Pop
+		d.spares = make([][]graph.NodeID, p.Regions)
+		slots := p.ServersPerRegion + cfg.SpareServersPerRegion
+		for r := 0; r < p.Regions; r++ {
+			for j := p.ServersPerRegion; j < slots; j++ {
+				d.spares[r] = append(d.spares[r], d.serverID(r*slots+j))
+			}
+		}
+	}
+	d.reg = obs.NewRegistry()
+	sched := d.sched
+	d.trace = obs.NewTracer(func() int64 { return int64(sched.Now()) }, d.reg)
+
+	d.topo = d.buildTopology()
+	d.net = netsim.New(d.sched, d.topo)
+
+	// Per-region assignment: balance user counts, then derive authority
+	// lists and per-server predicted utilization.
+	commW, procW, procTime := assign.PaperWeights()
+	total := p.Users
+	perServer := total / p.TotalServers()
+	d.maxLoad = perServer + perServer/4 + 4 // ~25% headroom, as core derives
+	for r := 0; r < p.Regions; r++ {
+		hosts := d.regionHosts(r)
+		servers := d.regionServers(r)
+		users := make(map[graph.NodeID]int, len(hosts))
+		for i, h := range hosts {
+			users[h] = p.UsersOnHost(r*p.HostsPerRegion + i)
+		}
+		maxLoad := make(map[graph.NodeID]int, len(servers))
+		for _, s := range servers {
+			maxLoad[s] = d.maxLoad
+		}
+		a, err := assign.New(assign.Config{
+			Topology: d.topo,
+			Hosts:    hosts, Servers: servers,
+			Users: users, MaxLoad: maxLoad,
+			ProcTime: procTime, CommW: commW, ProcW: procW,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: region %d: %w", r, err)
+		}
+		a.Run()
+		d.assigns = append(d.assigns, a)
+
+		dir := server.NewDirectory(p.RegionName(r))
+		d.dirs = append(d.dirs, dir)
+		for _, sv := range servers {
+			srv, err := server.New(server.Config{
+				ID: sv, Region: p.RegionName(r), Net: d.net,
+				Dir: dir, Regions: d.regionMap,
+				Retention: cfg.Retention, Trace: d.trace,
+			})
+			if err != nil {
+				return nil, err
+			}
+			d.servers[sv] = srv
+			d.active = append(d.active, sv)
+		}
+		for h, list := range a.AuthorityLists(p.AuthorityLen) {
+			d.lists[h] = list
+		}
+		for _, h := range hosts {
+			host, err := client.NewHost(d.net, h)
+			if err != nil {
+				return nil, err
+			}
+			d.hosts[h] = host
+		}
+	}
+	sort.Slice(d.active, func(i, j int) bool { return d.active[i] < d.active[j] })
+	return d, nil
+}
+
+// hostID maps a global host index to its node ID; serverID likewise for a
+// global server index (region r, slot j → r*ServersPerRegion+j; spare slots
+// continue past the wired ones).
+func hostID(gh int) graph.NodeID   { return simHostBase + 1 + graph.NodeID(gh) }
+func (d *SimDriver) serverID(gs int) graph.NodeID { return simServerBase + 1 + graph.NodeID(gs) }
+
+func hostLabel(gh int) string { return fmt.Sprintf("H%d", gh) }
+func serverLabel(gs int) string { return fmt.Sprintf("S%d", gs) }
+
+// buildTopology wires a deterministic regional network: every host spokes
+// into one of its region's servers (weight 1), the region's servers form a
+// ring (weight 1) so every server pair has two disjoint routes, and region
+// r's first server links to region r+1's (weight 2) closing an inter-region
+// ring. Spare server nodes join their region's ring but stay unregistered.
+func (d *SimDriver) buildTopology() *graph.Graph {
+	p := d.pop
+	g := graph.New()
+	slots := p.ServersPerRegion + d.cfg.SpareServersPerRegion
+	for r := 0; r < p.Regions; r++ {
+		region := p.RegionName(r)
+		for j := 0; j < slots; j++ {
+			gs := r*slots + j
+			g.MustAddNode(graph.Node{
+				ID: d.serverID(gs), Label: serverLabel(gs),
+				Region: region, Kind: graph.KindServer,
+			})
+		}
+		for j := 0; j < slots; j++ {
+			next := (j + 1) % slots
+			if next == j {
+				break // single-server region: no ring
+			}
+			g.MustAddEdge(d.serverID(r*slots+j), d.serverID(r*slots+next), 1)
+			if slots == 2 {
+				break // two servers: one edge, not a doubled ring
+			}
+		}
+		for i := 0; i < p.HostsPerRegion; i++ {
+			gh := r*p.HostsPerRegion + i
+			g.MustAddNode(graph.Node{
+				ID: hostID(gh), Label: hostLabel(gh),
+				Region: region, Kind: graph.KindHost,
+			})
+			g.MustAddEdge(hostID(gh), d.serverID(r*slots+i%p.ServersPerRegion), 1)
+		}
+	}
+	for r := 0; r < p.Regions && p.Regions > 1; r++ {
+		next := (r + 1) % p.Regions
+		if next == r {
+			break
+		}
+		g.MustAddEdge(d.serverID(r*slots), d.serverID(next*slots), 2)
+		if p.Regions == 2 {
+			break
+		}
+	}
+	return g
+}
+
+// regionHosts returns region r's host node IDs in index order.
+func (d *SimDriver) regionHosts(r int) []graph.NodeID {
+	out := make([]graph.NodeID, d.pop.HostsPerRegion)
+	for i := range out {
+		out[i] = hostID(r*d.pop.HostsPerRegion + i)
+	}
+	return out
+}
+
+// regionServers returns region r's wired (non-spare) server node IDs.
+func (d *SimDriver) regionServers(r int) []graph.NodeID {
+	slots := d.pop.ServersPerRegion + d.cfg.SpareServersPerRegion
+	out := make([]graph.NodeID, d.pop.ServersPerRegion)
+	for j := range out {
+		out[j] = d.serverID(r*slots + j)
+	}
+	return out
+}
+
+// Scheduler exposes the simulation clock (tests advance and inspect it).
+func (d *SimDriver) Scheduler() *sim.Scheduler { return d.sched }
+
+// Network exposes the simulated network (tests inject faults directly).
+func (d *SimDriver) Network() *netsim.Network { return d.net }
+
+// Population implements Driver.
+func (d *SimDriver) Population() Population { return d.pop }
+
+// Tracer implements Driver.
+func (d *SimDriver) Tracer() *obs.Tracer { return d.trace }
+
+// UserName returns the user's current name (migrations rename).
+func (d *SimDriver) UserName(u int) names.Name {
+	if n, ok := d.nameOf[u]; ok {
+		return n
+	}
+	return d.pop.Name(u)
+}
+
+// userHost returns the user's current global host index (migrations move).
+func (d *SimDriver) userHost(u int) int {
+	if gh, ok := d.hostIdx[u]; ok {
+		return gh
+	}
+	return d.pop.HostOf(u)
+}
+
+// ensure materializes user u: a directory entry carrying the host's
+// authority list (recipients must resolve before mail can route to them)
+// and a lazily created agent.
+func (d *SimDriver) ensure(u int) (*client.Agent, error) {
+	if a, ok := d.agents[u]; ok {
+		return a, nil
+	}
+	name := d.UserName(u)
+	gh := d.userHost(u)
+	h := hostID(gh)
+	list := d.lists[h]
+	if len(list) == 0 {
+		return nil, fmt.Errorf("loadgen: host %d has no authority list", h)
+	}
+	if err := d.dirs[gh/d.pop.HostsPerRegion].SetAuthority(name, list); err != nil {
+		return nil, err
+	}
+	a, err := client.NewAgent(name, d.hosts[h], d.lookup, list)
+	if err != nil {
+		return nil, err
+	}
+	d.agents[u] = a
+	return a, nil
+}
+
+func (d *SimDriver) lookup(id graph.NodeID) *server.Server { return d.servers[id] }
+
+// Submit implements Driver: the sender's first live authority server
+// accepts the message in-process (server.Submit), which is the commit
+// point. No SubmitAck round-trip is scheduled — only the delivery pipeline
+// runs on the simulator, so submission throughput scales with population.
+func (d *SimDriver) Submit(from int, to []int, subject, body string) (string, error) {
+	fa, err := d.ensure(from)
+	if err != nil {
+		return "", err
+	}
+	toNames := make([]names.Name, len(to))
+	for i, u := range to {
+		if _, err := d.ensure(u); err != nil {
+			return "", err
+		}
+		toNames[i] = d.UserName(u)
+	}
+	for _, sv := range fa.Authority() {
+		if !d.net.IsUp(sv) {
+			continue
+		}
+		id, err := d.servers[sv].Submit(server.SubmitRequest{
+			From: fa.User(), To: toNames, Subject: subject, Body: body,
+		})
+		if err != nil {
+			return "", err
+		}
+		return id.String(), nil
+	}
+	return "", fmt.Errorf("loadgen: no live authority server for %v", fa.User())
+}
+
+// Retrieve implements Driver.
+func (d *SimDriver) Retrieve(u int) RetrieveResult {
+	a, err := d.ensure(u)
+	if err != nil {
+		return RetrieveResult{}
+	}
+	before := a.Stats()
+	msgs := a.GetMail()
+	after := a.Stats()
+	ids := make([]string, len(msgs))
+	for i, m := range msgs {
+		ids[i] = m.ID.String()
+	}
+	return RetrieveResult{
+		IDs:          ids,
+		Polls:        after.Polls - before.Polls,
+		Duplicates:   after.Duplicates - before.Duplicates,
+		LastChecking: int64(a.LastCheckingTime()),
+	}
+}
+
+// Step implements Driver.
+func (d *SimDriver) Step(n int) { d.sched.RunFor(sim.Time(n) * d.cfg.Tick) }
+
+// Settle implements Driver: run the simulator to quiescence so retry timers
+// and in-flight transfers complete.
+func (d *SimDriver) Settle() { d.sched.Run() }
+
+// Snapshot implements Driver: the tracer-fed latency histograms plus the
+// network's and servers' counters (prefixed net_/srv_).
+func (d *SimDriver) Snapshot() obs.Snapshot {
+	snap := d.reg.Snapshot()
+	if snap.Counters == nil {
+		snap.Counters = make(map[string]int64)
+	}
+	for k, v := range d.net.Stats().Counters() {
+		snap.Counters["net_"+k] = v
+	}
+	for _, id := range d.active {
+		for k, v := range d.servers[id].Stats().Counters() {
+			snap.Counters["srv_"+k] += v
+		}
+	}
+	return snap
+}
+
+// Injector implements Driver.
+func (d *SimDriver) Injector() faults.Injector {
+	nodes := make(map[string]graph.NodeID)
+	slots := d.pop.ServersPerRegion + d.cfg.SpareServersPerRegion
+	for gh := 0; gh < d.pop.TotalHosts(); gh++ {
+		nodes[hostLabel(gh)] = hostID(gh)
+	}
+	for gs := 0; gs < d.pop.Regions*slots; gs++ {
+		nodes[serverLabel(gs)] = d.serverID(gs)
+	}
+	return faults.NewSimTarget(d.net, nodes, d.cfg.Tick)
+}
+
+// FaultSurface implements Driver. Safety constraints baked in:
+//
+//   - Crash/latency candidates: every wired server. Crashes are covered by
+//     transfer retries plus GetMail's LastStartTime walk; injected latency
+//     may double-send a transfer, which mailbox dedup absorbs.
+//   - Drop targets: HOST nodes only. A server-bound drop would make a retry
+//     fail over past a live, stable authority server, stranding mail beyond
+//     where the recipient's GetMail walk stops (see chaos_test.go); with
+//     in-process submission the only host-bound traffic is Notify, which no
+//     invariant depends on.
+//   - Link candidates: intra-region ring edges only, and only in regions
+//     with ≥3 servers, where the ring gives every server pair a second
+//     route — a host's spoke edge would partition it outright.
+func (d *SimDriver) FaultSurface() faults.Spec {
+	p := d.pop
+	slots := p.ServersPerRegion + d.cfg.SpareServersPerRegion
+	spec := faults.Spec{}
+	for _, id := range d.active {
+		gs := int(id - simServerBase - 1)
+		spec.Servers = append(spec.Servers, serverLabel(gs))
+	}
+	for gh := 0; gh < p.TotalHosts(); gh++ {
+		spec.DropTargets = append(spec.DropTargets, hostLabel(gh))
+	}
+	if p.ServersPerRegion >= 3 {
+		for r := 0; r < p.Regions; r++ {
+			for j := 0; j < p.ServersPerRegion; j++ {
+				next := (j + 1) % p.ServersPerRegion
+				if next == j {
+					break
+				}
+				spec.Links = append(spec.Links, [2]string{
+					serverLabel(r*slots + j), serverLabel(r*slots + next),
+				})
+				// Only ring edges between wired servers are safe; with
+				// spares present the wrap edge j=SPR-1 → 0 runs through
+				// spare slots in the topology, so stop before it.
+				if d.cfg.SpareServersPerRegion > 0 && next == 0 {
+					break
+				}
+			}
+		}
+	}
+	return spec
+}
+
+// ServerLoads implements Driver: the per-region assignment's predicted
+// utilization next to the deposits each server actually served.
+func (d *SimDriver) ServerLoads() []ServerLoad {
+	var out []ServerLoad
+	for r, a := range d.assigns {
+		loads := a.Loads()
+		ids := make([]graph.NodeID, 0, len(loads))
+		for id := range loads {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			rho := a.Utilization(id)
+			sl := ServerLoad{
+				Name:    serverLabel(int(id - simServerBase - 1)),
+				Region:  d.pop.RegionName(r),
+				Load:    loads[id],
+				MaxLoad: d.maxLoad,
+				Rho:     rho,
+				QWait:   queueing.Wait(rho),
+			}
+			if srv, ok := d.servers[id]; ok {
+				sl.Deposits = srv.Stats().Get("deposits_local")
+			}
+			out = append(out, sl)
+		}
+	}
+	return out
+}
+
+// refreshRegion pushes region r's recomputed authority lists into the
+// per-host cache, the directory entries of every materialized user, and
+// their live agents — the §3.1.3 reconfiguration broadcast.
+func (d *SimDriver) refreshRegion(r int) error {
+	lists := d.assigns[r].AuthorityLists(d.pop.AuthorityLen)
+	for h, list := range lists {
+		d.lists[h] = list
+	}
+	for u, a := range d.agents {
+		name := d.UserName(u)
+		if name.Region != d.pop.RegionName(r) {
+			continue
+		}
+		list := lists[hostID(d.userHost(u))]
+		if len(list) == 0 {
+			continue
+		}
+		if err := d.dirs[r].SetAuthority(name, list); err != nil {
+			return err
+		}
+		if err := a.SetAuthority(list); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddServer wires one of region r's spare server nodes into service
+// (§3.1.3c): the server process starts, the assignment rebalances onto it,
+// and every materialized user's authority list refreshes. Returns the new
+// server's label.
+func (d *SimDriver) AddServer(r int) (string, error) {
+	if r < 0 || r >= d.pop.Regions {
+		return "", fmt.Errorf("loadgen: no region %d", r)
+	}
+	if len(d.spares[r]) == 0 {
+		return "", errors.New("loadgen: region has no spare server node")
+	}
+	var id graph.NodeID
+	id, d.spares[r] = d.spares[r][0], d.spares[r][1:]
+	srv, err := server.New(server.Config{
+		ID: id, Region: d.pop.RegionName(r), Net: d.net,
+		Dir: d.dirs[r], Regions: d.regionMap,
+		Retention: d.cfg.Retention, Trace: d.trace,
+	})
+	if err != nil {
+		return "", err
+	}
+	d.servers[id] = srv
+	d.active = append(d.active, id)
+	sort.Slice(d.active, func(i, j int) bool { return d.active[i] < d.active[j] })
+	if _, err := d.assigns[r].AddServer(id, d.maxLoad); err != nil {
+		return "", err
+	}
+	if err := d.refreshRegion(r); err != nil {
+		return "", err
+	}
+	return serverLabel(int(id - simServerBase - 1)), nil
+}
+
+// RemoveServer deletes a server (§3.1.3c): the assignment rebalances its
+// users away, authority lists refresh so nothing new routes to it, then the
+// server drains — in-flight traffic settles, buffered mail evacuates to the
+// recipients' remaining authority servers — and the node deregisters. The
+// freed node returns to the region's spare pool.
+func (d *SimDriver) RemoveServer(label string) error {
+	var id graph.NodeID
+	found := false
+	for _, sv := range d.active {
+		if serverLabel(int(sv-simServerBase-1)) == label {
+			id, found = sv, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("loadgen: no active server %q", label)
+	}
+	srv := d.servers[id]
+	r := d.regionIndex(srv.Region())
+	if len(d.regionMap.Servers(srv.Region())) <= 1 {
+		return errors.New("loadgen: cannot remove a region's last server")
+	}
+	if _, err := d.assigns[r].RemoveServer(id); err != nil {
+		return err
+	}
+	if err := d.refreshRegion(r); err != nil {
+		return err
+	}
+	d.regionMap.RemoveServer(srv.Region(), id)
+	// Drain: let in-flight transfers settle, evacuate buffered mail, and
+	// repeat until a settle round leaves the server empty — a transfer
+	// already headed here may deposit after the first evacuation.
+	for i := 0; i < 16; i++ {
+		d.sched.Run()
+		if srv.Evacuate() == 0 && srv.PendingTransfers() == 0 {
+			break
+		}
+	}
+	d.net.Deregister(id)
+	delete(d.servers, id)
+	for i, sv := range d.active {
+		if sv == id {
+			d.active = append(d.active[:i], d.active[i+1:]...)
+			break
+		}
+	}
+	if d.spares == nil {
+		d.spares = make([][]graph.NodeID, d.pop.Regions)
+	}
+	d.spares[r] = append(d.spares[r], id)
+	return nil
+}
+
+func (d *SimDriver) regionIndex(region string) int {
+	for r := 0; r < d.pop.Regions; r++ {
+		if d.pop.RegionName(r) == region {
+			return r
+		}
+	}
+	return -1
+}
+
+// MigrateUser moves user u to another global host, following §3.1.4: drain
+// mail under the old name, register the renamed user at the destination
+// (rebalancing it in), delete the old registration, and leave a redirect
+// for in-flight senders still using the old name. Returns the IDs drained
+// pre-migration so the caller can credit them to the retrieval ledger.
+func (d *SimDriver) MigrateUser(u, newHost int) (drained []string, err error) {
+	if newHost < 0 || newHost >= d.pop.TotalHosts() {
+		return nil, fmt.Errorf("loadgen: no host %d", newHost)
+	}
+	a, err := d.ensure(u)
+	if err != nil {
+		return nil, err
+	}
+	// Quiesce in-flight deliveries, then drain: a transfer addressed to the
+	// old name that lands after the handover would strand in a mailbox the
+	// renamed user no longer polls.
+	d.sched.Run()
+	for _, m := range a.GetMail() {
+		drained = append(drained, m.ID.String())
+	}
+
+	old := d.UserName(u)
+	oldHost := d.userHost(u)
+	oldR := oldHost / d.pop.HostsPerRegion
+	newR := newHost / d.pop.HostsPerRegion
+	newName := old.Rename(d.pop.RegionName(newR), fmt.Sprintf("h%d", newHost))
+
+	if _, err := d.assigns[newR].AddUsers(hostID(newHost), 1); err != nil {
+		return drained, err
+	}
+	list := d.assigns[newR].AuthorityLists(d.pop.AuthorityLen)[hostID(newHost)]
+	if err := d.dirs[newR].SetAuthority(newName, list); err != nil {
+		return drained, err
+	}
+	na, err := client.NewAgent(newName, d.hosts[hostID(newHost)], d.lookup, list)
+	if err != nil {
+		return drained, err
+	}
+
+	if _, err := d.assigns[oldR].RemoveUsers(hostID(oldHost), 1); err != nil {
+		return drained, err
+	}
+	if err := d.dirs[oldR].SetAuthority(old, nil); err != nil {
+		return drained, err
+	}
+	if err := d.dirs[oldR].SetRedirect(old, newName); err != nil {
+		return drained, err
+	}
+	d.agents[u] = na
+	d.nameOf[u] = newName
+	d.hostIdx[u] = newHost
+	return drained, nil
+}

@@ -145,6 +145,20 @@ func (n *Network) MustRegister(id graph.NodeID, h Handler) {
 	}
 }
 
+// Deregister removes a node's handler and fault state, leaving the node in
+// the topology. Messages already in flight to it are dropped on arrival
+// (counted "dropped_no_handler"), and the node may later be re-registered —
+// the lifecycle of a server deleted by reconfiguration (§3.1.3): its links
+// may still carry transit traffic, but it no longer terminates any.
+// Deregistering an unknown node is a no-op.
+func (n *Network) Deregister(id graph.NodeID) {
+	delete(n.handlers, id)
+	delete(n.down, id)
+	delete(n.lastStart, id)
+	delete(n.extraDelay, id)
+	delete(n.dropProb, id)
+}
+
 // IsUp reports whether the node is currently up.
 func (n *Network) IsUp(id graph.NodeID) bool {
 	_, registered := n.handlers[id]

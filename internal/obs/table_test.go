@@ -1,43 +1,12 @@
-package metrics
+package obs
 
 import (
 	"math"
 	"math/rand"
-	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
 )
-
-func TestRegistry(t *testing.T) {
-	r := NewRegistry()
-	r.Inc("msgs")
-	r.Add("msgs", 4)
-	r.Add("bytes", 100)
-	r.Add("bytes", -30)
-	if got := r.Get("msgs"); got != 5 {
-		t.Errorf("msgs = %d, want 5", got)
-	}
-	if got := r.Get("bytes"); got != 70 {
-		t.Errorf("bytes = %d, want 70", got)
-	}
-	if got := r.Get("missing"); got != 0 {
-		t.Errorf("missing = %d, want 0", got)
-	}
-	names := r.Names()
-	if len(names) != 2 || names[0] != "bytes" || names[1] != "msgs" {
-		t.Errorf("Names() = %v", names)
-	}
-	snap := r.Counters()
-	r.Inc("msgs")
-	if snap["msgs"] != 5 {
-		t.Error("Counters aliased live counters")
-	}
-	r.Reset()
-	if r.Get("msgs") != 0 || len(r.Names()) != 0 {
-		t.Error("Reset did not clear counters")
-	}
-}
 
 func TestSummaryEmpty(t *testing.T) {
 	var s Summary
@@ -99,9 +68,9 @@ func TestSummaryObserveAfterSort(t *testing.T) {
 	}
 }
 
-// Property: quantile output is always one of the observed samples and
+// Property: Summary quantile output is always one of the observed samples and
 // quantiles are monotone in q.
-func TestPropertyQuantiles(t *testing.T) {
+func TestSummaryQuantileProperty(t *testing.T) {
 	f := func(raw []float64, qa, qb float64) bool {
 		if len(raw) == 0 {
 			return true
@@ -181,15 +150,5 @@ func TestTableRowsCopy(t *testing.T) {
 	rows[0][0] = "mutated"
 	if tb.Rows()[0][0] != "orig" {
 		t.Error("Rows() exposed internal storage")
-	}
-}
-
-func TestRegistryNamesSorted(t *testing.T) {
-	r := NewRegistry()
-	for _, n := range []string{"z", "a", "m"} {
-		r.Inc(n)
-	}
-	if names := r.Names(); !sort.StringsAreSorted(names) {
-		t.Errorf("Names() not sorted: %v", names)
 	}
 }

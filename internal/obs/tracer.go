@@ -22,6 +22,12 @@ const (
 	StageRetrieve                  // collected by the recipient's user interface
 )
 
+// PipelineStages lists every stage in delivery order — the iteration order
+// for reports that walk the per-stage "lat_<stage>" histograms.
+var PipelineStages = []Stage{
+	StageSubmit, StageResolve, StageRelay, StageDeposit, StageNotify, StageRetrieve,
+}
+
 func (s Stage) String() string {
 	switch s {
 	case StageSubmit:

@@ -226,6 +226,16 @@ func (s *Server) Recovered(sim.Time) {
 // handleSubmit accepts a message from a user interface, assigns its ID, and
 // routes a copy to every recipient.
 func (s *Server) handleSubmit(from graph.NodeID, req SubmitRequest) {
+	msg := s.accept(req)
+	// Ack the submitting host so the user interface learns the ID.
+	_ = s.net.Send(s.id, from, SubmitAck{ID: msg.ID, Subject: msg.Subject})
+	for _, rcpt := range msg.To {
+		s.Route(msg, rcpt)
+	}
+}
+
+// accept assigns the next message ID, stamps the submission, and counts it.
+func (s *Server) accept(req SubmitRequest) mail.Message {
 	s.nextSeq++
 	msg := mail.Message{
 		ID:          mail.MessageID{Node: s.id, Seq: s.nextSeq},
@@ -237,11 +247,44 @@ func (s *Server) handleSubmit(from graph.NodeID, req SubmitRequest) {
 	}
 	s.stats.Inc("submissions")
 	s.trace.Stamp(msg.ID.String(), obs.StageSubmit, s.whereLabel())
-	// Ack the submitting host so the user interface learns the ID.
-	_ = s.net.Send(s.id, from, SubmitAck{ID: msg.ID, Subject: msg.Subject})
+	return msg
+}
+
+// Submit accepts a submission handed to the server in-process and returns the
+// assigned message ID synchronously — the batch ingestion hook for drivers
+// (internal/loadgen) that generate traffic at population scale. Going through
+// the network path costs two scheduled events per message (SubmitRequest in,
+// SubmitAck back) before delivery even starts; a closed-loop generator pushing
+// 10⁵–10⁶ submissions would spend most of the event budget on that framing.
+// Submit skips both: acceptance is the successful return (the commit point the
+// no-loss audit ledgers against), and only the delivery pipeline itself —
+// resolve, transfer, deposit, notify — runs on the scheduler. A down server
+// rejects the submission with ErrDown, exactly as the network would have
+// dropped the SubmitRequest.
+func (s *Server) Submit(req SubmitRequest) (mail.MessageID, error) {
+	if !s.Up() {
+		return mail.MessageID{}, fmt.Errorf("%w: %d", ErrDown, s.id)
+	}
+	msg := s.accept(req)
 	for _, rcpt := range msg.To {
 		s.Route(msg, rcpt)
 	}
+	return msg.ID, nil
+}
+
+// SubmitBatch accepts many submissions in one call, stopping at the first
+// failure. It returns the IDs of the accepted prefix; a short result with a
+// non-nil error tells the caller exactly which submissions committed.
+func (s *Server) SubmitBatch(reqs []SubmitRequest) ([]mail.MessageID, error) {
+	ids := make([]mail.MessageID, 0, len(reqs))
+	for _, req := range reqs {
+		id, err := s.Submit(req)
+		if err != nil {
+			return ids, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
 }
 
 // Route sends one copy of msg toward one recipient, the name-resolution-and-
@@ -431,6 +474,29 @@ func (s *Server) handleLogin(l Login) {
 
 // PendingTransfers reports how many transfers are queued awaiting acks.
 func (s *Server) PendingTransfers() int { return len(s.pending) }
+
+// Evacuate drains every mailbox here and re-routes the buffered messages
+// through the current directory — the hand-off step of a §3.1.3c server
+// deletion ("notifies all other servers before it is removed"). Call it
+// after the directory stops listing this server as an authority, so each
+// message lands at its recipient's remaining authority servers; messages
+// re-routed while this server is still listed would deposit right back.
+// Returns how many messages were re-routed.
+func (s *Server) Evacuate() int {
+	users := make([]names.Name, 0, len(s.mailboxes))
+	for u := range s.mailboxes {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i].String() < users[j].String() })
+	n := 0
+	for _, u := range users {
+		for _, m := range s.mailboxes[u].Drain() {
+			s.Route(m.Message, u)
+			n++
+		}
+	}
+	return n
+}
 
 // CheckMail returns the user's buffered messages — removing them, or, with
 // KeepCopies, retaining read-marked archive copies subject to the retention

@@ -213,6 +213,70 @@ func TestMultiRecipientFanout(t *testing.T) {
 	}
 }
 
+func TestSubmitDirect(t *testing.T) {
+	w := newWorld(t, mail.Retention{})
+	id, err := w.servers[s1].Submit(SubmitRequest{From: alice, To: []names.Name{bob}, Subject: "s", Body: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Node != s1 || id.Seq == 0 {
+		t.Fatalf("Submit id = %v, want node %d with nonzero seq", id, s1)
+	}
+	w.sched.Run()
+	got, err := w.servers[s3].CheckMail(bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != id {
+		t.Fatalf("bob's mailbox = %v, want just %v", got, id)
+	}
+	// Direct submission skips the ack round-trip entirely.
+	if n := len(w.hosts[h1].acks); n != 0 {
+		t.Errorf("direct Submit produced %d SubmitAcks, want 0", n)
+	}
+}
+
+func TestSubmitDirectDownServer(t *testing.T) {
+	w := newWorld(t, mail.Retention{})
+	w.net.Crash(s1)
+	if _, err := w.servers[s1].Submit(SubmitRequest{From: alice, To: []names.Name{bob}}); !errors.Is(err, ErrDown) {
+		t.Fatalf("Submit on crashed server err = %v, want ErrDown", err)
+	}
+}
+
+func TestSubmitBatch(t *testing.T) {
+	w := newWorld(t, mail.Retention{})
+	reqs := []SubmitRequest{
+		{From: alice, To: []names.Name{bob}, Subject: "1"},
+		{From: alice, To: []names.Name{carol}, Subject: "2"},
+		{From: alice, To: []names.Name{bob}, Subject: "3"},
+	}
+	ids, err := w.servers[s1].SubmitBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(reqs) {
+		t.Fatalf("SubmitBatch accepted %d, want %d", len(ids), len(reqs))
+	}
+	w.sched.Run()
+	if got, _ := w.servers[s3].CheckMail(bob); len(got) != 2 {
+		t.Errorf("bob received %d messages, want 2", len(got))
+	}
+	if got, _ := w.servers[s1].CheckMail(carol); len(got) != 1 {
+		t.Errorf("carol received %d messages, want 1", len(got))
+	}
+
+	// A mid-batch crash reports the committed prefix.
+	w.net.Crash(s1)
+	ids, err = w.servers[s1].SubmitBatch(reqs)
+	if !errors.Is(err, ErrDown) {
+		t.Fatalf("SubmitBatch on crashed server err = %v, want ErrDown", err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("crashed SubmitBatch committed %d, want 0", len(ids))
+	}
+}
+
 func TestRetryAfterTargetCrashInFlight(t *testing.T) {
 	w := newWorld(t, mail.Retention{})
 	// Submit at S2; transfer heads to S1. Crash S1 before delivery: the

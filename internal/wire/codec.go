@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ErrLineTooLong reports a protocol line exceeding MaxLine. Callers see it
+// from EncodeRequest/EncodeResponse before an oversized line is ever sent —
+// an oversized line on the wire aborts the peer's scanner and takes the
+// whole connection down with it, so refusing to emit one is the only safe
+// side of that edge.
+var ErrLineTooLong = fmt.Errorf("wire: line exceeds %d bytes", MaxLine)
+
+// EncodeRequest renders one newline-terminated protocol line, refusing
+// lines past MaxLine.
+func EncodeRequest(req Request) ([]byte, error) {
+	return encodeLine(req)
+}
+
+// DecodeRequest parses one client→server line (with or without the trailing
+// newline). It enforces MaxLine even when the caller's reader did not.
+func DecodeRequest(line []byte) (Request, error) {
+	var req Request
+	if err := decodeLine(line, &req); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// EncodeResponse renders one newline-terminated response line, refusing
+// lines past MaxLine.
+func EncodeResponse(resp Response) ([]byte, error) {
+	return encodeLine(resp)
+}
+
+// DecodeResponse parses one server→client line.
+func DecodeResponse(line []byte) (Response, error) {
+	var resp Response
+	if err := decodeLine(line, &resp); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+func encodeLine(v any) ([]byte, error) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf)+1 > MaxLine {
+		return nil, ErrLineTooLong
+	}
+	return append(buf, '\n'), nil
+}
+
+func decodeLine(line []byte, v any) error {
+	if len(line) > MaxLine {
+		return ErrLineTooLong
+	}
+	return json.Unmarshal(line, v)
+}

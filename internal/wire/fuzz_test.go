@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// canonical re-encodes a decoded frame; the empty second return means the
+// value has no canonical line (it re-encodes past MaxLine).
+func canonicalRequest(t *testing.T, req Request) ([]byte, bool) {
+	t.Helper()
+	line, err := EncodeRequest(req)
+	if err != nil {
+		if errors.Is(err, ErrLineTooLong) {
+			return nil, false
+		}
+		t.Fatalf("EncodeRequest on decoded value: %v", err)
+	}
+	return line, true
+}
+
+// FuzzParseRequest feeds arbitrary bytes through the client→server frame
+// decoder. Properties: no panic on any input, and decoding is canonically
+// stable — once a line decodes, re-encoding and re-decoding it reaches a
+// fixed point (the frame the server dispatches is exactly the frame a
+// well-formed client would have sent).
+func FuzzParseRequest(f *testing.F) {
+	for _, seed := range []string{
+		`{"op":"register","user":"R0.h0.alice","servers":["s1","s2"]}`,
+		`{"op":"submit","from":"R0.h0.alice","to":["R1.h2.bob"],"subject":"hi","body":"see you"}`,
+		`{"op":"checkmail","user":"R0.h0.alice","server":"s1"}`,
+		`{"op":"getmail","user":"R0.h0.alice"}`,
+		`{"op":"status"}`,
+		`{"op":"crash","server":"s1"}`,
+		`{"op":"recover","server":"s1"}`,
+		`{"op":"submit","to":[]}`,
+		`{"op":"submit","subject":"  line sep \ud800"}`,
+		`{"op":`,
+		`{}`,
+		`null`,
+		`[]`,
+		`"op"`,
+		"\x00\xff\xfe",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		req, err := DecodeRequest(line)
+		if err != nil {
+			return // rejected input: the only requirement is not panicking
+		}
+		first, ok := canonicalRequest(t, req)
+		if !ok {
+			return
+		}
+		again, err := DecodeRequest(first)
+		if err != nil {
+			t.Fatalf("canonical line rejected: %v\nline: %q", err, first)
+		}
+		second, ok := canonicalRequest(t, again)
+		if !ok {
+			t.Fatalf("canonical line grew past MaxLine: %q", first)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("decode/encode not a fixed point:\n%q\n%q", first, second)
+		}
+	})
+}
+
+// FuzzStatusSnapshot feeds arbitrary bytes through the server→client frame
+// decoder, whose deepest surface is the nested StatusSnapshot (counters,
+// gauges, per-stage histogram quantiles). Same properties: no panic, and a
+// canonical fixed point for everything that decodes.
+func FuzzStatusSnapshot(f *testing.F) {
+	for _, seed := range []string{
+		`{"ok":true}`,
+		`{"ok":false,"error":"unknown op \"x\""}`,
+		`{"ok":true,"id":"1:17"}`,
+		`{"ok":true,"messages":[{"id":"1:3","from":"R0.h0.alice","subject":"hi","body":"b"}]}`,
+		`{"ok":true,"status":{"version":1,"servers":[{"name":"s1","up":true,"deposits":12}],` +
+			`"counters":{"s1.deposits":12,"submit_spooled":0},"gauges":{"spool_depth":0},` +
+			`"histograms":{"lat_e2e":{"count":3,"mean":1.5,"p50":1,"p95":2,"p99":2,"max":2}}}}`,
+		`{"ok":true,"status":{"version":1}}`,
+		`{"ok":true,"status":null}`,
+		`{"ok":true,"status":{"histograms":{"lat_deposit":{"count":-1,"mean":1e308}}}}`,
+		`{"ok"`,
+		`0`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		resp, err := DecodeResponse(line)
+		if err != nil {
+			return
+		}
+		first, err := EncodeResponse(resp)
+		if err != nil {
+			if errors.Is(err, ErrLineTooLong) {
+				return
+			}
+			t.Fatalf("EncodeResponse on decoded value: %v", err)
+		}
+		again, err := DecodeResponse(first)
+		if err != nil {
+			t.Fatalf("canonical line rejected: %v\nline: %q", err, first)
+		}
+		second, err := EncodeResponse(again)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("decode/encode not a fixed point:\n%q\n%q", first, second)
+		}
+	})
+}
+
+// TestDecodeRequestOversized pins the MaxLine guard the fuzz corpus cannot
+// reach cheaply (a >1 MiB input).
+func TestDecodeRequestOversized(t *testing.T) {
+	line := append([]byte(`{"op":"submit","body":"`), bytes.Repeat([]byte{'a'}, MaxLine)...)
+	line = append(line, '"', '}')
+	if _, err := DecodeRequest(line); !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("err = %v, want ErrLineTooLong", err)
+	}
+}
+
+// TestEncodeRequestOversized pins the client-side guard: an oversized submit
+// must be refused before it reaches the wire, where it would abort the
+// server's line scanner and the connection with it.
+func TestEncodeRequestOversized(t *testing.T) {
+	req := Request{Op: "submit", Body: string(bytes.Repeat([]byte{'a'}, MaxLine))}
+	if _, err := EncodeRequest(req); !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("err = %v, want ErrLineTooLong", err)
+	}
+}

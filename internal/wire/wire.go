@@ -204,9 +204,8 @@ func (s *Server) handle(conn net.Conn) {
 	scanner.Buffer(make([]byte, 0, 4096), MaxLine)
 	enc := json.NewEncoder(conn)
 	for scanner.Scan() {
-		var req Request
 		var resp Response
-		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+		if req, err := DecodeRequest(scanner.Bytes()); err != nil {
 			resp = Response{Error: fmt.Sprintf("bad request: %v", err)}
 		} else {
 			resp = s.dispatch(req)
@@ -406,7 +405,6 @@ type Client struct {
 	opts Options
 
 	conn net.Conn
-	enc  *json.Encoder
 	sc   *bufio.Scanner
 }
 
@@ -435,7 +433,6 @@ func (c *Client) connect() error {
 		return err
 	}
 	c.conn = conn
-	c.enc = json.NewEncoder(conn)
 	c.sc = bufio.NewScanner(conn)
 	c.sc.Buffer(make([]byte, 0, 4096), MaxLine)
 	return nil
@@ -465,6 +462,13 @@ func (c *Client) Close() error {
 // is returned as-is, with the connection dropped so the next call starts
 // fresh. A Response with ok=false is returned as an error.
 func (c *Client) Do(req Request) (Response, error) {
+	// Refuse oversized requests before touching the wire: the server-side
+	// scanner would abort the whole connection on such a line, and the
+	// client's own response scanner has the same MaxLine cap.
+	line, err := EncodeRequest(req)
+	if err != nil {
+		return Response{}, err
+	}
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 {
@@ -479,11 +483,16 @@ func (c *Client) Do(req Request) (Response, error) {
 		if c.opts.Timeout > 0 {
 			_ = c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
 		}
-		if err := c.enc.Encode(req); err != nil {
-			// The newline terminator never made it out, so the server will
-			// not execute this request: safe to retry on a new connection.
+		if n, err := c.conn.Write(line); err != nil {
 			c.drop()
 			lastErr = err
+			if n >= len(line) {
+				// The terminator made it out before the error, so the server
+				// may execute this request: not safe to retry.
+				return Response{}, err
+			}
+			// The newline terminator never made it out, so the server will
+			// not execute this request: safe to retry on a new connection.
 			continue
 		}
 		resp, err := c.readResponse()
@@ -512,11 +521,7 @@ func (c *Client) readResponse() (Response, error) {
 		}
 		return Response{}, errors.New("wire: connection closed")
 	}
-	var resp Response
-	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
-		return Response{}, err
-	}
-	return resp, nil
+	return DecodeResponse(c.sc.Bytes())
 }
 
 // Register records a user's authority list (empty = all servers).
