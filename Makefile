@@ -26,10 +26,19 @@ tier1-race:
 fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzParseRequest$$' -fuzztime 5s ./internal/wire/
 	go test -run '^$$' -fuzz '^FuzzStatusSnapshot$$' -fuzztime 5s ./internal/wire/
+	go test -run '^$$' -fuzz '^FuzzTBatch$$' -fuzztime 5s ./internal/wire/
+
+# Relay-batching gate: the server-side batching fabric (coalescing, flush
+# watermarks, retry splitting, batch-size-1 equivalence) plus the O(1)
+# StoredBytes regression bench over three store sizes.
+.PHONY: bench-relay
+bench-relay:
+	go test -run 'TestBatch|TestResolve|TestDelivery' ./internal/server/
+	go test -run '^$$' -bench 'BenchmarkTotalBytes' -benchtime 0.2s ./internal/mail/mailstore/
 
 # Check: the full pre-merge gate.
 .PHONY: check
-check: tier1 tier1-race fuzz-smoke
+check: tier1 tier1-race fuzz-smoke bench-relay
 
 # Mailbench: the capacity harness acceptance run — a million-user population
 # on 64 simulated servers, no faults, auditors on, capacity sweep written to

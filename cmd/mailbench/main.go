@@ -13,6 +13,7 @@
 //	go run ./cmd/mailbench -transport netsim -users 1000000 -servers 64 -seed 1 -faults
 //	go run ./cmd/mailbench -transport livenet -users 2000 -servers 8
 //	go run ./cmd/mailbench -users 10000,100000 -servers 16,64 -o BENCH_PR4.json
+//	go run ./cmd/mailbench -users 1000000 -servers 64 -batch 1,4,16,64 -faults -o BENCH_PR5.json
 //
 // The exit status is non-zero when any run finishes with auditor
 // violations, so the harness doubles as a correctness gate.
@@ -46,6 +47,10 @@ type params struct {
 	sessions  int
 	ticks     int
 	faults    bool
+	batch     int     // relay batch size (0 = unbatched classic path)
+	flush     int     // relay flush interval, sim units
+	retry     int     // ack retry timeout, sim units (0 = server default)
+	localBias float64 // 0 = workload default
 }
 
 func main() {
@@ -58,6 +63,10 @@ func main() {
 	sessions := flag.Int("sessions", 512, "concurrent closed-loop user sessions")
 	ticks := flag.Int("ticks", 120, "minimum run horizon in schedule ticks")
 	withFaults := flag.Bool("faults", false, "inject a compiled crash/link/latency/drop schedule")
+	batchFlag := flag.String("batch", "", "relay batch sizes to sweep (comma-separated; netsim only; empty = unbatched)")
+	flush := flag.Int("flush", 20, "relay batch flush interval in sim units (with -batch)")
+	retry := flag.Int("retry", 0, "transfer ack retry timeout in sim units (0 = server default; set above the topology's ack round-trip for honest batch sweeps)")
+	localBias := flag.Float64("localbias", 0, "probability a recipient is region-local (0 = workload default 0.8)")
 	out := flag.String("o", "BENCH_PR4.json", "benchmark document path (empty = stdout)")
 	flag.Parse()
 
@@ -75,22 +84,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mailbench: -servers:", err)
 		os.Exit(2)
 	}
+	batchSweep := []int{0}
+	if *batchFlag != "" {
+		if *transport != "netsim" {
+			fmt.Fprintln(os.Stderr, "mailbench: -batch requires -transport netsim")
+			os.Exit(2)
+		}
+		if batchSweep, err = parseInts(*batchFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "mailbench: -batch:", err)
+			os.Exit(2)
+		}
+	}
 
 	doc := benchfmt.Doc{Goos: runtime.GOOS, Goarch: runtime.GOARCH}
 	violations := 0
 	for _, users := range userSweep {
 		for _, servers := range serverSweep {
-			res, bad, err := run(params{
-				transport: *transport, users: users, servers: servers,
-				regions: *regions, seed: *seed, messages: *messages,
-				sessions: *sessions, ticks: *ticks, faults: *withFaults,
-			})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "mailbench:", err)
-				os.Exit(1)
+			for _, batch := range batchSweep {
+				res, bad, err := run(params{
+					transport: *transport, users: users, servers: servers,
+					regions: *regions, seed: *seed, messages: *messages,
+					sessions: *sessions, ticks: *ticks, faults: *withFaults,
+					batch: batch, flush: *flush, retry: *retry, localBias: *localBias,
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "mailbench:", err)
+					os.Exit(1)
+				}
+				doc.Benchmarks = append(doc.Benchmarks, res)
+				violations += bad
 			}
-			doc.Benchmarks = append(doc.Benchmarks, res)
-			violations += bad
 		}
 	}
 	if err := doc.WriteFile(*out); err != nil {
@@ -179,7 +202,12 @@ func run(p params) (benchfmt.Result, int, error) {
 	)
 	switch p.transport {
 	case "netsim":
-		d, err := loadgen.NewSimDriver(loadgen.SimConfig{Seed: p.seed, Pop: pop})
+		d, err := loadgen.NewSimDriver(loadgen.SimConfig{
+			Seed: p.seed, Pop: pop,
+			BatchSize:     p.batch,
+			FlushInterval: sim.Time(p.flush) * sim.Unit,
+			RetryTimeout:  sim.Time(p.retry) * sim.Unit,
+		})
 		if err != nil {
 			return benchfmt.Result{}, 0, err
 		}
@@ -197,6 +225,7 @@ func run(p params) (benchfmt.Result, int, error) {
 
 	cfg := loadgen.Config{
 		Seed: p.seed, Messages: p.messages, Sessions: p.sessions, Ticks: p.ticks,
+		Workload: loadgen.Workload{LocalBias: p.localBias},
 	}
 	if p.faults {
 		sched, err := faultProfile(drv, p, p.ticks)
@@ -208,6 +237,9 @@ func run(p params) (benchfmt.Result, int, error) {
 
 	label := fmt.Sprintf("%s users=%d servers=%d faults=%v seed=%d",
 		p.transport, p.users, p.servers, p.faults, p.seed)
+	if p.batch > 0 {
+		label += fmt.Sprintf(" batch=%d flush=%d", p.batch, p.flush)
+	}
 	fmt.Printf("=== %s\n", label)
 	start := time.Now()
 	rep := loadgen.New(drv, cfg).Run()
@@ -221,6 +253,11 @@ func run(p params) (benchfmt.Result, int, error) {
 	snap := drv.Snapshot()
 	fmt.Print(snap.LatencyTable("stage latency", scale, unit).Render())
 	printUtilization(rep.Loads)
+	if env := counterSum(snap, "relay_envelopes"); env > 0 {
+		xfers := counterSum(snap, "transfers_out")
+		fmt.Printf("relay: %.0f envelopes carried %.0f transfers (%.1f msgs/envelope), %.0f splits\n",
+			env, xfers, xfers/env, counterSum(snap, "batch_splits"))
+	}
 
 	bad := 0
 	if !rep.Ok {
@@ -247,10 +284,29 @@ func run(p params) (benchfmt.Result, int, error) {
 
 func benchName(p params) string {
 	name := fmt.Sprintf("Mailbench/%s/users=%d/servers=%d", p.transport, p.users, p.servers)
+	if p.batch > 0 {
+		name += fmt.Sprintf("/batch=%d", p.batch)
+	}
 	if p.faults {
 		name += "/faults"
 	}
 	return name
+}
+
+// counterSum reads a logical counter from the snapshot: the netsim driver
+// publishes summed per-server counters under a "srv_" prefix, the live
+// cluster publishes per-server "<name>.<counter>" entries.
+func counterSum(snap obs.Snapshot, name string) float64 {
+	if v, ok := snap.Counters["srv_"+name]; ok {
+		return float64(v)
+	}
+	var sum int64
+	for k, v := range snap.Counters {
+		if strings.HasSuffix(k, "."+name) {
+			sum += v
+		}
+	}
+	return float64(sum)
 }
 
 // printUtilization renders predicted vs observed load per server (full
@@ -320,6 +376,12 @@ func metrics(rep loadgen.Report, snap obs.Snapshot, elapsed time.Duration, scale
 	}
 	if rep.Retrievals > 0 {
 		m["polls_per_retrieval"] = float64(rep.Polls) / float64(rep.Retrievals)
+	}
+	if env := counterSum(snap, "relay_envelopes"); env > 0 {
+		m["relay_envelopes"] = env
+		m["transfers_out"] = counterSum(snap, "transfers_out")
+		m["batch_splits"] = counterSum(snap, "batch_splits")
+		m["msgs_per_envelope"] = m["transfers_out"] / env
 	}
 	names := make([]string, 0, len(snap.Histograms))
 	for n := range snap.Histograms {

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	mailctl -addr 127.0.0.1:7425 register R1.h1.alice [s1 s2]
-//	mailctl submit R1.h2.bob R1.h1.alice "subject" "body"
+//	mailctl -timeout 2s submit R1.h2.bob R1.h1.alice "subject" "body"
 //	mailctl getmail R1.h1.alice
 //	mailctl status [-json]
 //	mailctl crash s1 | recover s1
@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,12 +34,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mailctl", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7425", "maild address")
+	timeout := fs.Duration("timeout", 0, "overall deadline for the command (0 = the client's per-attempt default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
 		return fmt.Errorf("need a command: register | submit | getmail | status | crash | recover")
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	c, err := wire.Dial(*addr)
 	if err != nil {
@@ -51,7 +59,7 @@ func run(args []string) error {
 		if len(rest) < 2 {
 			return fmt.Errorf("usage: register <user> [servers...]")
 		}
-		if err := c.Register(rest[1], rest[2:]...); err != nil {
+		if err := c.RegisterContext(ctx, rest[1], rest[2:]...); err != nil {
 			return err
 		}
 		fmt.Println("registered", rest[1])
@@ -59,7 +67,7 @@ func run(args []string) error {
 		if len(rest) < 5 {
 			return fmt.Errorf("usage: submit <from> <to> <subject> <body>")
 		}
-		id, err := c.Submit(rest[1], []string{rest[2]}, rest[3], rest[4])
+		id, err := c.SubmitContext(ctx, rest[1], []string{rest[2]}, rest[3], rest[4])
 		if err != nil {
 			return err
 		}
@@ -68,7 +76,7 @@ func run(args []string) error {
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: getmail <user>")
 		}
-		msgs, err := c.GetMail(rest[1])
+		msgs, err := c.GetMailContext(ctx, rest[1])
 		if err != nil {
 			return err
 		}
@@ -85,7 +93,7 @@ func run(args []string) error {
 		if err := sfs.Parse(rest[1:]); err != nil {
 			return err
 		}
-		snap, err := c.StatusSnapshot()
+		snap, err := c.StatusSnapshotContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -102,7 +110,7 @@ func run(args []string) error {
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: %s <server>", cmd)
 		}
-		if err := c.SetAvailability(rest[1], cmd == "recover"); err != nil {
+		if err := c.SetAvailabilityContext(ctx, rest[1], cmd == "recover"); err != nil {
 			return err
 		}
 		fmt.Println(cmd, rest[1], "ok")

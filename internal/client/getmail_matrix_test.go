@@ -1,9 +1,12 @@
 package client
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/mailerr"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/netsim"
 	"github.com/largemail/largemail/internal/server"
@@ -276,5 +279,40 @@ func TestGetMailFailureMatrix(t *testing.T) {
 				t.Errorf("inbox subjects = %v, want exactly {msg1, msg2}", subjects)
 			}
 		})
+	}
+}
+
+// TestAgentErrorTaxonomy asserts failures on TYPES from the shared mailerr
+// taxonomy, not substrings: total unavailability matches ErrServerDown
+// through the package sentinel, and context expiry matches ErrTimeout.
+func TestAgentErrorTaxonomy(t *testing.T) {
+	w := newMatrixWorld(t)
+	w.net.Crash(ms1)
+	w.net.Crash(ms2)
+
+	if _, err := w.sender.Send([]names.Name{w.reader.User()}, "s", "b"); !errors.Is(err, ErrNoServerAvailable) {
+		t.Errorf("Send with all servers down: %v does not match ErrNoServerAvailable", err)
+	} else if !errors.Is(err, mailerr.ErrServerDown) {
+		t.Errorf("Send with all servers down: %v does not match mailerr.ErrServerDown", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.sender.SendContext(ctx, []names.Name{w.reader.User()}, "s", "b"); !errors.Is(err, mailerr.ErrTimeout) {
+		t.Errorf("SendContext(cancelled): %v does not match mailerr.ErrTimeout", err)
+	}
+
+	// A cancelled retrieval fails typed AND leaves the walk state untouched,
+	// so the next live retrieval cannot skip mail.
+	before := w.reader.LastCheckingTime()
+	retrBefore := w.reader.Stats().Retrievals
+	if _, err := w.reader.GetMailContext(ctx); !errors.Is(err, mailerr.ErrTimeout) {
+		t.Errorf("GetMailContext(cancelled): %v does not match mailerr.ErrTimeout", err)
+	}
+	if got := w.reader.LastCheckingTime(); got != before {
+		t.Errorf("cancelled retrieval advanced LastCheckingTime %d -> %d", before, got)
+	}
+	if got := w.reader.Stats().Retrievals; got != retrBefore {
+		t.Errorf("cancelled retrieval counted: %d -> %d", retrBefore, got)
 	}
 }

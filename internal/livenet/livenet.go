@@ -11,6 +11,7 @@
 package livenet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -20,20 +21,25 @@ import (
 	"time"
 
 	"github.com/largemail/largemail/internal/mail"
+	"github.com/largemail/largemail/internal/mail/mailstore"
+	"github.com/largemail/largemail/internal/mailerr"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/obs"
 )
 
-// Errors reported by livenet operations.
+// Errors reported by livenet operations. The availability and naming errors
+// wrap the shared taxonomy in internal/mailerr, so callers can branch on
+// cross-layer categories (mailerr.ErrServerDown, mailerr.ErrUnknownUser)
+// without importing livenet.
 var (
-	ErrServerDown  = errors.New("livenet: server is down")
-	ErrNoAuthority = errors.New("livenet: user has no authority servers")
-	ErrAllDown     = errors.New("livenet: no authority server available")
+	ErrServerDown  = fmt.Errorf("livenet: server is down: %w", mailerr.ErrServerDown)
+	ErrNoAuthority = fmt.Errorf("livenet: user has no authority servers: %w", mailerr.ErrUnknownUser)
+	ErrAllDown     = fmt.Errorf("livenet: no authority server available: %w", mailerr.ErrServerDown)
 	ErrClosed      = errors.New("livenet: cluster closed")
 	// ErrUnreachable marks a server that is running but cut off from the
 	// network — §3.1.2c's "disconnected from the network" failure mode,
 	// injected by internal/faults link events.
-	ErrUnreachable = errors.New("livenet: server unreachable (link down)")
+	ErrUnreachable = fmt.Errorf("livenet: server unreachable (link down): %w", mailerr.ErrServerDown)
 	// ErrInjected marks a request discarded by an injected transient drop
 	// fault. Unlike ErrServerDown/ErrUnreachable it does NOT mean the server
 	// is unavailable: callers must retry the same server, not fail over past
@@ -81,9 +87,12 @@ type request struct {
 	done chan struct{}
 }
 
-// serverState is owned exclusively by the server goroutine.
+// serverState is owned exclusively by the server goroutine. The sharded
+// store is the same structure the simulation servers use; here its striping
+// additionally lets read-only totals (StoredBytes) be computed without a
+// trip through the request loop.
 type serverState struct {
-	mailboxes map[names.Name]*mail.Mailbox
+	store *mailstore.Store
 }
 
 // Server is one mail server: a goroutine owning mailboxes, reachable through
@@ -212,13 +221,30 @@ func (s *Server) call(fn func(*serverState)) error {
 // down, letting the caller fail over to the next authority server.
 func (s *Server) Deposit(msg mail.Message, rcpt names.Name) error {
 	err := s.call(func(st *serverState) {
-		mb, ok := st.mailboxes[rcpt]
-		if !ok {
-			mb = mail.NewMailbox(rcpt)
-			st.mailboxes[rcpt] = mb
-		}
-		if mb.Deposit(msg, 0) {
+		if st.store.Deposit(rcpt, msg, 0) {
 			s.deposits.Inc()
+		}
+	})
+	return err
+}
+
+// BatchDeposit is one recipient copy inside a DepositBatch call.
+type BatchDeposit struct {
+	Msg  mail.Message
+	Rcpt names.Name
+}
+
+// DepositBatch buffers several recipient copies in one server round-trip:
+// one availability/fault gate and one request on the server loop instead of
+// one per copy — the livenet face of the relay-batching fabric, used by the
+// spool worker to drain coalesced redeliveries. Per-mailbox duplicate
+// suppression applies item by item, exactly as with individual Deposits.
+func (s *Server) DepositBatch(items []BatchDeposit) error {
+	err := s.call(func(st *serverState) {
+		for _, it := range items {
+			if st.store.Deposit(it.Rcpt, it.Msg, 0) {
+				s.deposits.Inc()
+			}
 		}
 	})
 	return err
@@ -229,9 +255,7 @@ func (s *Server) CheckMail(user names.Name) ([]mail.Stored, error) {
 	var out []mail.Stored
 	err := s.call(func(st *serverState) {
 		s.checks.Inc()
-		if mb, ok := st.mailboxes[user]; ok {
-			out = mb.Drain()
-		}
+		out = st.store.Drain(user)
 	})
 	if err != nil {
 		return nil, err
@@ -243,16 +267,25 @@ func (s *Server) CheckMail(user names.Name) ([]mail.Stored, error) {
 func (s *Server) MailboxLen(user names.Name) (int, error) {
 	n := 0
 	err := s.call(func(st *serverState) {
-		if mb, ok := st.mailboxes[user]; ok {
-			n = mb.Len()
-		}
+		n = st.store.Len(user)
+	})
+	return n, err
+}
+
+// StoredBytes reports the total buffered content bytes on this server — an
+// O(shards) counter sum over the sharded store, served through the request
+// loop like every other state access.
+func (s *Server) StoredBytes() (int64, error) {
+	var n int64
+	err := s.call(func(st *serverState) {
+		n = st.store.TotalBytes()
 	})
 	return n, err
 }
 
 func (s *Server) loop() {
 	defer close(s.done)
-	st := &serverState{mailboxes: make(map[names.Name]*mail.Mailbox)}
+	st := &serverState{store: mailstore.New(0)}
 	for {
 		select {
 		case req := <-s.reqs:
@@ -404,8 +437,20 @@ func (c *Cluster) Close() {
 // at all, and an accepted message is never lost (§3.1.2b buffering, claim
 // E2).
 func (c *Cluster) Submit(from names.Name, to []names.Name, subject, body string) (mail.MessageID, error) {
+	return c.SubmitContext(context.Background(), from, to, subject, body)
+}
+
+// SubmitContext is Submit honoring a context: a deadline or cancellation
+// stops the per-recipient delivery loop, and the unattempted recipients are
+// reported as mailerr.ErrTimeout failures. Recipients already deposited (or
+// spooled) before the expiry stay committed — a context error is a partial
+// result, exactly like a per-recipient delivery error.
+func (c *Cluster) SubmitContext(ctx context.Context, from names.Name, to []names.Name, subject, body string) (mail.MessageID, error) {
 	if c.closed.Load() {
 		return mail.MessageID{}, ErrClosed
+	}
+	if err := ctxErr(ctx); err != nil {
+		return mail.MessageID{}, err
 	}
 	msg := mail.Message{
 		ID:      mail.MessageID{Node: 1, Seq: c.nextSeq.Add(1)},
@@ -417,6 +462,10 @@ func (c *Cluster) Submit(from names.Name, to []names.Name, subject, body string)
 	c.trace.Stamp(msg.ID.String(), obs.StageSubmit, "cluster")
 	var errs []error
 	for _, rcpt := range msg.To {
+		if err := ctxErr(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("deliver to %v: %w", rcpt, err))
+			continue
+		}
 		err := c.depositFailover(msg, rcpt)
 		if err == nil {
 			continue
@@ -434,6 +483,27 @@ func (c *Cluster) Submit(from names.Name, to []names.Name, subject, body string)
 		errs = append(errs, fmt.Errorf("deliver to %v: %w", rcpt, err))
 	}
 	return msg.ID, errors.Join(errs...)
+}
+
+// ctxErr maps a context cancellation or deadline into the shared timeout
+// taxonomy (nil if the context is still live).
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("livenet: %w: %v", mailerr.ErrTimeout, err)
+	}
+	return nil
+}
+
+// firstAvailable returns the name of the recipient's first up-and-reachable
+// authority server — the spool's batching key: due entries that share it can
+// be drained with one DepositBatch round.
+func (c *Cluster) firstAvailable(rcpt names.Name) (string, bool) {
+	for _, name := range c.dir.Authority(rcpt) {
+		if s, ok := c.Server(name); ok && s.Up() && s.Reachable() {
+			return name, true
+		}
+	}
+	return "", false
 }
 
 // depositFailover deposits one recipient copy following §3.1.2c: walk the

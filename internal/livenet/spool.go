@@ -8,6 +8,7 @@ import (
 
 	"github.com/largemail/largemail/internal/mail"
 	"github.com/largemail/largemail/internal/names"
+	"github.com/largemail/largemail/internal/obs"
 )
 
 // SpoolConfig tunes the cluster's redelivery spool. Zero fields take the
@@ -170,8 +171,13 @@ func (sp *spool) nextDue() time.Duration {
 	return d
 }
 
-// deliverDue retries every due entry once. Entries that still fail get a
-// backed-off new due time; delivered entries leave the spool.
+// deliverDue retries every due entry once. Due entries whose recipients
+// share the same first-available authority server are drained together with
+// one DepositBatch round (the relay-batching fabric on this transport); a
+// batch that fails falls back to the per-entry deposit-with-failover path,
+// whose transient-retry and backoff handling then applies entry by entry
+// (retry splitting). Entries that still fail get a backed-off new due time;
+// delivered entries leave the spool.
 func (sp *spool) deliverDue() {
 	now := time.Now()
 	sp.mu.Lock()
@@ -182,23 +188,71 @@ func (sp *spool) deliverDue() {
 		}
 	}
 	sp.mu.Unlock()
+
+	groups := make(map[string][]*spoolEntry)
+	singles := make([]*spoolEntry, 0, len(due))
 	for _, e := range due {
+		if name, ok := sp.c.firstAvailable(e.rcpt); ok {
+			groups[name] = append(groups[name], e)
+		} else {
+			singles = append(singles, e) // no live server: per-entry path backs off
+		}
+	}
+	for name, es := range groups {
+		if len(es) < 2 {
+			singles = append(singles, es...)
+			continue
+		}
+		srv, ok := sp.c.Server(name)
+		if !ok {
+			singles = append(singles, es...)
+			continue
+		}
+		items := make([]BatchDeposit, len(es))
+		for i, e := range es {
+			items[i] = BatchDeposit{Msg: e.msg, Rcpt: e.rcpt}
+		}
+		if err := srv.DepositBatch(items); err != nil {
+			singles = append(singles, es...) // split: retry individually
+			continue
+		}
+		sp.c.stats.Inc("spool_batch_drains")
+		sp.c.stats.Add("spool_batch_msgs", int64(len(es)))
+		for _, e := range es {
+			sp.c.trace.Stamp(e.msg.ID.String(), obs.StageDeposit, name)
+			sp.settle(e)
+		}
+	}
+	for _, e := range singles {
 		err := sp.c.depositFailover(e.msg, e.rcpt)
 		sp.mu.Lock()
 		if err == nil {
 			sp.c.stats.Inc("spool_redelivered")
-			for i, cur := range sp.entries {
-				if cur == e {
-					sp.entries = append(sp.entries[:i], sp.entries[i+1:]...)
-					break
-				}
-			}
+			sp.removeLocked(e)
 		} else {
 			e.attempts++
 			sp.c.stats.Inc("spool_retries")
 			e.due = time.Now().Add(sp.backoff(e.attempts))
 		}
 		sp.mu.Unlock()
+	}
+}
+
+// settle removes a delivered entry and counts the redelivery.
+func (sp *spool) settle(e *spoolEntry) {
+	sp.mu.Lock()
+	sp.c.stats.Inc("spool_redelivered")
+	sp.removeLocked(e)
+	sp.mu.Unlock()
+}
+
+// removeLocked deletes an entry; sp.mu must be held.
+func (sp *spool) removeLocked(e *spoolEntry) {
+	for i, cur := range sp.entries {
+		if cur == e {
+			sp.entries = append(sp.entries[:i], sp.entries[i+1:]...)
+			return
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -22,6 +23,10 @@ type LiveConfig struct {
 	// authority list at all can fail), which is the commit-point contract
 	// the no-loss auditor depends on.
 	Spool livenet.SpoolConfig
+	// SubmitTimeout bounds each Submit through the cluster's context API
+	// (0 = no deadline). Recipients already committed when the deadline
+	// fires stay committed; the rest report mailerr.ErrTimeout.
+	SubmitTimeout time.Duration
 }
 
 // LiveDriver drives the livenet transport: goroutine servers, wall-clock
@@ -120,7 +125,13 @@ func (d *LiveDriver) Submit(from int, to []int, subject, body string) (string, e
 		}
 		rcpts = append(rcpts, name)
 	}
-	id, err := d.cluster.Submit(fromName, rcpts, subject, body)
+	ctx := context.Background()
+	if d.cfg.SubmitTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.cfg.SubmitTimeout)
+		defer cancel()
+	}
+	id, err := d.cluster.SubmitContext(ctx, fromName, rcpts, subject, body)
 	if err != nil {
 		return "", err
 	}

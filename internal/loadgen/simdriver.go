@@ -38,6 +38,21 @@ type SimConfig struct {
 	SpareServersPerRegion int
 	// Retention is each server's mailbox clean-up policy (zero keeps all).
 	Retention mail.Retention
+	// BatchSize enables relay batching on every server: transfers to a
+	// common destination coalesce into TransferBatch envelopes of up to this
+	// many items (≤1 keeps the classic single-transfer path).
+	BatchSize int
+	// FlushInterval bounds how long a staged batch below the size watermark
+	// may wait (default 2 sim units; only meaningful with BatchSize > 1).
+	FlushInterval sim.Time
+	// StoreShards overrides each server's mailbox-store shard count
+	// (0 = mailstore.DefaultShards).
+	StoreShards int
+	// RetryTimeout overrides how long a server waits for a transfer (or
+	// batch) ack before retrying (0 = server default). Large topologies
+	// need this above their ack round-trip, or every distant transfer
+	// retries — and every distant batch splits — spuriously.
+	RetryTimeout sim.Time
 }
 
 // SimDriver drives the discrete-event transport: it builds its own regional
@@ -138,12 +153,15 @@ func NewSimDriver(cfg SimConfig) (*SimDriver, error) {
 		d.assigns = append(d.assigns, a)
 
 		dir := server.NewDirectory(p.RegionName(r))
+		dir.Instrument(d.reg) // rescache_hits/rescache_misses in Snapshot
 		d.dirs = append(d.dirs, dir)
 		for _, sv := range servers {
 			srv, err := server.New(server.Config{
 				ID: sv, Region: p.RegionName(r), Net: d.net,
 				Dir: dir, Regions: d.regionMap,
 				Retention: cfg.Retention, Trace: d.trace,
+				BatchSize: cfg.BatchSize, FlushInterval: cfg.FlushInterval,
+				StoreShards: cfg.StoreShards, RetryTimeout: cfg.RetryTimeout,
 			})
 			if err != nil {
 				return nil, err
@@ -509,6 +527,8 @@ func (d *SimDriver) AddServer(r int) (string, error) {
 		ID: id, Region: d.pop.RegionName(r), Net: d.net,
 		Dir: d.dirs[r], Regions: d.regionMap,
 		Retention: d.cfg.Retention, Trace: d.trace,
+		BatchSize: d.cfg.BatchSize, FlushInterval: d.cfg.FlushInterval,
+		StoreShards: d.cfg.StoreShards, RetryTimeout: d.cfg.RetryTimeout,
 	})
 	if err != nil {
 		return "", err

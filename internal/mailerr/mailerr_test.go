@@ -1,0 +1,42 @@
+package mailerr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCodeRoundTrip(t *testing.T) {
+	for _, sentinel := range []error{ErrUnknownUser, ErrServerDown, ErrOversized, ErrTimeout} {
+		wrapped := fmt.Errorf("layer context: %w", sentinel)
+		code := Code(wrapped)
+		if code == "" {
+			t.Fatalf("Code(%v) = empty", sentinel)
+		}
+		back := FromCode(code, wrapped.Error())
+		if !errors.Is(back, sentinel) {
+			t.Errorf("FromCode(%q) does not match %v", code, sentinel)
+		}
+		if back.Error() == "" {
+			t.Errorf("FromCode(%q) lost the message", code)
+		}
+	}
+}
+
+func TestCodeUnknown(t *testing.T) {
+	if got := Code(errors.New("misc")); got != "" {
+		t.Errorf("Code(misc) = %q, want empty", got)
+	}
+	err := FromCode("", "plain failure")
+	if err == nil || err.Error() != "plain failure" {
+		t.Errorf("FromCode empty code = %v", err)
+	}
+	for _, sentinel := range []error{ErrUnknownUser, ErrServerDown, ErrOversized, ErrTimeout} {
+		if errors.Is(err, sentinel) {
+			t.Errorf("untyped error matches %v", sentinel)
+		}
+	}
+	if err := FromCode("unknown_user", ""); err.Error() == "" {
+		t.Error("FromCode with empty message produced empty error text")
+	}
+}

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/sim"
+)
+
+// Relay batching: with Config.BatchSize > 1, outgoing transfers are not sent
+// one envelope each. enqueue stages them per destination server, and a batch
+// flushes as a single TransferBatch when it reaches BatchSize items (size
+// watermark) or when FlushInterval elapses since its first item (time
+// watermark), whichever comes first.
+//
+// The reliability ledger does not change: every staged item remains a
+// pendingTransfer in s.pending until the batch's TransferBatchAck settles
+// it. Failure handling degrades to the proven single-transfer protocol —
+// a batch that times out, or individual items a receiver reports failed,
+// are re-dispatched one by one through dispatch(), whose per-item retry
+// timer and candidate failover then take over ("retry splitting").
+//
+// Counters: transfers_out stays per message copy in both modes, so delivery
+// accounting is mode-independent; relay_envelopes counts physical envelopes
+// carrying transfers (one per single Transfer, one per TransferBatch) and is
+// the metric the batch-size sweeps report.
+
+// stagedBatch is a per-destination batch being filled.
+type stagedBatch struct {
+	toks  []uint64
+	timer *sim.Event // FlushInterval watermark
+}
+
+// inflightBatch is a flushed batch awaiting its TransferBatchAck.
+type inflightBatch struct {
+	toks  []uint64
+	timer *sim.Event // retry-timeout: on expiry the batch splits
+}
+
+// stage adds a pending transfer to the batch of its picked destination,
+// flushing on the size watermark. Staging counts as the transfer's first
+// attempt, exactly like an immediate dispatch would.
+func (s *Server) stage(tok uint64) {
+	p, ok := s.pending[tok]
+	if !ok || !s.Up() {
+		return
+	}
+	target := s.pickCandidate(p)
+	p.attempt++
+	if p.attempt > 1 {
+		s.stats.Inc("retries")
+	}
+	s.addToBatch(tok, target)
+}
+
+// addToBatch appends a pending transfer to its destination's staged batch,
+// creating the batch (and arming its flush timer) on first use.
+func (s *Server) addToBatch(tok uint64, target graph.NodeID) {
+	b := s.staged[target]
+	if b == nil {
+		b = &stagedBatch{}
+		s.staged[target] = b
+		b.timer = s.net.Scheduler().After(s.flushEvery, func() {
+			s.flushStaged(target)
+		})
+	}
+	b.toks = append(b.toks, tok)
+	if len(b.toks) >= s.batchSize {
+		s.flushStaged(target)
+	}
+}
+
+// firstActive returns the first up candidate in list order — the §3.1.2c
+// deposit target as of right now — or fallback when none look up.
+func (s *Server) firstActive(p *pendingTransfer, fallback graph.NodeID) graph.NodeID {
+	for _, cand := range p.candidates {
+		if s.net.IsUp(cand) {
+			return cand
+		}
+	}
+	return fallback
+}
+
+// flushStaged ships the destination's staged batch as one TransferBatch
+// envelope and arms the batch-level retry timer.
+func (s *Server) flushStaged(target graph.NodeID) {
+	b, ok := s.staged[target]
+	if !ok {
+		return
+	}
+	delete(s.staged, target)
+	if b.timer != nil {
+		s.net.Scheduler().Cancel(b.timer)
+	}
+	if !s.Up() {
+		return // crash raced the flush; items stay pending for recovery
+	}
+	items := make([]Transfer, 0, len(b.toks))
+	live := make([]uint64, 0, len(b.toks))
+	for _, tok := range b.toks {
+		p, still := s.pending[tok]
+		if !still {
+			continue
+		}
+		// Re-validate the destination at send time: the pick was made when
+		// the item was staged, and availability may have changed while it
+		// waited. Shipping a deposit to a secondary after the primary
+		// recovered would place mail where the recipient's §3.1.2c GetMail
+		// walk has no reason to look — a silent loss. A single transfer
+		// cannot hit this (it picks and sends in the same instant), so the
+		// batch path must close the window itself: redirect the item into
+		// its fresh target's batch instead.
+		if fresh := s.firstActive(p, target); fresh != target {
+			s.stats.Inc("batch_redirects")
+			s.addToBatch(tok, fresh)
+			continue
+		}
+		items = append(items, Transfer{
+			Kind: p.kind, Msg: p.msg, Recipient: p.recipient,
+			Origin: s.id, Token: tok, Attempt: p.attempt,
+		})
+		live = append(live, tok)
+	}
+	if len(items) == 0 {
+		return
+	}
+	s.nextBatch++
+	btok := s.nextBatch
+	s.stats.Inc("relay_envelopes")
+	s.stats.Add("transfers_out", int64(len(items)))
+	s.stats.Add("batched_transfers", int64(len(items)))
+	fb := &inflightBatch{toks: live}
+	s.inflight[btok] = fb
+	_ = s.net.Send(s.id, target, TransferBatch{Origin: s.id, Token: btok, Items: items})
+	fb.timer = s.net.Scheduler().After(s.retryTimeout, func() {
+		s.splitBatch(btok)
+	})
+}
+
+// splitBatch handles a batch whose ack never arrived: dissolve it and hand
+// every still-pending item to the single-transfer retry machinery.
+func (s *Server) splitBatch(btok uint64) {
+	fb, ok := s.inflight[btok]
+	if !ok || !s.Up() {
+		return
+	}
+	delete(s.inflight, btok)
+	s.stats.Inc("batch_splits")
+	for _, tok := range fb.toks {
+		if _, still := s.pending[tok]; still {
+			s.dispatch(tok)
+		}
+	}
+}
+
+// handleTransferBatch processes a received batch item by item — the same
+// deposit/forward logic as a single Transfer — and acks the batch as a unit,
+// reporting the indices it could not process so the origin can retry exactly
+// those individually.
+func (s *Server) handleTransferBatch(tb TransferBatch) {
+	var failed []int
+	for i, tr := range tb.Items {
+		switch tr.Kind {
+		case TransferDeposit:
+			s.depositLocal(tr.Msg, tr.Recipient)
+		case TransferForward:
+			s.stats.Inc("forwards_in")
+			if tr.Recipient.Region != s.region {
+				// Mis-routed (e.g. stale region map): route onward.
+				s.Route(tr.Msg, tr.Recipient)
+				continue
+			}
+			s.deliverLocal(tr.Msg, tr.Recipient)
+		default:
+			failed = append(failed, i)
+		}
+	}
+	_ = s.net.Send(s.id, tb.Origin, TransferBatchAck{Token: tb.Token, Failed: failed})
+}
+
+// handleBatchAck settles a batch: acked items leave the pending ledger,
+// failed items are re-dispatched individually.
+func (s *Server) handleBatchAck(ack TransferBatchAck) {
+	fb, ok := s.inflight[ack.Token]
+	if !ok {
+		return
+	}
+	if fb.timer != nil {
+		s.net.Scheduler().Cancel(fb.timer)
+	}
+	delete(s.inflight, ack.Token)
+	failedSet := make(map[int]bool, len(ack.Failed))
+	for _, i := range ack.Failed {
+		failedSet[i] = true
+	}
+	for i, tok := range fb.toks {
+		if failedSet[i] {
+			if _, still := s.pending[tok]; still {
+				s.dispatch(tok)
+			}
+			continue
+		}
+		if p, still := s.pending[tok]; still {
+			if p.timer != nil {
+				s.net.Scheduler().Cancel(p.timer)
+			}
+			delete(s.pending, tok)
+		}
+	}
+}

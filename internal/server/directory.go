@@ -6,6 +6,7 @@ import (
 
 	"github.com/largemail/largemail/internal/graph"
 	"github.com/largemail/largemail/internal/names"
+	"github.com/largemail/largemail/internal/obs"
 )
 
 // Directory is one region's replicated name database: for every user of the
@@ -23,6 +24,19 @@ type Directory struct {
 	authority map[names.Name][]graph.NodeID
 	redirects map[names.Name]names.Name
 	groups    map[names.Name][]names.Name
+
+	// Resolution cache (§3.1.2a name-service queries): memoizes Resolve
+	// results, both positive (the authority slice, shared with the authority
+	// map — SetAuthority replaces that slice, never mutates it) and negative
+	// (a nil entry, so group/redirect names stop paying a map miss on every
+	// copy routed through them). Every directory write invalidates exactly
+	// the names it touches, which is what the reconfig ops of §3.1.3/§3.1.4
+	// (AddServer/RemoveServer/MigrateUser) flow through.
+	cache     map[names.Name][]graph.NodeID
+	hits      int64
+	misses    int64
+	hitsCtr   *obs.Counter // nil until Instrument
+	missesCtr *obs.Counter
 }
 
 // NewDirectory returns an empty directory for a region.
@@ -32,7 +46,43 @@ func NewDirectory(region string) *Directory {
 		authority: make(map[names.Name][]graph.NodeID),
 		redirects: make(map[names.Name]names.Name),
 		groups:    make(map[names.Name][]names.Name),
+		cache:     make(map[names.Name][]graph.NodeID),
 	}
+}
+
+// Instrument binds the resolution cache's hit/miss counters to a registry
+// ("rescache_hits"/"rescache_misses"), typically the deployment's shared obs
+// registry so drivers surface them in snapshots.
+func (d *Directory) Instrument(reg *obs.Registry) {
+	d.hitsCtr = reg.Counter("rescache_hits")
+	d.missesCtr = reg.Counter("rescache_misses")
+}
+
+// CacheStats reports resolution-cache hits and misses since creation.
+func (d *Directory) CacheStats() (hits, misses int64) { return d.hits, d.misses }
+
+// Resolve returns the user's ordered authority-server list through the
+// resolution cache (nil if the user is unknown). Servers resolve recipients
+// through this; Authority stays the uncached administrative read.
+func (d *Directory) Resolve(user names.Name) []graph.NodeID {
+	list, ok := d.cache[user]
+	if ok {
+		d.hits++
+		if d.hitsCtr != nil {
+			d.hitsCtr.Inc()
+		}
+	} else {
+		d.misses++
+		if d.missesCtr != nil {
+			d.missesCtr.Inc()
+		}
+		list = d.authority[user] // nil for unknown users: cached negative
+		d.cache[user] = list
+	}
+	if list == nil {
+		return nil
+	}
+	return append([]graph.NodeID(nil), list...)
 }
 
 // Region returns the region this directory covers.
@@ -44,6 +94,7 @@ func (d *Directory) SetAuthority(user names.Name, servers []graph.NodeID) error 
 	if user.Region != d.region {
 		return fmt.Errorf("server: user %v is not in region %s", user, d.region)
 	}
+	delete(d.cache, user)
 	if len(servers) == 0 {
 		delete(d.authority, user)
 		return nil
@@ -84,6 +135,7 @@ func (d *Directory) SetRedirect(old, new names.Name) error {
 	if old.Region != d.region {
 		return fmt.Errorf("server: redirect source %v is not in region %s", old, d.region)
 	}
+	delete(d.cache, old)
 	d.redirects[old] = new
 	return nil
 }
@@ -97,6 +149,7 @@ func (d *Directory) Redirect(old names.Name) (names.Name, bool) {
 // RemoveRedirect deletes a forwarding record (the end of the migration
 // grace period).
 func (d *Directory) RemoveRedirect(old names.Name) {
+	delete(d.cache, old)
 	delete(d.redirects, old)
 }
 
@@ -113,6 +166,7 @@ func (d *Directory) SetGroup(group names.Name, members []names.Name) error {
 	if _, isUser := d.authority[group]; isUser {
 		return fmt.Errorf("server: group %v collides with a registered user", group)
 	}
+	delete(d.cache, group)
 	if len(members) == 0 {
 		delete(d.groups, group)
 		return nil

@@ -73,6 +73,28 @@ type TransferAck struct {
 	Token uint64
 }
 
+// TransferBatch carries several transfers bound for one destination server
+// in a single network envelope — the relay-batching fabric. Items keep their
+// individual pending tokens (each is still a ledgered transfer awaiting
+// delivery); Token identifies the batch itself, which is acknowledged as a
+// unit with TransferBatchAck. A sender whose batch times out splits it and
+// retries the still-pending items as individual Transfers, so batching never
+// weakens the no-loss guarantee of the single-transfer protocol.
+type TransferBatch struct {
+	Origin graph.NodeID
+	Token  uint64
+	Items  []Transfer
+}
+
+// TransferBatchAck confirms a TransferBatch. Failed lists the indices of
+// items the receiver could not process; the origin re-dispatches exactly
+// those as individual transfers (retry splitting on partial failure), while
+// the rest are settled by this ack.
+type TransferBatchAck struct {
+	Token  uint64
+	Failed []int
+}
+
 // Notify is the "alert signal" a server sends to a logged-on user's host
 // when mail arrives for them (§3.1.2c).
 type Notify struct {

@@ -24,6 +24,8 @@ import (
 
 	"github.com/largemail/largemail/internal/graph"
 	"github.com/largemail/largemail/internal/mail"
+	"github.com/largemail/largemail/internal/mail/mailstore"
+	"github.com/largemail/largemail/internal/mailerr"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/netsim"
 	"github.com/largemail/largemail/internal/obs"
@@ -34,10 +36,12 @@ import (
 // copy; deeper nesting is treated as a definition cycle and dropped.
 const MaxGroupExpansions = 8
 
-// Errors reported by Server operations.
+// Errors reported by Server operations. Both wrap the shared taxonomy in
+// internal/mailerr, so errors.Is matches either the package sentinel or the
+// cross-layer category (mailerr.ErrServerDown, mailerr.ErrUnknownUser).
 var (
-	ErrDown        = errors.New("server: server is down")
-	ErrUnknownUser = errors.New("server: user has no mailbox here")
+	ErrDown        = fmt.Errorf("server: server is down: %w", mailerr.ErrServerDown)
+	ErrUnknownUser = fmt.Errorf("server: user has no mailbox here: %w", mailerr.ErrUnknownUser)
 )
 
 // Config configures a Server.
@@ -66,6 +70,20 @@ type Config struct {
 	// Typically one tracer is shared by every server of a deployment so a
 	// relayed message accumulates a single span chain. Nil disables tracing.
 	Trace *obs.Tracer
+	// BatchSize enables the relay-batching fabric: outgoing transfers are
+	// coalesced per destination server and flushed as one TransferBatch
+	// envelope when BatchSize items are staged or FlushInterval elapses,
+	// whichever comes first. Values <= 1 disable batching entirely — every
+	// transfer takes the classic single-Transfer path, byte-for-byte
+	// identical to the pre-batching server (pinned by equivalence tests).
+	BatchSize int
+	// FlushInterval bounds how long a staged transfer may wait for its
+	// batch to fill. Zero means 2 paper time units. Ignored when
+	// BatchSize <= 1.
+	FlushInterval sim.Time
+	// StoreShards is the mailbox store's shard count; zero selects
+	// mailstore.DefaultShards.
+	StoreShards int
 }
 
 // Server is a mail server process. Not safe for concurrent use; it runs on
@@ -81,11 +99,20 @@ type Server struct {
 	keepCopies   bool
 	retryTimeout sim.Time
 
-	mailboxes map[names.Name]*mail.Mailbox
+	store     *mailstore.Store
 	online    map[names.Name]graph.NodeID
 	nextSeq   uint64
 	nextToken uint64
 	pending   map[uint64]*pendingTransfer
+
+	// Relay-batching state (inactive when batchSize <= 1): staged holds
+	// per-destination batches being filled; inflight holds flushed batches
+	// awaiting their TransferBatchAck.
+	batchSize  int
+	flushEvery sim.Time
+	staged     map[graph.NodeID]*stagedBatch
+	inflight   map[uint64]*inflightBatch
+	nextBatch  uint64
 
 	stats *obs.Registry
 	trace *obs.Tracer // nil-safe; shared across the deployment when set
@@ -114,6 +141,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryTimeout <= 0 {
 		cfg.RetryTimeout = 8 * sim.Unit
 	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 2 * sim.Unit
+	}
 	s := &Server{
 		id:           cfg.ID,
 		region:       cfg.Region,
@@ -123,9 +153,13 @@ func New(cfg Config) (*Server, error) {
 		retention:    cfg.Retention,
 		keepCopies:   cfg.KeepCopies,
 		retryTimeout: cfg.RetryTimeout,
-		mailboxes:    make(map[names.Name]*mail.Mailbox),
+		store:        mailstore.New(cfg.StoreShards),
 		online:       make(map[names.Name]graph.NodeID),
 		pending:      make(map[uint64]*pendingTransfer),
+		batchSize:    cfg.BatchSize,
+		flushEvery:   cfg.FlushInterval,
+		staged:       make(map[graph.NodeID]*stagedBatch),
+		inflight:     make(map[uint64]*inflightBatch),
 		stats:        obs.NewRegistry(),
 		trace:        cfg.Trace,
 	}
@@ -157,30 +191,15 @@ func (s *Server) LastStart() sim.Time {
 }
 
 // MailboxLen reports how many messages are buffered for a user here.
-func (s *Server) MailboxLen(user names.Name) int {
-	if mb, ok := s.mailboxes[user]; ok {
-		return mb.Len()
-	}
-	return 0
-}
+func (s *Server) MailboxLen(user names.Name) int { return s.store.Len(user) }
 
-// StoredBytes reports the total buffered content bytes on this server.
-func (s *Server) StoredBytes() int {
-	total := 0
-	for _, mb := range s.mailboxes {
-		total += mb.Bytes()
-	}
-	return total
-}
+// StoredBytes reports the total buffered content bytes on this server. With
+// the sharded store this is an O(shards) counter sum — the old per-call scan
+// over every mailbox is gone.
+func (s *Server) StoredBytes() int { return int(s.store.TotalBytes()) }
 
-func (s *Server) mailbox(user names.Name) *mail.Mailbox {
-	mb, ok := s.mailboxes[user]
-	if !ok {
-		mb = mail.NewMailbox(user)
-		s.mailboxes[user] = mb
-	}
-	return mb
-}
+// Store exposes the server's sharded mailbox store.
+func (s *Server) Store() *mailstore.Store { return s.store }
 
 // Receive implements netsim.Handler.
 func (s *Server) Receive(env netsim.Envelope) {
@@ -191,6 +210,10 @@ func (s *Server) Receive(env netsim.Envelope) {
 		s.handleTransfer(p)
 	case TransferAck:
 		s.handleAck(p)
+	case TransferBatch:
+		s.handleTransferBatch(p)
+	case TransferBatchAck:
+		s.handleBatchAck(p)
 	case Login:
 		s.handleLogin(p)
 	case Logout:
@@ -200,7 +223,10 @@ func (s *Server) Receive(env netsim.Envelope) {
 	}
 }
 
-// Crashed implements netsim.Crasher: pending retry timers stop while down.
+// Crashed implements netsim.Crasher: pending retry timers stop while down,
+// and the batching fabric's staged and in-flight batches dissolve — their
+// items stay ledgered in s.pending (stable storage) and are re-dispatched
+// individually on recovery.
 func (s *Server) Crashed(sim.Time) {
 	for _, p := range s.pending {
 		if p.timer != nil {
@@ -208,17 +234,49 @@ func (s *Server) Crashed(sim.Time) {
 			p.timer = nil
 		}
 	}
+	for target, b := range s.staged {
+		if b.timer != nil {
+			s.net.Scheduler().Cancel(b.timer)
+		}
+		delete(s.staged, target)
+	}
+	for tok, fb := range s.inflight {
+		if fb.timer != nil {
+			s.net.Scheduler().Cancel(fb.timer)
+		}
+		delete(s.inflight, tok)
+	}
 }
 
 // Recovered implements netsim.Recoverer: queued transfers resume from stable
-// storage.
+// storage. The hook also fires on reconnection (link restore) while the
+// server is up, so any staged or in-flight batches dissolve first — their
+// items are re-driven individually below, and a stale duplicate envelope
+// would only waste traffic. Each transfer restarts its candidate walk at
+// the head of the list: a recovery re-drive is a fresh delivery decision,
+// and §3.1.2c wants the deposit at the first *active* authority server —
+// resuming mid-rotation could park mail at a secondary while the primary
+// is healthy, where no retrieval walk would ever look.
 func (s *Server) Recovered(sim.Time) {
+	for target, b := range s.staged {
+		if b.timer != nil {
+			s.net.Scheduler().Cancel(b.timer)
+		}
+		delete(s.staged, target)
+	}
+	for tok, fb := range s.inflight {
+		if fb.timer != nil {
+			s.net.Scheduler().Cancel(fb.timer)
+		}
+		delete(s.inflight, tok)
+	}
 	tokens := make([]uint64, 0, len(s.pending))
 	for tok := range s.pending {
 		tokens = append(tokens, tok)
 	}
 	sort.Slice(tokens, func(i, j int) bool { return tokens[i] < tokens[j] })
 	for _, tok := range tokens {
+		s.pending[tok].next = 0
 		s.dispatch(tok)
 	}
 }
@@ -309,7 +367,7 @@ func (s *Server) Route(msg mail.Message, rcpt names.Name) {
 // first active authority server ("mail will be deposited in the first
 // active server from the list", §3.1.2c).
 func (s *Server) deliverLocal(msg mail.Message, rcpt names.Name) {
-	list := s.dir.Authority(rcpt)
+	list := s.dir.Resolve(rcpt)
 	if len(list) == 0 {
 		// A distribution list fans out to its members (§4.3 group naming).
 		if members, ok := s.dir.Group(rcpt); ok {
@@ -358,15 +416,22 @@ func (s *Server) deliverLocal(msg mail.Message, rcpt names.Name) {
 // depositLocal buffers the message here and notifies the recipient if they
 // are logged on.
 func (s *Server) depositLocal(msg mail.Message, rcpt names.Name) {
-	mb := s.mailbox(rcpt)
-	if !mb.Deposit(msg, s.net.Scheduler().Now()) {
+	now := s.net.Scheduler().Now()
+	fresh, evicted := false, 0
+	s.store.Update(rcpt, func(mb *mail.Mailbox) {
+		fresh = mb.Deposit(msg, now)
+		if fresh {
+			evicted = len(mb.Cleanup(s.retention, now))
+		}
+	})
+	if !fresh {
 		s.stats.Inc("duplicate_deposits")
 		return
 	}
 	s.stats.Inc("deposits_local")
 	s.trace.Stamp(msg.ID.String(), obs.StageDeposit, s.whereLabel())
-	if evicted := mb.Cleanup(s.retention, s.net.Scheduler().Now()); len(evicted) > 0 {
-		s.stats.Add("cleanup_evicted", int64(len(evicted)))
+	if evicted > 0 {
+		s.stats.Add("cleanup_evicted", int64(evicted))
 	}
 	if host, ok := s.online[rcpt]; ok {
 		s.stats.Inc("notifies")
@@ -375,8 +440,10 @@ func (s *Server) depositLocal(msg mail.Message, rcpt names.Name) {
 	}
 }
 
-// enqueue creates a pending transfer against the candidate list and
-// dispatches its first attempt.
+// enqueue creates a pending transfer against the candidate list and either
+// dispatches its first attempt immediately (batchSize <= 1: the classic
+// single-Transfer protocol, unchanged) or stages it into the per-destination
+// batch for coalesced delivery.
 func (s *Server) enqueue(kind TransferKind, msg mail.Message, rcpt names.Name, candidates []graph.NodeID) {
 	s.nextToken++
 	tok := s.nextToken
@@ -386,7 +453,11 @@ func (s *Server) enqueue(kind TransferKind, msg mail.Message, rcpt names.Name, c
 		recipient:  rcpt,
 		candidates: append([]graph.NodeID(nil), candidates...),
 	}
-	s.dispatch(tok)
+	if s.batchSize <= 1 {
+		s.dispatch(tok)
+		return
+	}
+	s.stage(tok)
 }
 
 // dispatch sends the pending transfer to its next candidate and arms the
@@ -404,6 +475,7 @@ func (s *Server) dispatch(tok uint64) {
 		s.stats.Inc("retries")
 	}
 	s.stats.Inc("transfers_out")
+	s.stats.Inc("relay_envelopes") // one physical envelope per single transfer
 	_ = s.net.Send(s.id, target, Transfer{
 		Kind: p.kind, Msg: p.msg, Recipient: p.recipient,
 		Origin: s.id, Token: tok, Attempt: p.attempt,
@@ -465,10 +537,16 @@ func (s *Server) handleLogin(l Login) {
 	s.online[l.User] = l.Host
 	// "...or notify him as soon as he is connected to the system" — tell a
 	// connecting user about buffered mail.
-	if mb, ok := s.mailboxes[l.User]; ok && mb.Len() > 0 {
+	var first mail.MessageID
+	ok := s.store.View(l.User, func(mb *mail.Mailbox) {
+		if mb.Len() > 0 {
+			first = mb.Peek()[0].ID
+		}
+	})
+	if ok && !first.IsZero() {
 		s.stats.Inc("notifies")
-		s.trace.Stamp(mb.Peek()[0].ID.String(), obs.StageNotify, s.whereLabel())
-		_ = s.net.Send(s.id, l.Host, Notify{User: l.User, ID: mb.Peek()[0].ID, Server: s.id})
+		s.trace.Stamp(first.String(), obs.StageNotify, s.whereLabel())
+		_ = s.net.Send(s.id, l.Host, Notify{User: l.User, ID: first, Server: s.id})
 	}
 }
 
@@ -483,14 +561,9 @@ func (s *Server) PendingTransfers() int { return len(s.pending) }
 // re-routed while this server is still listed would deposit right back.
 // Returns how many messages were re-routed.
 func (s *Server) Evacuate() int {
-	users := make([]names.Name, 0, len(s.mailboxes))
-	for u := range s.mailboxes {
-		users = append(users, u)
-	}
-	sort.Slice(users, func(i, j int) bool { return users[i].String() < users[j].String() })
 	n := 0
-	for _, u := range users {
-		for _, m := range s.mailboxes[u].Drain() {
+	for _, u := range s.store.Users() { // sorted: deterministic hand-off order
+		for _, m := range s.store.Drain(u) {
 			s.Route(m.Message, u)
 			n++
 		}
@@ -508,25 +581,28 @@ func (s *Server) CheckMail(user names.Name) ([]mail.Stored, error) {
 	if !s.Up() {
 		return nil, fmt.Errorf("%w: %d", ErrDown, s.id)
 	}
-	mb, ok := s.mailboxes[user]
+	var out []mail.Stored
+	evicted := 0
+	now := s.net.Scheduler().Now()
+	ok := s.store.UpdateExisting(user, func(mb *mail.Mailbox) {
+		if !s.keepCopies {
+			out = mb.Drain()
+			return
+		}
+		for _, m := range mb.Peek() {
+			if m.Read {
+				continue // already retrieved; retained as archive copy
+			}
+			mb.MarkRead(m.ID)
+			out = append(out, m)
+		}
+		evicted = len(mb.Cleanup(s.retention, now))
+	})
 	if !ok {
 		return nil, nil
 	}
-	if !s.keepCopies {
-		out := mb.Drain()
-		s.stampRetrieved(out)
-		return out, nil
-	}
-	var out []mail.Stored
-	for _, m := range mb.Peek() {
-		if m.Read {
-			continue // already retrieved; retained as archive copy
-		}
-		mb.MarkRead(m.ID)
-		out = append(out, m)
-	}
-	if evicted := mb.Cleanup(s.retention, s.net.Scheduler().Now()); len(evicted) > 0 {
-		s.stats.Add("cleanup_evicted", int64(len(evicted)))
+	if evicted > 0 {
+		s.stats.Add("cleanup_evicted", int64(evicted))
 	}
 	s.stampRetrieved(out)
 	return out, nil
@@ -550,16 +626,14 @@ func (s *Server) whereLabel() string { return fmt.Sprintf("s%d", s.id) }
 // ArchivedCount reports how many retained (read) copies a user's mailbox
 // holds under the KeepCopies option.
 func (s *Server) ArchivedCount(user names.Name) int {
-	mb, ok := s.mailboxes[user]
-	if !ok {
-		return 0
-	}
 	n := 0
-	for _, m := range mb.Peek() {
-		if m.Read {
-			n++
+	s.store.View(user, func(mb *mail.Mailbox) {
+		for _, m := range mb.Peek() {
+			if m.Read {
+				n++
+			}
 		}
-	}
+	})
 	return n
 }
 
@@ -568,11 +642,7 @@ func (s *Server) PeekMail(user names.Name) ([]mail.Stored, error) {
 	if !s.Up() {
 		return nil, fmt.Errorf("%w: %d", ErrDown, s.id)
 	}
-	mb, ok := s.mailboxes[user]
-	if !ok {
-		return nil, nil
-	}
-	return mb.Peek(), nil
+	return s.store.Peek(user), nil
 }
 
 // LookupAuthority answers a name-service query: the user's authority list
@@ -584,7 +654,7 @@ func (s *Server) LookupAuthority(user names.Name) ([]graph.NodeID, error) {
 		return nil, fmt.Errorf("%w: %d", ErrDown, s.id)
 	}
 	s.stats.Inc("name_queries")
-	list := s.dir.Authority(user)
+	list := s.dir.Resolve(user)
 	if len(list) == 0 {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownUser, user)
 	}

@@ -27,8 +27,9 @@ var (
 )
 
 type hostRec struct {
-	acks     []SubmitAck
-	notifies []Notify
+	acks      []SubmitAck
+	notifies  []Notify
+	batchAcks []TransferBatchAck
 }
 
 func (h *hostRec) Receive(env netsim.Envelope) {
@@ -37,6 +38,8 @@ func (h *hostRec) Receive(env netsim.Envelope) {
 		h.acks = append(h.acks, p)
 	case Notify:
 		h.notifies = append(h.notifies, p)
+	case TransferBatchAck:
+		h.batchAcks = append(h.batchAcks, p)
 	}
 }
 
@@ -52,7 +55,8 @@ type world struct {
 // newWorld builds: R1 = {H1, S1, S2}, R2 = {H2, S3};
 // H1-S1(1), S1-S2(1), S2-S3(2), H2-S3(1).
 // alice, carol: authority [S1, S2]; bob: authority [S3].
-func newWorld(t *testing.T, retention mail.Retention) *world {
+// Optional mutators adjust each server's Config before construction.
+func newWorld(t *testing.T, retention mail.Retention, mutate ...func(*Config)) *world {
 	t.Helper()
 	g := graph.New()
 	g.MustAddNode(graph.Node{ID: h1, Label: "H1", Region: "R1", Kind: graph.KindHost})
@@ -81,10 +85,14 @@ func newWorld(t *testing.T, retention mail.Retention) *world {
 		region string
 		dir    *Directory
 	}{{s1, "R1", w.dirR1}, {s2, "R1", w.dirR1}, {s3, "R2", w.dirR2}} {
-		srv, err := New(Config{
+		cfg := Config{
 			ID: spec.id, Region: spec.region, Net: net,
 			Dir: spec.dir, Regions: regions, Retention: retention,
-		})
+		}
+		for _, m := range mutate {
+			m(&cfg)
+		}
+		srv, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -3,14 +3,16 @@ package wire
 import (
 	"encoding/json"
 	"fmt"
+
+	"github.com/largemail/largemail/internal/mailerr"
 )
 
 // ErrLineTooLong reports a protocol line exceeding MaxLine. Callers see it
 // from EncodeRequest/EncodeResponse before an oversized line is ever sent —
 // an oversized line on the wire aborts the peer's scanner and takes the
 // whole connection down with it, so refusing to emit one is the only safe
-// side of that edge.
-var ErrLineTooLong = fmt.Errorf("wire: line exceeds %d bytes", MaxLine)
+// side of that edge. It matches mailerr.ErrOversized.
+var ErrLineTooLong = fmt.Errorf("wire: line exceeds %d bytes: %w", MaxLine, mailerr.ErrOversized)
 
 // EncodeRequest renders one newline-terminated protocol line, refusing
 // lines past MaxLine.

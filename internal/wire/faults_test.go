@@ -1,11 +1,14 @@
 package wire
 
 import (
+	"errors"
 	"net"
 	"os"
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/largemail/largemail/internal/mailerr"
 )
 
 // TestClientDeadlineAgainstHungServer dials a listener that accepts and
@@ -65,8 +68,11 @@ func TestOversizedLineGetsErrorResponse(t *testing.T) {
 	if err == nil {
 		t.Fatal("oversized request succeeded")
 	}
-	if !strings.Contains(err.Error(), "exceeds") {
-		t.Errorf("error = %v, want explanatory oversized-line response", err)
+	if !errors.Is(err, ErrLineTooLong) {
+		t.Errorf("error = %v, want ErrLineTooLong", err)
+	}
+	if !errors.Is(err, mailerr.ErrOversized) {
+		t.Errorf("error = %v does not match mailerr.ErrOversized", err)
 	}
 }
 

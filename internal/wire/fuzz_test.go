@@ -115,6 +115,63 @@ func FuzzStatusSnapshot(f *testing.F) {
 	})
 }
 
+// FuzzTBatch exercises the batch-codec surface added with protocol v2: the
+// hello and tbatch request frames (nested Msgs) and the batched response
+// frames (IDs, per-item Failed with taxonomy codes). Properties: no panic on
+// any input, canonical fixed point for everything that decodes, and the
+// batch payload itself survives the round trip intact (item count and
+// per-item recipients), so a decoded-then-forwarded batch is bit-identical
+// to what the client sent.
+func FuzzTBatch(f *testing.F) {
+	for _, seed := range []string{
+		`{"op":"hello","version":2}`,
+		`{"op":"hello","version":1}`,
+		`{"op":"hello","version":-3}`,
+		`{"op":"tbatch","msgs":[{"to":[" "],"body":"\ud800"}]}`,
+		`{"op":"tbatch","from":"R0.h0.alice","msgs":[{"to":["R1.h2.bob"]},{"to":["R1.h3.carol","R1.h2.bob"],"subject":"x"}]}`,
+		`{"op":"tbatch","from":"R0.h0.alice","msgs":[]}`,
+		`{"op":"tbatch","msgs":[{"to":null}]}`,
+		`{"op":"tbatch","msgs":[{"to":[" "],"body":"\ud800"}]}`,
+		`{"ok":true,"version":2}`,
+		`{"ok":true,"ids":["1:1","","1:3"],"failed":[{"index":1,"error":"no recipients","code":"unknown_user"}]}`,
+		`{"ok":false,"error":"tbatch requires protocol version 2","code":""}`,
+		`{"op":"tbatch","msgs":`,
+		`{"op":"tbatch","msgs":[{}]}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		req, err := DecodeRequest(line)
+		if err != nil {
+			return
+		}
+		first, ok := canonicalRequest(t, req)
+		if !ok {
+			return
+		}
+		again, err := DecodeRequest(first)
+		if err != nil {
+			t.Fatalf("canonical line rejected: %v\nline: %q", err, first)
+		}
+		if len(again.Msgs) != len(req.Msgs) {
+			t.Fatalf("batch length changed across round trip: %d → %d", len(req.Msgs), len(again.Msgs))
+		}
+		for i := range req.Msgs {
+			if len(again.Msgs[i].To) != len(req.Msgs[i].To) {
+				t.Fatalf("msg %d recipient count changed: %d → %d",
+					i, len(req.Msgs[i].To), len(again.Msgs[i].To))
+			}
+		}
+		second, ok := canonicalRequest(t, again)
+		if !ok {
+			t.Fatalf("canonical line grew past MaxLine: %q", first)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("decode/encode not a fixed point:\n%q\n%q", first, second)
+		}
+	})
+}
+
 // TestDecodeRequestOversized pins the MaxLine guard the fuzz corpus cannot
 // reach cheaply (a >1 MiB input).
 func TestDecodeRequestOversized(t *testing.T) {

@@ -1,0 +1,259 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/largemail/largemail/internal/mailerr"
+)
+
+func TestHelloNegotiation(t *testing.T) {
+	s := newServer(t)
+	c := newClient(t, s)
+	resp, err := c.Do(Request{Op: "hello", Version: ProtocolVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Version != ProtocolVersion {
+		t.Errorf("negotiated version = %d, want %d", resp.Version, ProtocolVersion)
+	}
+	// A client older than the server gets its own version back, not ours.
+	resp, err = c.Do(Request{Op: "hello", Version: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Version != 1 {
+		t.Errorf("negotiated version for v1 client = %d, want 1", resp.Version)
+	}
+}
+
+// TestTBatchRequiresNegotiation pins the version gate: the batched verb is
+// opt-in per connection, so a client that never said hello cannot use it.
+func TestTBatchRequiresNegotiation(t *testing.T) {
+	s := newServer(t)
+	c := newClient(t, s)
+	if err := c.Register("R1.h1.alice"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Do(Request{Op: "tbatch", From: "R1.h1.alice",
+		Msgs: []BatchMsg{{To: []string{"R1.h1.alice"}}}})
+	if err == nil {
+		t.Fatal("tbatch before hello succeeded")
+	}
+	if !strings.Contains(err.Error(), "hello") {
+		t.Errorf("error = %v, want a pointer at the handshake", err)
+	}
+}
+
+func TestSubmitBatchRoundTrip(t *testing.T) {
+	s := newServer(t)
+	c := newClient(t, s)
+	for _, u := range []string{"R1.h1.alice", "R1.h2.bob"} {
+		if err := c.Register(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := c.SubmitBatch("R1.h1.alice", []BatchMsg{
+		{To: []string{"R1.h2.bob"}, Subject: "one"},
+		{To: []string{"R1.h2.bob"}, Subject: "two"},
+		{To: []string{"R1.h2.bob", "R1.h1.alice"}, Subject: "three"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("ids = %v, want 3", ids)
+	}
+	for i, id := range ids {
+		if id == "" {
+			t.Errorf("msg %d has no ID", i)
+		}
+	}
+	msgs, err := c.GetMail("R1.h2.bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 3 {
+		t.Errorf("bob retrieved %d messages, want 3", len(msgs))
+	}
+	if c.version != ProtocolVersion {
+		t.Errorf("client pinned version %d, want %d", c.version, ProtocolVersion)
+	}
+}
+
+// TestSubmitBatchPartialFailure: one item addressed to a user with no
+// authority list fails with a typed per-item error; the good items land.
+func TestSubmitBatchPartialFailure(t *testing.T) {
+	s := newServer(t)
+	c := newClient(t, s)
+	if err := c.Register("R1.h1.alice"); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := c.SubmitBatch("R1.h1.alice", []BatchMsg{
+		{To: []string{"R1.h1.alice"}, Subject: "good"},
+		{To: []string{"R1.h9.ghost"}, Subject: "bad"},
+	})
+	if err == nil {
+		t.Fatal("batch with an unresolvable recipient reported no error")
+	}
+	if !errors.Is(err, mailerr.ErrUnknownUser) {
+		t.Errorf("error = %v does not match mailerr.ErrUnknownUser", err)
+	}
+	if len(ids) != 2 || ids[0] == "" {
+		t.Fatalf("ids = %v, want good item submitted", ids)
+	}
+	if ids[1] != "" {
+		t.Errorf("failed item got ID %q", ids[1])
+	}
+	msgs, err := c.GetMail("R1.h1.alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Errorf("alice retrieved %d messages, want 1", len(msgs))
+	}
+}
+
+// fakeV1Server speaks the pre-handshake protocol: hello is an unknown op,
+// submit always succeeds. It stands in for an old deployment so the client's
+// fallback path can be exercised against a real socket.
+func fakeV1Server(t *testing.T) (addr string, submits *atomic.Int32) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	var count atomic.Int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				sc.Buffer(make([]byte, 0, 4096), MaxLine)
+				for sc.Scan() {
+					req, err := DecodeRequest(sc.Bytes())
+					var resp Response
+					switch {
+					case err != nil:
+						resp = Response{Error: "bad request"}
+					case req.Op == "submit":
+						count.Add(1)
+						resp = Response{OK: true, ID: "1:1"}
+					default:
+						resp = Response{Error: `unknown op "` + req.Op + `"`}
+					}
+					line, _ := EncodeResponse(resp)
+					if _, err := conn.Write(line); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), &count
+}
+
+// TestSubmitBatchFallsBackToV1: against a server without the handshake the
+// client degrades to single submits — old deployments keep working.
+func TestSubmitBatchFallsBackToV1(t *testing.T) {
+	addr, submits := fakeV1Server(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ids, err := c.SubmitBatch("R1.h1.alice", []BatchMsg{
+		{To: []string{"R1.h1.alice"}, Subject: "a"},
+		{To: []string{"R1.h1.alice"}, Subject: "b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.version != 1 {
+		t.Errorf("client pinned version %d against v1 server, want 1", c.version)
+	}
+	if len(ids) != 2 || ids[0] == "" || ids[1] == "" {
+		t.Errorf("ids = %v, want 2 non-empty", ids)
+	}
+	if got := submits.Load(); got != 2 {
+		t.Errorf("server saw %d single submits, want 2", got)
+	}
+}
+
+// TestTypedErrorsOverWire: taxonomy codes survive the TCP hop — the client
+// reconstructs errors that match mailerr sentinels, not just strings.
+func TestTypedErrorsOverWire(t *testing.T) {
+	s := newServer(t)
+	c := newClient(t, s)
+	if _, err := c.GetMail("R1.h9.nobody"); !errors.Is(err, mailerr.ErrUnknownUser) {
+		t.Errorf("getmail unknown user: %v does not match mailerr.ErrUnknownUser", err)
+	}
+}
+
+// TestDoContextCancelled: a cancelled context fails the request with the
+// taxonomy's timeout error before anything hits the wire.
+func TestDoContextCancelled(t *testing.T) {
+	s := newServer(t)
+	c := newClient(t, s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.DoContext(ctx, Request{Op: "status"}); !errors.Is(err, mailerr.ErrTimeout) {
+		t.Errorf("DoContext(cancelled) = %v, want mailerr.ErrTimeout", err)
+	}
+	// The client survives: a live context works on the same connection.
+	if _, err := c.StatusSnapshotContext(context.Background()); err != nil {
+		t.Fatalf("status after cancelled request: %v", err)
+	}
+}
+
+// TestDoContextDeadlineCapsTimeout: a context deadline earlier than
+// Options.Timeout wins, so a hung server fails the request at the context's
+// pace.
+func TestDoContextDeadlineCapsTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			buf := make([]byte, 4096)
+			for {
+				if _, err := conn.Read(buf); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	c, err := DialOptions(ln.Addr().String(), Options{Timeout: 30 * time.Second, Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.DoContext(ctx, Request{Op: "status"})
+	if err == nil {
+		t.Fatal("request against hung server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("request took %v, want ~100ms (context deadline ignored)", elapsed)
+	}
+}

@@ -7,12 +7,22 @@
 // "op" plus op-specific fields; responses carry "ok", an optional "error",
 // and op-specific results. Operations:
 //
+//	hello     {version}                    → {ok, version}      (protocol negotiation)
 //	register  {user, servers[]}            → {ok}
 //	submit    {from, to[], subject, body}  → {ok, id}
+//	tbatch    {from, msgs[]}               → {ok, ids[], failed[]}  (v2: batched submit)
 //	checkmail {user, server}               → {ok, messages[]}
 //	getmail   {user}                       → {ok, messages[]}   (server-side GetMail walk)
 //	status    {}                           → {ok, status}       (versioned observability snapshot)
 //	crash     {server} / recover {server}  → {ok}               (operations testing hook)
+//
+// Failed responses carry an optional machine-readable "code" drawn from the
+// mailerr taxonomy (unknown_user, server_down, oversized, timeout); clients
+// reconstruct typed errors from it so errors.Is works across the TCP hop.
+//
+// The tbatch verb is version-gated: a connection must negotiate protocol
+// version ≥ 2 with a hello line first. Clients that skip the handshake (or
+// talk to an old server that rejects it) fall back to single submits.
 //
 // The status result is a versioned StatusSnapshot: per-server rows plus the
 // cluster's full instrument set — counters, gauges, and per-stage latency
@@ -22,6 +32,7 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +42,7 @@ import (
 
 	"github.com/largemail/largemail/internal/livenet"
 	"github.com/largemail/largemail/internal/mail"
+	"github.com/largemail/largemail/internal/mailerr"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/obs"
 )
@@ -38,6 +50,12 @@ import (
 // MaxLine bounds a single protocol line (1 MiB), protecting the server from
 // unbounded memory per connection.
 const MaxLine = 1 << 20
+
+// ProtocolVersion is the highest protocol version this package speaks.
+// Version 1 is the original single-transfer protocol; version 2 adds the
+// tbatch verb (batched submit). A connection speaks version 1 until a hello
+// exchange negotiates min(client, server).
+const ProtocolVersion = 2
 
 // Request is the client→server frame.
 type Request struct {
@@ -49,6 +67,27 @@ type Request struct {
 	To      []string `json:"to,omitempty"`
 	Subject string   `json:"subject,omitempty"`
 	Body    string   `json:"body,omitempty"`
+	// Version is the client's protocol version on hello requests.
+	Version int `json:"version,omitempty"`
+	// Msgs carries the batch on tbatch requests (protocol version ≥ 2).
+	Msgs []BatchMsg `json:"msgs,omitempty"`
+}
+
+// BatchMsg is one message of a tbatch request. The whole batch shares the
+// request's From.
+type BatchMsg struct {
+	To      []string `json:"to"`
+	Subject string   `json:"subject,omitempty"`
+	Body    string   `json:"body,omitempty"`
+}
+
+// BatchFailure reports one tbatch item the server could not submit. Index
+// points into the request's Msgs; Code is the mailerr taxonomy code when the
+// failure maps onto it.
+type BatchFailure struct {
+	Index int    `json:"index"`
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 // Message is a mail message on the wire.
@@ -87,10 +126,21 @@ type StatusSnapshot struct {
 
 // Response is the server→client frame.
 type Response struct {
-	OK       bool      `json:"ok"`
-	Error    string    `json:"error,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Code is the machine-readable mailerr taxonomy code for Error, when
+	// the failure maps onto one (unknown_user, server_down, oversized,
+	// timeout). Clients rebuild typed errors from it via mailerr.FromCode.
+	Code     string    `json:"code,omitempty"`
 	ID       string    `json:"id,omitempty"`
 	Messages []Message `json:"messages,omitempty"`
+	// Version is the negotiated protocol version on hello responses.
+	Version int `json:"version,omitempty"`
+	// IDs holds the per-item message IDs of a tbatch response, aligned with
+	// the request's Msgs ("" for failed items).
+	IDs []string `json:"ids,omitempty"`
+	// Failed lists the tbatch items that were not submitted.
+	Failed []BatchFailure `json:"failed,omitempty"`
 	// Status carries the versioned observability snapshot on status
 	// responses.
 	Status *StatusSnapshot `json:"status,omitempty"`
@@ -203,12 +253,13 @@ func (s *Server) handle(conn net.Conn) {
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 4096), MaxLine)
 	enc := json.NewEncoder(conn)
+	ver := 1 // per-connection protocol version until hello negotiates higher
 	for scanner.Scan() {
 		var resp Response
 		if req, err := DecodeRequest(scanner.Bytes()); err != nil {
-			resp = Response{Error: fmt.Sprintf("bad request: %v", err)}
+			resp = Response{Error: fmt.Sprintf("bad request: %v", err), Code: mailerr.Code(err)}
 		} else {
-			resp = s.dispatch(req)
+			resp = s.dispatch(req, &ver)
 		}
 		if err := enc.Encode(resp); err != nil {
 			return
@@ -217,16 +268,23 @@ func (s *Server) handle(conn net.Conn) {
 	// A line past MaxLine stops the scanner without consuming it; tell the
 	// client why instead of silently hanging up on them.
 	if errors.Is(scanner.Err(), bufio.ErrTooLong) {
-		_ = enc.Encode(Response{Error: fmt.Sprintf("request line exceeds %d bytes", MaxLine)})
+		_ = enc.Encode(Response{
+			Error: fmt.Sprintf("request line exceeds %d bytes", MaxLine),
+			Code:  mailerr.CodeOversized,
+		})
 	}
 }
 
-func (s *Server) dispatch(req Request) Response {
+func (s *Server) dispatch(req Request, ver *int) Response {
 	switch req.Op {
+	case "hello":
+		return opHello(req, ver)
 	case "register":
 		return s.opRegister(req)
 	case "submit":
 		return s.opSubmit(req)
+	case "tbatch":
+		return s.opTBatch(req, *ver)
 	case "checkmail":
 		return s.opCheckMail(req)
 	case "getmail":
@@ -242,6 +300,27 @@ func (s *Server) dispatch(req Request) Response {
 
 func fail(format string, args ...any) Response {
 	return Response{Error: fmt.Sprintf(format, args...)}
+}
+
+// failErr reports a failure whose cause may map onto the mailerr taxonomy;
+// the code rides along so the client can rebuild a typed error.
+func failErr(prefix string, err error) Response {
+	return Response{Error: fmt.Sprintf("%s: %v", prefix, err), Code: mailerr.Code(err)}
+}
+
+// opHello negotiates the connection's protocol version to
+// min(client, server). A missing or absurd client version counts as 1, the
+// pre-handshake protocol.
+func opHello(req Request, ver *int) Response {
+	v := req.Version
+	if v < 1 {
+		v = 1
+	}
+	if v > ProtocolVersion {
+		v = ProtocolVersion
+	}
+	*ver = v
+	return Response{OK: true, Version: v}
 }
 
 func (s *Server) opRegister(req Request) Response {
@@ -280,9 +359,57 @@ func (s *Server) opSubmit(req Request) Response {
 	}
 	id, err := s.cluster.Submit(from, to, req.Subject, req.Body)
 	if err != nil {
-		return fail("submit: %v", err)
+		return failErr("submit", err)
 	}
 	return Response{OK: true, ID: id.String()}
+}
+
+// opTBatch submits a batch of messages sharing one sender in a single
+// protocol round — the wire face of the relay-batching fabric. Item failures
+// are partial results, not request failures: IDs aligns with Msgs ("" where
+// an item failed) and Failed carries index, message, and taxonomy code so
+// the client can retry-split exactly the failed items.
+func (s *Server) opTBatch(req Request, ver int) Response {
+	if ver < ProtocolVersion {
+		return fail("tbatch requires protocol version %d; negotiate with hello first", ProtocolVersion)
+	}
+	from, err := names.Parse(req.From)
+	if err != nil {
+		return fail("from: %v", err)
+	}
+	if len(req.Msgs) == 0 {
+		return fail("empty batch")
+	}
+	ids := make([]string, len(req.Msgs))
+	var failed []BatchFailure
+	for i, m := range req.Msgs {
+		to, err := parseNames(m.To)
+		if err == nil && len(to) == 0 {
+			err = errors.New("no recipients")
+		}
+		if err == nil {
+			var id mail.MessageID
+			id, err = s.cluster.Submit(from, to, m.Subject, m.Body)
+			if err == nil {
+				ids[i] = id.String()
+				continue
+			}
+		}
+		failed = append(failed, BatchFailure{Index: i, Error: err.Error(), Code: mailerr.Code(err)})
+	}
+	return Response{OK: true, IDs: ids, Failed: failed}
+}
+
+func parseNames(raw []string) ([]names.Name, error) {
+	out := make([]names.Name, 0, len(raw))
+	for _, r := range raw {
+		n, err := names.Parse(r)
+		if err != nil {
+			return nil, fmt.Errorf("to %q: %w", r, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func (s *Server) opCheckMail(req Request) Response {
@@ -296,7 +423,7 @@ func (s *Server) opCheckMail(req Request) Response {
 	}
 	msgs, err := srv.CheckMail(user)
 	if err != nil {
-		return fail("checkmail: %v", err)
+		return failErr("checkmail", err)
 	}
 	return Response{OK: true, Messages: wireMessages(msgs)}
 }
@@ -312,7 +439,7 @@ func (s *Server) opGetMail(req Request) Response {
 		agent, err = s.cluster.NewAgent(user)
 		if err != nil {
 			s.agentMu.Unlock()
-			return fail("getmail: %v", err)
+			return failErr("getmail", err)
 		}
 		s.agents[user] = agent
 	}
@@ -406,6 +533,13 @@ type Client struct {
 
 	conn net.Conn
 	sc   *bufio.Scanner
+
+	// version is the protocol version negotiated with the server: 0 until
+	// the first operation that needs one (SubmitBatch) runs the hello
+	// exchange, then min(ProtocolVersion, server's). An old server that
+	// rejects hello pins it to 1. Negotiation survives reconnects — the
+	// server's version does not change under one address.
+	version int
 }
 
 // Dial connects to a wire server with default Options.
@@ -457,11 +591,21 @@ func (c *Client) Close() error {
 }
 
 // Do sends one request and reads one response, under the configured
-// deadline. Dial and write failures are retried up to Options.Retries times
+// deadline. See DoContext.
+func (c *Client) Do(req Request) (Response, error) {
+	return c.DoContext(context.Background(), req)
+}
+
+// DoContext sends one request and reads one response, honoring both the
+// configured per-request deadline and the context: the connection deadline
+// is the earlier of the two, and cancellation is checked before each attempt
+// and during retry backoff (a context failure matches mailerr.ErrTimeout).
+// Dial and write failures are retried up to Options.Retries times
 // (reconnecting in between); a failure after the request was fully written
 // is returned as-is, with the connection dropped so the next call starts
-// fresh. A Response with ok=false is returned as an error.
-func (c *Client) Do(req Request) (Response, error) {
+// fresh. A Response with ok=false is returned as an error — typed via
+// mailerr.FromCode when the response carries a taxonomy code.
+func (c *Client) DoContext(ctx context.Context, req Request) (Response, error) {
 	// Refuse oversized requests before touching the wire: the server-side
 	// scanner would abort the whole connection on such a line, and the
 	// client's own response scanner has the same MaxLine cap.
@@ -472,7 +616,13 @@ func (c *Client) Do(req Request) (Response, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(c.opts.RetryBackoff)
+			select {
+			case <-ctx.Done():
+			case <-time.After(c.opts.RetryBackoff):
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return Response{}, fmt.Errorf("wire: %w (%w)", mailerr.ErrTimeout, err)
 		}
 		if c.conn == nil {
 			if err := c.connect(); err != nil {
@@ -480,9 +630,7 @@ func (c *Client) Do(req Request) (Response, error) {
 				continue
 			}
 		}
-		if c.opts.Timeout > 0 {
-			_ = c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
-		}
+		_ = c.conn.SetDeadline(c.deadline(ctx))
 		if n, err := c.conn.Write(line); err != nil {
 			c.drop()
 			lastErr = err
@@ -502,16 +650,30 @@ func (c *Client) Do(req Request) (Response, error) {
 			c.drop()
 			return Response{}, err
 		}
-		if c.opts.Timeout > 0 {
-			_ = c.conn.SetDeadline(time.Time{})
-		}
+		_ = c.conn.SetDeadline(time.Time{})
 		if !resp.OK {
+			if resp.Code != "" {
+				return resp, mailerr.FromCode(resp.Code, "wire: "+resp.Error)
+			}
 			return resp, fmt.Errorf("wire: %s", resp.Error)
 		}
 		return resp, nil
 	}
 	return Response{}, fmt.Errorf("wire: request failed after %d attempts: %w",
 		c.opts.Retries+1, lastErr)
+}
+
+// deadline is the earlier of the per-request Options.Timeout and the
+// context's own deadline; the zero time (no deadline) when neither applies.
+func (c *Client) deadline(ctx context.Context) time.Time {
+	var d time.Time
+	if c.opts.Timeout > 0 {
+		d = time.Now().Add(c.opts.Timeout)
+	}
+	if cd, ok := ctx.Deadline(); ok && (d.IsZero() || cd.Before(d)) {
+		d = cd
+	}
+	return d
 }
 
 func (c *Client) readResponse() (Response, error) {
@@ -526,25 +688,122 @@ func (c *Client) readResponse() (Response, error) {
 
 // Register records a user's authority list (empty = all servers).
 func (c *Client) Register(user string, servers ...string) error {
-	_, err := c.Do(Request{Op: "register", User: user, Servers: servers})
+	return c.RegisterContext(context.Background(), user, servers...)
+}
+
+// RegisterContext is Register honoring a context.
+func (c *Client) RegisterContext(ctx context.Context, user string, servers ...string) error {
+	_, err := c.DoContext(ctx, Request{Op: "register", User: user, Servers: servers})
 	return err
 }
 
 // Submit sends a message and returns its ID.
 func (c *Client) Submit(from string, to []string, subject, body string) (string, error) {
-	resp, err := c.Do(Request{Op: "submit", From: from, To: to, Subject: subject, Body: body})
+	return c.SubmitContext(context.Background(), from, to, subject, body)
+}
+
+// SubmitContext is Submit honoring a context.
+func (c *Client) SubmitContext(ctx context.Context, from string, to []string, subject, body string) (string, error) {
+	resp, err := c.DoContext(ctx, Request{Op: "submit", From: from, To: to, Subject: subject, Body: body})
 	return resp.ID, err
+}
+
+// SubmitBatch sends several messages from one sender in a single protocol
+// round. See SubmitBatchContext.
+func (c *Client) SubmitBatch(from string, msgs []BatchMsg) ([]string, error) {
+	return c.SubmitBatchContext(context.Background(), from, msgs)
+}
+
+// SubmitBatchContext submits a batch of messages sharing one sender. On a
+// version-2 connection the whole batch ships as one tbatch frame; items the
+// server reports failed are retry-split into individual submits. Against a
+// version-1 server (negotiated lazily via hello; old servers reject the
+// handshake and pin the connection to v1) every item falls back to a single
+// submit. The returned slice aligns with msgs ("" where an item ultimately
+// failed); the error joins the per-item failures.
+func (c *Client) SubmitBatchContext(ctx context.Context, from string, msgs []BatchMsg) ([]string, error) {
+	if len(msgs) == 0 {
+		return nil, nil
+	}
+	ver, err := c.negotiate(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, len(msgs))
+	var errs []error
+	single := func(i int) {
+		id, err := c.SubmitContext(ctx, from, msgs[i].To, msgs[i].Subject, msgs[i].Body)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("msg %d: %w", i, err))
+			return
+		}
+		ids[i] = id
+	}
+	if ver < ProtocolVersion {
+		for i := range msgs {
+			single(i)
+		}
+		return ids, errors.Join(errs...)
+	}
+	resp, err := c.DoContext(ctx, Request{Op: "tbatch", From: from, Msgs: msgs})
+	if err != nil {
+		return nil, err
+	}
+	copy(ids, resp.IDs)
+	for _, f := range resp.Failed {
+		if f.Index < 0 || f.Index >= len(msgs) {
+			errs = append(errs, fmt.Errorf("server reported failure for out-of-range index %d: %s", f.Index, f.Error))
+			continue
+		}
+		single(f.Index) // retry splitting: failed items go out individually
+	}
+	return ids, errors.Join(errs...)
+}
+
+// negotiate runs the lazy hello exchange once per client. A server that
+// answers the handshake fixes the version at min(ours, theirs); a server
+// that rejects the op (pre-v2) fixes it at 1. Transport failures do not pin
+// anything — the next call retries.
+func (c *Client) negotiate(ctx context.Context) (int, error) {
+	if c.version != 0 {
+		return c.version, nil
+	}
+	resp, err := c.DoContext(ctx, Request{Op: "hello", Version: ProtocolVersion})
+	switch {
+	case err == nil:
+		c.version = resp.Version
+		if c.version < 1 {
+			c.version = 1
+		}
+	case resp.Error != "":
+		// The server answered and refused: an old peer without hello.
+		c.version = 1
+	default:
+		return 0, err
+	}
+	return c.version, nil
 }
 
 // GetMail runs the server-side GetMail walk for the user.
 func (c *Client) GetMail(user string) ([]Message, error) {
-	resp, err := c.Do(Request{Op: "getmail", User: user})
+	return c.GetMailContext(context.Background(), user)
+}
+
+// GetMailContext is GetMail honoring a context.
+func (c *Client) GetMailContext(ctx context.Context, user string) ([]Message, error) {
+	resp, err := c.DoContext(ctx, Request{Op: "getmail", User: user})
 	return resp.Messages, err
 }
 
 // Status reports per-server availability and deposit counts.
 func (c *Client) Status() ([]ServerStatus, error) {
 	snap, err := c.StatusSnapshot()
+	return snap.Servers, err
+}
+
+// StatusContext is Status honoring a context.
+func (c *Client) StatusContext(ctx context.Context) ([]ServerStatus, error) {
+	snap, err := c.StatusSnapshotContext(ctx)
 	return snap.Servers, err
 }
 
@@ -569,7 +828,12 @@ func (c *Client) StatusFull() ([]ServerStatus, map[string]int64, error) {
 // StatusSnapshot fetches the versioned observability snapshot: server rows,
 // counters, gauges, and per-stage latency histograms.
 func (c *Client) StatusSnapshot() (StatusSnapshot, error) {
-	resp, err := c.Do(Request{Op: "status"})
+	return c.StatusSnapshotContext(context.Background())
+}
+
+// StatusSnapshotContext is StatusSnapshot honoring a context.
+func (c *Client) StatusSnapshotContext(ctx context.Context) (StatusSnapshot, error) {
+	resp, err := c.DoContext(ctx, Request{Op: "status"})
 	if err != nil || resp.Status == nil {
 		return StatusSnapshot{}, err
 	}
@@ -578,10 +842,15 @@ func (c *Client) StatusSnapshot() (StatusSnapshot, error) {
 
 // SetAvailability crashes or recovers a named server.
 func (c *Client) SetAvailability(server string, up bool) error {
+	return c.SetAvailabilityContext(context.Background(), server, up)
+}
+
+// SetAvailabilityContext is SetAvailability honoring a context.
+func (c *Client) SetAvailabilityContext(ctx context.Context, server string, up bool) error {
 	op := "recover"
 	if !up {
 		op = "crash"
 	}
-	_, err := c.Do(Request{Op: op, Server: server})
+	_, err := c.DoContext(ctx, Request{Op: op, Server: server})
 	return err
 }
