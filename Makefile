@@ -19,14 +19,15 @@ tier2: tier1
 tier1-race:
 	go test -race ./...
 
-# Fuzz smoke: a short bounded run of each wire-protocol fuzz target (the
-# corpora under internal/wire/testdata/fuzz/ always run as regression seeds
-# in plain `go test`; this additionally mutates for ~5s per target).
+# Fuzz smoke: a short bounded run of each wire-protocol and WAL fuzz target
+# (the corpora under */testdata/fuzz/ always run as regression seeds in
+# plain `go test`; this additionally mutates for ~5s per target).
 .PHONY: fuzz-smoke
 fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzParseRequest$$' -fuzztime 5s ./internal/wire/
 	go test -run '^$$' -fuzz '^FuzzStatusSnapshot$$' -fuzztime 5s ./internal/wire/
 	go test -run '^$$' -fuzz '^FuzzTBatch$$' -fuzztime 5s ./internal/wire/
+	go test -run '^$$' -fuzz '^FuzzWALRecord$$' -fuzztime 5s ./internal/mail/mailstore/
 
 # Relay-batching gate: the server-side batching fabric (coalescing, flush
 # watermarks, retry splitting, batch-size-1 equivalence) plus the O(1)
@@ -36,9 +37,17 @@ bench-relay:
 	go test -run 'TestBatch|TestResolve|TestDelivery' ./internal/server/
 	go test -run '^$$' -bench 'BenchmarkTotalBytes' -benchtime 0.2s ./internal/mail/mailstore/
 
+# Tier-2 durability slice: the WAL/snapshot/recovery store tests, the
+# kill-restart-from-disk paths on both transports, and the no-spool chaos
+# soaks — all under the race detector.
+.PHONY: tier2-durability
+tier2-durability:
+	go test -race -run 'Durable|TornTail|CorruptSealed|ShardMismatch|KillRestart|ClusterReopen|WALRecord' ./internal/mail/mailstore/ ./internal/livenet/ ./internal/server/ ./internal/faults/
+	go test -race -run 'TestSimNoLoss|TestSimMemory|TestLiveNoLoss|TestKillRestartLoses' ./internal/loadgen/
+
 # Check: the full pre-merge gate.
 .PHONY: check
-check: tier1 tier1-race fuzz-smoke bench-relay
+check: tier1 tier1-race fuzz-smoke bench-relay tier2-durability
 
 # Mailbench: the capacity harness acceptance run — a million-user population
 # on 64 simulated servers, no faults, auditors on, capacity sweep written to
@@ -72,6 +81,17 @@ obs-demo:
 .PHONY: bench
 bench:
 	go test -run '^$$' -bench . -benchmem -benchtime 0.2s ./... | go run ./cmd/benchjson -o BENCH_PR2.json
+
+# Durability bench: the acceptance run behind BENCH_PR6.json — the
+# million-user/64-server sweep with durable stores off, on (fsync never and
+# always), and on + kill-restart chaos; reports WAL append throughput and
+# cold recovery-replay time per point.
+.PHONY: bench-durability
+bench-durability:
+	rm -rf /tmp/mailbench-pr6
+	go run ./cmd/mailbench -transport netsim -users 1000000 -servers 64 -seed 1 \
+		-datadir /tmp/mailbench-pr6 -durability off,never,always,chaos -o BENCH_PR6.json
+	rm -rf /tmp/mailbench-pr6
 
 .PHONY: all
 all: tier2

@@ -14,6 +14,13 @@
 //	go run ./cmd/mailbench -transport livenet -users 2000 -servers 8
 //	go run ./cmd/mailbench -users 10000,100000 -servers 16,64 -o BENCH_PR4.json
 //	go run ./cmd/mailbench -users 1000000 -servers 64 -batch 1,4,16,64 -faults -o BENCH_PR5.json
+//	go run ./cmd/mailbench -users 1000000 -servers 64 -datadir /tmp/mb -faults -o BENCH_PR6.json
+//
+// With -datadir every server journals its mailbox store under a per-run
+// subdirectory; the run reports WAL append throughput, and after the
+// workload completes the harness closes every store and reopens it cold,
+// timing the snapshot+WAL recovery replay. -faults on a durable run adds
+// kill-restart windows (process death, restart from disk) to the chaos mix.
 //
 // The exit status is non-zero when any run finishes with auditor
 // violations, so the harness doubles as a correctness gate.
@@ -23,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -32,6 +40,7 @@ import (
 	"github.com/largemail/largemail/internal/benchfmt"
 	"github.com/largemail/largemail/internal/faults"
 	"github.com/largemail/largemail/internal/loadgen"
+	"github.com/largemail/largemail/internal/mail/mailstore"
 	"github.com/largemail/largemail/internal/obs"
 	"github.com/largemail/largemail/internal/sim"
 )
@@ -51,6 +60,15 @@ type params struct {
 	flush     int     // relay flush interval, sim units
 	retry     int     // ack retry timeout, sim units (0 = server default)
 	localBias float64 // 0 = workload default
+	datadir   string  // durable store root ("" = memory stores)
+	fsync     mailstore.FsyncMode
+}
+
+// durPoint is one point of the -durability sweep.
+type durPoint struct {
+	datadir string
+	fsync   mailstore.FsyncMode
+	faults  bool // chaos point: force the kill-restart fault schedule
 }
 
 func main() {
@@ -67,8 +85,40 @@ func main() {
 	flush := flag.Int("flush", 20, "relay batch flush interval in sim units (with -batch)")
 	retry := flag.Int("retry", 0, "transfer ack retry timeout in sim units (0 = server default; set above the topology's ack round-trip for honest batch sweeps)")
 	localBias := flag.Float64("localbias", 0, "probability a recipient is region-local (0 = workload default 0.8)")
+	datadir := flag.String("datadir", "", "durable store root; each sweep point journals under its own subdirectory and reports WAL throughput plus recovery-replay time")
+	fsyncFlag := flag.String("fsync", "never", "WAL fsync policy with -datadir: never|always")
+	durabilityFlag := flag.String("durability", "", "durability sweep (comma-separated of off|never|always|chaos; requires -datadir): off = memory stores, never/always = durable with that fsync policy, chaos = durable fsync-never under a kill-restart fault schedule")
 	out := flag.String("o", "BENCH_PR4.json", "benchmark document path (empty = stdout)")
 	flag.Parse()
+
+	fsync, err := mailstore.ParseFsyncMode(*fsyncFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mailbench: -fsync:", err)
+		os.Exit(2)
+	}
+	durSweep := []durPoint{{datadir: *datadir, fsync: fsync}}
+	if *durabilityFlag != "" {
+		if *datadir == "" {
+			fmt.Fprintln(os.Stderr, "mailbench: -durability requires -datadir")
+			os.Exit(2)
+		}
+		durSweep = durSweep[:0]
+		for _, v := range strings.Split(*durabilityFlag, ",") {
+			switch strings.TrimSpace(v) {
+			case "off":
+				durSweep = append(durSweep, durPoint{})
+			case "never":
+				durSweep = append(durSweep, durPoint{datadir: *datadir})
+			case "always":
+				durSweep = append(durSweep, durPoint{datadir: *datadir, fsync: mailstore.FsyncAlways})
+			case "chaos":
+				durSweep = append(durSweep, durPoint{datadir: *datadir, faults: true})
+			default:
+				fmt.Fprintf(os.Stderr, "mailbench: -durability: unknown point %q\n", v)
+				os.Exit(2)
+			}
+		}
+	}
 
 	if *transport != "netsim" && *transport != "livenet" {
 		fmt.Fprintf(os.Stderr, "mailbench: unknown transport %q\n", *transport)
@@ -101,18 +151,22 @@ func main() {
 	for _, users := range userSweep {
 		for _, servers := range serverSweep {
 			for _, batch := range batchSweep {
-				res, bad, err := run(params{
-					transport: *transport, users: users, servers: servers,
-					regions: *regions, seed: *seed, messages: *messages,
-					sessions: *sessions, ticks: *ticks, faults: *withFaults,
-					batch: batch, flush: *flush, retry: *retry, localBias: *localBias,
-				})
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "mailbench:", err)
-					os.Exit(1)
+				for _, dp := range durSweep {
+					res, bad, err := run(params{
+						transport: *transport, users: users, servers: servers,
+						regions: *regions, seed: *seed, messages: *messages,
+						sessions: *sessions, ticks: *ticks,
+						faults: *withFaults || dp.faults,
+						batch:  batch, flush: *flush, retry: *retry, localBias: *localBias,
+						datadir: dp.datadir, fsync: dp.fsync,
+					})
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "mailbench:", err)
+						os.Exit(1)
+					}
+					doc.Benchmarks = append(doc.Benchmarks, res)
+					violations += bad
 				}
-				doc.Benchmarks = append(doc.Benchmarks, res)
-				violations += bad
 			}
 		}
 	}
@@ -171,11 +225,21 @@ func population(p params) loadgen.Population {
 }
 
 // faultProfile scales a standard chaos mix to the deployment size, using
-// only the driver's safe fault surface.
+// only the driver's safe fault surface. A durable driver additionally
+// offers KillTargets; Compile requires the crash and kill pools to be
+// disjoint (a Recover landing between a Kill and its Restart would revive a
+// node whose store is torn down), so the fleet is split: the first half
+// crashes, the second half kill-restarts from disk.
 func faultProfile(drv loadgen.Driver, p params, ticks int) (*faults.Schedule, error) {
 	spec := drv.FaultSurface()
 	spec.Seed = p.seed
 	spec.Ticks = ticks
+	if len(spec.KillTargets) > 0 && len(spec.Servers) >= 2 {
+		half := len(spec.Servers) / 2
+		spec.KillTargets = append([]string(nil), spec.Servers[half:]...)
+		spec.Servers = spec.Servers[:half]
+		spec.KillRestarts = len(spec.KillTargets)/8 + 2
+	}
 	spec.Crashes = len(spec.Servers)/8 + 2
 	spec.Latencies = len(spec.Servers)/16 + 1
 	if len(spec.Links) > 0 {
@@ -191,9 +255,22 @@ func faultProfile(drv loadgen.Driver, p params, ticks int) (*faults.Schedule, er
 	return &sched, nil
 }
 
+// runDataDir gives each sweep point its own durable root: sweep points
+// differ in shard layout and server count, and a reused directory would
+// either conflict on the manifest or replay a previous point's mail.
+func runDataDir(p params) string {
+	if p.datadir == "" {
+		return ""
+	}
+	return filepath.Join(p.datadir,
+		fmt.Sprintf("%s_u%d_s%d_b%d_seed%d_fsync-%s_faults-%v",
+			p.transport, p.users, p.servers, p.batch, p.seed, p.fsync, p.faults))
+}
+
 // run executes one sweep point and renders its report.
 func run(p params) (benchfmt.Result, int, error) {
 	pop := population(p)
+	dataDir := runDataDir(p)
 	var (
 		drv   loadgen.Driver
 		close func()
@@ -207,14 +284,18 @@ func run(p params) (benchfmt.Result, int, error) {
 			BatchSize:     p.batch,
 			FlushInterval: sim.Time(p.flush) * sim.Unit,
 			RetryTimeout:  sim.Time(p.retry) * sim.Unit,
+			DataDir:       dataDir, Fsync: p.fsync,
 		})
 		if err != nil {
 			return benchfmt.Result{}, 0, err
 		}
-		drv, close = d, func() {}
+		drv, close = d, func() { _ = d.Close() }
 		scale, unit = float64(sim.Unit), "units"
 	default:
-		d, err := loadgen.NewLiveDriver(loadgen.LiveConfig{Pop: pop})
+		d, err := loadgen.NewLiveDriver(loadgen.LiveConfig{
+			Pop:     pop,
+			DataDir: dataDir, Fsync: p.fsync,
+		})
 		if err != nil {
 			return benchfmt.Result{}, 0, err
 		}
@@ -239,6 +320,9 @@ func run(p params) (benchfmt.Result, int, error) {
 		p.transport, p.users, p.servers, p.faults, p.seed)
 	if p.batch > 0 {
 		label += fmt.Sprintf(" batch=%d flush=%d", p.batch, p.flush)
+	}
+	if dataDir != "" {
+		label += " durable fsync=" + p.fsync.String()
 	}
 	fmt.Printf("=== %s\n", label)
 	start := time.Now()
@@ -273,13 +357,82 @@ func run(p params) (benchfmt.Result, int, error) {
 	}
 	fmt.Println()
 
+	m := metrics(rep, snap, elapsed, scale)
+	if ds, ok := drv.(interface {
+		DurabilityStats() (mailstore.WALStats, bool)
+	}); ok {
+		if ws, on := ds.DurabilityStats(); on {
+			addWALMetrics(m, ws)
+			fmt.Printf("wal: %d appends, %.1f MB, %.1f MB/s append path, %d syncs, %d rotations, %d compactions\n",
+				ws.Appends, float64(ws.Bytes)/1e6, m["wal_append_mbps"],
+				ws.Syncs, ws.Rotations, ws.Compactions)
+		}
+	}
+	if dataDir != "" {
+		close() // sync and release every store before reopening its directory
+		if err := measureRecovery(dataDir, m); err != nil {
+			return benchfmt.Result{}, 0, fmt.Errorf("recovery replay: %w", err)
+		}
+		fmt.Printf("recovery: replayed %.0f records (%.0f live messages, %.0f mailboxes) across %d stores in %.1f ms\n",
+			m["recovered_records"], m["recovered_msgs"], m["recovered_mailboxes"],
+			int(m["recovered_stores"]), m["recovery_ms"])
+	}
+
 	res := benchfmt.Result{
 		Name:       benchName(p),
 		Pkg:        "cmd/mailbench",
 		Iterations: 1,
-		Metrics:    metrics(rep, snap, elapsed, scale),
+		Metrics:    m,
 	}
 	return res, bad, nil
+}
+
+// addWALMetrics flattens the summed WAL counters into the metric map.
+func addWALMetrics(m map[string]float64, ws mailstore.WALStats) {
+	m["wal_appends"] = float64(ws.Appends)
+	m["wal_mb"] = float64(ws.Bytes) / 1e6
+	m["wal_syncs"] = float64(ws.Syncs)
+	m["wal_rotations"] = float64(ws.Rotations)
+	m["wal_compactions"] = float64(ws.Compactions)
+	if ws.AppendNs > 0 {
+		m["wal_append_mbps"] = float64(ws.Bytes) * 1e3 / float64(ws.AppendNs)
+	}
+}
+
+// measureRecovery reopens every per-server store directory under dataDir —
+// the cold-start path a restarted deployment takes — and records the total
+// replay wall time and recovered state in the metric map.
+func measureRecovery(dataDir string, m map[string]float64) error {
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var msgs, boxes, records, stores float64
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		st, err := mailstore.Open(filepath.Join(dataDir, e.Name()), 0)
+		if err != nil {
+			return fmt.Errorf("reopen %s: %w", e.Name(), err)
+		}
+		if rs, ok := st.RecoveryStats(); ok {
+			msgs += float64(rs.Messages)
+			boxes += float64(rs.Mailboxes)
+			records += float64(rs.Records)
+		}
+		if err := st.Close(); err != nil {
+			return err
+		}
+		stores++
+	}
+	m["recovery_ms"] = float64(time.Since(start).Nanoseconds()) / 1e6
+	m["recovered_msgs"] = msgs
+	m["recovered_mailboxes"] = boxes
+	m["recovered_records"] = records
+	m["recovered_stores"] = stores
+	return nil
 }
 
 func benchName(p params) string {
@@ -289,6 +442,9 @@ func benchName(p params) string {
 	}
 	if p.faults {
 		name += "/faults"
+	}
+	if p.datadir != "" {
+		name += "/durable/fsync=" + p.fsync.String()
 	}
 	return name
 }

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	maild -listen 127.0.0.1:7425 -servers s1,s2,s3
+//	maild -listen 127.0.0.1:7425 -servers s1,s2,s3 -datadir /var/lib/maild
+//
+// With -datadir every server journals its mailbox store to
+// <datadir>/<server>; restarting maild over the same directory recovers all
+// buffered mail by WAL replay. -fsync always trades a disk flush per
+// mutation for surviving OS crashes, not just process deaths.
 //
 // Stop with SIGINT/SIGTERM; the daemon drains connections and shuts the
 // cluster down.
@@ -19,6 +25,8 @@ import (
 	"strings"
 	"syscall"
 
+	"github.com/largemail/largemail/internal/livenet"
+	"github.com/largemail/largemail/internal/mail/mailstore"
 	"github.com/largemail/largemail/internal/wire"
 )
 
@@ -33,18 +41,31 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("maild", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7425", "TCP listen address")
 	servers := fs.String("servers", "s1,s2,s3", "comma-separated mail server names")
+	datadir := fs.String("datadir", "", "durable store root (empty = memory-only stores)")
+	fsyncFlag := fs.String("fsync", "never", "WAL fsync policy with -datadir: never|always")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fsync, err := mailstore.ParseFsyncMode(*fsyncFlag)
+	if err != nil {
 		return err
 	}
 	names := strings.Split(*servers, ",")
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
 	}
-	srv, err := wire.NewServer(*listen, names)
+	srv, err := wire.NewServerCluster(*listen, names, livenet.ClusterConfig{
+		DataDir: *datadir, Fsync: fsync,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("maild listening on %s with servers %v\n", srv.Addr(), names)
+	if *datadir != "" {
+		fmt.Printf("maild listening on %s with servers %v (durable: %s, fsync=%s)\n",
+			srv.Addr(), names, *datadir, fsync)
+	} else {
+		fmt.Printf("maild listening on %s with servers %v\n", srv.Addr(), names)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -8,6 +8,11 @@
 //	mailsim -design location -roam 0.3
 //	mailsim -hosts 12 -servers 4 -users 8 -rounds 500 -fail 0.1 -seed 7
 //	mailsim -faults -seed 42                 # seeded chaos soak + no-loss audit
+//	mailsim -datadir /tmp/mailsim            # durable stores (syntax design)
+//
+// With -datadir the syntax design journals every server's mailbox store to
+// <datadir>/s<node>; a later run over the same directory recovers buffered
+// mail by WAL replay.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"github.com/largemail/largemail/internal/core"
 	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/mail/mailstore"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/sim"
 )
@@ -41,7 +47,13 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "deterministic seed")
 	faultsMode := fs.Bool("faults", false, "run the seeded chaos soak (fault schedule + no-loss audit) instead of the workload")
 	faultTicks := fs.Int("fault-ticks", 120, "fault-schedule horizon in ticks (with -faults)")
+	datadir := fs.String("datadir", "", "durable store root for the syntax design (empty = memory-only)")
+	fsyncFlag := fs.String("fsync", "never", "WAL fsync policy with -datadir: never|always")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fsync, err := mailstore.ParseFsyncMode(*fsyncFlag)
+	if err != nil {
 		return err
 	}
 	if *faultsMode {
@@ -52,8 +64,11 @@ func run(args []string) error {
 	rng := rand.New(rand.NewSource(*seed))
 	switch *design {
 	case "syntax":
-		return runSyntax(g, userMap, rng, *rounds, *failProb)
+		return runSyntax(g, userMap, rng, *rounds, *failProb, *datadir, fsync)
 	case "location":
+		if *datadir != "" {
+			return fmt.Errorf("-datadir is only wired into the syntax design")
+		}
 		return runLocation(g, userMap, rng, *rounds, *failProb, *roamProb)
 	default:
 		return fmt.Errorf("unknown design %q", *design)
@@ -108,11 +123,15 @@ func regionTopology(hosts, servers, usersPerHost int, seed int64) (*graph.Graph,
 	return g, userMap
 }
 
-func runSyntax(g *graph.Graph, userMap map[graph.NodeID][]string, rng *rand.Rand, rounds int, failProb float64) error {
-	s, err := core.NewSyntax(core.SyntaxConfig{Topology: g, UsersPerHost: userMap, Seed: rng.Int63()})
+func runSyntax(g *graph.Graph, userMap map[graph.NodeID][]string, rng *rand.Rand, rounds int, failProb float64, datadir string, fsync mailstore.FsyncMode) error {
+	s, err := core.NewSyntax(core.SyntaxConfig{
+		Topology: g, UsersPerHost: userMap, Seed: rng.Int63(),
+		DataDir: datadir, Fsync: fsync,
+	})
 	if err != nil {
 		return err
 	}
+	defer s.Close()
 	users := s.Users()
 	serverIDs := s.Servers()
 	for r := 0; r < rounds; r++ {

@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 
 	"github.com/largemail/largemail/internal/assign"
@@ -16,6 +17,7 @@ import (
 	"github.com/largemail/largemail/internal/evalsys"
 	"github.com/largemail/largemail/internal/graph"
 	"github.com/largemail/largemail/internal/mail"
+	"github.com/largemail/largemail/internal/mail/mailstore"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/netsim"
 	"github.com/largemail/largemail/internal/obs"
@@ -47,6 +49,12 @@ type SyntaxConfig struct {
 	Retention mail.Retention
 	// Seed drives the simulation's deterministic randomness.
 	Seed int64
+	// DataDir, when set, makes every server's mailbox store durable: server
+	// node N journals to DataDir/s<N>, and rebuilding the system over the
+	// same directory recovers all buffered mail by WAL replay.
+	DataDir string
+	// Fsync is the WAL fsync policy when DataDir is set.
+	Fsync mailstore.FsyncMode
 }
 
 // SyntaxSystem is a fully wired syntax-directed mail system (§3.1).
@@ -160,6 +168,7 @@ func NewSyntax(cfg SyntaxConfig) (*SyntaxSystem, error) {
 				ID: sv, Region: region, Net: s.Net,
 				Dir: dir, Regions: s.regionMap, Retention: cfg.Retention,
 				Trace: s.trace,
+				DataDir: s.serverDataDir(sv), Fsync: cfg.Fsync,
 			})
 			if err != nil {
 				return nil, err
@@ -193,6 +202,27 @@ func NewSyntax(cfg SyntaxConfig) (*SyntaxSystem, error) {
 }
 
 func (s *SyntaxSystem) lookupServer(id graph.NodeID) *server.Server { return s.servers[id] }
+
+// serverDataDir returns the durable store directory for a server node, or
+// "" (memory store) when the system is not configured for durability.
+func (s *SyntaxSystem) serverDataDir(id graph.NodeID) string {
+	if s.cfg.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.DataDir, fmt.Sprintf("s%d", id))
+}
+
+// Close syncs and closes every server's durable store (no-op for memory
+// stores).
+func (s *SyntaxSystem) Close() error {
+	var first error
+	for _, srv := range s.servers {
+		if err := srv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // Obs returns the deployment-wide instrument registry holding the tracer-fed
 // "lat_<stage>" and "lat_e2e" histograms (in microticks; divide by sim.Unit
@@ -372,6 +402,7 @@ func (s *SyntaxSystem) AddServer(id graph.NodeID, region string, maxLoad int) er
 		ID: id, Region: region, Net: s.Net,
 		Dir: s.dirs[region], Regions: s.regionMap, Retention: s.cfg.Retention,
 		Trace: s.trace,
+		DataDir: s.serverDataDir(id), Fsync: s.cfg.Fsync,
 	})
 	if err != nil {
 		return err

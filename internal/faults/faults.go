@@ -42,6 +42,12 @@ const (
 	LinkRestore
 	Latency // set added delay on a server's traffic; DelayTicks 0 clears
 	Drop    // set transient drop probability on a node; Prob 0 clears
+	// Kill/Restart are the durability-grade crash pair: Kill destroys the
+	// server's in-memory state (a process death), Restart brings it back
+	// from its durable store. A Crash/Recover window survives on memory
+	// alone; a Kill/Restart window survives only if the store persisted.
+	Kill
+	Restart
 )
 
 func (k Kind) String() string {
@@ -58,6 +64,10 @@ func (k Kind) String() string {
 		return "latency"
 	case Drop:
 		return "drop"
+	case Kill:
+		return "kill"
+	case Restart:
+		return "restart"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -123,14 +133,21 @@ type Spec struct {
 	// transport retries transient drops on the same server, so servers are
 	// safe targets there.
 	DropTargets []string
+	// KillTargets are servers that may be kill-restarted: torn down with
+	// loss of in-memory state and restarted from their durable store. The
+	// fault surface should only offer them when the transport actually runs
+	// durable stores — kill-restarting a memory-only server is data loss by
+	// construction, not a survivable fault.
+	KillTargets []string
 	// Protected servers are never crashed, made unreachable, or delayed
 	// (e.g. to keep one authority server of every user up).
 	Protected []string
 
-	Crashes    int // crash → recover windows
-	LinkFaults int // link fail → restore windows
-	Latencies  int // added-latency windows on servers
-	Drops      int // transient-drop windows on DropTargets
+	Crashes      int // crash → recover windows
+	LinkFaults   int // link fail → restore windows
+	Latencies    int // added-latency windows on servers
+	Drops        int // transient-drop windows on DropTargets
+	KillRestarts int // kill → restart-from-disk windows on KillTargets
 
 	MinOutage int // shortest window in ticks (default Ticks/20, min 1)
 	MaxOutage int // longest window in ticks (default Ticks/5, min MinOutage)
@@ -205,6 +222,31 @@ func Compile(sp Spec) (Schedule, error) {
 	if sp.Drops > 0 && len(sp.DropTargets) == 0 {
 		return Schedule{}, errors.New("faults: no DropTargets for drop windows")
 	}
+	var killables []string
+	for _, s := range sp.KillTargets {
+		if !protected[s] {
+			killables = append(killables, s)
+		}
+	}
+	if sp.KillRestarts > 0 && len(killables) == 0 {
+		return Schedule{}, errors.New("faults: no unprotected KillTargets for kill-restart windows")
+	}
+	// Crash and kill windows on the same server may interleave so that a
+	// Recover lands between a Kill and its Restart, reviving the node while
+	// its store is torn down. Require disjoint pools when both kinds are in
+	// play rather than compile a schedule with that hazard.
+	if sp.Crashes > 0 && sp.KillRestarts > 0 {
+		crashPool := make(map[string]bool, len(targets))
+		for _, s := range targets {
+			crashPool[s] = true
+		}
+		for _, s := range killables {
+			if crashPool[s] {
+				return Schedule{}, fmt.Errorf(
+					"faults: %q is both a crash and a kill target; the pools must be disjoint when both window kinds are requested", s)
+			}
+		}
+	}
 
 	rng := rand.New(rand.NewSource(sp.Seed))
 	var events []Event
@@ -243,6 +285,13 @@ func Compile(sp Spec) (Schedule, error) {
 		events = append(events,
 			Event{Tick: start, Kind: Drop, Target: t, Prob: p},
 			Event{Tick: end, Kind: Drop, Target: t, Prob: 0})
+	}
+	for i := 0; i < sp.KillRestarts; i++ {
+		t := killables[rng.Intn(len(killables))]
+		start, end := window()
+		events = append(events,
+			Event{Tick: start, Kind: Kill, Target: t},
+			Event{Tick: end, Kind: Restart, Target: t})
 	}
 	// Stable sort: ties keep generation order, so a window's close never
 	// precedes its open and identical specs give identical sequences.

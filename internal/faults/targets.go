@@ -10,13 +10,28 @@ import (
 	"github.com/largemail/largemail/internal/sim"
 )
 
+// KillRestarter is a server that can be torn down with loss of in-memory
+// state and brought back from its durable store — internal/server's
+// Kill/RestartFromDisk pair. Both methods must be idempotent so overlapping
+// schedule windows replay cleanly.
+type KillRestarter interface {
+	Kill() error
+	RestartFromDisk() error
+}
+
 // SimTarget injects a schedule into the discrete-event network. Node names
 // in events are resolved through the Nodes map; one schedule tick equals
-// Tick units of virtual time.
+// Tick units of virtual time. Kill/Restart events additionally need the
+// named server in Servers — a network crash alone cannot destroy and
+// recover mailbox state.
 type SimTarget struct {
 	Net   *netsim.Network
 	Nodes map[string]graph.NodeID
 	Tick  sim.Time
+
+	// Servers maps server names to their kill-restart handles; only needed
+	// when the schedule contains Kill/Restart events.
+	Servers map[string]KillRestarter
 
 	// failed remembers the weight of links this target removed, so a
 	// LinkRestore re-adds exactly what a LinkFail took away and replays of
@@ -89,6 +104,15 @@ func (t *SimTarget) Inject(e Event) error {
 		t.Net.SetExtraDelay(id, sim.Time(e.DelayTicks)*t.Tick)
 	case Drop:
 		t.Net.SetDropProb(id, e.Prob)
+	case Kill, Restart:
+		srv, ok := t.Servers[e.Target]
+		if !ok {
+			return fmt.Errorf("faults: no kill-restart handle for server %q", e.Target)
+		}
+		if e.Kind == Kill {
+			return srv.Kill()
+		}
+		return srv.RestartFromDisk()
 	default:
 		return fmt.Errorf("faults: unknown event kind %v", e.Kind)
 	}
@@ -143,6 +167,10 @@ func (t *LiveTarget) Inject(e Event) error {
 		s.SetLatency(time.Duration(e.DelayTicks) * t.Tick)
 	case Drop:
 		s.SetDropProb(e.Prob)
+	case Kill:
+		return s.Kill()
+	case Restart:
+		return s.Restart()
 	default:
 		return fmt.Errorf("faults: unknown event kind %v", e.Kind)
 	}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -97,15 +98,27 @@ type serverState struct {
 
 // Server is one mail server: a goroutine owning mailboxes, reachable through
 // a request channel. Crash/Recover toggle availability without losing the
-// mailbox contents (stable storage, as in the simulation).
+// mailbox contents (memory survives, as a wedged-but-alive process).
+// Kill/Restart model a real process death: the goroutine exits, the store is
+// closed, and Restart reopens it from disk — on a durable cluster (DataDir
+// set) the mailboxes come back, on a memory cluster they are gone.
 type Server struct {
-	name  string
-	stats *obs.Registry // cluster-wide instrument registry (concurrency-safe)
+	name    string
+	stats   *obs.Registry // cluster-wide instrument registry (concurrency-safe)
+	mkStore func() (*mailstore.Store, error)
 
-	reqs chan request
-	quit chan struct{}
-	done chan struct{}
+	// runMu guards the run generation: the channels the goroutine serves,
+	// the store it owns, and whether it has been stopped. Kill/Restart swap
+	// a whole generation under the write lock; call() snapshots one under
+	// the read lock.
+	runMu   sync.RWMutex
+	reqs    chan request
+	quit    chan struct{}
+	done    chan struct{}
+	store   *mailstore.Store
+	stopped bool
 
+	killed    atomic.Bool
 	up        atomic.Bool
 	lastStart atomic.Int64 // unix nanos of the last start/recovery
 
@@ -203,18 +216,31 @@ func (s *Server) call(fn func(*serverState)) error {
 		}
 		return fmt.Errorf("%w: %s", ErrInjected, s.name)
 	}
+	s.runMu.RLock()
+	reqs, quit := s.reqs, s.quit
+	s.runMu.RUnlock()
 	req := request{fn: fn, done: make(chan struct{})}
 	select {
-	case s.reqs <- req:
-	case <-s.quit:
-		return ErrClosed
+	case reqs <- req:
+	case <-quit:
+		return s.downErr()
 	}
 	select {
 	case <-req.done:
 		return nil
-	case <-s.quit:
-		return ErrClosed
+	case <-quit:
+		return s.downErr()
 	}
+}
+
+// downErr maps a closed run generation to the right caller-visible error: a
+// killed server is down (callers fail over, exactly as for Crash), a closed
+// cluster is terminal.
+func (s *Server) downErr() error {
+	if s.killed.Load() {
+		return fmt.Errorf("%w: %s (killed)", ErrServerDown, s.name)
+	}
+	return ErrClosed
 }
 
 // Deposit buffers a message for a recipient. It fails when the server is
@@ -283,22 +309,113 @@ func (s *Server) StoredBytes() (int64, error) {
 	return n, err
 }
 
-func (s *Server) loop() {
-	defer close(s.done)
-	st := &serverState{store: mailstore.New(0)}
+// loop serves one run generation. The channels are passed explicitly — not
+// read from the struct — so a Restart that swaps in a new generation cannot
+// race with an old goroutine still draining its own.
+func (s *Server) loop(st *serverState, reqs chan request, quit, done chan struct{}) {
+	defer close(done)
 	for {
 		select {
-		case req := <-s.reqs:
+		case req := <-reqs:
 			req.fn(st)
 			close(req.done)
-		case <-s.quit:
+		case <-quit:
 			return
 		}
 	}
 }
 
+// halt stops the current run generation and waits for its goroutine to
+// exit. Idempotent per generation.
+func (s *Server) halt() {
+	s.runMu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.quit)
+	}
+	done := s.done
+	s.runMu.Unlock()
+	<-done
+}
+
+// closeStore detaches and closes the server's store (final WAL sync).
+func (s *Server) closeStore() error {
+	s.runMu.Lock()
+	st := s.store
+	s.store = nil
+	s.runMu.Unlock()
+	if st != nil {
+		return st.Close()
+	}
+	return nil
+}
+
+// Kill tears the server down like a process death: requests fail over, the
+// goroutine exits, and the store is closed. Unlike Crash, nothing is kept in
+// memory — Restart recovers only what the durable store persisted (nothing,
+// on a memory cluster).
+func (s *Server) Kill() error {
+	if !s.killed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.stats.Inc("kills") // counted here, not in KillServer: fault injectors call Kill directly
+	s.up.Store(false)
+	s.halt()
+	return s.closeStore()
+}
+
+// Restart brings a killed server back from its store — recovered from disk
+// on a durable cluster, empty on a memory one — and stamps the recovered
+// LastStartTime before going up, so a concurrent GetMail that sees the
+// server up also sees a start stamp no older than the restart (§3.1.2c).
+func (s *Server) Restart() error {
+	if !s.killed.Load() {
+		return nil // idempotent: overlapping fault windows replay cleanly
+	}
+	st, err := s.mkStore()
+	if err != nil {
+		return fmt.Errorf("livenet: restart %s: %w", s.name, err)
+	}
+	s.runMu.Lock()
+	if !s.stopped {
+		s.runMu.Unlock()
+		st.Close()
+		return fmt.Errorf("livenet: server %s already running", s.name)
+	}
+	s.store = st
+	s.reqs = make(chan request)
+	s.quit = make(chan struct{})
+	s.done = make(chan struct{})
+	s.stopped = false
+	go s.loop(&serverState{store: st}, s.reqs, s.quit, s.done)
+	s.runMu.Unlock()
+	ts := st.LastStartTime() // zero on memory stores
+	if ts.IsZero() {
+		ts = time.Now()
+	}
+	s.lastStart.Store(ts.UnixNano())
+	s.killed.Store(false)
+	s.up.Store(true)
+	s.stats.Inc("restarts")
+	return nil
+}
+
+// ClusterConfig configures the cluster's mailbox stores. The zero value is
+// the historical behavior: memory-only stores with the default shard count.
+type ClusterConfig struct {
+	// StoreShards is the per-server mailstore shard count (<= 0 selects
+	// mailstore.DefaultShards).
+	StoreShards int
+	// DataDir, when set, makes every server's store durable: each server
+	// logs to DataDir/<name> and Kill/Restart recovers from it.
+	DataDir string
+	// Fsync is the WAL fsync policy for durable stores.
+	Fsync mailstore.FsyncMode
+}
+
 // Cluster is a set of live servers sharing a directory.
 type Cluster struct {
+	cfg     ClusterConfig
 	dir     *Directory
 	mu      sync.RWMutex
 	servers map[string]*Server
@@ -311,17 +428,38 @@ type Cluster struct {
 	spool   *spool
 }
 
-// NewCluster returns an empty cluster with its directory. Lifecycle tracing
-// is always on: every submitted message is stamped through the pipeline on
-// the wall clock, feeding the per-stage latency histograms in Obs().
-func NewCluster() *Cluster {
+// NewCluster returns an empty memory-only cluster with its directory.
+// Lifecycle tracing is always on: every submitted message is stamped through
+// the pipeline on the wall clock, feeding the per-stage latency histograms
+// in Obs().
+func NewCluster() *Cluster { return NewClusterWith(ClusterConfig{}) }
+
+// NewClusterWith is NewCluster with explicit store configuration — shard
+// count and, optionally, a data directory that makes every server durable.
+func NewClusterWith(cfg ClusterConfig) *Cluster {
 	reg := obs.NewRegistry()
 	return &Cluster{
+		cfg:     cfg,
 		dir:     NewDirectory(),
 		servers: make(map[string]*Server),
 		stats:   reg,
 		trace:   obs.NewTracer(obs.WallClock, reg),
 	}
+}
+
+// Durable reports whether the cluster's stores persist to disk.
+func (c *Cluster) Durable() bool { return c.cfg.DataDir != "" }
+
+// newStore builds one server's mailbox store per the cluster config.
+func (c *Cluster) newStore(name string) (*mailstore.Store, error) {
+	if c.cfg.DataDir == "" {
+		return mailstore.New(c.cfg.StoreShards), nil
+	}
+	return mailstore.OpenOptions(mailstore.Options{
+		Dir:    filepath.Join(c.cfg.DataDir, name),
+		Shards: c.cfg.StoreShards,
+		Fsync:  c.cfg.Fsync,
+	})
 }
 
 // Directory returns the cluster's shared directory.
@@ -353,7 +491,10 @@ func (c *Cluster) Snapshot() obs.Snapshot {
 	return c.stats.Snapshot()
 }
 
-// AddServer starts a server goroutine. Names must be unique.
+// AddServer starts a server goroutine. Names must be unique. On a durable
+// cluster the server's store is recovered from DataDir/<name> (creating it
+// on first start) and the recovered LastStartTime becomes the server's
+// §3.1.2c start stamp.
 func (c *Cluster) AddServer(name string) (*Server, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
@@ -363,20 +504,81 @@ func (c *Cluster) AddServer(name string) (*Server, error) {
 	if _, dup := c.servers[name]; dup {
 		return nil, fmt.Errorf("livenet: server %q already exists", name)
 	}
+	st, err := c.newStore(name)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		name:     name,
 		stats:    c.stats,
+		mkStore:  func() (*mailstore.Store, error) { return c.newStore(name) },
 		deposits: c.stats.Counter(name + ".deposits"),
 		checks:   c.stats.Counter(name + ".checks"),
 		reqs:     make(chan request),
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
+		store:    st,
 	}
-	s.lastStart.Store(time.Now().UnixNano())
+	ts := st.LastStartTime()
+	if ts.IsZero() {
+		ts = time.Now()
+	}
+	s.lastStart.Store(ts.UnixNano())
 	s.up.Store(true)
 	c.servers[name] = s
-	go s.loop()
+	go s.loop(&serverState{store: st}, s.reqs, s.quit, s.done)
 	return s, nil
+}
+
+// KillServer kills a server by name (see Server.Kill).
+func (c *Cluster) KillServer(name string) error {
+	s, ok := c.Server(name)
+	if !ok {
+		return fmt.Errorf("livenet: no server %q", name)
+	}
+	return s.Kill()
+}
+
+// RestartServer restarts a killed server from its store (see
+// Server.Restart).
+func (c *Cluster) RestartServer(name string) error {
+	s, ok := c.Server(name)
+	if !ok {
+		return fmt.Errorf("livenet: no server %q", name)
+	}
+	return s.Restart()
+}
+
+// DurabilityStats sums the WAL write-path counters across every live
+// server's store; ok is false on memory-only clusters.
+func (c *Cluster) DurabilityStats() (mailstore.WALStats, bool) {
+	if !c.Durable() {
+		return mailstore.WALStats{}, false
+	}
+	var sum mailstore.WALStats
+	c.mu.RLock()
+	servers := make([]*Server, 0, len(c.servers))
+	for _, s := range c.servers {
+		servers = append(servers, s)
+	}
+	c.mu.RUnlock()
+	for _, s := range servers {
+		s.runMu.RLock()
+		st := s.store
+		s.runMu.RUnlock()
+		if st == nil {
+			continue
+		}
+		if ws, ok := st.WALStats(); ok {
+			sum.Appends += ws.Appends
+			sum.Bytes += ws.Bytes
+			sum.AppendNs += ws.AppendNs
+			sum.Syncs += ws.Syncs
+			sum.Rotations += ws.Rotations
+			sum.Compactions += ws.Compactions
+		}
+	}
+	return sum, true
 }
 
 // Server returns a server by name.
@@ -418,10 +620,8 @@ func (c *Cluster) Close() {
 	}
 	c.mu.RUnlock()
 	for _, s := range servers {
-		close(s.quit)
-	}
-	for _, s := range servers {
-		<-s.done
+		s.halt()
+		s.closeStore()
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"github.com/largemail/largemail/internal/faults"
 	"github.com/largemail/largemail/internal/livenet"
+	"github.com/largemail/largemail/internal/mail/mailstore"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/obs"
 	"github.com/largemail/largemail/internal/queueing"
@@ -18,15 +19,31 @@ type LiveConfig struct {
 	// Tick is the wall-clock duration of one schedule tick (default 2ms).
 	Tick time.Duration
 	// Spool configures the redelivery spool; the zero value takes the
-	// spool's own defaults. The spool is always enabled: it is what makes a
-	// live Submit an all-or-nothing commit (only a recipient with no
+	// spool's own defaults. The spool is normally enabled: it is what makes
+	// a live Submit an all-or-nothing commit (only a recipient with no
 	// authority list at all can fail), which is the commit-point contract
 	// the no-loss auditor depends on.
 	Spool livenet.SpoolConfig
+	// NoSpool disables the redelivery spool entirely. Without it a Submit
+	// commits only the recipients whose deposit succeeded, so a multi-
+	// recipient Submit can partially commit while reporting an error —
+	// drive no-spool runs with Workload{MaxRecipients: 1} to keep the
+	// commit all-or-nothing. This is how the durability soak proves the
+	// store alone (not spool redelivery) carries mail across kill-restarts.
+	NoSpool bool
 	// SubmitTimeout bounds each Submit through the cluster's context API
 	// (0 = no deadline). Recipients already committed when the deadline
 	// fires stay committed; the rest report mailerr.ErrTimeout.
 	SubmitTimeout time.Duration
+	// StoreShards overrides each server's mailbox-store shard count
+	// (0 = mailstore.DefaultShards).
+	StoreShards int
+	// DataDir, when set, makes every server's mailbox store durable
+	// (server NAME journals to DataDir/NAME) and adds KillTargets to the
+	// fault surface.
+	DataDir string
+	// Fsync is the WAL fsync policy when DataDir is set.
+	Fsync mailstore.FsyncMode
 }
 
 // LiveDriver drives the livenet transport: goroutine servers, wall-clock
@@ -52,9 +69,13 @@ func NewLiveDriver(cfg LiveConfig) (*LiveDriver, error) {
 		cfg.Tick = 2 * time.Millisecond
 	}
 	d := &LiveDriver{
-		cfg:       cfg,
-		pop:       cfg.Pop,
-		cluster:   livenet.NewCluster(),
+		cfg: cfg,
+		pop: cfg.Pop,
+		cluster: livenet.NewClusterWith(livenet.ClusterConfig{
+			StoreShards: cfg.StoreShards,
+			DataDir:     cfg.DataDir,
+			Fsync:       cfg.Fsync,
+		}),
 		agents:    make(map[int]*livenet.Agent),
 		prevPolls: make(map[int]int),
 	}
@@ -64,9 +85,11 @@ func NewLiveDriver(cfg LiveConfig) (*LiveDriver, error) {
 			return nil, err
 		}
 	}
-	if err := d.cluster.EnableSpool(cfg.Spool); err != nil {
-		d.cluster.Close()
-		return nil, err
+	if !cfg.NoSpool {
+		if err := d.cluster.EnableSpool(cfg.Spool); err != nil {
+			d.cluster.Close()
+			return nil, err
+		}
 	}
 	return d, nil
 }
@@ -203,7 +226,18 @@ func (d *LiveDriver) FaultSurface() faults.Spec {
 			sp.Links = append(sp.Links, [2]string{d.serverName(gs), d.serverName(next)})
 		}
 	}
+	// Kill-restart only survives a durable store; a memory-only cluster
+	// must not offer targets (Compile would schedule guaranteed data loss).
+	if d.cluster.Durable() {
+		sp.KillTargets = append([]string(nil), sp.Servers...)
+	}
 	return sp
+}
+
+// DurabilityStats sums the WAL write-path counters across the cluster's
+// servers; ok is false on a memory-only cluster.
+func (d *LiveDriver) DurabilityStats() (mailstore.WALStats, bool) {
+	return d.cluster.DurabilityStats()
 }
 
 // ServerLoads implements Driver: predicted load from the round-robin

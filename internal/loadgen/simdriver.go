@@ -3,6 +3,7 @@ package loadgen
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 
 	"github.com/largemail/largemail/internal/assign"
@@ -10,6 +11,7 @@ import (
 	"github.com/largemail/largemail/internal/faults"
 	"github.com/largemail/largemail/internal/graph"
 	"github.com/largemail/largemail/internal/mail"
+	"github.com/largemail/largemail/internal/mail/mailstore"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/netsim"
 	"github.com/largemail/largemail/internal/obs"
@@ -53,6 +55,12 @@ type SimConfig struct {
 	// need this above their ack round-trip, or every distant transfer
 	// retries — and every distant batch splits — spuriously.
 	RetryTimeout sim.Time
+	// DataDir, when set, makes every server's mailbox store durable: server
+	// gs journals to DataDir/S<gs>, and the fault surface offers KillTargets
+	// so a schedule may destroy in-memory state and restart from disk.
+	DataDir string
+	// Fsync is the WAL fsync policy when DataDir is set.
+	Fsync mailstore.FsyncMode
 }
 
 // SimDriver drives the discrete-event transport: it builds its own regional
@@ -162,6 +170,7 @@ func NewSimDriver(cfg SimConfig) (*SimDriver, error) {
 				Retention: cfg.Retention, Trace: d.trace,
 				BatchSize: cfg.BatchSize, FlushInterval: cfg.FlushInterval,
 				StoreShards: cfg.StoreShards, RetryTimeout: cfg.RetryTimeout,
+				DataDir: d.serverDataDir(sv), Fsync: cfg.Fsync,
 			})
 			if err != nil {
 				return nil, err
@@ -192,6 +201,15 @@ func (d *SimDriver) serverID(gs int) graph.NodeID { return simServerBase + 1 + g
 
 func hostLabel(gh int) string { return fmt.Sprintf("H%d", gh) }
 func serverLabel(gs int) string { return fmt.Sprintf("S%d", gs) }
+
+// serverDataDir returns the durable store directory for a server node, or
+// "" (memory store) when the driver is not configured for durability.
+func (d *SimDriver) serverDataDir(id graph.NodeID) string {
+	if d.cfg.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(d.cfg.DataDir, serverLabel(int(id-simServerBase-1)))
+}
 
 // buildTopology wires a deterministic regional network: every host spokes
 // into one of its region's servers (weight 1), the region's servers form a
@@ -394,7 +412,9 @@ func (d *SimDriver) Snapshot() obs.Snapshot {
 	return snap
 }
 
-// Injector implements Driver.
+// Injector implements Driver. Kill/Restart events need the server handle,
+// not just the network node — a network crash alone cannot destroy and
+// recover mailbox state — so the target carries every active server.
 func (d *SimDriver) Injector() faults.Injector {
 	nodes := make(map[string]graph.NodeID)
 	slots := d.pop.ServersPerRegion + d.cfg.SpareServersPerRegion
@@ -404,7 +424,12 @@ func (d *SimDriver) Injector() faults.Injector {
 	for gs := 0; gs < d.pop.Regions*slots; gs++ {
 		nodes[serverLabel(gs)] = d.serverID(gs)
 	}
-	return faults.NewSimTarget(d.net, nodes, d.cfg.Tick)
+	tgt := faults.NewSimTarget(d.net, nodes, d.cfg.Tick)
+	tgt.Servers = make(map[string]faults.KillRestarter, len(d.active))
+	for _, id := range d.active {
+		tgt.Servers[serverLabel(int(id-simServerBase-1))] = d.servers[id]
+	}
+	return tgt
 }
 
 // FaultSurface implements Driver. Safety constraints baked in:
@@ -450,7 +475,45 @@ func (d *SimDriver) FaultSurface() faults.Spec {
 			}
 		}
 	}
+	// Kill-restart only survives a durable store; a memory-only driver must
+	// not offer targets (Compile would schedule guaranteed data loss).
+	if d.cfg.DataDir != "" {
+		spec.KillTargets = append([]string(nil), spec.Servers...)
+	}
 	return spec
+}
+
+// DurabilityStats sums the WAL write-path counters across every active
+// server; ok is false on a memory-only driver.
+func (d *SimDriver) DurabilityStats() (mailstore.WALStats, bool) {
+	var sum mailstore.WALStats
+	any := false
+	for _, id := range d.active {
+		st, ok := d.servers[id].Store().WALStats()
+		if !ok {
+			continue
+		}
+		any = true
+		sum.Appends += st.Appends
+		sum.Bytes += st.Bytes
+		sum.AppendNs += st.AppendNs
+		sum.Syncs += st.Syncs
+		sum.Rotations += st.Rotations
+		sum.Compactions += st.Compactions
+	}
+	return sum, any
+}
+
+// Close syncs and closes every server's durable store (no-op for memory
+// stores). The simulated network needs no teardown.
+func (d *SimDriver) Close() error {
+	var first error
+	for _, id := range d.active {
+		if err := d.servers[id].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // ServerLoads implements Driver: the per-region assignment's predicted
@@ -529,6 +592,7 @@ func (d *SimDriver) AddServer(r int) (string, error) {
 		Retention: d.cfg.Retention, Trace: d.trace,
 		BatchSize: d.cfg.BatchSize, FlushInterval: d.cfg.FlushInterval,
 		StoreShards: d.cfg.StoreShards, RetryTimeout: d.cfg.RetryTimeout,
+		DataDir: d.serverDataDir(id), Fsync: d.cfg.Fsync,
 	})
 	if err != nil {
 		return "", err

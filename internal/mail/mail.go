@@ -6,6 +6,7 @@ package mail
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/largemail/largemail/internal/graph"
 	"github.com/largemail/largemail/internal/names"
@@ -84,6 +85,33 @@ type Stored struct {
 	Read      bool
 }
 
+// OpKind identifies a primitive mailbox mutation for journaling. Every
+// public Mailbox mutation decomposes into these five primitives, which is
+// what lets a durability layer log arbitrary Update closures without
+// understanding them: it records what the closure *did*, not what it was.
+type OpKind uint8
+
+// Primitive mailbox mutations, in rough pipeline order.
+const (
+	OpDeposit  OpKind = iota + 1 // store one message (Msg, At, Read)
+	OpDrain                      // remove all stored messages, keep seen-set
+	OpMarkRead                   // flag stored messages read (IDs)
+	OpEvict                      // remove stored messages by ID, keep seen-set (IDs)
+	OpSuppress                   // add IDs to the seen-set without storing (IDs)
+)
+
+// Op is one primitive mailbox mutation, the unit of the durability journal.
+// Replaying a mailbox's ops in order against an empty mailbox reproduces its
+// exact state: stored messages in arrival order, read flags, and the
+// duplicate-suppression memory.
+type Op struct {
+	Kind OpKind
+	Msg  Message     // OpDeposit: the stored message
+	At   sim.Time    // OpDeposit: arrival time
+	Read bool        // OpDeposit: already read (snapshot replay)
+	IDs  []MessageID // OpMarkRead, OpEvict, OpSuppress
+}
+
 // Mailbox is one user's message store at one server. Messages are kept in
 // arrival order; duplicate deposits of the same MessageID are suppressed.
 // The zero value is not usable; create with NewMailbox.
@@ -92,6 +120,9 @@ type Mailbox struct {
 	msgs  []Stored
 	seen  map[MessageID]bool
 	bytes int
+
+	journaling bool
+	journal    []Op
 }
 
 // NewMailbox returns an empty mailbox for the named user.
@@ -102,6 +133,19 @@ func NewMailbox(owner names.Name) *Mailbox {
 // Owner returns the mailbox owner's name.
 func (b *Mailbox) Owner() names.Name { return b.owner }
 
+// EnableJournal turns on op journaling: every state-changing mutation from
+// here on is recorded as an Op until collected with TakeOps. No-op mutations
+// (duplicate deposits, empty drains, misses) are not journaled.
+func (b *Mailbox) EnableJournal() { b.journaling = true }
+
+// TakeOps returns and clears the journaled ops accumulated since the last
+// call. The caller owns the returned slice.
+func (b *Mailbox) TakeOps() []Op {
+	ops := b.journal
+	b.journal = nil
+	return ops
+}
+
 // Deposit stores a message, reporting whether it was newly stored (false
 // for duplicates).
 func (b *Mailbox) Deposit(m Message, at sim.Time) bool {
@@ -111,6 +155,9 @@ func (b *Mailbox) Deposit(m Message, at sim.Time) bool {
 	b.seen[m.ID] = true
 	b.msgs = append(b.msgs, Stored{Message: m, ArrivedAt: at})
 	b.bytes += m.Size()
+	if b.journaling {
+		b.journal = append(b.journal, Op{Kind: OpDeposit, Msg: m, At: at})
+	}
 	return true
 }
 
@@ -131,6 +178,9 @@ func (b *Mailbox) Peek() []Stored {
 // recovering server replays traffic).
 func (b *Mailbox) Drain() []Stored {
 	out := b.msgs
+	if b.journaling && len(out) > 0 {
+		b.journal = append(b.journal, Op{Kind: OpDrain})
+	}
 	b.msgs = nil
 	b.bytes = 0
 	return out
@@ -142,10 +192,98 @@ func (b *Mailbox) MarkRead(id MessageID) bool {
 	for i := range b.msgs {
 		if b.msgs[i].ID == id {
 			b.msgs[i].Read = true
+			if b.journaling {
+				b.journal = append(b.journal, Op{Kind: OpMarkRead, IDs: []MessageID{id}})
+			}
 			return true
 		}
 	}
 	return false
+}
+
+// Suppress adds an ID to the duplicate-suppression memory without storing a
+// message, reporting whether the ID was new. Snapshots use it to persist the
+// seen-set of drained messages separately from the stored ones.
+func (b *Mailbox) Suppress(id MessageID) bool {
+	if b.seen[id] {
+		return false
+	}
+	b.seen[id] = true
+	if b.journaling {
+		b.journal = append(b.journal, Op{Kind: OpSuppress, IDs: []MessageID{id}})
+	}
+	return true
+}
+
+// Remove evicts stored messages by ID, retaining the duplicate-suppression
+// memory, and reports how many were present. It is the replay form of
+// Cleanup's eviction: the policy decision was made once, at journaling time;
+// replay only repeats its outcome.
+func (b *Mailbox) Remove(ids ...MessageID) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	drop := make(map[MessageID]bool, len(ids))
+	for _, id := range ids {
+		drop[id] = true
+	}
+	removed := 0
+	var removedIDs []MessageID
+	kept := b.msgs[:0]
+	for i := range b.msgs {
+		if drop[b.msgs[i].ID] {
+			b.bytes -= b.msgs[i].Size()
+			removed++
+			removedIDs = append(removedIDs, b.msgs[i].ID)
+			continue
+		}
+		kept = append(kept, b.msgs[i])
+	}
+	b.msgs = kept
+	if b.journaling && removed > 0 {
+		b.journal = append(b.journal, Op{Kind: OpEvict, IDs: removedIDs})
+	}
+	return removed
+}
+
+// SeenIDs returns the duplicate-suppression memory sorted by (Node, Seq), a
+// deterministic order snapshots rely on.
+func (b *Mailbox) SeenIDs() []MessageID {
+	out := make([]MessageID, 0, len(b.seen))
+	for id := range b.seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Apply replays one journaled op against the mailbox. Replay of a recorded
+// history must happen before EnableJournal, or the replayed ops would be
+// journaled again.
+func (b *Mailbox) Apply(op Op) {
+	switch op.Kind {
+	case OpDeposit:
+		if b.Deposit(op.Msg, op.At) && op.Read {
+			b.msgs[len(b.msgs)-1].Read = true
+		}
+	case OpDrain:
+		b.Drain()
+	case OpMarkRead:
+		for _, id := range op.IDs {
+			b.MarkRead(id)
+		}
+	case OpEvict:
+		b.Remove(op.IDs...)
+	case OpSuppress:
+		for _, id := range op.IDs {
+			b.Suppress(id)
+		}
+	}
 }
 
 // Retention is the archiving/clean-up policy of §3.1.2c: "some policy of
@@ -191,6 +329,13 @@ func (b *Mailbox) Cleanup(p Retention, now sim.Time) []Stored {
 			kept = append(kept, b.msgs[i])
 		}
 		b.msgs = kept
+	}
+	if b.journaling && len(evicted) > 0 {
+		ids := make([]MessageID, len(evicted))
+		for i := range evicted {
+			ids[i] = evicted[i].ID
+		}
+		b.journal = append(b.journal, Op{Kind: OpEvict, IDs: ids})
 	}
 	return evicted
 }

@@ -40,10 +40,12 @@ type shard struct {
 }
 
 // Store is a lock-striped mailbox store. The zero value is not usable;
-// create with New.
+// create with New (memory-only) or Open/OpenOptions (durable: every
+// mutation is journaled to a per-shard WAL, see durable.go).
 type Store struct {
 	shards []shard
 	mask   uint64
+	w      *wal // nil for memory-only stores
 }
 
 // New returns a store with n shards, rounded up to a power of two so shard
@@ -70,14 +72,16 @@ func (s *Store) Shards() int { return len(s.shards) }
 // processes and runs — shard placement must not depend on process-random
 // seeds or the simulation's seeded equivalence runs could diverge in
 // allocation behavior.
-func (s *Store) shard(user names.Name) *shard {
+func (s *Store) shard(user names.Name) *shard { return &s.shards[s.shardIndex(user)] }
+
+func (s *Store) shardIndex(user names.Name) int {
 	h := fnv.New64a()
 	h.Write([]byte(user.Region))
 	h.Write([]byte{0})
 	h.Write([]byte(user.Host))
 	h.Write([]byte{0})
 	h.Write([]byte(user.User))
-	return &s.shards[h.Sum64()&s.mask]
+	return int(h.Sum64() & s.mask)
 }
 
 // Update runs fn on the user's mailbox under the shard's write lock,
@@ -85,17 +89,24 @@ func (s *Store) shard(user names.Name) *shard {
 // whatever fn did. All mutations must go through Update (or a helper built
 // on it) or the counters drift.
 func (s *Store) Update(user names.Name, fn func(*mail.Mailbox)) {
-	sh := s.shard(user)
+	i := s.shardIndex(user)
+	sh := &s.shards[i]
 	sh.mu.Lock()
 	mb, ok := sh.boxes[user]
 	if !ok {
 		mb = mail.NewMailbox(user)
+		if s.w != nil {
+			mb.EnableJournal()
+		}
 		sh.boxes[user] = mb
 	}
 	l0, b0 := mb.Len(), mb.Bytes()
 	fn(mb)
 	sh.msgs += int64(mb.Len() - l0)
 	sh.bytes += int64(mb.Bytes() - b0)
+	if s.w != nil {
+		s.logOps(i, user, mb)
+	}
 	sh.mu.Unlock()
 }
 
@@ -103,7 +114,8 @@ func (s *Store) Update(user names.Name, fn func(*mail.Mailbox)) {
 // user had a mailbox (fn is not called otherwise). A drained-empty mailbox
 // still exists: its duplicate-suppression memory must survive.
 func (s *Store) UpdateExisting(user names.Name, fn func(*mail.Mailbox)) bool {
-	sh := s.shard(user)
+	i := s.shardIndex(user)
+	sh := &s.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	mb, ok := sh.boxes[user]
@@ -114,6 +126,9 @@ func (s *Store) UpdateExisting(user names.Name, fn func(*mail.Mailbox)) bool {
 	fn(mb)
 	sh.msgs += int64(mb.Len() - l0)
 	sh.bytes += int64(mb.Bytes() - b0)
+	if s.w != nil {
+		s.logOps(i, user, mb)
+	}
 	return true
 }
 

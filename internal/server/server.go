@@ -84,6 +84,13 @@ type Config struct {
 	// StoreShards is the mailbox store's shard count; zero selects
 	// mailstore.DefaultShards.
 	StoreShards int
+	// DataDir, when set, makes the mailbox store durable: every mutation is
+	// WAL-logged under this directory and Kill/RestartFromDisk recovers
+	// from it. Empty keeps the historical memory-only store, where a Kill
+	// genuinely loses the buffered mail (the negative control).
+	DataDir string
+	// Fsync is the WAL fsync policy when DataDir is set.
+	Fsync mailstore.FsyncMode
 }
 
 // Server is a mail server process. Not safe for concurrent use; it runs on
@@ -98,6 +105,10 @@ type Server struct {
 	retention    mail.Retention
 	keepCopies   bool
 	retryTimeout sim.Time
+	dataDir      string
+	fsync        mailstore.FsyncMode
+	storeShards  int
+	killed       bool
 
 	store     *mailstore.Store
 	online    map[names.Name]graph.NodeID
@@ -144,6 +155,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = 2 * sim.Unit
 	}
+	store := mailstore.New(cfg.StoreShards)
+	if cfg.DataDir != "" {
+		var err error
+		store, err = mailstore.OpenOptions(mailstore.Options{
+			Dir: cfg.DataDir, Shards: cfg.StoreShards, Fsync: cfg.Fsync,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		id:           cfg.ID,
 		region:       cfg.Region,
@@ -153,7 +174,10 @@ func New(cfg Config) (*Server, error) {
 		retention:    cfg.Retention,
 		keepCopies:   cfg.KeepCopies,
 		retryTimeout: cfg.RetryTimeout,
-		store:        mailstore.New(cfg.StoreShards),
+		dataDir:      cfg.DataDir,
+		fsync:        cfg.Fsync,
+		storeShards:  cfg.StoreShards,
+		store:        store,
 		online:       make(map[names.Name]graph.NodeID),
 		pending:      make(map[uint64]*pendingTransfer),
 		batchSize:    cfg.BatchSize,
@@ -552,6 +576,54 @@ func (s *Server) handleLogin(l Login) {
 
 // PendingTransfers reports how many transfers are queued awaiting acks.
 func (s *Server) PendingTransfers() int { return len(s.pending) }
+
+// Kill models a process death — the failure mode Crash deliberately does
+// not: the network node goes down AND the in-memory mailbox state is
+// destroyed. With DataDir the store is closed (every acknowledged mutation
+// is already in the WAL); without it the store is replaced by an empty one,
+// which is exactly the loss durability exists to prevent (the negative
+// control in the chaos tests). The pending-transfer ledger is the
+// simulation's separate stable storage for in-flight transfers and survives
+// either way. Idempotent.
+func (s *Server) Kill() error {
+	if s.killed {
+		return nil
+	}
+	s.killed = true
+	s.net.Crash(s.id)
+	if s.dataDir != "" {
+		return s.store.Close()
+	}
+	s.store = mailstore.New(s.storeShards)
+	return nil
+}
+
+// RestartFromDisk brings a killed server back. With DataDir the mailbox
+// store is recovered by replaying its snapshot+WAL segments; without it the
+// server restarts empty. The netsim Recover stamps LastStartTime — the
+// recovered store's own stamp backs the same §3.1.2c comparison on the live
+// transport — and fires the Recovered hook, re-driving the pending ledger.
+// Idempotent.
+func (s *Server) RestartFromDisk() error {
+	if !s.killed {
+		return nil
+	}
+	if s.dataDir != "" {
+		st, err := mailstore.OpenOptions(mailstore.Options{
+			Dir: s.dataDir, Shards: s.storeShards, Fsync: s.fsync,
+		})
+		if err != nil {
+			return err
+		}
+		s.store = st
+	}
+	s.killed = false
+	s.net.Recover(s.id)
+	return nil
+}
+
+// Close syncs and closes the durable store; no-op for memory stores.
+func (s *Server) Close() error { return s.store.Close() }
 
 // Evacuate drains every mailbox here and re-routes the buffered messages
 // through the current directory — the hand-off step of a §3.1.3c server

@@ -164,14 +164,21 @@ type Server struct {
 	agents  map[names.Name]*livenet.Agent
 }
 
-// NewServer builds a cluster with the given server names and starts
-// accepting connections on addr (e.g. "127.0.0.1:0"). The returned server
-// owns the cluster.
+// NewServer builds a memory-backed cluster with the given server names and
+// starts accepting connections on addr (e.g. "127.0.0.1:0"). The returned
+// server owns the cluster.
 func NewServer(addr string, serverNames []string) (*Server, error) {
+	return NewServerCluster(addr, serverNames, livenet.ClusterConfig{})
+}
+
+// NewServerCluster is NewServer with an explicit cluster configuration —
+// the hook maild uses to run durable stores (ClusterConfig.DataDir) behind
+// the wire protocol.
+func NewServerCluster(addr string, serverNames []string, cfg livenet.ClusterConfig) (*Server, error) {
 	if len(serverNames) == 0 {
 		return nil, errors.New("wire: need at least one server name")
 	}
-	cluster := livenet.NewCluster()
+	cluster := livenet.NewClusterWith(cfg)
 	for _, n := range serverNames {
 		if _, err := cluster.AddServer(n); err != nil {
 			cluster.Close()
