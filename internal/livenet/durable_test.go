@@ -129,6 +129,95 @@ func TestClusterReopenRecovers(t *testing.T) {
 	if len(got) != 1 || got[0].ID != id {
 		t.Fatalf("reopened cluster mail = %v, want %v", got, id)
 	}
+
+	// The reopened cluster's ID allocator resumed above the recovered
+	// suppression floor: a fresh submit must mint an unused ID and be
+	// delivered, not be swallowed as a duplicate of the pre-restart message.
+	id2, err := c2.Submit(alice, []names.Name{alice}, "s", "after reopen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id {
+		t.Fatalf("reopened cluster reused message ID %v", id)
+	}
+	got = a.GetMail()
+	if len(got) != 1 || got[0].ID != id2 {
+		t.Fatalf("post-reopen mail = %v, want %v (fresh submit suppressed as duplicate?)", got, id2)
+	}
+}
+
+// TestKilledGenerationMapsToServerDown: a caller that snapshotted a run
+// generation's quit channel, then observed its close only after a Kill AND a
+// complete Restart, must get retryable ErrServerDown — by then the killed
+// flag has already flipped back to false, and reporting terminal ErrClosed
+// would make a client treat a healthy cluster as shut down.
+func TestKilledGenerationMapsToServerDown(t *testing.T) {
+	c := durableCluster(t)
+	defer c.Close()
+	s, err := c.AddServer("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.runMu.RLock()
+	gen := s.quit
+	s.runMu.RUnlock()
+	if err := s.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.downErr(gen); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("downErr(superseded generation) = %v, want ErrServerDown", err)
+	}
+	// The current generation still maps a cluster shutdown to ErrClosed.
+	s.runMu.RLock()
+	cur := s.quit
+	s.runMu.RUnlock()
+	c.Close()
+	if err := s.downErr(cur); !errors.Is(err, ErrClosed) {
+		t.Fatalf("downErr(current generation after Close) = %v, want ErrClosed", err)
+	}
+}
+
+// TestDurabilityStatsCumulativeAcrossRestart: kill-restart swaps in a fresh
+// store with zeroed WAL counters; DurabilityStats must keep counting the
+// closed store's work or chaos-mode bench numbers under-report the write
+// path.
+func TestDurabilityStatsCumulativeAcrossRestart(t *testing.T) {
+	c := durableCluster(t)
+	defer c.Close()
+	if _, err := c.AddServer("s1"); err != nil {
+		t.Fatal(err)
+	}
+	alice := names.Name{Region: "R0", Host: "h0", User: "alice"}
+	c.Directory().SetAuthority(alice, []string{"s1"})
+	for i := 0; i < 3; i++ {
+		if _, err := c.Submit(alice, []names.Name{alice}, "s", "pre-kill"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre, ok := c.DurabilityStats()
+	if !ok || pre.Appends == 0 {
+		t.Fatalf("pre-kill stats = %+v ok=%v, want appends > 0", pre, ok)
+	}
+	if err := c.KillServer("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartServer("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(alice, []names.Name{alice}, "s", "post-restart"); err != nil {
+		t.Fatal(err)
+	}
+	post, _ := c.DurabilityStats()
+	if post.Appends < pre.Appends+1 {
+		t.Fatalf("Appends = %d after kill-restart, want >= %d (stats must be cumulative)",
+			post.Appends, pre.Appends+1)
+	}
+	if post.Bytes < pre.Bytes {
+		t.Fatalf("Bytes = %d after kill-restart, want >= pre-kill %d", post.Bytes, pre.Bytes)
+	}
 }
 
 // TestDurableLastStartDrivesPollEfficiency: after a kill-restart the

@@ -117,6 +117,10 @@ type Server struct {
 	done    chan struct{}
 	store   *mailstore.Store
 	stopped bool
+	// walBase accumulates the WAL counters of stores closed by Kill, so
+	// DurabilityStats stays cumulative across kill-restart cycles instead of
+	// resetting with each fresh Open. Guarded by runMu.
+	walBase mailstore.WALStats
 
 	killed    atomic.Bool
 	up        atomic.Bool
@@ -223,21 +227,32 @@ func (s *Server) call(fn func(*serverState)) error {
 	select {
 	case reqs <- req:
 	case <-quit:
-		return s.downErr()
+		return s.downErr(quit)
 	}
 	select {
 	case <-req.done:
 		return nil
 	case <-quit:
-		return s.downErr()
+		return s.downErr(quit)
 	}
 }
 
 // downErr maps a closed run generation to the right caller-visible error: a
 // killed server is down (callers fail over, exactly as for Crash), a closed
-// cluster is terminal.
-func (s *Server) downErr() error {
+// cluster is terminal. gen is the quit channel the caller snapshotted; if a
+// Kill and a complete Restart both finished before the caller observed the
+// close, killed has already flipped back to false, but the snapshotted
+// channel no longer being the current generation's still identifies a
+// generation that died — report retryable ErrServerDown, not terminal
+// ErrClosed.
+func (s *Server) downErr(gen chan struct{}) error {
 	if s.killed.Load() {
+		return fmt.Errorf("%w: %s (killed)", ErrServerDown, s.name)
+	}
+	s.runMu.RLock()
+	superseded := s.quit != gen
+	s.runMu.RUnlock()
+	if superseded {
 		return fmt.Errorf("%w: %s (killed)", ErrServerDown, s.name)
 	}
 	return ErrClosed
@@ -338,11 +353,18 @@ func (s *Server) halt() {
 	<-done
 }
 
-// closeStore detaches and closes the server's store (final WAL sync).
+// closeStore detaches and closes the server's store (final WAL sync),
+// folding its WAL counters into walBase first so cumulative durability stats
+// survive the store's replacement.
 func (s *Server) closeStore() error {
 	s.runMu.Lock()
 	st := s.store
 	s.store = nil
+	if st != nil {
+		if ws, ok := st.WALStats(); ok {
+			s.walBase.Add(ws)
+		}
+	}
 	s.runMu.Unlock()
 	if st != nil {
 		return st.Close()
@@ -508,6 +530,18 @@ func (c *Cluster) AddServer(name string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A recovered store's suppression memory spans every ID this cluster ever
+	// assigned (Submit mints Node 1). Resume the allocator above that floor:
+	// a fresh process otherwise restarts at seq 1 and its first submits are
+	// silently swallowed as duplicates of already-delivered mail.
+	if floor := st.MaxSeenSeq(1); floor > 0 {
+		for {
+			cur := c.nextSeq.Load()
+			if cur >= floor || c.nextSeq.CompareAndSwap(cur, floor) {
+				break
+			}
+		}
+	}
 	s := &Server{
 		name:     name,
 		stats:    c.stats,
@@ -549,8 +583,10 @@ func (c *Cluster) RestartServer(name string) error {
 	return s.Restart()
 }
 
-// DurabilityStats sums the WAL write-path counters across every live
-// server's store; ok is false on memory-only clusters.
+// DurabilityStats sums the WAL write-path counters across every server,
+// including the accumulated totals of stores closed by earlier kill-restart
+// cycles — the numbers are cumulative write-path work, not just the current
+// stores'; ok is false on memory-only clusters.
 func (c *Cluster) DurabilityStats() (mailstore.WALStats, bool) {
 	if !c.Durable() {
 		return mailstore.WALStats{}, false
@@ -565,17 +601,14 @@ func (c *Cluster) DurabilityStats() (mailstore.WALStats, bool) {
 	for _, s := range servers {
 		s.runMu.RLock()
 		st := s.store
+		base := s.walBase
 		s.runMu.RUnlock()
+		sum.Add(base)
 		if st == nil {
 			continue
 		}
 		if ws, ok := st.WALStats(); ok {
-			sum.Appends += ws.Appends
-			sum.Bytes += ws.Bytes
-			sum.AppendNs += ws.AppendNs
-			sum.Syncs += ws.Syncs
-			sum.Rotations += ws.Rotations
-			sum.Compactions += ws.Compactions
+			sum.Add(ws)
 		}
 	}
 	return sum, true

@@ -483,23 +483,19 @@ func (d *SimDriver) FaultSurface() faults.Spec {
 	return spec
 }
 
-// DurabilityStats sums the WAL write-path counters across every active
-// server; ok is false on a memory-only driver.
+// DurabilityStats sums the cumulative WAL write-path counters across every
+// active server, including stores replaced by kill-restart cycles; ok is
+// false on a memory-only driver.
 func (d *SimDriver) DurabilityStats() (mailstore.WALStats, bool) {
 	var sum mailstore.WALStats
 	any := false
 	for _, id := range d.active {
-		st, ok := d.servers[id].Store().WALStats()
+		st, ok := d.servers[id].WALStats()
 		if !ok {
 			continue
 		}
 		any = true
-		sum.Appends += st.Appends
-		sum.Bytes += st.Bytes
-		sum.AppendNs += st.AppendNs
-		sum.Syncs += st.Syncs
-		sum.Rotations += st.Rotations
-		sum.Compactions += st.Compactions
+		sum.Add(st)
 	}
 	return sum, any
 }

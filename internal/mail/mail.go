@@ -262,6 +262,20 @@ func (b *Mailbox) SeenIDs() []MessageID {
 	return out
 }
 
+// MaxSeenSeq returns the highest sequence number attributed to node in the
+// duplicate-suppression memory (0 if none) — the floor a restarted ID
+// allocator must resume above, or a fresh message could reuse a delivered
+// ID and be swallowed as a duplicate.
+func (b *Mailbox) MaxSeenSeq(node graph.NodeID) uint64 {
+	var maxSeq uint64
+	for id := range b.seen {
+		if id.Node == node && id.Seq > maxSeq {
+			maxSeq = id.Seq
+		}
+	}
+	return maxSeq
+}
+
 // Apply replays one journaled op against the mailbox. Replay of a recorded
 // history must happen before EnableJournal, or the replayed ops would be
 // journaled again.

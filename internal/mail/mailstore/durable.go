@@ -7,8 +7,9 @@
 //
 // Layout under Options.Dir:
 //
-//	MANIFEST.json            {"version":1,"shards":N} — shard count is fixed
-//	shard-0000/seg-%016d.wal magic header + framed records (see wal.go)
+//	MANIFEST.json             {"version":1,"shards":N} — shard count is fixed
+//	shard-0000/seg-%016d.wal  magic header + framed records (see wal.go)
+//	shard-0000/snap-%016d.wal snapshot segment (same format, same seq space)
 //	shard-0001/...
 //
 // Two maintenance actions bound recovery cost:
@@ -22,7 +23,11 @@
 //     max(CompactBytes, live content bytes) the shard's entire live state is
 //     written as one snapshot segment (ordinary Deposit/Suppress records)
 //     and older segments are deleted, so replay work is bounded by live
-//     state, not history.
+//     state, not history. Snapshots carry the distinct "snap-" prefix so
+//     recovery can always start at the newest one and ignore anything
+//     older: a crash mid-deletion leaves stale history behind, and
+//     replaying it would resurrect messages whose Drain records were
+//     already unlinked.
 //
 // Fsync policy: appends are direct write syscalls — no userspace buffering —
 // so a process kill loses nothing that was acknowledged. FsyncNever (the
@@ -102,6 +107,18 @@ type WALStats struct {
 	Syncs       int64 // fsync calls
 	Rotations   int64 // segments sealed at SegmentBytes
 	Compactions int64 // snapshot+compact cycles
+}
+
+// Add accumulates o's counters into st — how owners carry totals across a
+// store close/reopen cycle (e.g. livenet kill-restart) so cumulative
+// write-path work is not zeroed by each fresh Open.
+func (st *WALStats) Add(o WALStats) {
+	st.Appends += o.Appends
+	st.Bytes += o.Bytes
+	st.AppendNs += o.AppendNs
+	st.Syncs += o.Syncs
+	st.Rotations += o.Rotations
+	st.Compactions += o.Compactions
 }
 
 // RecoveryStats describe what Open replayed.
@@ -236,10 +253,11 @@ func OpenOptions(o Options) (*Store, error) {
 	return s, nil
 }
 
-// recoverShard replays shard i's segments in sequence order and leaves the
-// newest one open for appending (creating seg 1 if none exist). A torn or
-// corrupt record in the newest segment truncates it there; in a sealed
-// segment it fails recovery.
+// recoverShard replays shard i's segments in sequence order, starting at the
+// newest snapshot (older files are stale history from an interrupted
+// compaction and are deleted), and leaves the newest file open for appending
+// (creating seg 1 if none exist). A torn or corrupt record in the newest
+// segment truncates it there; in a sealed segment it fails recovery.
 func (s *Store) recoverShard(i int, lg *shardLog) error {
 	w := s.w
 	entries, err := os.ReadDir(lg.dir)
@@ -248,21 +266,42 @@ func (s *Store) recoverShard(i int, lg *shardLog) error {
 	}
 	type seg struct {
 		seq  uint64
+		snap bool
 		path string
 	}
 	var segs []seg
 	for _, e := range entries {
 		name := e.Name()
-		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+		if strings.HasSuffix(name, ".tmp") {
+			// Snapshot interrupted before its rename: never replayed, and
+			// the compaction that produced it never deleted anything.
+			os.Remove(filepath.Join(lg.dir, name))
 			continue
 		}
-		seq, err := strconv.ParseUint(name[len("seg-"):len(name)-len(".wal")], 10, 64)
-		if err != nil || seq == 0 {
+		seq, snap, ok := parseSegName(name)
+		if !ok {
 			continue
 		}
-		segs = append(segs, seg{seq: seq, path: filepath.Join(lg.dir, name)})
+		segs = append(segs, seg{seq: seq, snap: snap, path: filepath.Join(lg.dir, name)})
 	}
 	sort.Slice(segs, func(a, b int) bool { return segs[a].seq < segs[b].seq })
+	// Replay begins at the newest snapshot: everything below it is history a
+	// compaction already superseded. If the deleting process died mid-loop
+	// the prefix still exists, and replaying it would re-apply Deposits whose
+	// Drain/Evict records were already unlinked — resurrecting delivered
+	// mail. Finish the interrupted deletion instead.
+	first := 0
+	for k, sg := range segs {
+		if sg.snap {
+			first = k
+		}
+	}
+	for _, sg := range segs[:first] {
+		if err := os.Remove(sg.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("mailstore: drop stale segment: %w", err)
+		}
+	}
+	segs = segs[first:]
 
 	sh := &s.shards[i]
 	var total int64
@@ -322,14 +361,14 @@ func (s *Store) recoverShard(i int, lg *shardLog) error {
 
 	if len(segs) == 0 {
 		lg.seq = 1
-		f, err := createSegment(segPath(lg.dir, lg.seq))
+		f, err := createSegment(lg.dir, segPath(lg.dir, lg.seq))
 		if err != nil {
 			return err
 		}
 		lg.f, lg.size = f, int64(len(segMagic))
 		return nil
 	}
-	f, err := os.OpenFile(segPath(lg.dir, lg.seq), os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(segs[len(segs)-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("mailstore: %w", err)
 	}
@@ -353,7 +392,54 @@ func segPath(dir string, seq uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("seg-%016d.wal", seq))
 }
 
-func createSegment(path string) (*os.File, error) {
+func snapPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016d.wal", seq))
+}
+
+// parseSegName decodes a segment file name into its sequence number and
+// whether it is a snapshot. Segments and snapshots share one seq space, so
+// sorting by seq alone reconstructs the append order.
+func parseSegName(name string) (seq uint64, snap bool, ok bool) {
+	if !strings.HasSuffix(name, ".wal") {
+		return 0, false, false
+	}
+	num := name[:len(name)-len(".wal")]
+	switch {
+	case strings.HasPrefix(num, "seg-"):
+		num = num[len("seg-"):]
+	case strings.HasPrefix(num, "snap-"):
+		snap = true
+		num = num[len("snap-"):]
+	default:
+		return 0, false, false
+	}
+	seq, err := strconv.ParseUint(num, 10, 64)
+	if err != nil || seq == 0 {
+		return 0, false, false
+	}
+	return seq, snap, true
+}
+
+// syncDir fsyncs a directory so renames/creates/unlinks inside it survive an
+// OS crash — without it the file's own fsync says nothing about whether its
+// directory entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("mailstore: sync dir: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("mailstore: sync dir: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("mailstore: sync dir: %w", cerr)
+	}
+	return nil
+}
+
+func createSegment(dir, path string) (*os.File, error) {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("mailstore: %w", err)
@@ -361,6 +447,13 @@ func createSegment(path string) (*os.File, error) {
 	if _, err := f.Write(segMagic); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("mailstore: %w", err)
+	}
+	// The new segment's directory entry must be durable before anything is
+	// appended to it, or an OS crash could lose the whole file while older
+	// state (e.g. the unlinks of a later compaction) survives.
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
 	}
 	return f, nil
 }
@@ -376,7 +469,19 @@ func (s *Store) logOps(i int, user names.Name, mb *mail.Mailbox) {
 	w, lg := s.w, s.w.logs[i]
 	buf := lg.scratch[:0]
 	for _, op := range ops {
+		start := len(buf)
 		buf = AppendRecord(buf, Record{User: user, Op: op})
+		// ReadRecord treats frames beyond maxPayload as corruption, so a
+		// record that large must never reach the file: it would be
+		// unreplayable and poison every record behind it. Latch the error
+		// without writing the batch; memory state stays ahead of disk,
+		// exactly as for any other append failure.
+		if p := len(buf) - start - frameHeader; p > maxPayload {
+			lg.scratch = buf
+			w.fail(fmt.Errorf("mailstore: record for %v: %w: payload %d > %d bytes",
+				user, ErrRecordTooLarge, p, maxPayload))
+			return
+		}
 	}
 	lg.scratch = buf
 
@@ -427,7 +532,7 @@ func (lg *shardLog) rotate() error {
 		return fmt.Errorf("mailstore: seal segment: %w", err)
 	}
 	lg.seq++
-	f, err := createSegment(segPath(lg.dir, lg.seq))
+	f, err := createSegment(lg.dir, segPath(lg.dir, lg.seq))
 	if err != nil {
 		return err
 	}
@@ -435,12 +540,18 @@ func (lg *shardLog) rotate() error {
 	return nil
 }
 
+// suppressChunk bounds the IDs per snapshot Suppress record so one record
+// stays far below maxPayload even for a mailbox with a huge seen-set.
+const suppressChunk = 64 << 10
+
 // compactShard writes shard i's entire live state as a snapshot segment and
-// deletes every older segment. Called with the shard write lock held. The
+// deletes every older file. Called with the shard write lock held. The
 // snapshot is ordinary records — per user (sorted): the stored messages as
-// Deposit ops in arrival order, then one Suppress op for the seen-but-not-
+// Deposit ops in arrival order, then Suppress ops for the seen-but-not-
 // stored IDs. Deposits must precede suppressions: the other order would
-// dup-suppress the deposits on replay.
+// dup-suppress the deposits on replay. The snapshot's "snap-" name is what
+// makes the deletions crash-safe: recovery starts at the newest snapshot, so
+// history that survives a kill mid-deletion is ignored, not replayed.
 func (s *Store) compactShard(i int) error {
 	w, lg, sh := s.w, s.w.logs[i], &s.shards[i]
 
@@ -457,9 +568,15 @@ func (s *Store) compactShard(i int) error {
 		stored := make(map[mail.MessageID]bool, mb.Len())
 		for _, st := range mb.Peek() {
 			stored[st.ID] = true
+			start := len(buf)
 			buf = AppendRecord(buf, Record{User: u, Op: mail.Op{
 				Kind: mail.OpDeposit, Msg: st.Message, At: st.ArrivedAt, Read: st.Read,
 			}})
+			if p := len(buf) - start - frameHeader; p > maxPayload {
+				lg.scratch = buf
+				return fmt.Errorf("mailstore: snapshot record for %v: %w: payload %d > %d bytes",
+					u, ErrRecordTooLarge, p, maxPayload)
+			}
 		}
 		var unstored []mail.MessageID
 		for _, id := range mb.SeenIDs() {
@@ -467,15 +584,16 @@ func (s *Store) compactShard(i int) error {
 				unstored = append(unstored, id)
 			}
 		}
-		if len(unstored) > 0 {
-			buf = AppendRecord(buf, Record{User: u, Op: mail.Op{Kind: mail.OpSuppress, IDs: unstored}})
+		for len(unstored) > 0 {
+			n := min(len(unstored), suppressChunk)
+			buf = AppendRecord(buf, Record{User: u, Op: mail.Op{Kind: mail.OpSuppress, IDs: unstored[:n]}})
+			unstored = unstored[n:]
 		}
 	}
 	lg.scratch = buf
 
-	oldSeq := lg.seq
 	lg.seq++
-	path := segPath(lg.dir, lg.seq)
+	path := snapPath(lg.dir, lg.seq)
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -493,13 +611,26 @@ func (s *Store) compactShard(i int) error {
 		f.Close()
 		return fmt.Errorf("mailstore: snapshot: %w", err)
 	}
+	// The rename is only durable once the directory entry is — sync the dir
+	// before unlinking history, or an OS crash could keep the unlinks but
+	// lose the snapshot.
+	if err := syncDir(lg.dir); err != nil {
+		f.Close()
+		return err
+	}
 	// The snapshot is durable under its final name; retire the history.
 	lg.f.Close()
-	for seq := oldSeq; seq > 0; seq-- {
-		if err := os.Remove(segPath(lg.dir, seq)); err != nil {
-			if errors.Is(err, os.ErrNotExist) {
-				break // older segments were removed by a previous compaction
-			}
+	entries, err := os.ReadDir(lg.dir)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("mailstore: compact: %w", err)
+	}
+	for _, e := range entries {
+		seq, _, ok := parseSegName(e.Name())
+		if !ok || seq >= lg.seq {
+			continue
+		}
+		if err := os.Remove(filepath.Join(lg.dir, e.Name())); err != nil && !errors.Is(err, os.ErrNotExist) {
 			f.Close()
 			return fmt.Errorf("mailstore: compact: %w", err)
 		}

@@ -472,6 +472,114 @@ func TestDurableConcurrent(t *testing.T) {
 	}
 }
 
+// TestDurableInterruptedCompactionDoesNotResurrect pins the crash window
+// inside compaction's history deletion: a kill after the snapshot rename but
+// before the old segments are unlinked leaves a low-seq prefix whose
+// Deposits have lost their Drain records. Replay must start at the newest
+// snapshot and ignore (and finish deleting) that prefix — replaying it would
+// resurrect already-delivered mail.
+func TestDurableInterruptedCompactionDoesNotResurrect(t *testing.T) {
+	dir := t.TempDir()
+	u1 := duser(1)
+
+	// Phase 1: two deposits, no compaction — seg 1 holds them.
+	st, err := OpenOptions(Options{Dir: dir, Shards: 1, CompactBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Deposit(u1, dmsg(1, u1, "delivered-a"), 1)
+	st.Deposit(u1, dmsg(2, u1, "delivered-b"), 2)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shardDir := onlyShardDir(t, dir)
+	segs := segFiles(t, shardDir)
+	if len(segs) != 1 {
+		t.Fatalf("segments after phase 1 = %v, want 1", segs)
+	}
+	oldPath := segs[0]
+	oldSeg, err := os.ReadFile(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: drain (deliver) both, then force a compaction.
+	st2, err := OpenOptions(Options{Dir: dir, Shards: 1, CompactBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(st2.Drain(u1)); got != 2 {
+		t.Fatalf("drained %d, want 2", got)
+	}
+	st2.Deposit(u1, dmsg(3, u1, strings.Repeat("z", 256)), 3)
+	ws, _ := st2.WALStats()
+	if ws.Compactions == 0 {
+		t.Fatal("compactions = 0, want > 0 (scenario requires a snapshot)")
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the kill mid-deletion: the old segment is back, alongside the
+	// snapshot that superseded it.
+	if err := os.WriteFile(oldPath, oldSeg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenOptions(Options{Dir: dir, Shards: 1, CompactBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	requireState(t, re, map[string][]mail.MessageID{
+		u1.String(): {{Node: 1, Seq: 3}},
+	})
+	// The delivered IDs stay suppressed, not resurrected.
+	for seq := uint64(1); seq <= 2; seq++ {
+		if re.Deposit(u1, dmsg(seq, u1, "dup"), 99) {
+			t.Fatalf("drained seq %d re-deposited: resurrection via stale segment", seq)
+		}
+	}
+	// Recovery finished the interrupted deletion.
+	if _, err := os.Stat(oldPath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale pre-snapshot segment still present after recovery (stat err = %v)", err)
+	}
+}
+
+// TestDurableOversizeRecordLatched: a record whose payload exceeds the frame
+// cap must never reach the log — ReadRecord would reject it as corruption,
+// poisoning every record behind it. The append latches an error, memory
+// keeps serving, and the store reopens cleanly without the oversize message.
+func TestDurableOversizeRecordLatched(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Shards: 1}
+	st, err := OpenOptions(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1 := duser(1)
+	st.Deposit(u1, dmsg(1, u1, "small"), 1)
+	if !st.Deposit(u1, dmsg(2, u1, strings.Repeat("x", maxPayload+1)), 2) {
+		t.Fatal("oversize deposit rejected from memory")
+	}
+	if err := st.Err(); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("Err = %v, want ErrRecordTooLarge", err)
+	}
+	if st.Len(u1) != 2 {
+		t.Fatalf("Len = %d, want 2 (store keeps serving from memory)", st.Len(u1))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenOptions(opts)
+	if err != nil {
+		t.Fatalf("reopen after oversize append: %v", err)
+	}
+	defer re.Close()
+	if got := ids(re.Peek(u1)); len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("recovered %v, want only seq 1 (oversize record must not hit disk)", got)
+	}
+}
+
 // TestDurableCloseLatchesAppends: mutations after Close still apply in
 // memory but are not logged, and Close is idempotent.
 func TestDurableCloseLatchesAppends(t *testing.T) {

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/largemail/largemail/internal/graph"
 	"github.com/largemail/largemail/internal/mail"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/sim"
@@ -199,6 +200,26 @@ func (s *Store) TotalBytes() int64 {
 		sh.mu.RUnlock()
 	}
 	return total
+}
+
+// MaxSeenSeq returns the highest message sequence number attributed to node
+// across every mailbox's duplicate-suppression memory. A recovered store
+// remembers every ID it ever accepted; an ID allocator resuming after a
+// process restart must start above this floor or its next message would be
+// suppressed as a duplicate of a delivered one.
+func (s *Store) MaxSeenSeq(node graph.NodeID) uint64 {
+	var maxSeq uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, mb := range sh.boxes {
+			if v := mb.MaxSeenSeq(node); v > maxSeq {
+				maxSeq = v
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return maxSeq
 }
 
 // NumUsers reports how many mailboxes exist (including drained-empty ones,

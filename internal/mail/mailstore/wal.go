@@ -36,6 +36,11 @@ type Record struct {
 var (
 	ErrTornRecord    = errors.New("mailstore: torn record (short frame)")
 	ErrCorruptRecord = errors.New("mailstore: corrupt record")
+	// ErrRecordTooLarge marks an append rejected because its encoded payload
+	// exceeds maxPayload. ReadRecord treats such frames as corruption, so
+	// writing one would poison the segment behind it; the writer latches this
+	// error instead (see Store.Err).
+	ErrRecordTooLarge = errors.New("mailstore: record exceeds max payload")
 )
 
 const (

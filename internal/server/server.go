@@ -109,6 +109,9 @@ type Server struct {
 	fsync        mailstore.FsyncMode
 	storeShards  int
 	killed       bool
+	// walBase accumulates the WAL counters of stores replaced by
+	// kill-restart cycles, so WALStats stays cumulative.
+	walBase mailstore.WALStats
 
 	store     *mailstore.Store
 	online    map[names.Name]graph.NodeID
@@ -224,6 +227,18 @@ func (s *Server) StoredBytes() int { return int(s.store.TotalBytes()) }
 
 // Store exposes the server's sharded mailbox store.
 func (s *Server) Store() *mailstore.Store { return s.store }
+
+// WALStats reports the server's cumulative WAL write-path counters across
+// kill-restart cycles (a restart swaps in a fresh store whose own counters
+// start at zero); ok is false for memory-only servers.
+func (s *Server) WALStats() (mailstore.WALStats, bool) {
+	ws, ok := s.store.WALStats()
+	if !ok {
+		return mailstore.WALStats{}, false
+	}
+	ws.Add(s.walBase)
+	return ws, true
+}
 
 // Receive implements netsim.Handler.
 func (s *Server) Receive(env netsim.Envelope) {
@@ -614,6 +629,11 @@ func (s *Server) RestartFromDisk() error {
 		})
 		if err != nil {
 			return err
+		}
+		// The fresh store's counters start at zero; fold the outgoing
+		// store's totals into the base so WALStats stays cumulative.
+		if ws, ok := s.store.WALStats(); ok {
+			s.walBase.Add(ws)
 		}
 		s.store = st
 	}
