@@ -27,6 +27,7 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzParseRequest$$' -fuzztime 5s ./internal/wire/
 	go test -run '^$$' -fuzz '^FuzzStatusSnapshot$$' -fuzztime 5s ./internal/wire/
 	go test -run '^$$' -fuzz '^FuzzTBatch$$' -fuzztime 5s ./internal/wire/
+	go test -run '^$$' -fuzz '^FuzzBinaryFrame$$' -fuzztime 5s ./internal/wire/
 	go test -run '^$$' -fuzz '^FuzzWALRecord$$' -fuzztime 5s ./internal/mail/mailstore/
 
 # Relay-batching gate: the server-side batching fabric (coalescing, flush
@@ -45,9 +46,16 @@ tier2-durability:
 	go test -race -run 'Durable|TornTail|CorruptSealed|ShardMismatch|KillRestart|ClusterReopen|WALRecord' ./internal/mail/mailstore/ ./internal/livenet/ ./internal/server/ ./internal/faults/
 	go test -race -run 'TestSimNoLoss|TestSimMemory|TestLiveNoLoss|TestKillRestartLoses' ./internal/loadgen/
 
+# Tier-2 wire slice: the v3 wire path under the race detector — binary
+# framing, pipelining, the cross-version compat matrix, the bounded worker
+# pool, and the pooled text reader.
+.PHONY: tier2-wire
+tier2-wire:
+	go test -race -run 'Compat|Pipeline|Binary|Negotiat|WorkPool|WorkQueue|ConnReader' ./internal/wire/ ./internal/server/
+
 # Check: the full pre-merge gate.
 .PHONY: check
-check: tier1 tier1-race fuzz-smoke bench-relay tier2-durability
+check: tier1 tier1-race fuzz-smoke bench-relay tier2-durability tier2-wire
 
 # Mailbench: the capacity harness acceptance run — a million-user population
 # on 64 simulated servers, no faults, auditors on, capacity sweep written to
@@ -92,6 +100,18 @@ bench-durability:
 	go run ./cmd/mailbench -transport netsim -users 1000000 -servers 64 -seed 1 \
 		-datadir /tmp/mailbench-pr6 -durability off,never,always,chaos -o BENCH_PR6.json
 	rm -rf /tmp/mailbench-pr6
+
+# Wire bench: the acceptance run behind BENCH_PR7.json — the million-user/
+# 64-server sweep over text-v2 vs binary-v3 framing at inflight 1/8/32 and
+# batch 1/16, each point reporting the pipelined-burst msgs/sec and
+# allocs/msg alongside the capacity metrics, plus one faults-on binary point
+# appended to prove exactly-once holds at speed.
+.PHONY: bench-wire
+bench-wire:
+	go run ./cmd/mailbench -transport wire -users 1000000 -servers 64 -seed 1 \
+		-proto text,binary -inflight 1,8,32 -batch 1,16 -o BENCH_PR7.json
+	go run ./cmd/mailbench -transport wire -users 1000000 -servers 64 -seed 1 \
+		-proto binary -inflight 8 -batch 1 -faults -append -o BENCH_PR7.json
 
 .PHONY: all
 all: tier2

@@ -27,6 +27,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +45,7 @@ import (
 	"github.com/largemail/largemail/internal/mail/mailstore"
 	"github.com/largemail/largemail/internal/obs"
 	"github.com/largemail/largemail/internal/sim"
+	"github.com/largemail/largemail/internal/wire"
 )
 
 // params is one sweep point.
@@ -62,6 +65,8 @@ type params struct {
 	localBias float64 // 0 = workload default
 	datadir   string  // durable store root ("" = memory stores)
 	fsync     mailstore.FsyncMode
+	proto     string // wire framing: "text" or "binary" (wire transport only)
+	inflight  int    // pipeline depth for the wire throughput burst
 }
 
 // durPoint is one point of the -durability sweep.
@@ -72,7 +77,7 @@ type durPoint struct {
 }
 
 func main() {
-	transport := flag.String("transport", "netsim", "netsim (event time) or livenet (wall clock)")
+	transport := flag.String("transport", "netsim", "netsim (event time), livenet (wall clock), or wire (TCP protocol path)")
 	usersFlag := flag.String("users", "10000", "population sizes to sweep (comma-separated)")
 	serversFlag := flag.String("servers", "8", "total server counts to sweep (comma-separated)")
 	regions := flag.Int("regions", 4, "regions to spread servers across")
@@ -88,6 +93,9 @@ func main() {
 	datadir := flag.String("datadir", "", "durable store root; each sweep point journals under its own subdirectory and reports WAL throughput plus recovery-replay time")
 	fsyncFlag := flag.String("fsync", "never", "WAL fsync policy with -datadir: never|always")
 	durabilityFlag := flag.String("durability", "", "durability sweep (comma-separated of off|never|always|chaos; requires -datadir): off = memory stores, never/always = durable with that fsync policy, chaos = durable fsync-never under a kill-restart fault schedule")
+	protoFlag := flag.String("proto", "binary", "wire framings to sweep (comma-separated of text,binary; -transport wire only)")
+	inflightFlag := flag.String("inflight", "8", "pipeline depths to sweep (comma-separated; -transport wire only)")
+	appendDoc := flag.Bool("append", false, "append to an existing benchmark document instead of overwriting it")
 	out := flag.String("o", "BENCH_PR4.json", "benchmark document path (empty = stdout)")
 	flag.Parse()
 
@@ -120,9 +128,29 @@ func main() {
 		}
 	}
 
-	if *transport != "netsim" && *transport != "livenet" {
+	if *transport != "netsim" && *transport != "livenet" && *transport != "wire" {
 		fmt.Fprintf(os.Stderr, "mailbench: unknown transport %q\n", *transport)
 		os.Exit(2)
+	}
+	protoSweep, inflightSweep := []string{""}, []int{0}
+	if *transport == "wire" {
+		if *datadir != "" {
+			fmt.Fprintln(os.Stderr, "mailbench: -datadir is not supported with -transport wire")
+			os.Exit(2)
+		}
+		protoSweep = protoSweep[:0]
+		for _, v := range strings.Split(*protoFlag, ",") {
+			v = strings.TrimSpace(v)
+			if v != "text" && v != "binary" {
+				fmt.Fprintf(os.Stderr, "mailbench: -proto: unknown framing %q\n", v)
+				os.Exit(2)
+			}
+			protoSweep = append(protoSweep, v)
+		}
+		if inflightSweep, err = parseInts(*inflightFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "mailbench: -inflight:", err)
+			os.Exit(2)
+		}
 	}
 	userSweep, err := parseInts(*usersFlag)
 	if err != nil {
@@ -136,8 +164,10 @@ func main() {
 	}
 	batchSweep := []int{0}
 	if *batchFlag != "" {
-		if *transport != "netsim" {
-			fmt.Fprintln(os.Stderr, "mailbench: -batch requires -transport netsim")
+		// netsim: relay envelope size. wire: tbatch size in the throughput
+		// burst (1 = single submit frames).
+		if *transport == "livenet" {
+			fmt.Fprintln(os.Stderr, "mailbench: -batch requires -transport netsim or wire")
 			os.Exit(2)
 		}
 		if batchSweep, err = parseInts(*batchFlag); err != nil {
@@ -147,25 +177,38 @@ func main() {
 	}
 
 	doc := benchfmt.Doc{Goos: runtime.GOOS, Goarch: runtime.GOARCH}
+	if *appendDoc && *out != "" {
+		if buf, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(buf, &doc); err != nil {
+				fmt.Fprintf(os.Stderr, "mailbench: -append: %s: %v\n", *out, err)
+				os.Exit(2)
+			}
+		}
+	}
 	violations := 0
 	for _, users := range userSweep {
 		for _, servers := range serverSweep {
 			for _, batch := range batchSweep {
 				for _, dp := range durSweep {
-					res, bad, err := run(params{
-						transport: *transport, users: users, servers: servers,
-						regions: *regions, seed: *seed, messages: *messages,
-						sessions: *sessions, ticks: *ticks,
-						faults: *withFaults || dp.faults,
-						batch:  batch, flush: *flush, retry: *retry, localBias: *localBias,
-						datadir: dp.datadir, fsync: dp.fsync,
-					})
-					if err != nil {
-						fmt.Fprintln(os.Stderr, "mailbench:", err)
-						os.Exit(1)
+					for _, proto := range protoSweep {
+						for _, inflight := range inflightSweep {
+							res, bad, err := run(params{
+								transport: *transport, users: users, servers: servers,
+								regions: *regions, seed: *seed, messages: *messages,
+								sessions: *sessions, ticks: *ticks,
+								faults: *withFaults || dp.faults,
+								batch:  batch, flush: *flush, retry: *retry, localBias: *localBias,
+								datadir: dp.datadir, fsync: dp.fsync,
+								proto:   proto, inflight: inflight,
+							})
+							if err != nil {
+								fmt.Fprintln(os.Stderr, "mailbench:", err)
+								os.Exit(1)
+							}
+							doc.Benchmarks = append(doc.Benchmarks, res)
+							violations += bad
+						}
 					}
-					doc.Benchmarks = append(doc.Benchmarks, res)
-					violations += bad
 				}
 			}
 		}
@@ -277,7 +320,18 @@ func run(p params) (benchfmt.Result, int, error) {
 		scale float64
 		unit  string
 	)
+	var wireDrv *loadgen.WireDriver
 	switch p.transport {
+	case "wire":
+		d, err := loadgen.NewWireDriver(loadgen.WireConfig{
+			Pop:   pop,
+			Proto: p.proto,
+		})
+		if err != nil {
+			return benchfmt.Result{}, 0, err
+		}
+		wireDrv, drv, close = d, d, d.Close
+		scale, unit = 1e6, "ms"
 	case "netsim":
 		d, err := loadgen.NewSimDriver(loadgen.SimConfig{
 			Seed: p.seed, Pop: pop,
@@ -318,7 +372,9 @@ func run(p params) (benchfmt.Result, int, error) {
 
 	label := fmt.Sprintf("%s users=%d servers=%d faults=%v seed=%d",
 		p.transport, p.users, p.servers, p.faults, p.seed)
-	if p.batch > 0 {
+	if p.transport == "wire" {
+		label += fmt.Sprintf(" proto=%s inflight=%d batch=%d", p.proto, p.inflight, burstBatch(p))
+	} else if p.batch > 0 {
 		label += fmt.Sprintf(" batch=%d flush=%d", p.batch, p.flush)
 	}
 	if dataDir != "" {
@@ -358,6 +414,14 @@ func run(p params) (benchfmt.Result, int, error) {
 	fmt.Println()
 
 	m := metrics(rep, snap, elapsed, scale)
+	if wireDrv != nil {
+		if err := wireBurst(wireDrv.Addr(), p, m); err != nil {
+			return benchfmt.Result{}, 0, fmt.Errorf("wire burst: %w", err)
+		}
+		fmt.Printf("wire burst: %.0f msgs/s, %.1f allocs/msg (%s, inflight=%d, batch=%d, %.0fB bodies)\n",
+			m["wire_msgs_per_sec"], m["wire_allocs_per_msg"],
+			p.proto, p.inflight, burstBatch(p), m["wire_body_bytes"])
+	}
 	if ds, ok := drv.(interface {
 		DurabilityStats() (mailstore.WALStats, bool)
 	}); ok {
@@ -385,6 +449,115 @@ func run(p params) (benchfmt.Result, int, error) {
 		Metrics:    m,
 	}
 	return res, bad, nil
+}
+
+// burstBatch is the tbatch size the wire throughput burst uses (the -batch
+// knob; 0/unset means single submit frames).
+func burstBatch(p params) int {
+	if p.batch < 1 {
+		return 1
+	}
+	return p.batch
+}
+
+// wireBurst measures the raw wire path after the audited run: a fresh
+// client on the same server, a pipelined window of p.inflight requests,
+// 512-byte bodies, burstBatch messages per frame. Client and server share
+// the process, so allocs/msg covers the whole encode→decode→deposit→respond
+// path — exactly the allocations the binary framing is meant to remove.
+func wireBurst(addr string, p params, m map[string]float64) error {
+	const (
+		burstMsgs = 8000
+		warmup    = 400
+		bodySize  = 512
+	)
+	c, err := wire.DialOptions(addr, wire.Options{TextOnly: p.proto == "text"})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	from := "R0.h1.benchsender"
+	if err := c.Register(from, "S0"); err != nil {
+		return err
+	}
+	// Spread deposits over several sink mailboxes: one mailbox absorbing
+	// the whole burst measures slice-growth pathology, not the wire path.
+	const sinks = 16
+	tos := make([][]string, sinks)
+	for i := range tos {
+		u := fmt.Sprintf("R0.h1.benchsink%d", i)
+		if err := c.Register(u, fmt.Sprintf("S%d", i%p.servers)); err != nil {
+			return err
+		}
+		tos[i] = []string{u}
+	}
+	pl, err := c.Pipeline(context.Background(), p.inflight)
+	if err != nil {
+		return err
+	}
+	if p.proto == "binary" && !c.BinaryFraming() {
+		return fmt.Errorf("server declined binary framing")
+	}
+	batch := burstBatch(p)
+	body := strings.Repeat("m", bodySize)
+	pending := make([]int, sinks) // deposits per sink since its last drain
+	send := func(n int) ([]*wire.Future, int) {
+		futs := make([]*wire.Future, 0, n/batch+1)
+		sent := 0
+		for sent < n {
+			si := (sent / batch) % sinks
+			to := tos[si]
+			if batch == 1 {
+				futs = append(futs, pl.Submit(from, to, "b", body))
+				sent++
+			} else {
+				msgs := make([]wire.BatchMsg, batch)
+				for i := range msgs {
+					msgs[i] = wire.BatchMsg{To: to, Subject: "b", Body: body}
+				}
+				futs = append(futs, pl.SubmitBatch(from, msgs))
+				sent += batch
+			}
+			// Recipients read their mail: drain each sink every 64 deposits
+			// so mailboxes stay bounded, as in any live system.
+			if pending[si] += batch; pending[si] >= 64 {
+				pending[si] = 0
+				futs = append(futs, pl.Do(wire.Request{Op: "getmail", User: to[0]}))
+			}
+		}
+		return futs, sent
+	}
+	reap := func(futs []*wire.Future) error {
+		for _, f := range futs {
+			if _, err := f.Response(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	wfuts, _ := send(warmup)
+	if err := reap(wfuts); err != nil {
+		return err
+	}
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	futs, sent := send(burstMsgs)
+	reapErr := reap(futs)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	if reapErr != nil {
+		return reapErr
+	}
+	if err := pl.Close(); err != nil {
+		return err
+	}
+	m["wire_msgs_per_sec"] = float64(sent) / elapsed.Seconds()
+	m["wire_allocs_per_msg"] = float64(ms1.Mallocs-ms0.Mallocs) / float64(sent)
+	m["wire_burst_msgs"] = float64(sent)
+	m["wire_body_bytes"] = bodySize
+	return nil
 }
 
 // addWALMetrics flattens the summed WAL counters into the metric map.
@@ -437,7 +610,9 @@ func measureRecovery(dataDir string, m map[string]float64) error {
 
 func benchName(p params) string {
 	name := fmt.Sprintf("Mailbench/%s/users=%d/servers=%d", p.transport, p.users, p.servers)
-	if p.batch > 0 {
+	if p.transport == "wire" {
+		name += fmt.Sprintf("/proto=%s/inflight=%d/batch=%d", p.proto, p.inflight, burstBatch(p))
+	} else if p.batch > 0 {
 		name += fmt.Sprintf("/batch=%d", p.batch)
 	}
 	if p.faults {

@@ -120,6 +120,13 @@ func run(args []string) error {
 	return nil
 }
 
+func fmtBytes(n int64) string {
+	if n >= 1e6 {
+		return fmt.Sprintf("%.2f MB", float64(n)/1e6)
+	}
+	return fmt.Sprintf("%.1f KB", float64(n)/1e3)
+}
+
 // renderStatus prints the snapshot as the server table followed by the
 // registry's counter and latency tables (latencies scaled ns → ms).
 func renderStatus(snap wire.StatusSnapshot) {
@@ -130,6 +137,14 @@ func renderStatus(snap wire.StatusSnapshot) {
 			state = "DOWN"
 		}
 		fmt.Printf("%-8s %-5s deposits=%d\n", s.Name, state, s.Deposits)
+	}
+	if in, out := snap.Counters["wire_bytes_in"], snap.Counters["wire_bytes_out"]; in+out > 0 {
+		line := fmt.Sprintf("wire: %s in, %s out", fmtBytes(in), fmtBytes(out))
+		if h, ok := snap.Histograms["lat_wire_decode"]; ok && h.Count > 0 {
+			line += fmt.Sprintf(", decode p50 %.1fµs p99 %.1fµs over %d frames",
+				h.P50/1e3, h.P99/1e3, h.Count)
+		}
+		fmt.Println(line)
 	}
 	reg := obs.Snapshot{
 		Version:    snap.Version,

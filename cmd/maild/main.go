@@ -43,6 +43,7 @@ func run(args []string) error {
 	servers := fs.String("servers", "s1,s2,s3", "comma-separated mail server names")
 	datadir := fs.String("datadir", "", "durable store root (empty = memory-only stores)")
 	fsyncFlag := fs.String("fsync", "never", "WAL fsync policy with -datadir: never|always")
+	workers := fs.Int("workers", 0, "wire worker-pool size (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,8 +55,9 @@ func run(args []string) error {
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
 	}
-	srv, err := wire.NewServerCluster(*listen, names, livenet.ClusterConfig{
-		DataDir: *datadir, Fsync: fsync,
+	srv, err := wire.NewServerWith(*listen, names, wire.ServerConfig{
+		Cluster:     livenet.ClusterConfig{DataDir: *datadir, Fsync: fsync},
+		WireWorkers: *workers,
 	})
 	if err != nil {
 		return err

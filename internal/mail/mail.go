@@ -7,6 +7,7 @@ package mail
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"github.com/largemail/largemail/internal/graph"
 	"github.com/largemail/largemail/internal/names"
@@ -20,8 +21,17 @@ type MessageID struct {
 	Seq  uint64
 }
 
-// String formats the ID as "m<node>-<seq>".
-func (id MessageID) String() string { return fmt.Sprintf("m%d-%d", id.Node, id.Seq) }
+// String formats the ID as "m<node>-<seq>". Built with strconv, not fmt:
+// the tracer stamps an ID string per pipeline stage, which put Sprintf on
+// the wire hot path.
+func (id MessageID) String() string {
+	buf := make([]byte, 0, 24)
+	buf = append(buf, 'm')
+	buf = strconv.AppendInt(buf, int64(id.Node), 10)
+	buf = append(buf, '-')
+	buf = strconv.AppendUint(buf, id.Seq, 10)
+	return string(buf)
+}
 
 // IsZero reports whether the ID is unset.
 func (id MessageID) IsZero() bool { return id == MessageID{} }

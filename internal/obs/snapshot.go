@@ -8,7 +8,16 @@ import (
 // SnapshotVersion is the schema version stamped on every exported snapshot.
 // Consumers (mailctl, the wire status op, BENCH_*.json tooling) can key
 // rendering decisions on it when the schema evolves.
-const SnapshotVersion = 1
+//
+// Version history:
+//
+//	1 — counters/gauges/histograms as flat name→value maps.
+//	2 — adds the wire-transport instruments (wire_bytes_in/wire_bytes_out
+//	    counters, lat_wire_decode histogram). Purely additive: the maps and
+//	    their encodings are unchanged, so v1 consumers decode v2 snapshots
+//	    as-is and v2 consumers treat the absence of the wire keys as a v1
+//	    producer.
+const SnapshotVersion = 2
 
 // Snapshot is a consistent, versioned copy of a registry's instruments,
 // JSON-exportable as-is and renderable as the repository's aligned-text/CSV

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Stage identifies one step of the §3.1.2 message-delivery pipeline.
@@ -93,6 +94,15 @@ type Tracer struct {
 	clock Clock
 	reg   *Registry
 
+	// Per-stage span histograms plus lat_e2e, cached after the first lookup:
+	// Stamp is on the wire hot path, and a registry lookup (name concat +
+	// map access under the registry lock) per stamp showed up in profiles.
+	// Lazy (not resolved at construction) so unused stages never register —
+	// snapshots must not grow empty histograms. Racing initializations are
+	// harmless: Registry.Histogram is idempotent.
+	stageHist [StageRetrieve + 1]atomic.Pointer[Histogram]
+	e2eHist   atomic.Pointer[Histogram]
+
 	mu     sync.Mutex
 	traces map[string]*Trace
 }
@@ -134,10 +144,24 @@ func (t *Tracer) Stamp(id string, stage Stage, where string) {
 		return
 	}
 	if hasPrev {
-		t.reg.Histogram("lat_"+stage.String(), nil).Observe(float64(now - prev))
+		if int(stage) < len(t.stageHist) {
+			h := t.stageHist[stage].Load()
+			if h == nil {
+				h = t.reg.Histogram("lat_"+stage.String(), nil)
+				t.stageHist[stage].Store(h)
+			}
+			h.Observe(float64(now - prev))
+		} else { // unknown stage value: fall back to a registry lookup
+			t.reg.Histogram("lat_"+stage.String(), nil).Observe(float64(now - prev))
+		}
 	}
 	if submitOK {
-		t.reg.Histogram("lat_e2e", nil).Observe(float64(now - submitAt))
+		h := t.e2eHist.Load()
+		if h == nil {
+			h = t.reg.Histogram("lat_e2e", nil)
+			t.e2eHist.Store(h)
+		}
+		h.Observe(float64(now - submitAt))
 	}
 }
 

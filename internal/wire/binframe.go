@@ -1,0 +1,596 @@
+// Binary framing for protocol version 3.
+//
+// The text protocol spends most of its wire-path CPU inside encoding/json:
+// every submit body is escape-scanned twice (client quote, server unquote),
+// every response allocates an intermediate DOM, and the per-line scanner
+// copies each request once more. Version 3 negotiates (via the existing
+// hello handshake) a length-prefixed binary codec that mirrors the WAL's
+// on-disk framing from the durability layer:
+//
+//	uint32-LE payload length | payload | uint32-LE CRC32-IEEE(payload)
+//
+// The payload is one request or response:
+//
+//	request:  op byte | tag uint32-LE | op-specific fields
+//	response: op byte | tag uint32-LE | ok byte | op-specific fields
+//
+// Strings are uvarint length + raw bytes — no quoting, no escaping — so a
+// submit body is sliced straight out of the read buffer; the only copy is
+// the final []byte→string conversion at the ownership boundary. Frames are
+// read into pooled buffers (sync.Pool) and payloads are bounded by MaxLine,
+// the same cap the text protocol enforces.
+//
+// The hot verbs (submit, tbatch, getmail, checkmail) have native encodings.
+// Everything else — register, status, hello, crash/recover — rides inside a
+// binOpJSON frame carrying the familiar JSON object, so the binary protocol
+// never forks the cold-path schema.
+//
+// The tag is client-assigned and echoed verbatim on the response, which is
+// what allows pipelining: a client may keep MaxInflight tagged requests in
+// flight and match responses as they return. The protocol permits tagged
+// responses out of order; the current server completes one connection's
+// frames in submission order (see the bounded worker pool), so ordering is
+// a server liberty, not a client guarantee.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+
+	"github.com/largemail/largemail/internal/mailerr"
+)
+
+// Binary-frame op bytes. binOpJSON wraps the text protocol's JSON object for
+// the cold verbs; the hot verbs get native encodings.
+const (
+	binOpJSON      byte = 0
+	binOpSubmit    byte = 1
+	binOpTBatch    byte = 2
+	binOpGetMail   byte = 3
+	binOpCheckMail byte = 4
+)
+
+const (
+	binHdrLen = 4 // uint32-LE payload length
+	binCRCLen = 4 // uint32-LE CRC32-IEEE trailer
+)
+
+var wireCRC = crc32.MakeTable(crc32.IEEE)
+
+// Binary-framing errors. ErrFrameTooLarge matches mailerr via ErrLineTooLong's
+// taxonomy twin; ErrFrameCorrupt means the CRC trailer did not match — the
+// stream cannot be resynchronized and the connection must close.
+var (
+	ErrFrameTooLarge = fmt.Errorf("wire: frame exceeds %d bytes: %w", MaxLine, mailerr.ErrOversized)
+	ErrFrameCorrupt  = errors.New("wire: frame CRC mismatch")
+	errFrameTruncated = errors.New("wire: truncated frame")
+	errBadPayload     = errors.New("wire: malformed binary payload")
+)
+
+// appendFrame seals payload into dst as one wire frame:
+// length header, payload, CRC trailer.
+func appendFrame(dst, payload []byte) ([]byte, error) {
+	if len(payload) > MaxLine {
+		return dst, ErrFrameTooLarge
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, wireCRC)), nil
+}
+
+// sealAt completes a frame built in place on dst: dst[start:] must begin
+// with binHdrLen reserved bytes followed by the payload. It fills the length
+// header, appends the CRC trailer, and returns the grown dst (or dst[:start]
+// with an error when the payload is oversized).
+func sealAt(dst []byte, start int) ([]byte, error) {
+	payload := dst[start+binHdrLen:]
+	if len(payload) > MaxLine {
+		return dst[:start], ErrFrameTooLarge
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	crc := crc32.Checksum(payload, wireCRC)
+	return binary.LittleEndian.AppendUint32(dst, crc), nil
+}
+
+// splitFrame parses one complete frame from the front of b, returning the
+// payload (aliasing b) and the bytes consumed. Used by the fuzz targets; the
+// streaming reader (connReader.readFrame) implements the same format
+// incrementally.
+func splitFrame(b []byte) (payload []byte, n int, err error) {
+	if len(b) < binHdrLen {
+		return nil, 0, errFrameTruncated
+	}
+	plen := int(binary.LittleEndian.Uint32(b))
+	if plen > MaxLine {
+		return nil, 0, ErrFrameTooLarge
+	}
+	total := binHdrLen + plen + binCRCLen
+	if len(b) < total {
+		return nil, 0, errFrameTruncated
+	}
+	payload = b[binHdrLen : binHdrLen+plen]
+	if crc32.Checksum(payload, wireCRC) != binary.LittleEndian.Uint32(b[binHdrLen+plen:]) {
+		return nil, 0, ErrFrameCorrupt
+	}
+	return payload, total, nil
+}
+
+// ---------------------------------------------------------------------------
+// payload primitives
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// binReader walks a frame payload with a latched error, returning zero
+// values after the first malformed field.
+//
+// s, when set, is the whole payload as one string; str() slices into it, so
+// decoding a frame costs one string allocation total instead of one per
+// field. The substrings share that backing array and keep the whole payload
+// reachable — the right trade for message frames, where bodies (which the
+// mailbox retains anyway) dominate the payload.
+type binReader struct {
+	b   []byte
+	s   string
+	off int
+	bad bool
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.bad {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.bad = true
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// bytes returns the next length-prefixed field as a zero-copy slice of the
+// payload.
+func (r *binReader) bytes() []byte {
+	n := r.uvarint()
+	if r.bad || n > uint64(len(r.b)-r.off) {
+		r.bad = true
+		return nil
+	}
+	s := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return s
+}
+
+func (r *binReader) str() string {
+	b := r.bytes()
+	if len(b) == 0 {
+		return ""
+	}
+	if r.s != "" {
+		return r.s[r.off-len(b) : r.off]
+	}
+	return string(b)
+}
+
+// count reads a list length, rejecting counts that could not possibly fit in
+// the remaining payload (each element costs at least one byte) so corrupt
+// frames cannot force huge allocations.
+func (r *binReader) count() int {
+	n := r.uvarint()
+	if r.bad || n > uint64(len(r.b)-r.off) {
+		r.bad = true
+		return 0
+	}
+	return int(n)
+}
+
+func (r *binReader) byte1() byte {
+	if r.bad || r.off >= len(r.b) {
+		r.bad = true
+		return 0
+	}
+	b := r.b[r.off]
+	r.off++
+	return b
+}
+
+func (r *binReader) u32() uint32 {
+	if r.bad || len(r.b)-r.off < 4 {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *binReader) u64() uint64 {
+	if r.bad || len(r.b)-r.off < 8 {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// request codec
+
+// binaryOpFor maps a request op string to its frame op byte; ops without a
+// native encoding ship as binOpJSON.
+func binaryOpFor(op string) byte {
+	switch op {
+	case "submit":
+		return binOpSubmit
+	case "tbatch":
+		return binOpTBatch
+	case "getmail":
+		return binOpGetMail
+	case "checkmail":
+		return binOpCheckMail
+	default:
+		return binOpJSON
+	}
+}
+
+// AppendBinaryRequest appends one framed v3 request to dst. The hot verbs
+// use their native encodings; everything else wraps the JSON form.
+func AppendBinaryRequest(dst []byte, req Request, tag uint32) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length header, filled by sealAt
+	op := binaryOpFor(req.Op)
+	dst = append(dst, op)
+	dst = binary.LittleEndian.AppendUint32(dst, tag)
+	switch op {
+	case binOpSubmit:
+		dst = appendStr(dst, req.From)
+		dst = appendStr(dst, req.Subject)
+		dst = appendStr(dst, req.Body)
+		dst = binary.AppendUvarint(dst, uint64(len(req.To)))
+		for _, t := range req.To {
+			dst = appendStr(dst, t)
+		}
+	case binOpTBatch:
+		dst = appendStr(dst, req.From)
+		dst = binary.AppendUvarint(dst, uint64(len(req.Msgs)))
+		for _, m := range req.Msgs {
+			dst = appendStr(dst, m.Subject)
+			dst = appendStr(dst, m.Body)
+			dst = binary.AppendUvarint(dst, uint64(len(m.To)))
+			for _, t := range m.To {
+				dst = appendStr(dst, t)
+			}
+		}
+	case binOpGetMail:
+		dst = appendStr(dst, req.User)
+	case binOpCheckMail:
+		dst = appendStr(dst, req.User)
+		dst = appendStr(dst, req.Server)
+	default: // binOpJSON
+		js, err := json.Marshal(req)
+		if err != nil {
+			return dst[:start], err
+		}
+		dst = append(dst, js...)
+	}
+	return sealAt(dst, start)
+}
+
+// DecodeBinaryRequest parses one v3 request payload (the bytes between the
+// length header and the CRC trailer). String fields are sliced directly out
+// of the payload — the single copy is the []byte→string conversion; there is
+// no quoting pass and no intermediate document.
+func DecodeBinaryRequest(payload []byte) (Request, uint32, error) {
+	r := &binReader{b: payload, s: string(payload)}
+	op := r.byte1()
+	tag := r.u32()
+	var req Request
+	switch op {
+	case binOpSubmit:
+		req.Op = "submit"
+		req.From = r.str()
+		req.Subject = r.str()
+		req.Body = r.str()
+		n := r.count()
+		if n > 0 {
+			req.To = make([]string, 0, n)
+			for i := 0; i < n && !r.bad; i++ {
+				req.To = append(req.To, r.str())
+			}
+		}
+	case binOpTBatch:
+		req.Op = "tbatch"
+		req.From = r.str()
+		n := r.count()
+		if n > 0 {
+			req.Msgs = make([]BatchMsg, 0, n)
+		}
+		for i := 0; i < n && !r.bad; i++ {
+			var m BatchMsg
+			m.Subject = r.str()
+			m.Body = r.str()
+			nt := r.count()
+			if nt > 0 {
+				m.To = make([]string, 0, nt)
+				for j := 0; j < nt && !r.bad; j++ {
+					m.To = append(m.To, r.str())
+				}
+			}
+			req.Msgs = append(req.Msgs, m)
+		}
+	case binOpGetMail:
+		req.Op = "getmail"
+		req.User = r.str()
+	case binOpCheckMail:
+		req.Op = "checkmail"
+		req.User = r.str()
+		req.Server = r.str()
+	case binOpJSON:
+		if r.bad {
+			break
+		}
+		if err := json.Unmarshal(payload[r.off:], &req); err != nil {
+			return Request{}, tag, fmt.Errorf("%w: %v", errBadPayload, err)
+		}
+		r.off = len(payload)
+	default:
+		return Request{}, tag, fmt.Errorf("%w: unknown op byte %d", errBadPayload, op)
+	}
+	if r.bad {
+		return Request{}, tag, errBadPayload
+	}
+	return req, tag, nil
+}
+
+// ---------------------------------------------------------------------------
+// response codec
+
+// AppendBinaryResponse appends one framed v3 response to dst. op is the
+// request's frame op byte (echoed so the response is self-describing), tag
+// the request's tag.
+func AppendBinaryResponse(dst []byte, op byte, tag uint32, resp Response) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = append(dst, op)
+	dst = binary.LittleEndian.AppendUint32(dst, tag)
+	if !resp.OK {
+		dst = append(dst, 0)
+		dst = appendStr(dst, resp.Code)
+		dst = appendStr(dst, resp.Error)
+		return sealAt(dst, start)
+	}
+	dst = append(dst, 1)
+	switch op {
+	case binOpSubmit:
+		dst = appendStr(dst, resp.ID)
+	case binOpTBatch:
+		dst = binary.AppendUvarint(dst, uint64(len(resp.IDs)))
+		for _, id := range resp.IDs {
+			dst = appendStr(dst, id)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Failed)))
+		for _, f := range resp.Failed {
+			dst = binary.AppendUvarint(dst, uint64(f.Index))
+			dst = appendStr(dst, f.Code)
+			dst = appendStr(dst, f.Error)
+		}
+	case binOpGetMail, binOpCheckMail:
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Messages)))
+		for _, m := range resp.Messages {
+			dst = appendStr(dst, m.ID)
+			dst = appendStr(dst, m.From)
+			dst = appendStr(dst, m.Subject)
+			dst = appendStr(dst, m.Body)
+		}
+		if op == binOpGetMail {
+			dst = binary.AppendUvarint(dst, uint64(resp.Polls))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(resp.LastChecking))
+		}
+	default: // binOpJSON
+		js, err := json.Marshal(resp)
+		if err != nil {
+			return dst[:start], err
+		}
+		dst = append(dst, js...)
+	}
+	return sealAt(dst, start)
+}
+
+// DecodeBinaryResponse parses one v3 response payload.
+func DecodeBinaryResponse(payload []byte) (Response, uint32, error) {
+	r := &binReader{b: payload, s: string(payload)}
+	op := r.byte1()
+	tag := r.u32()
+	ok := r.byte1()
+	var resp Response
+	if r.bad {
+		return Response{}, tag, errBadPayload
+	}
+	if ok == 0 {
+		resp.Code = r.str()
+		resp.Error = r.str()
+		if r.bad {
+			return Response{}, tag, errBadPayload
+		}
+		return resp, tag, nil
+	}
+	resp.OK = true
+	switch op {
+	case binOpSubmit:
+		resp.ID = r.str()
+	case binOpTBatch:
+		n := r.count()
+		if n > 0 {
+			resp.IDs = make([]string, 0, n)
+			for i := 0; i < n && !r.bad; i++ {
+				resp.IDs = append(resp.IDs, r.str())
+			}
+		}
+		nf := r.count()
+		for i := 0; i < nf && !r.bad; i++ {
+			var f BatchFailure
+			f.Index = int(r.uvarint())
+			f.Code = r.str()
+			f.Error = r.str()
+			resp.Failed = append(resp.Failed, f)
+		}
+	case binOpGetMail, binOpCheckMail:
+		n := r.count()
+		if n > 0 {
+			resp.Messages = make([]Message, 0, n)
+		}
+		for i := 0; i < n && !r.bad; i++ {
+			var m Message
+			m.ID = r.str()
+			m.From = r.str()
+			m.Subject = r.str()
+			m.Body = r.str()
+			resp.Messages = append(resp.Messages, m)
+		}
+		if op == binOpGetMail {
+			resp.Polls = int(r.uvarint())
+			resp.LastChecking = int64(r.u64())
+		}
+	case binOpJSON:
+		if err := json.Unmarshal(payload[r.off:], &resp); err != nil {
+			return Response{}, tag, fmt.Errorf("%w: %v", errBadPayload, err)
+		}
+		r.off = len(payload)
+	default:
+		return Response{}, tag, fmt.Errorf("%w: unknown op byte %d", errBadPayload, op)
+	}
+	if r.bad {
+		return Response{}, tag, errBadPayload
+	}
+	return resp, tag, nil
+}
+
+// ---------------------------------------------------------------------------
+// pooled connection reader
+
+// frameBufPool recycles frame build/read buffers so steady-state binary
+// traffic allocates nothing per request.
+var frameBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+func getFrameBuf() *[]byte { return frameBufPool.Get().(*[]byte) }
+
+func putFrameBuf(p *[]byte) {
+	*p = (*p)[:0]
+	frameBufPool.Put(p)
+}
+
+// connReaderBufSize is the bufio window shared by the text and binary read
+// paths. Lines and frames larger than this still work (they spill into the
+// pooled scratch / frame buffer); they just cost an extra copy.
+const connReaderBufSize = 64 << 10
+
+// connReader is a pooled buffered reader speaking both wire framings: text
+// lines until hello negotiates binary, length-prefixed frames after. Both
+// the server's per-connection serve loop and the client use it, replacing
+// the per-connection bufio.Scanner whose max-line buffer used to be fresh
+// garbage on every accepted connection.
+type connReader struct {
+	br   *bufio.Reader
+	line []byte // scratch for lines spanning the bufio window
+}
+
+var connReaderPool = sync.Pool{New: func() any {
+	return &connReader{br: bufio.NewReaderSize(nil, connReaderBufSize)}
+}}
+
+func newConnReader(r io.Reader) *connReader {
+	cr := connReaderPool.Get().(*connReader)
+	cr.br.Reset(r)
+	return cr
+}
+
+// release returns the reader (and its buffers) to the pool. The connReader
+// must not be used afterwards.
+func (cr *connReader) release() {
+	cr.br.Reset(nil)
+	cr.line = cr.line[:0]
+	connReaderPool.Put(cr)
+}
+
+// readLine returns the next newline-terminated line without its terminator,
+// enforcing MaxLine. The returned slice aliases the reader's buffers and is
+// valid only until the next read.
+func (cr *connReader) readLine() ([]byte, error) {
+	cr.line = cr.line[:0]
+	for {
+		frag, err := cr.br.ReadSlice('\n')
+		switch {
+		case err == nil:
+			if len(cr.line) == 0 {
+				return trimEOL(frag), nil
+			}
+			cr.line = append(cr.line, frag...)
+			if len(cr.line) > MaxLine {
+				return nil, ErrLineTooLong
+			}
+			return trimEOL(cr.line), nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			cr.line = append(cr.line, frag...)
+			if len(cr.line) > MaxLine {
+				return nil, ErrLineTooLong
+			}
+		default:
+			return nil, err
+		}
+	}
+}
+
+func trimEOL(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+	}
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		b = b[:n-1]
+	}
+	return b
+}
+
+// readFrame reads one binary frame into *bufp (growing it if needed) and
+// returns the verified payload, which aliases *bufp. Any error is fatal to
+// the stream: a binary connection cannot resynchronize past a bad frame.
+func (cr *connReader) readFrame(bufp *[]byte) ([]byte, error) {
+	var hdr [binHdrLen]byte
+	if _, err := io.ReadFull(cr.br, hdr[:]); err != nil {
+		return nil, err
+	}
+	plen := int(binary.LittleEndian.Uint32(hdr[:]))
+	if plen > MaxLine {
+		return nil, ErrFrameTooLarge
+	}
+	total := plen + binCRCLen
+	buf := *bufp
+	if cap(buf) < total {
+		buf = make([]byte, total)
+		*bufp = buf
+	}
+	buf = buf[:total]
+	if _, err := io.ReadFull(cr.br, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	payload := buf[:plen]
+	if crc32.Checksum(payload, wireCRC) != binary.LittleEndian.Uint32(buf[plen:]) {
+		return nil, ErrFrameCorrupt
+	}
+	return payload, nil
+}

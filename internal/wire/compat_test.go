@@ -1,0 +1,265 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// compatServer starts a server capped at the given protocol version.
+func compatServer(t *testing.T, maxProto int) *Server {
+	t.Helper()
+	s, err := NewServerWith("127.0.0.1:0", []string{"s1", "s2", "s3"},
+		ServerConfig{MaxProtocol: maxProto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestCompatMatrix runs {v1,v2,v3 client} x {v2,v3 server} through submit,
+// tbatch, status, and a pipelined burst, asserting the negotiated version is
+// min(client, server) and binary framing appears only at v3 x v3.
+func TestCompatMatrix(t *testing.T) {
+	for _, serverMax := range []int{2, 3} {
+		for _, clientMax := range []int{1, 2, 3} {
+			name := fmt.Sprintf("client_v%d/server_v%d", clientMax, serverMax)
+			t.Run(name, func(t *testing.T) {
+				s := compatServer(t, serverMax)
+				c, err := DialOptions(s.Addr(), Options{MaxVersion: clientMax})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { _ = c.Close() })
+
+				want := clientMax
+				if serverMax < want {
+					want = serverMax
+				}
+				ver, err := c.Negotiate(context.Background())
+				if err != nil {
+					t.Fatalf("negotiate: %v", err)
+				}
+				if ver != want {
+					t.Fatalf("negotiated v%d, want min(%d,%d)=%d", ver, clientMax, serverMax, want)
+				}
+				wantBinary := want >= 3
+				if c.BinaryFraming() != wantBinary {
+					t.Fatalf("binary framing = %v, want %v at negotiated v%d",
+						c.BinaryFraming(), wantBinary, want)
+				}
+
+				if err := c.Register("R1.h1.alice"); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Register("R1.h1.bob"); err != nil {
+					t.Fatal(err)
+				}
+
+				// submit
+				id, err := c.Submit("R1.h1.alice", []string{"R1.h1.bob"}, "s", "b")
+				if err != nil || id == "" {
+					t.Fatalf("submit: id=%q err=%v", id, err)
+				}
+
+				// tbatch: one frame from v2 on; at v1 the client falls back
+				// to single submits, so the call succeeds either way.
+				ids, err := c.SubmitBatch("R1.h1.alice", []BatchMsg{
+					{To: []string{"R1.h1.bob"}, Subject: "t1"},
+					{To: []string{"R1.h1.bob"}, Subject: "t2"},
+				})
+				if err != nil || len(ids) != 2 || ids[0] == "" || ids[1] == "" {
+					t.Fatalf("tbatch at v%d: ids=%v err=%v", want, ids, err)
+				}
+
+				// status
+				if _, err := c.Status(); err != nil {
+					t.Fatalf("status: %v", err)
+				}
+
+				// pipelined burst: valid at every version (FIFO on text,
+				// tagged on binary).
+				p, err := c.Pipeline(context.Background(), 8)
+				if err != nil {
+					t.Fatalf("pipeline: %v", err)
+				}
+				const burst = 40
+				futs := make([]*Future, burst)
+				for i := range futs {
+					futs[i] = p.Submit("R1.h1.alice", []string{"R1.h1.bob"}, "p"+strconv.Itoa(i), "b")
+				}
+				for i, f := range futs {
+					if _, err := f.Response(); err != nil {
+						t.Fatalf("burst future %d: %v", i, err)
+					}
+				}
+				if err := p.Close(); err != nil {
+					t.Fatalf("pipeline close: %v", err)
+				}
+
+				wantMail := 1 + 2 + burst
+				msgs, err := c.GetMail("R1.h1.bob")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(msgs) != wantMail {
+					t.Fatalf("delivered %d, want %d", len(msgs), wantMail)
+				}
+				// Exactly-once per submitted ID.
+				seen := map[string]bool{}
+				for _, m := range msgs {
+					if seen[m.ID] {
+						t.Fatalf("duplicate delivery of %s", m.ID)
+					}
+					seen[m.ID] = true
+				}
+			})
+		}
+	}
+}
+
+// TestCompatRawV1Peer pins the lazy-hello fallback: a client that never
+// sends hello (pre-handshake peer) gets a working v1 text session on a v3
+// server, with tbatch refused as a protocol error.
+func TestCompatRawV1Peer(t *testing.T) {
+	s := newServer(t) // v3 server
+	c, err := DialOptions(s.Addr(), Options{MaxVersion: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	// Register works with no handshake at all (lazy negotiation never runs
+	// for plain verbs on a v1 peer).
+	if err := c.Register("R1.h1.alice"); err != nil {
+		t.Fatal(err)
+	}
+	if ver, err := c.Negotiate(context.Background()); err != nil || ver != 1 {
+		t.Fatalf("v1 peer negotiated v%d, err=%v", ver, err)
+	}
+	if c.BinaryFraming() {
+		t.Fatal("v1 peer switched to binary framing")
+	}
+	// The raw tbatch verb (no client-side gate) is refused by the server.
+	if _, err := c.Do(Request{Op: "tbatch", From: "R1.h1.alice",
+		Msgs: []BatchMsg{{To: []string{"R1.h1.alice"}}}}); err == nil {
+		t.Fatal("server accepted tbatch from a v1 connection")
+	}
+}
+
+// TestCompatV3ClientOldErrorShape: a server that rejects hello outright
+// (simulating a pre-v2 daemon) pins the client to v1 and the session works.
+func TestCompatV3ClientOldErrorShape(t *testing.T) {
+	s := compatServer(t, 1)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	ver, err := c.Negotiate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 || c.BinaryFraming() {
+		t.Fatalf("ver=%d binary=%v, want v1 text", ver, c.BinaryFraming())
+	}
+	if err := c.Register("R1.h1.alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit("R1.h1.alice", []string{"R1.h1.alice"}, "s", "b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompatPipelinedBurstUnderFaults crashes and recovers a server in the
+// middle of a pipelined binary burst, then audits exactly-once delivery:
+// every acked submit is delivered exactly once, nothing unacked appears,
+// and no ID is duplicated.
+func TestCompatPipelinedBurstUnderFaults(t *testing.T) {
+	s := newServer(t)
+	c := newClient(t, s)   // pipelined submitter
+	adm := newClient(t, s) // control plane
+	if err := adm.Register("R1.h1.alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := adm.Register("R1.h1.bob"); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := c.Pipeline(context.Background(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.BinaryFraming() {
+		t.Fatal("expected binary framing for the fault burst")
+	}
+	const n = 400
+	futs := make([]*Future, n)
+	for i := 0; i < n; i++ {
+		futs[i] = p.Submit("R1.h1.alice", []string{"R1.h1.bob"}, strconv.Itoa(i), "b")
+		switch i {
+		case n / 4: // crash the primary mid-burst
+			if _, err := adm.Do(Request{Op: "crash", Server: "s1"}); err != nil {
+				t.Fatal(err)
+			}
+		case n / 2: // and bring it back while the burst continues
+			if _, err := adm.Do(Request{Op: "recover", Server: "s1"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	acked := map[string]int{}
+	for i, f := range futs {
+		resp, err := f.Response()
+		if err != nil {
+			// A submit may be refused while failover churns; it must then
+			// not be delivered. Refusals carry no ID.
+			continue
+		}
+		if resp.ID == "" {
+			t.Fatalf("future %d: ok without id", i)
+		}
+		acked[resp.ID]++
+		if acked[resp.ID] > 1 {
+			t.Fatalf("server issued duplicate id %s", resp.ID)
+		}
+	}
+	if len(acked) == 0 {
+		t.Fatal("no submit survived the fault window")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("pipeline close: %v", err)
+	}
+
+	// Settle, then audit the mailbox: delivered == acked, exactly once.
+	deadline := time.Now().Add(5 * time.Second)
+	delivered := map[string]int{}
+	for {
+		msgs, err := adm.GetMail("R1.h1.bob")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range msgs {
+			delivered[m.ID]++
+		}
+		if len(delivered) >= len(acked) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for id, cnt := range delivered {
+		if cnt != 1 {
+			t.Errorf("message %s delivered %d times", id, cnt)
+		}
+		if acked[id] == 0 {
+			t.Errorf("message %s delivered but never acked", id)
+		}
+	}
+	for id := range acked {
+		if delivered[id] == 0 {
+			t.Errorf("acked message %s lost", id)
+		}
+	}
+}

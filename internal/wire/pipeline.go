@@ -1,0 +1,309 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultMaxInflight is the pipeline depth used when Pipeline is asked for
+// zero or a negative depth.
+const DefaultMaxInflight = 8
+
+// errPipelineClosed rejects work submitted after Close.
+var errPipelineClosed = errors.New("wire: pipeline closed")
+
+// Pipeline keeps up to maxInflight requests in flight on the client's single
+// connection: callers get a Future per request immediately and the pipeline
+// overlaps the round trips, which is where the v3 transport's throughput
+// comes from — one in-flight request pays the full RTT per request, 32 pay
+// it once per window.
+//
+// On a binary (v3) connection, requests are tagged frames and responses are
+// matched by tag, so a server may legally complete them out of order. On a
+// text connection the same pipelining works against any server version —
+// the stream is still one-line-per-request — with responses matched in FIFO
+// order. Either way this package's own server executes one connection's
+// requests in submission order (see the worker pool), so "pipelined" never
+// weakens the per-connection ordering the exactly-once auditors check.
+//
+// A Pipeline owns the client's connection from Pipeline() until Close():
+// the Client's own request methods must not be used in between. Do/Submit/
+// SubmitBatch are safe for concurrent use. Once any request fails at the
+// transport (a pipelined stream has no request boundaries to resynchronize
+// on), every in-flight and future request fails with the same error, and
+// Close drops the connection so the next Client use starts fresh.
+type Pipeline struct {
+	c      *Client
+	binary bool
+
+	sem    chan struct{} // one slot per in-flight request
+	expect chan struct{} // one token per successfully written request
+
+	wmu sync.Mutex // serializes writes; fifo append happens under it
+
+	mu      sync.Mutex
+	pending map[uint32]*Future // binary: tag → future
+	fifo    []*Future          // text: response order
+	werr    error              // sticky transport failure
+	closed  bool
+
+	readerDone chan struct{}
+}
+
+// Future is one pipelined request's pending result.
+type Future struct {
+	done chan struct{}
+	resp Response
+	err  error
+}
+
+// Response blocks until the request completes and returns its result, with
+// refused responses mapped to typed errors exactly like Client.Do.
+func (f *Future) Response() (Response, error) {
+	<-f.done
+	return f.resp, f.err
+}
+
+// Pipeline negotiates the protocol (lazily, like SubmitBatch) and returns a
+// pipeline with the given depth (≤ 0 → DefaultMaxInflight). The connection
+// uses binary framing when the negotiated version allows it and Options
+// don't forbid it; otherwise text framing, which still pipelines against
+// servers of any version.
+func (c *Client) Pipeline(ctx context.Context, maxInflight int) (*Pipeline, error) {
+	if maxInflight <= 0 {
+		maxInflight = DefaultMaxInflight
+	}
+	if _, err := c.negotiate(ctx); err != nil {
+		return nil, err
+	}
+	if c.conn == nil {
+		if err := c.connect(); err != nil {
+			return nil, err
+		}
+	}
+	if !c.binOn && c.wantBinary() {
+		_ = c.conn.SetDeadline(c.deadline(ctx))
+		if err := c.enterBinary(); err != nil {
+			c.drop()
+			return nil, err
+		}
+	}
+	_ = c.conn.SetDeadline(time.Time{})
+	p := &Pipeline{
+		c:          c,
+		binary:     c.binOn,
+		sem:        make(chan struct{}, maxInflight),
+		expect:     make(chan struct{}, maxInflight),
+		pending:    make(map[uint32]*Future),
+		readerDone: make(chan struct{}),
+	}
+	go p.reader()
+	return p, nil
+}
+
+// Do pipelines one request. It blocks only when maxInflight requests are
+// already outstanding (the pipeline's backpressure), then returns a Future.
+func (p *Pipeline) Do(req Request) *Future {
+	f := &Future{done: make(chan struct{})}
+	if err := p.broken(); err != nil {
+		f.resp, f.err = Response{}, err
+		close(f.done)
+		return f
+	}
+	p.sem <- struct{}{} // in-flight slot; released when the future completes
+	p.wmu.Lock()
+	var (
+		frame []byte
+		bp    *[]byte
+		encErr error
+		tag    uint32
+	)
+	if p.binary {
+		tag = p.c.nextTag()
+		bp = getFrameBuf()
+		frame, encErr = AppendBinaryRequest((*bp)[:0], req, tag)
+	} else {
+		frame, encErr = EncodeRequest(req)
+	}
+	if encErr != nil {
+		if bp != nil {
+			putFrameBuf(bp)
+		}
+		p.wmu.Unlock()
+		p.finish(f, Response{}, encErr) // this request never touched the wire
+		return f
+	}
+	// Register before the bytes go out so a fast response can never beat the
+	// bookkeeping; registration order under wmu is write order, which is
+	// what FIFO matching in text mode relies on.
+	p.mu.Lock()
+	if p.werr != nil || p.closed {
+		err := p.werr
+		if err == nil {
+			err = errPipelineClosed
+		}
+		p.mu.Unlock()
+		if bp != nil {
+			putFrameBuf(bp)
+		}
+		p.wmu.Unlock()
+		p.finish(f, Response{}, err)
+		return f
+	}
+	if p.binary {
+		p.pending[tag] = f
+	} else {
+		p.fifo = append(p.fifo, f)
+	}
+	p.mu.Unlock()
+	if t := p.c.opts.Timeout; t > 0 {
+		_ = p.c.conn.SetWriteDeadline(time.Now().Add(t))
+	}
+	_, werr := p.c.conn.Write(frame)
+	if bp != nil {
+		*bp = frame
+		putFrameBuf(bp)
+	}
+	p.wmu.Unlock()
+	if werr != nil {
+		// Mid-stream write failure: the connection's framing state is gone,
+		// so everything in flight (including f, already registered) fails.
+		p.failAll(werr)
+		return f
+	}
+	p.expect <- struct{}{}
+	return f
+}
+
+// Submit pipelines one submit request.
+func (p *Pipeline) Submit(from string, to []string, subject, body string) *Future {
+	return p.Do(Request{Op: "submit", From: from, To: to, Subject: subject, Body: body})
+}
+
+// SubmitBatch pipelines one tbatch request (the connection must have
+// negotiated version ≥ 2; the server refuses it otherwise, like any other
+// refused request).
+func (p *Pipeline) SubmitBatch(from string, msgs []BatchMsg) *Future {
+	return p.Do(Request{Op: "tbatch", From: from, Msgs: msgs})
+}
+
+// Close waits for every in-flight request to complete, stops the response
+// reader, and returns the pipeline's sticky transport error, if any (in
+// which case the underlying connection is dropped so the Client's next use
+// reconnects). No Do may be issued concurrently with or after Close.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	already := p.closed
+	p.closed = true
+	p.mu.Unlock()
+	if !already {
+		close(p.expect)
+	}
+	<-p.readerDone
+	p.mu.Lock()
+	err := p.werr
+	p.mu.Unlock()
+	if err != nil {
+		p.c.drop()
+		return err
+	}
+	_ = p.c.conn.SetReadDeadline(time.Time{})
+	return nil
+}
+
+// broken returns the sticky error, or closure, if the pipeline cannot
+// accept work.
+func (p *Pipeline) broken() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.werr != nil {
+		return p.werr
+	}
+	if p.closed {
+		return errPipelineClosed
+	}
+	return nil
+}
+
+// finish completes one future and releases its in-flight slot.
+func (p *Pipeline) finish(f *Future, resp Response, err error) {
+	f.resp, f.err = resp, err
+	close(f.done)
+	<-p.sem
+}
+
+// failAll latches err and fails every registered in-flight future.
+func (p *Pipeline) failAll(err error) {
+	p.mu.Lock()
+	if p.werr == nil {
+		p.werr = err
+	} else {
+		err = p.werr
+	}
+	pend := p.pending
+	p.pending = make(map[uint32]*Future)
+	fifo := p.fifo
+	p.fifo = nil
+	p.mu.Unlock()
+	for _, f := range pend {
+		p.finish(f, Response{}, err)
+	}
+	for _, f := range fifo {
+		p.finish(f, Response{}, err)
+	}
+}
+
+// reader consumes one response per expect token, matching by tag (binary)
+// or FIFO order (text). It exits when Close closes the token channel and
+// every outstanding response has been read, or on the first transport
+// error.
+func (p *Pipeline) reader() {
+	defer close(p.readerDone)
+	var rbuf *[]byte
+	if p.binary {
+		rbuf = getFrameBuf()
+		defer putFrameBuf(rbuf)
+	}
+	for range p.expect {
+		if t := p.c.opts.Timeout; t > 0 {
+			_ = p.c.conn.SetReadDeadline(time.Now().Add(t))
+		}
+		var (
+			resp Response
+			tag  uint32
+			err  error
+		)
+		if p.binary {
+			var payload []byte
+			payload, err = p.c.cr.readFrame(rbuf)
+			if err == nil {
+				resp, tag, err = DecodeBinaryResponse(payload)
+			}
+		} else {
+			resp, err = p.c.readResponse()
+		}
+		if err != nil {
+			p.failAll(err)
+			return
+		}
+		var f *Future
+		p.mu.Lock()
+		if p.binary {
+			f = p.pending[tag]
+			delete(p.pending, tag)
+		} else if len(p.fifo) > 0 {
+			f = p.fifo[0]
+			p.fifo = p.fifo[1:]
+		}
+		p.mu.Unlock()
+		if f == nil {
+			p.failAll(fmt.Errorf("wire: response with unmatched tag %d", tag))
+			return
+		}
+		r, rerr := respErr(resp)
+		p.finish(f, r, rerr)
+	}
+}

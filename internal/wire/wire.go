@@ -1,18 +1,19 @@
 // Package wire exposes a live mail cluster (internal/livenet) over TCP with
-// a newline-delimited JSON protocol. It is the deployable surface of the
+// a newline-delimited JSON protocol and, since protocol version 3, an
+// optional negotiated binary framing. It is the deployable surface of the
 // reproduction: the same authority-list and GetMail semantics the paper
 // defines, reachable from real processes.
 //
-// Protocol: one JSON object per line in each direction. Requests carry an
-// "op" plus op-specific fields; responses carry "ok", an optional "error",
-// and op-specific results. Operations:
+// Text protocol: one JSON object per line in each direction. Requests carry
+// an "op" plus op-specific fields; responses carry "ok", an optional
+// "error", and op-specific results. Operations:
 //
-//	hello     {version}                    → {ok, version}      (protocol negotiation)
+//	hello     {version, binary}            → {ok, version, binary}  (protocol negotiation)
 //	register  {user, servers[]}            → {ok}
 //	submit    {from, to[], subject, body}  → {ok, id}
 //	tbatch    {from, msgs[]}               → {ok, ids[], failed[]}  (v2: batched submit)
 //	checkmail {user, server}               → {ok, messages[]}
-//	getmail   {user}                       → {ok, messages[]}   (server-side GetMail walk)
+//	getmail   {user}                       → {ok, messages[], polls, last_checking}
 //	status    {}                           → {ok, status}       (versioned observability snapshot)
 //	crash     {server} / recover {server}  → {ok}               (operations testing hook)
 //
@@ -24,18 +25,36 @@
 // version ≥ 2 with a hello line first. Clients that skip the handshake (or
 // talk to an old server that rejects it) fall back to single submits.
 //
+// Version 3 adds the binary framing (see binframe.go): a hello carrying
+// {"binary": true} on a connection whose negotiated version is ≥ 3 switches
+// both directions to length-prefixed CRC-checked frames, starting with the
+// first request after the (text) hello response. Binary frames carry a
+// client-assigned tag, which is what allows pipelining (Client.Pipeline):
+// up to MaxInflight tagged requests in flight per connection. The switch is
+// explicit opt-in — negotiating version 3 alone never changes the framing —
+// and sticky for the connection's lifetime. v1/v2 peers interoperate
+// unchanged: the negotiated version is min(client, server) and the binary
+// field is ignored by servers that predate it.
+//
+// Server side, connections do not get a handler goroutine each. A reader
+// goroutine per connection decodes requests and enqueues them on a
+// per-connection FIFO queue drained by a bounded worker pool
+// (internal/server.WorkPool, size ServerConfig.WireWorkers), preserving
+// per-connection order; a full queue blocks the reader, which is the
+// transport's backpressure (see DESIGN.md §10).
+//
 // The status result is a versioned StatusSnapshot: per-server rows plus the
 // cluster's full instrument set — counters, gauges, and per-stage latency
 // histograms with precomputed p50/p95/p99 — so operational tooling (mailctl)
-// and the machine-readable exports read the same registry.
+// and the machine-readable exports read the same registry. Snapshot v2 adds
+// the wire-path instruments (wire_bytes_in/wire_bytes_out, lat_wire_decode).
 package wire
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -45,17 +64,31 @@ import (
 	"github.com/largemail/largemail/internal/mailerr"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/obs"
+	"github.com/largemail/largemail/internal/server"
 )
 
-// MaxLine bounds a single protocol line (1 MiB), protecting the server from
-// unbounded memory per connection.
+// MaxLine bounds a single protocol line or binary frame payload (1 MiB),
+// protecting the server from unbounded memory per connection.
 const MaxLine = 1 << 20
 
 // ProtocolVersion is the highest protocol version this package speaks.
 // Version 1 is the original single-transfer protocol; version 2 adds the
-// tbatch verb (batched submit). A connection speaks version 1 until a hello
-// exchange negotiates min(client, server).
-const ProtocolVersion = 2
+// tbatch verb (batched submit); version 3 adds the negotiated binary framing
+// with tagged (pipelinable) frames and getmail poll accounting. A connection
+// speaks version 1 until a hello exchange negotiates min(client, server).
+const ProtocolVersion = 3
+
+// Version floors for the gated features. Gates compare against these, never
+// against ProtocolVersion, so bumping the ceiling cannot re-gate an old verb.
+const (
+	protoTBatch = 2 // tbatch verb
+	protoBinary = 3 // binary framing, tags, getmail polls
+)
+
+// writeStallTimeout bounds one response write. A peer that stops reading
+// cannot wedge a pool worker forever: the write times out, the connection is
+// closed, and the worker moves on.
+const writeStallTimeout = 30 * time.Second
 
 // Request is the client→server frame.
 type Request struct {
@@ -69,6 +102,10 @@ type Request struct {
 	Body    string   `json:"body,omitempty"`
 	// Version is the client's protocol version on hello requests.
 	Version int `json:"version,omitempty"`
+	// Binary, on hello requests, asks to switch the connection to the v3
+	// binary framing. Granted only when the negotiated version is ≥ 3;
+	// ignored (and invisible) to older servers.
+	Binary bool `json:"binary,omitempty"`
 	// Msgs carries the batch on tbatch requests (protocol version ≥ 2).
 	Msgs []BatchMsg `json:"msgs,omitempty"`
 }
@@ -113,14 +150,16 @@ type StatusSnapshot struct {
 	Servers []ServerStatus `json:"servers"`
 	// Counters holds the cluster's flat counters: the fault/retry/spool set
 	// (injected_drops, deposit_retries, deposit_failovers, submit_spooled,
-	// spool_redelivered, spool_retries, ...) plus the per-server
+	// spool_redelivered, spool_retries, ...), the wire-path byte counters
+	// (wire_bytes_in, wire_bytes_out — snapshot v2), plus the per-server
 	// "<name>.deposits"/"<name>.checks" instruments.
 	Counters map[string]int64 `json:"counters,omitempty"`
 	// Gauges holds point-in-time levels, e.g. "spool_depth".
 	Gauges map[string]int64 `json:"gauges,omitempty"`
 	// Histograms holds the tracer-fed per-stage latency distributions
-	// ("lat_submit", "lat_deposit", "lat_retrieve", "lat_e2e", ...) with
-	// precomputed p50/p95/p99, in nanoseconds.
+	// ("lat_submit", "lat_deposit", "lat_retrieve", "lat_e2e", and — snapshot
+	// v2 — the request-decode cost "lat_wire_decode") with precomputed
+	// p50/p95/p99, in nanoseconds.
 	Histograms map[string]obs.HistogramSnapshot `json:"histograms,omitempty"`
 }
 
@@ -136,6 +175,15 @@ type Response struct {
 	Messages []Message `json:"messages,omitempty"`
 	// Version is the negotiated protocol version on hello responses.
 	Version int `json:"version,omitempty"`
+	// Binary, on hello responses, confirms the connection switches to the
+	// v3 binary framing after this response.
+	Binary bool `json:"binary,omitempty"`
+	// Polls is the user's cumulative server-poll count after a getmail walk
+	// (v3 servers); LastChecking is the walk's LastCheckingTime in UnixNano.
+	// Together they let remote load generators run the paper's §3.1.2c poll
+	// audits without in-process agent access.
+	Polls        int   `json:"polls,omitempty"`
+	LastChecking int64 `json:"last_checking,omitempty"`
 	// IDs holds the per-item message IDs of a tbatch response, aligned with
 	// the request's Msgs ("" for failed items).
 	IDs []string `json:"ids,omitempty"`
@@ -146,11 +194,38 @@ type Response struct {
 	Status *StatusSnapshot `json:"status,omitempty"`
 }
 
+// ServerConfig tunes a wire server beyond the cluster it fronts.
+type ServerConfig struct {
+	// Cluster configures the backing livenet cluster (durable stores via
+	// DataDir, fsync policy, ...).
+	Cluster livenet.ClusterConfig
+	// WireWorkers bounds the worker pool that executes decoded requests
+	// (0 → one worker per scheduler thread). This replaces goroutine-per-
+	// connection handling: concurrency is this bound regardless of how many
+	// connections are open.
+	WireWorkers int
+	// QueueDepth caps one connection's decoded-but-unexecuted requests
+	// (0 → 64). A full queue blocks the connection's reader — backpressure,
+	// not disconnection.
+	QueueDepth int
+	// MaxProtocol caps the protocol version the server negotiates
+	// (0 → ProtocolVersion). The compatibility tests use it to stand up
+	// yesterday's servers.
+	MaxProtocol int
+}
+
 // Server serves the wire protocol over a listener, backed by a live
 // cluster. Create with NewServer; stop with Close.
 type Server struct {
-	cluster *livenet.Cluster
-	names   []string // server names, registration order
+	cluster    *livenet.Cluster
+	names      []string // server names, registration order
+	pool       *server.WorkPool
+	queueDepth int
+	maxProto   int
+
+	bytesIn   *obs.Counter
+	bytesOut  *obs.Counter
+	decodeLat *obs.Histogram
 
 	ln     net.Listener
 	mu     sync.Mutex
@@ -168,17 +243,23 @@ type Server struct {
 // starts accepting connections on addr (e.g. "127.0.0.1:0"). The returned
 // server owns the cluster.
 func NewServer(addr string, serverNames []string) (*Server, error) {
-	return NewServerCluster(addr, serverNames, livenet.ClusterConfig{})
+	return NewServerWith(addr, serverNames, ServerConfig{})
 }
 
 // NewServerCluster is NewServer with an explicit cluster configuration —
 // the hook maild uses to run durable stores (ClusterConfig.DataDir) behind
 // the wire protocol.
 func NewServerCluster(addr string, serverNames []string, cfg livenet.ClusterConfig) (*Server, error) {
+	return NewServerWith(addr, serverNames, ServerConfig{Cluster: cfg})
+}
+
+// NewServerWith is NewServer with the full server configuration: cluster,
+// worker-pool size, queue depth, and protocol ceiling.
+func NewServerWith(addr string, serverNames []string, cfg ServerConfig) (*Server, error) {
 	if len(serverNames) == 0 {
 		return nil, errors.New("wire: need at least one server name")
 	}
-	cluster := livenet.NewClusterWith(cfg)
+	cluster := livenet.NewClusterWith(cfg.Cluster)
 	for _, n := range serverNames {
 		if _, err := cluster.AddServer(n); err != nil {
 			cluster.Close()
@@ -196,12 +277,23 @@ func NewServerCluster(addr string, serverNames []string, cfg livenet.ClusterConf
 		cluster.Close()
 		return nil, err
 	}
+	maxProto := cfg.MaxProtocol
+	if maxProto <= 0 || maxProto > ProtocolVersion {
+		maxProto = ProtocolVersion
+	}
+	reg := cluster.Obs()
 	s := &Server{
-		cluster: cluster,
-		names:   append([]string(nil), serverNames...),
-		ln:      ln,
-		conns:   make(map[net.Conn]struct{}),
-		agents:  make(map[names.Name]*livenet.Agent),
+		cluster:    cluster,
+		names:      append([]string(nil), serverNames...),
+		pool:       server.NewWorkPool(cfg.WireWorkers),
+		queueDepth: cfg.QueueDepth,
+		maxProto:   maxProto,
+		bytesIn:    reg.Counter("wire_bytes_in"),
+		bytesOut:   reg.Counter("wire_bytes_out"),
+		decodeLat:  reg.Histogram("lat_wire_decode", nil),
+		ln:         ln,
+		conns:      make(map[net.Conn]struct{}),
+		agents:     make(map[names.Name]*livenet.Agent),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -211,8 +303,12 @@ func NewServerCluster(addr string, serverNames []string, cfg livenet.ClusterConf
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// Cluster exposes the backing live cluster — the hook load generators use
+// for fault injection and settle checks against a wire server they own.
+func (s *Server) Cluster() *livenet.Cluster { return s.cluster }
+
 // Close stops accepting, closes every connection, waits for handlers to
-// exit, and shuts down the cluster.
+// exit, and shuts down the worker pool and the cluster.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -226,6 +322,7 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.pool.Close()
 	s.cluster.Close()
 }
 
@@ -249,49 +346,187 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// connState is one connection's negotiated protocol state plus its write
+// half. ver and binary are written only by hello work items; the reader
+// observes the framing switch through the hello's completion channel and
+// workers through the queue's own ordering, so no extra lock is needed for
+// them. wmu serializes the rare cross-goroutine writes (a reader-side
+// framing error racing a worker's response).
+type connState struct {
+	srv    *Server
+	conn   net.Conn
+	ver    int
+	binary bool
+	wmu    sync.Mutex
+}
+
+func (st *connState) write(b []byte) error {
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+	_ = st.conn.SetWriteDeadline(time.Now().Add(writeStallTimeout))
+	n, err := st.conn.Write(b)
+	if n > 0 {
+		st.srv.bytesOut.Add(int64(n))
+	}
+	if err != nil {
+		// A dead or stalled peer: close so the reader unblocks too.
+		_ = st.conn.Close()
+	}
+	return err
+}
+
+func (st *connState) writeText(resp Response) {
+	b, err := EncodeResponse(resp)
+	if err != nil {
+		b, _ = EncodeResponse(Response{Error: "response too large", Code: mailerr.Code(err)})
+	}
+	_ = st.write(b)
+}
+
+func (st *connState) writeBinary(op byte, tag uint32, resp Response) {
+	bp := getFrameBuf()
+	frame, err := AppendBinaryResponse((*bp)[:0], op, tag, resp)
+	if err != nil {
+		frame, _ = AppendBinaryResponse((*bp)[:0], op, tag,
+			Response{Error: "response too large", Code: mailerr.Code(err)})
+	}
+	_ = st.write(frame)
+	*bp = frame
+	putFrameBuf(bp)
+}
+
+func (st *connState) respond(bin bool, op byte, tag uint32, resp Response) {
+	if bin {
+		st.writeBinary(op, tag, resp)
+	} else {
+		st.writeText(resp)
+	}
+}
+
+// countingReader feeds the wire_bytes_in counter from the socket reads
+// underneath the buffered reader.
+type countingReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.c.Add(int64(n))
+	}
+	return n, err
+}
+
+// handle is one connection's reader loop: decode a request (text line or
+// binary frame, per the connection's negotiated framing), enqueue it on the
+// connection's work queue, repeat. Execution and response writes happen on
+// the worker pool; a full queue blocks this loop, which stops reading the
+// socket — backpressure via the peer's TCP window.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	st := &connState{srv: s, conn: conn, ver: 1}
+	q := s.pool.NewQueue(s.queueDepth)
+	cr := newConnReader(countingReader{r: conn, c: s.bytesIn})
+	framep := getFrameBuf()
 	defer func() {
+		q.Close()
+		putFrameBuf(framep)
+		cr.release()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 4096), MaxLine)
-	enc := json.NewEncoder(conn)
-	ver := 1 // per-connection protocol version until hello negotiates higher
-	for scanner.Scan() {
-		var resp Response
-		if req, err := DecodeRequest(scanner.Bytes()); err != nil {
-			resp = Response{Error: fmt.Sprintf("bad request: %v", err), Code: mailerr.Code(err)}
+	for {
+		var ok bool
+		if st.binary {
+			ok = s.serveBinaryFrame(cr, framep, q, st)
 		} else {
-			resp = s.dispatch(req, &ver)
+			ok = s.serveTextLine(cr, q, st)
 		}
-		if err := enc.Encode(resp); err != nil {
+		if !ok {
 			return
 		}
 	}
-	// A line past MaxLine stops the scanner without consuming it; tell the
-	// client why instead of silently hanging up on them.
-	if errors.Is(scanner.Err(), bufio.ErrTooLong) {
-		_ = enc.Encode(Response{
-			Error: fmt.Sprintf("request line exceeds %d bytes", MaxLine),
-			Code:  mailerr.CodeOversized,
-		})
-	}
 }
 
-func (s *Server) dispatch(req Request, ver *int) Response {
+func (s *Server) serveTextLine(cr *connReader, q *server.WorkQueue, st *connState) bool {
+	line, err := cr.readLine()
+	if err != nil {
+		// A line past MaxLine cannot be consumed; tell the client why
+		// instead of silently hanging up on them.
+		if errors.Is(err, ErrLineTooLong) {
+			st.writeText(Response{
+				Error: fmt.Sprintf("request line exceeds %d bytes", MaxLine),
+				Code:  mailerr.CodeOversized,
+			})
+		}
+		return false
+	}
+	start := time.Now()
+	req, derr := DecodeRequest(line)
+	s.decodeLat.Observe(float64(time.Since(start)))
+	if derr != nil {
+		resp := Response{Error: fmt.Sprintf("bad request: %v", derr), Code: mailerr.Code(derr)}
+		return q.Enqueue(func() { st.writeText(resp) })
+	}
+	return s.enqueue(q, st, req, 0, false)
+}
+
+func (s *Server) serveBinaryFrame(cr *connReader, framep *[]byte, q *server.WorkQueue, st *connState) bool {
+	payload, err := cr.readFrame(framep)
+	if err != nil {
+		if errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrFrameCorrupt) {
+			st.writeBinary(binOpJSON, 0, Response{Error: err.Error(), Code: mailerr.Code(err)})
+		}
+		return false
+	}
+	start := time.Now()
+	req, tag, derr := DecodeBinaryRequest(payload)
+	s.decodeLat.Observe(float64(time.Since(start)))
+	if derr != nil {
+		// The frame checksummed clean but the payload is malformed: the
+		// peer's codec cannot be trusted, so answer and drop the connection.
+		st.writeBinary(binOpJSON, tag, Response{Error: derr.Error(), Code: mailerr.Code(derr)})
+		return false
+	}
+	return s.enqueue(q, st, req, tag, true)
+}
+
+// enqueue hands one decoded request to the connection's work queue. hello is
+// special: the reader must not read the next bytes until the handshake
+// response is out and the framing switch (if granted) applied, so it waits
+// for the work item to finish — which also orders the switch after every
+// earlier response on the queue.
+func (s *Server) enqueue(q *server.WorkQueue, st *connState, req Request, tag uint32, bin bool) bool {
+	op := binaryOpFor(req.Op)
+	if req.Op == "hello" {
+		done := make(chan struct{})
+		ok := q.Enqueue(func() {
+			defer close(done)
+			st.respond(bin, op, tag, s.opHello(req, st))
+		})
+		if ok {
+			<-done
+		}
+		return ok
+	}
+	return q.Enqueue(func() {
+		st.respond(bin, op, tag, s.dispatch(req, st))
+	})
+}
+
+func (s *Server) dispatch(req Request, st *connState) Response {
 	switch req.Op {
 	case "hello":
-		return opHello(req, ver)
+		return s.opHello(req, st)
 	case "register":
 		return s.opRegister(req)
 	case "submit":
 		return s.opSubmit(req)
 	case "tbatch":
-		return s.opTBatch(req, *ver)
+		return s.opTBatch(req, st.ver)
 	case "checkmail":
 		return s.opCheckMail(req)
 	case "getmail":
@@ -316,18 +551,24 @@ func failErr(prefix string, err error) Response {
 }
 
 // opHello negotiates the connection's protocol version to
-// min(client, server). A missing or absurd client version counts as 1, the
-// pre-handshake protocol.
-func opHello(req Request, ver *int) Response {
+// min(client, server) and, when the client asks and the version allows,
+// switches the connection to binary framing (sticky once on: a later hello
+// cannot switch back — the peer could never know which framing the
+// in-flight responses use). A missing or absurd client version counts as 1,
+// the pre-handshake protocol.
+func (s *Server) opHello(req Request, st *connState) Response {
 	v := req.Version
 	if v < 1 {
 		v = 1
 	}
-	if v > ProtocolVersion {
-		v = ProtocolVersion
+	if v > s.maxProto {
+		v = s.maxProto
 	}
-	*ver = v
-	return Response{OK: true, Version: v}
+	st.ver = v
+	if req.Binary && v >= protoBinary {
+		st.binary = true
+	}
+	return Response{OK: true, Version: v, Binary: st.binary}
 }
 
 func (s *Server) opRegister(req Request) Response {
@@ -377,8 +618,8 @@ func (s *Server) opSubmit(req Request) Response {
 // an item failed) and Failed carries index, message, and taxonomy code so
 // the client can retry-split exactly the failed items.
 func (s *Server) opTBatch(req Request, ver int) Response {
-	if ver < ProtocolVersion {
-		return fail("tbatch requires protocol version %d; negotiate with hello first", ProtocolVersion)
+	if ver < protoTBatch {
+		return fail("tbatch requires protocol version %d; negotiate with hello first", protoTBatch)
 	}
 	from, err := names.Parse(req.From)
 	if err != nil {
@@ -451,8 +692,10 @@ func (s *Server) opGetMail(req Request) Response {
 		s.agents[user] = agent
 	}
 	msgs := agent.GetMail()
+	polls := agent.Polls()
+	last := agent.LastCheckingTime().UnixNano()
 	s.agentMu.Unlock()
-	return Response{OK: true, Messages: wireMessages(msgs)}
+	return Response{OK: true, Messages: wireMessages(msgs), Polls: polls, LastChecking: last}
 }
 
 func (s *Server) opStatus() Response {
@@ -498,7 +741,7 @@ func wireMessages(msgs []mail.Stored) []Message {
 	return out
 }
 
-// Options tune a Client's fault behavior.
+// Options tune a Client's fault behavior and protocol ceiling.
 type Options struct {
 	// Timeout is the per-request deadline covering write and response read
 	// (default 5s). A request against a hung or partitioned server fails
@@ -506,13 +749,22 @@ type Options struct {
 	Timeout time.Duration
 	// Retries bounds how many extra attempts Do makes when a request
 	// provably never reached the server — a failed dial or a failed write
-	// (the protocol executes only complete newline-terminated lines, and a
-	// failed write never delivers the terminator). Responses that time out
-	// after a successful write are NOT retried: the request may have
-	// executed, and submit is not idempotent. Default 2; negative disables.
+	// (the protocol executes only complete newline-terminated lines or
+	// CRC-complete frames, and a failed write never delivers the terminator
+	// or the tail of the frame). Responses that time out after a successful
+	// write are NOT retried: the request may have executed, and submit is
+	// not idempotent. Default 2; negative disables.
 	Retries int
 	// RetryBackoff is the pause before each retry (default 50ms).
 	RetryBackoff time.Duration
+	// MaxVersion caps the protocol version this client offers on hello
+	// (0 → ProtocolVersion). 1 disables the handshake entirely — the client
+	// behaves as an original v1 peer. The compatibility tests use it to
+	// stand up yesterday's clients.
+	MaxVersion int
+	// TextOnly keeps the connection on the newline-delimited JSON framing
+	// even against a v3 server that offers binary frames.
+	TextOnly bool
 }
 
 func (o Options) withDefaults() Options {
@@ -528,25 +780,41 @@ func (o Options) withDefaults() Options {
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 50 * time.Millisecond
 	}
+	if o.MaxVersion == 0 || o.MaxVersion > ProtocolVersion {
+		o.MaxVersion = ProtocolVersion
+	}
+	if o.MaxVersion < 1 {
+		o.MaxVersion = 1
+	}
 	return o
 }
 
 // Client is a wire-protocol client. It owns one TCP connection at a time
 // and transparently reconnects after a broken one. Safe for sequential use;
-// guard with your own mutex for concurrent callers.
+// guard with your own mutex for concurrent callers, or use Pipeline for
+// concurrent in-flight requests on one connection.
 type Client struct {
 	addr string
 	opts Options
 
 	conn net.Conn
-	sc   *bufio.Scanner
+	cr   *connReader
 
 	// version is the protocol version negotiated with the server: 0 until
-	// the first operation that needs one (SubmitBatch) runs the hello
-	// exchange, then min(ProtocolVersion, server's). An old server that
-	// rejects hello pins it to 1. Negotiation survives reconnects — the
-	// server's version does not change under one address.
+	// the first operation that needs one (SubmitBatch, Pipeline, an explicit
+	// Negotiate) runs the hello exchange, then min(MaxVersion, server's). An
+	// old server that rejects hello pins it to 1. Negotiation survives
+	// reconnects — the server's version does not change under one address.
 	version int
+	// binOn marks the CURRENT connection as switched to binary framing. It
+	// resets on reconnect; entering binary again is an inline hello away.
+	binOn bool
+	// binVeto is set when a server negotiates v3 yet declines binary
+	// framing — stop asking on every request.
+	binVeto bool
+	// tag numbers binary requests; responses echo it. Sequential Do checks
+	// the echo; Pipeline uses it to match out-of-order completions.
+	tag uint32
 }
 
 // Dial connects to a wire server with default Options.
@@ -574,8 +842,8 @@ func (c *Client) connect() error {
 		return err
 	}
 	c.conn = conn
-	c.sc = bufio.NewScanner(conn)
-	c.sc.Buffer(make([]byte, 0, 4096), MaxLine)
+	c.cr = newConnReader(conn)
+	c.binOn = false
 	return nil
 }
 
@@ -585,6 +853,11 @@ func (c *Client) drop() {
 		_ = c.conn.Close()
 		c.conn = nil
 	}
+	if c.cr != nil {
+		c.cr.release()
+		c.cr = nil
+	}
+	c.binOn = false
 }
 
 // Close closes the connection.
@@ -594,7 +867,26 @@ func (c *Client) Close() error {
 	}
 	err := c.conn.Close()
 	c.conn = nil
+	if c.cr != nil {
+		c.cr.release()
+		c.cr = nil
+	}
+	c.binOn = false
 	return err
+}
+
+// Version returns the protocol version negotiated with the server, or 0 if
+// no operation has needed the handshake yet.
+func (c *Client) Version() int { return c.version }
+
+// BinaryFraming reports whether the current connection has switched to the
+// v3 binary framing.
+func (c *Client) BinaryFraming() bool { return c.binOn }
+
+// Negotiate forces the lazy hello exchange now (it otherwise runs on the
+// first operation that needs it) and returns the negotiated version.
+func (c *Client) Negotiate(ctx context.Context) (int, error) {
+	return c.negotiate(ctx)
 }
 
 // Do sends one request and reads one response, under the configured
@@ -612,10 +904,14 @@ func (c *Client) Do(req Request) (Response, error) {
 // is returned as-is, with the connection dropped so the next call starts
 // fresh. A Response with ok=false is returned as an error — typed via
 // mailerr.FromCode when the response carries a taxonomy code.
+//
+// On a connection negotiated to binary framing the request travels as one
+// tagged frame; retry semantics are identical because the server executes
+// only CRC-complete frames, so a short write provably never executed.
 func (c *Client) DoContext(ctx context.Context, req Request) (Response, error) {
 	// Refuse oversized requests before touching the wire: the server-side
-	// scanner would abort the whole connection on such a line, and the
-	// client's own response scanner has the same MaxLine cap.
+	// reader would abort the whole connection on such a line, and the
+	// client's own reader has the same MaxLine cap.
 	line, err := EncodeRequest(req)
 	if err != nil {
 		return Response{}, err
@@ -638,36 +934,145 @@ func (c *Client) DoContext(ctx context.Context, req Request) (Response, error) {
 			}
 		}
 		_ = c.conn.SetDeadline(c.deadline(ctx))
-		if n, err := c.conn.Write(line); err != nil {
-			c.drop()
-			lastErr = err
-			if n >= len(line) {
-				// The terminator made it out before the error, so the server
-				// may execute this request: not safe to retry.
+		// A reconnect lands in text mode; re-enter binary before the request
+		// when the negotiated protocol calls for it. (hello itself always
+		// rides the framing the connection is currently in.)
+		if !c.binOn && req.Op != "hello" && c.wantBinary() {
+			if err := c.enterBinary(); err != nil {
+				// The handshake is idempotent, so any failure is retryable.
+				c.drop()
+				lastErr = err
+				continue
+			}
+		}
+		var resp Response
+		if c.binOn {
+			var retry bool
+			resp, err, retry = c.doBinary(req)
+			if err != nil {
+				if retry {
+					lastErr = err
+					continue
+				}
 				return Response{}, err
 			}
-			// The newline terminator never made it out, so the server will
-			// not execute this request: safe to retry on a new connection.
-			continue
-		}
-		resp, err := c.readResponse()
-		if err != nil {
-			// The request may have executed server-side; surface the error
-			// rather than risking a duplicate submit.
-			c.drop()
-			return Response{}, err
+		} else {
+			if n, err := c.conn.Write(line); err != nil {
+				c.drop()
+				lastErr = err
+				if n >= len(line) {
+					// The terminator made it out before the error, so the
+					// server may execute this request: not safe to retry.
+					return Response{}, err
+				}
+				// The newline terminator never made it out, so the server
+				// will not execute this request: safe to retry on a new
+				// connection.
+				continue
+			}
+			resp, err = c.readResponse()
+			if err != nil {
+				// The request may have executed server-side; surface the
+				// error rather than risking a duplicate submit.
+				c.drop()
+				return Response{}, err
+			}
 		}
 		_ = c.conn.SetDeadline(time.Time{})
-		if !resp.OK {
-			if resp.Code != "" {
-				return resp, mailerr.FromCode(resp.Code, "wire: "+resp.Error)
-			}
-			return resp, fmt.Errorf("wire: %s", resp.Error)
-		}
-		return resp, nil
+		return respErr(resp)
 	}
 	return Response{}, fmt.Errorf("wire: request failed after %d attempts: %w",
 		c.opts.Retries+1, lastErr)
+}
+
+// respErr turns a refused response into a typed error.
+func respErr(resp Response) (Response, error) {
+	if !resp.OK {
+		if resp.Code != "" {
+			return resp, mailerr.FromCode(resp.Code, "wire: "+resp.Error)
+		}
+		return resp, fmt.Errorf("wire: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// wantBinary reports whether requests should travel as binary frames once
+// the connection is upgraded.
+func (c *Client) wantBinary() bool {
+	return c.version >= protoBinary && !c.opts.TextOnly && !c.binVeto
+}
+
+// enterBinary runs the inline hello that switches the current (text-mode)
+// connection to binary framing. On a refusal it records the veto so later
+// requests stop asking. Transport errors leave the decision open.
+func (c *Client) enterBinary() error {
+	hello, err := EncodeRequest(Request{Op: "hello", Version: c.opts.MaxVersion, Binary: true})
+	if err != nil {
+		return err
+	}
+	if _, err := c.conn.Write(hello); err != nil {
+		return err
+	}
+	resp, err := c.readResponse()
+	if err != nil {
+		return err
+	}
+	switch {
+	case resp.OK && resp.Binary && resp.Version >= protoBinary:
+		c.binOn = true
+	default:
+		c.binVeto = true
+		if resp.Version >= 1 && resp.Version < c.version {
+			c.version = resp.Version
+		}
+	}
+	return nil
+}
+
+// nextTag returns a fresh tag for one binary request.
+func (c *Client) nextTag() uint32 {
+	c.tag++
+	return c.tag
+}
+
+// doBinary runs one request/response exchange in binary framing. The third
+// result reports whether a failure is provably-not-executed (safe to retry
+// on a fresh connection).
+func (c *Client) doBinary(req Request) (Response, error, bool) {
+	tag := c.nextTag()
+	bp := getFrameBuf()
+	frame, err := AppendBinaryRequest((*bp)[:0], req, tag)
+	if err != nil {
+		putFrameBuf(bp)
+		return Response{}, err, false
+	}
+	n, werr := c.conn.Write(frame)
+	*bp = frame
+	putFrameBuf(bp)
+	if werr != nil {
+		c.drop()
+		// A short write never delivered the CRC trailer, so the server
+		// cannot execute the request; a complete write may have.
+		return Response{}, werr, n < len(frame)
+	}
+	rp := getFrameBuf()
+	payload, rerr := c.cr.readFrame(rp)
+	if rerr != nil {
+		putFrameBuf(rp)
+		c.drop()
+		return Response{}, rerr, false
+	}
+	resp, rtag, derr := DecodeBinaryResponse(payload)
+	putFrameBuf(rp)
+	if derr != nil {
+		c.drop()
+		return Response{}, derr, false
+	}
+	if rtag != tag {
+		c.drop()
+		return Response{}, fmt.Errorf("wire: response tag %d for request tag %d", rtag, tag), false
+	}
+	return resp, nil, false
 }
 
 // deadline is the earlier of the per-request Options.Timeout and the
@@ -684,13 +1089,14 @@ func (c *Client) deadline(ctx context.Context) time.Time {
 }
 
 func (c *Client) readResponse() (Response, error) {
-	if !c.sc.Scan() {
-		if err := c.sc.Err(); err != nil {
-			return Response{}, err
+	line, err := c.cr.readLine()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Response{}, errors.New("wire: connection closed")
 		}
-		return Response{}, errors.New("wire: connection closed")
+		return Response{}, err
 	}
-	return DecodeResponse(c.sc.Bytes())
+	return DecodeResponse(line)
 }
 
 // Register records a user's authority list (empty = all servers).
@@ -722,9 +1128,9 @@ func (c *Client) SubmitBatch(from string, msgs []BatchMsg) ([]string, error) {
 }
 
 // SubmitBatchContext submits a batch of messages sharing one sender. On a
-// version-2 connection the whole batch ships as one tbatch frame; items the
-// server reports failed are retry-split into individual submits. Against a
-// version-1 server (negotiated lazily via hello; old servers reject the
+// version ≥ 2 connection the whole batch ships as one tbatch frame; items
+// the server reports failed are retry-split into individual submits. Against
+// a version-1 server (negotiated lazily via hello; old servers reject the
 // handshake and pin the connection to v1) every item falls back to a single
 // submit. The returned slice aligns with msgs ("" where an item ultimately
 // failed); the error joins the per-item failures.
@@ -746,7 +1152,7 @@ func (c *Client) SubmitBatchContext(ctx context.Context, from string, msgs []Bat
 		}
 		ids[i] = id
 	}
-	if ver < ProtocolVersion {
+	if ver < protoTBatch {
 		for i := range msgs {
 			single(i)
 		}
@@ -770,17 +1176,33 @@ func (c *Client) SubmitBatchContext(ctx context.Context, from string, msgs []Bat
 // negotiate runs the lazy hello exchange once per client. A server that
 // answers the handshake fixes the version at min(ours, theirs); a server
 // that rejects the op (pre-v2) fixes it at 1. Transport failures do not pin
-// anything — the next call retries.
+// anything — the next call retries. When the client's ceiling allows it and
+// TextOnly is off, the hello also asks for binary framing; a grant switches
+// the current connection immediately.
 func (c *Client) negotiate(ctx context.Context) (int, error) {
 	if c.version != 0 {
 		return c.version, nil
 	}
-	resp, err := c.DoContext(ctx, Request{Op: "hello", Version: ProtocolVersion})
+	if c.opts.MaxVersion <= 1 {
+		// A v1 peer: no handshake exists at this version.
+		c.version = 1
+		return 1, nil
+	}
+	askBinary := !c.opts.TextOnly && c.opts.MaxVersion >= protoBinary
+	resp, err := c.DoContext(ctx, Request{Op: "hello", Version: c.opts.MaxVersion, Binary: askBinary})
 	switch {
 	case err == nil:
 		c.version = resp.Version
 		if c.version < 1 {
 			c.version = 1
+		}
+		if c.version > c.opts.MaxVersion {
+			c.version = c.opts.MaxVersion
+		}
+		if resp.Binary && resp.Version >= protoBinary && c.conn != nil {
+			c.binOn = true
+		} else if askBinary && resp.Version >= protoBinary {
+			c.binVeto = true
 		}
 	case resp.Error != "":
 		// The server answered and refused: an old peer without hello.

@@ -163,11 +163,12 @@ func TestMalformedLineKeepsConnection(t *testing.T) {
 	if _, err := c.conn.Write([]byte("this is not json\n")); err != nil {
 		t.Fatal(err)
 	}
-	if !c.sc.Scan() {
-		t.Fatal("no response to malformed line")
+	line, err := c.cr.readLine()
+	if err != nil {
+		t.Fatalf("no response to malformed line: %v", err)
 	}
-	if !strings.Contains(c.sc.Text(), "bad request") {
-		t.Errorf("response = %s", c.sc.Text())
+	if !strings.Contains(string(line), "bad request") {
+		t.Errorf("response = %s", line)
 	}
 	if err := c.Register("R1.h1.alice"); err != nil {
 		t.Fatal(err)
@@ -263,8 +264,8 @@ func TestServerSurvivesGarbageRequests(t *testing.T) {
 		if _, err := c.conn.Write([]byte(line + "\n")); err != nil {
 			t.Fatal(err)
 		}
-		if !c.sc.Scan() {
-			t.Fatalf("no response to %q", line)
+		if _, err := c.cr.readLine(); err != nil {
+			t.Fatalf("no response to %q: %v", line, err)
 		}
 	}
 	if err := c.Register("R1.h1.still-works"); err != nil {
