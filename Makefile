@@ -53,9 +53,20 @@ tier2-durability:
 tier2-wire:
 	go test -race -run 'Compat|Pipeline|Binary|Negotiat|WorkPool|WorkQueue|ConnReader' ./internal/wire/ ./internal/server/
 
+# Tier-2 balance slice: the pluggable placement seam under the race detector —
+# the policy unit tests (JSQ sampling, rebalancer hysteresis/budget/diversion),
+# the static-policy bit-compat pin, the hot-spot engine races, reconfig racing
+# the rebalancer, the migration-vs-kill-restart chaos, and the directory
+# placement-event funnel.
+.PHONY: tier2-balance
+tier2-balance:
+	go test -race ./internal/placement/
+	go test -race -run 'TestStaticPolicyBitCompat|TestJSQSpreadsHotspot|TestRebalancerMigrates|TestReconfigUnderRebalance|TestMigrationRacesKillRestart' ./internal/loadgen/
+	go test -race -run 'TestDirectoryPlacementEventFunnel' ./internal/server/
+
 # Check: the full pre-merge gate.
 .PHONY: check
-check: tier1 tier1-race fuzz-smoke bench-relay tier2-durability tier2-wire
+check: tier1 tier1-race fuzz-smoke bench-relay tier2-durability tier2-wire tier2-balance
 
 # Mailbench: the capacity harness acceptance run — a million-user population
 # on 64 simulated servers, no faults, auditors on, capacity sweep written to
@@ -112,6 +123,21 @@ bench-wire:
 		-proto text,binary -inflight 1,8,32 -batch 1,16 -o BENCH_PR7.json
 	go run ./cmd/mailbench -transport wire -users 1000000 -servers 64 -seed 1 \
 		-proto binary -inflight 8 -batch 1 -faults -append -o BENCH_PR7.json
+
+# Balance bench: the acceptance run behind BENCH_PR8.json — the million-user/
+# 64-server sweep racing the §3.1.1 static optimum against JSQ(2) submit-time
+# choice and the continuous rebalancer, first under the hot-spot profile the
+# optimizer cannot see, then under a flash crowd appended to the same document.
+# Every point runs with auditors on; the rebalancer points also report
+# migrations_total and migration_cost.
+.PHONY: bench-balance
+bench-balance:
+	go run ./cmd/mailbench -transport netsim -users 1000000 -servers 64 -seed 1 \
+		-messages 6000 -ticks 300 -sessions 256 -srate 4 -retry 200 \
+		-policy static,jsq,rebalance -profile hotspot -o BENCH_PR8.json
+	go run ./cmd/mailbench -transport netsim -users 1000000 -servers 64 -seed 1 \
+		-messages 6000 -ticks 300 -sessions 256 -srate 4 -retry 200 \
+		-policy static,jsq,rebalance -profile flash:100:60 -append -o BENCH_PR8.json
 
 .PHONY: all
 all: tier2

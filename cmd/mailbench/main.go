@@ -15,6 +15,7 @@
 //	go run ./cmd/mailbench -users 10000,100000 -servers 16,64 -o BENCH_PR4.json
 //	go run ./cmd/mailbench -users 1000000 -servers 64 -batch 1,4,16,64 -faults -o BENCH_PR5.json
 //	go run ./cmd/mailbench -users 1000000 -servers 64 -datadir /tmp/mb -faults -o BENCH_PR6.json
+//	go run ./cmd/mailbench -users 1000000 -servers 64 -policy static,jsq,rebalance -profile hotspot -o BENCH_PR8.json
 //
 // With -datadir every server journals its mailbox store under a per-run
 // subdirectory; the run reports WAL append throughput, and after the
@@ -44,6 +45,7 @@ import (
 	"github.com/largemail/largemail/internal/loadgen"
 	"github.com/largemail/largemail/internal/mail/mailstore"
 	"github.com/largemail/largemail/internal/obs"
+	"github.com/largemail/largemail/internal/placement"
 	"github.com/largemail/largemail/internal/sim"
 	"github.com/largemail/largemail/internal/wire"
 )
@@ -67,6 +69,12 @@ type params struct {
 	fsync     mailstore.FsyncMode
 	proto     string // wire framing: "text" or "binary" (wire transport only)
 	inflight  int    // pipeline depth for the wire throughput burst
+
+	policy  string          // placement policy ("" = legacy hard-wired path)
+	jsqd    int             // JSQ(d) sample width
+	profile loadgen.Profile // workload shape (hotspot/diurnal/flash)
+	profStr string          // the -profile flag value, for labels
+	srate   float64         // per-server service rate, deposits/tick (0 = auto with -policy)
 }
 
 // durPoint is one point of the -durability sweep.
@@ -95,9 +103,31 @@ func main() {
 	durabilityFlag := flag.String("durability", "", "durability sweep (comma-separated of off|never|always|chaos; requires -datadir): off = memory stores, never/always = durable with that fsync policy, chaos = durable fsync-never under a kill-restart fault schedule")
 	protoFlag := flag.String("proto", "binary", "wire framings to sweep (comma-separated of text,binary; -transport wire only)")
 	inflightFlag := flag.String("inflight", "8", "pipeline depths to sweep (comma-separated; -transport wire only)")
+	policyFlag := flag.String("policy", "", "placement policies to sweep (comma-separated of static,jsq,rebalance; empty = legacy hard-wired placement)")
+	jsqd := flag.Int("d", 2, "JSQ(d) sample width (with -policy jsq)")
+	profileFlag := flag.String("profile", "", "workload profile: hotspot[:hosts[:frac%]], diurnal[:period], flash[:start:len] (empty = uniform)")
+	srate := flag.Float64("srate", 0, "per-server service rate in deposits/tick for the congestion model (0 = derived from the message budget when -policy is set)")
 	appendDoc := flag.Bool("append", false, "append to an existing benchmark document instead of overwriting it")
 	out := flag.String("o", "BENCH_PR4.json", "benchmark document path (empty = stdout)")
 	flag.Parse()
+
+	profile, err := loadgen.ParseProfile(*profileFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mailbench: -profile:", err)
+		os.Exit(2)
+	}
+	policySweep := []string{""}
+	if *policyFlag != "" {
+		policySweep = policySweep[:0]
+		for _, v := range strings.Split(*policyFlag, ",") {
+			name, err := placement.ParseName(strings.TrimSpace(v))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mailbench: -policy:", err)
+				os.Exit(2)
+			}
+			policySweep = append(policySweep, name)
+		}
+	}
 
 	fsync, err := mailstore.ParseFsyncMode(*fsyncFlag)
 	if err != nil {
@@ -192,21 +222,25 @@ func main() {
 				for _, dp := range durSweep {
 					for _, proto := range protoSweep {
 						for _, inflight := range inflightSweep {
-							res, bad, err := run(params{
-								transport: *transport, users: users, servers: servers,
-								regions: *regions, seed: *seed, messages: *messages,
-								sessions: *sessions, ticks: *ticks,
-								faults: *withFaults || dp.faults,
-								batch:  batch, flush: *flush, retry: *retry, localBias: *localBias,
-								datadir: dp.datadir, fsync: dp.fsync,
-								proto:   proto, inflight: inflight,
-							})
-							if err != nil {
-								fmt.Fprintln(os.Stderr, "mailbench:", err)
-								os.Exit(1)
+							for _, pol := range policySweep {
+								res, bad, err := run(params{
+									transport: *transport, users: users, servers: servers,
+									regions: *regions, seed: *seed, messages: *messages,
+									sessions: *sessions, ticks: *ticks,
+									faults: *withFaults || dp.faults,
+									batch:  batch, flush: *flush, retry: *retry, localBias: *localBias,
+									datadir: dp.datadir, fsync: dp.fsync,
+									proto: proto, inflight: inflight,
+									policy: pol, jsqd: *jsqd,
+									profile: profile, profStr: *profileFlag, srate: *srate,
+								})
+								if err != nil {
+									fmt.Fprintln(os.Stderr, "mailbench:", err)
+									os.Exit(1)
+								}
+								doc.Benchmarks = append(doc.Benchmarks, res)
+								violations += bad
 							}
-							doc.Benchmarks = append(doc.Benchmarks, res)
-							violations += bad
 						}
 					}
 				}
@@ -305,9 +339,24 @@ func runDataDir(p params) string {
 	if p.datadir == "" {
 		return ""
 	}
-	return filepath.Join(p.datadir,
-		fmt.Sprintf("%s_u%d_s%d_b%d_seed%d_fsync-%s_faults-%v",
-			p.transport, p.users, p.servers, p.batch, p.seed, p.fsync, p.faults))
+	dir := fmt.Sprintf("%s_u%d_s%d_b%d_seed%d_fsync-%s_faults-%v",
+		p.transport, p.users, p.servers, p.batch, p.seed, p.fsync, p.faults)
+	if p.policy != "" {
+		dir += "_policy-" + p.policy
+	}
+	return filepath.Join(p.datadir, dir)
+}
+
+// autoServiceRate derives a per-server deposit service rate from the run's
+// message budget when -srate is unset: roughly twice the fleet-wide mean
+// arrival rate, so a balanced run sits near ρ≈0.5 and only genuinely skewed
+// servers saturate. The recipient draw averages ~1.6 copies per message.
+func autoServiceRate(p params) float64 {
+	rate := 2.0 * 1.6 * float64(p.messages) / (float64(p.ticks) * float64(p.servers))
+	if rate < 0.5 {
+		rate = 0.5
+	}
+	return rate
 }
 
 // run executes one sweep point and renders its report.
@@ -320,9 +369,16 @@ func run(p params) (benchfmt.Result, int, error) {
 		scale float64
 		unit  string
 	)
+	srate := p.srate
+	if p.policy != "" && srate == 0 {
+		srate = autoServiceRate(p)
+	}
 	var wireDrv *loadgen.WireDriver
 	switch p.transport {
 	case "wire":
+		if p.policy != "" {
+			return benchfmt.Result{}, 0, fmt.Errorf("-policy is not supported with -transport wire")
+		}
 		d, err := loadgen.NewWireDriver(loadgen.WireConfig{
 			Pop:   pop,
 			Proto: p.proto,
@@ -339,6 +395,7 @@ func run(p params) (benchfmt.Result, int, error) {
 			FlushInterval: sim.Time(p.flush) * sim.Unit,
 			RetryTimeout:  sim.Time(p.retry) * sim.Unit,
 			DataDir:       dataDir, Fsync: p.fsync,
+			Policy: p.policy, JSQD: p.jsqd, ServiceRate: srate,
 		})
 		if err != nil {
 			return benchfmt.Result{}, 0, err
@@ -349,6 +406,7 @@ func run(p params) (benchfmt.Result, int, error) {
 		d, err := loadgen.NewLiveDriver(loadgen.LiveConfig{
 			Pop:     pop,
 			DataDir: dataDir, Fsync: p.fsync,
+			Policy: p.policy, JSQD: p.jsqd, ServiceRate: srate,
 		})
 		if err != nil {
 			return benchfmt.Result{}, 0, err
@@ -361,6 +419,7 @@ func run(p params) (benchfmt.Result, int, error) {
 	cfg := loadgen.Config{
 		Seed: p.seed, Messages: p.messages, Sessions: p.sessions, Ticks: p.ticks,
 		Workload: loadgen.Workload{LocalBias: p.localBias},
+		Profile:  p.profile,
 	}
 	if p.faults {
 		sched, err := faultProfile(drv, p, p.ticks)
@@ -380,6 +439,16 @@ func run(p params) (benchfmt.Result, int, error) {
 	if dataDir != "" {
 		label += " durable fsync=" + p.fsync.String()
 	}
+	if p.policy != "" {
+		label += " policy=" + p.policy
+		if p.policy == placement.NameJSQ {
+			label += fmt.Sprintf(" d=%d", p.jsqd)
+		}
+		label += fmt.Sprintf(" srate=%.2f", srate)
+	}
+	if p.profStr != "" {
+		label += " profile=" + p.profStr
+	}
 	fmt.Printf("=== %s\n", label)
 	start := time.Now()
 	rep := loadgen.New(drv, cfg).Run()
@@ -398,6 +467,17 @@ func run(p params) (benchfmt.Result, int, error) {
 		fmt.Printf("relay: %.0f envelopes carried %.0f transfers (%.1f msgs/envelope), %.0f splits\n",
 			env, xfers, xfers/env, counterSum(snap, "batch_splits"))
 	}
+	if p.policy != "" {
+		// The migration counters live un-prefixed in the driver registry, not
+		// under a per-server name — read them directly.
+		rhoMean, rhoMax := rhoGaugeStats(snap)
+		fmt.Printf("balance: policy=%s, %d migrations moved %.0f messages, "+
+			"%.0f deposits rerouted (%.0f loop-dropped), observed ρ mean %.3f max %.3f\n",
+			p.policy, snap.Counters["migrations_total"],
+			float64(snap.Counters["migration_cost"]),
+			counterSum(snap, "deposit_reroutes"), counterSum(snap, "reroute_loops_dropped"),
+			rhoMean, rhoMax)
+	}
 
 	bad := 0
 	if !rep.Ok {
@@ -414,6 +494,15 @@ func run(p params) (benchfmt.Result, int, error) {
 	fmt.Println()
 
 	m := metrics(rep, snap, elapsed, scale)
+	if p.policy != "" {
+		m["migrations"] = float64(rep.Migrations)
+		m["migrations_total"] = float64(snap.Counters["migrations_total"])
+		m["migration_cost"] = float64(snap.Counters["migration_cost"])
+		m["deposit_reroutes"] = counterSum(snap, "deposit_reroutes")
+		m["reroute_loops_dropped"] = counterSum(snap, "reroute_loops_dropped")
+		m["rho_obs_mean"], m["rho_obs_max"] = rhoGaugeStats(snap)
+		m["srate"] = srate
+	}
 	if wireDrv != nil {
 		if err := wireBurst(wireDrv.Addr(), p, m); err != nil {
 			return benchfmt.Result{}, 0, fmt.Errorf("wire burst: %w", err)
@@ -621,7 +710,39 @@ func benchName(p params) string {
 	if p.datadir != "" {
 		name += "/durable/fsync=" + p.fsync.String()
 	}
+	if p.policy != "" {
+		name += "/policy=" + p.policy
+		if p.policy == placement.NameJSQ {
+			name += fmt.Sprintf("/d=%d", p.jsqd)
+		}
+	}
+	if p.profStr != "" {
+		name += "/profile=" + strings.ReplaceAll(p.profStr, ":", "-")
+	}
 	return name
+}
+
+// rhoGaugeStats summarizes the per-server peak-ρ gauges an active placement
+// policy publishes (fixed-point, placement.RhoScale per unit). Peaks, not the
+// live ρ: by the time the run's final snapshot is taken the drain phase has
+// decayed every arrival EWMA to zero.
+func rhoGaugeStats(snap obs.Snapshot) (mean, max float64) {
+	n := 0
+	for k, v := range snap.Gauges {
+		if !strings.HasSuffix(k, ".rho_peak") {
+			continue
+		}
+		rho := float64(v) / placement.RhoScale
+		mean += rho
+		if rho > max {
+			max = rho
+		}
+		n++
+	}
+	if n > 0 {
+		mean /= float64(n)
+	}
+	return mean, max
 }
 
 // counterSum reads a logical counter from the snapshot: the netsim driver

@@ -19,8 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/largemail/largemail/internal/obs"
+	"github.com/largemail/largemail/internal/placement"
 	"github.com/largemail/largemail/internal/wire"
 )
 
@@ -120,6 +122,40 @@ func run(args []string) error {
 	return nil
 }
 
+// balanceLine summarizes the placement gauges an active policy publishes:
+// total queued mail, mean/max per-server ρ (fixed-point, placement.RhoScale),
+// and the migration counters. Empty when no policy is running.
+func balanceLine(snap wire.StatusSnapshot) string {
+	var qdepth int64
+	var rhoSum, rhoMax float64
+	rhoN := 0
+	for k, v := range snap.Gauges {
+		switch {
+		case strings.HasSuffix(k, ".qdepth"):
+			qdepth += v
+		case strings.HasSuffix(k, ".rho"):
+			rho := float64(v) / placement.RhoScale
+			rhoSum += rho
+			if rho > rhoMax {
+				rhoMax = rho
+			}
+			rhoN++
+		}
+	}
+	mig := snap.Counters["migrations_total"]
+	if rhoN == 0 && qdepth == 0 && mig == 0 {
+		return ""
+	}
+	line := fmt.Sprintf("balance: %d queued", qdepth)
+	if rhoN > 0 {
+		line += fmt.Sprintf(", ρ mean %.3f max %.3f over %d servers", rhoSum/float64(rhoN), rhoMax, rhoN)
+	}
+	if mig > 0 {
+		line += fmt.Sprintf(", %d migrations (%d messages moved)", mig, snap.Counters["migration_cost"])
+	}
+	return line
+}
+
 func fmtBytes(n int64) string {
 	if n >= 1e6 {
 		return fmt.Sprintf("%.2f MB", float64(n)/1e6)
@@ -144,6 +180,9 @@ func renderStatus(snap wire.StatusSnapshot) {
 			line += fmt.Sprintf(", decode p50 %.1fµs p99 %.1fµs over %d frames",
 				h.P50/1e3, h.P99/1e3, h.Count)
 		}
+		fmt.Println(line)
+	}
+	if line := balanceLine(snap); line != "" {
 		fmt.Println(line)
 	}
 	reg := obs.Snapshot{

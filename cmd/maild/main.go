@@ -27,6 +27,7 @@ import (
 
 	"github.com/largemail/largemail/internal/livenet"
 	"github.com/largemail/largemail/internal/mail/mailstore"
+	"github.com/largemail/largemail/internal/placement"
 	"github.com/largemail/largemail/internal/wire"
 )
 
@@ -44,12 +45,20 @@ func run(args []string) error {
 	datadir := fs.String("datadir", "", "durable store root (empty = memory-only stores)")
 	fsyncFlag := fs.String("fsync", "never", "WAL fsync policy with -datadir: never|always")
 	workers := fs.Int("workers", 0, "wire worker-pool size (0 = GOMAXPROCS)")
+	policyFlag := fs.String("policy", "", "placement policy for registrations that name no servers: static|jsq|rebalance (empty = all servers, registration order)")
+	jsqd := fs.Int("d", 2, "JSQ(d) sample width (with -policy jsq)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	fsync, err := mailstore.ParseFsyncMode(*fsyncFlag)
 	if err != nil {
 		return err
+	}
+	policy := ""
+	if *policyFlag != "" {
+		if policy, err = placement.ParseName(*policyFlag); err != nil {
+			return err
+		}
 	}
 	names := strings.Split(*servers, ",")
 	for i := range names {
@@ -61,6 +70,10 @@ func run(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if policy != "" {
+		installPolicy(srv.Cluster(), policy, *jsqd, names)
+		fmt.Printf("maild placement policy: %s\n", policy)
 	}
 	if *datadir != "" {
 		fmt.Printf("maild listening on %s with servers %v (durable: %s, fsync=%s)\n",
@@ -75,4 +88,28 @@ func run(args []string) error {
 	fmt.Println("maild: shutting down")
 	srv.Close()
 	return nil
+}
+
+// installPolicy builds the requested placement policy over the daemon's flat
+// fleet (one region, all named servers) and installs it on the cluster.
+// maild runs no engine tick, so "rebalance" places like static here —
+// migrations are executed by the loadgen drivers.
+func installPolicy(cl *livenet.Cluster, policy string, d int, names []string) {
+	world := placement.World{
+		Regions:          1,
+		ServersPerRegion: len(names),
+		HostsPerRegion:   len(names),
+		AuthorityLen:     2,
+	}
+	label := func(slot int) string { return names[slot] }
+	base := placement.NewRoundRobin(world)
+	var pol placement.Policy = base
+	pcfg := placement.Config{World: world, D: d, Gauges: cl.Obs(), Label: label}
+	switch policy {
+	case placement.NameJSQ:
+		pol = placement.NewJSQ(base, pcfg)
+	case placement.NameRebalance:
+		pol = placement.NewRebalancer(base, pcfg)
+	}
+	cl.SetPlacement(pol, label)
 }

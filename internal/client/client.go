@@ -273,6 +273,30 @@ func (a *Agent) Login() error {
 	return a.net.Send(a.host.id, srv, server.Login{User: a.user, Host: a.host.id})
 }
 
+// Seen reports whether the agent has already delivered this message to the
+// user — the query half of the dedup set NoteDelivered seeds. Migration
+// drains consult it so straggler copies are discarded rather than credited.
+func (a *Agent) Seen(id mail.MessageID) bool { return a.seen[id] }
+
+// NoteDelivered seeds the duplicate-suppression set with message IDs that
+// reached the user out of band — e.g. a §3.1.4 migration drain collected
+// server-side — and returns the IDs that were new to the agent. Already-seen
+// IDs are straggler copies (a transfer retry re-routed onto a newer
+// placement) and are counted as suppressed duplicates, exactly as if the
+// agent's own walk had retrieved them.
+func (a *Agent) NoteDelivered(ids []mail.MessageID) []mail.MessageID {
+	fresh := make([]mail.MessageID, 0, len(ids))
+	for _, id := range ids {
+		if a.seen[id] {
+			a.stats.Duplicates++
+			continue
+		}
+		a.seen[id] = true
+		fresh = append(fresh, id)
+	}
+	return fresh
+}
+
 // Logout withdraws the login.
 func (a *Agent) Logout() error {
 	srv, err := a.Connect()

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"path/filepath"
 	"sort"
@@ -26,6 +27,7 @@ import (
 	"github.com/largemail/largemail/internal/mailerr"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/obs"
+	"github.com/largemail/largemail/internal/placement"
 )
 
 // Errors reported by livenet operations. The availability and naming errors
@@ -132,10 +134,14 @@ type Server struct {
 	latencyNs atomic.Int64
 	dropMilli atomic.Int64
 
-	// Per-server named instruments ("<name>.deposits", "<name>.checks") in
-	// the cluster registry, so the status snapshot carries them per entity.
+	// Per-server named instruments ("<name>.deposits", "<name>.checks",
+	// "<name>.qdepth") in the cluster registry, so the status snapshot
+	// carries them per entity. qdepth tracks mail buffered awaiting pickup
+	// (fresh deposits minus drained retrievals) — the signal JSQ(d)
+	// placement samples.
 	deposits *obs.Counter
 	checks   *obs.Counter
+	qdepth   *obs.Gauge
 }
 
 // Name returns the server's identifier.
@@ -264,6 +270,7 @@ func (s *Server) Deposit(msg mail.Message, rcpt names.Name) error {
 	err := s.call(func(st *serverState) {
 		if st.store.Deposit(rcpt, msg, 0) {
 			s.deposits.Inc()
+			s.qdepth.Add(1)
 		}
 	})
 	return err
@@ -285,6 +292,7 @@ func (s *Server) DepositBatch(items []BatchDeposit) error {
 		for _, it := range items {
 			if st.store.Deposit(it.Rcpt, it.Msg, 0) {
 				s.deposits.Inc()
+				s.qdepth.Add(1)
 			}
 		}
 	})
@@ -297,6 +305,9 @@ func (s *Server) CheckMail(user names.Name) ([]mail.Stored, error) {
 	err := s.call(func(st *serverState) {
 		s.checks.Inc()
 		out = st.store.Drain(user)
+		if len(out) > 0 {
+			s.qdepth.Add(int64(-len(out)))
+		}
 	})
 	if err != nil {
 		return nil, err
@@ -433,6 +444,14 @@ type ClusterConfig struct {
 	DataDir string
 	// Fsync is the WAL fsync policy for durable stores.
 	Fsync mailstore.FsyncMode
+	// Placement, when set, is the cluster's placement policy: registrations
+	// that arrive without an explicit server list (wire "register") are
+	// placed by consulting it through PlaceUser. Nil keeps the historical
+	// default (every server, registration order).
+	Placement placement.Policy
+	// PlacementName maps a policy slot to a server name (default
+	// placement.DefaultLabel, "S<slot>" — mailbench/maild's convention).
+	PlacementName func(slot int) string
 }
 
 // Cluster is a set of live servers sharing a directory.
@@ -548,6 +567,7 @@ func (c *Cluster) AddServer(name string) (*Server, error) {
 		mkStore:  func() (*mailstore.Store, error) { return c.newStore(name) },
 		deposits: c.stats.Counter(name + ".deposits"),
 		checks:   c.stats.Counter(name + ".checks"),
+		qdepth:   c.stats.Gauge(name + ".qdepth"),
 		reqs:     make(chan request),
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -562,6 +582,47 @@ func (c *Cluster) AddServer(name string) (*Server, error) {
 	c.servers[name] = s
 	go s.loop(&serverState{store: st}, s.reqs, s.quit, s.done)
 	return s, nil
+}
+
+// PlaceUser consults the cluster's placement policy for a user's authority
+// list (nil without a policy, or when the policy places onto no known
+// server). The user's name is hashed to a stable index, so repeated
+// registrations of the same user are placed consistently by index-driven
+// policies while load-driven ones (JSQ) stay free to pick per call.
+func (c *Cluster) PlaceUser(user names.Name) []string {
+	c.mu.RLock()
+	pol, label := c.cfg.Placement, c.cfg.PlacementName
+	c.mu.RUnlock()
+	if pol == nil {
+		return nil
+	}
+	if label == nil {
+		label = placement.DefaultLabel
+	}
+	h := fnv.New32a()
+	h.Write([]byte(user.String()))
+	idx := int(h.Sum32() & 0x7fffffff)
+	var out []string
+	for _, slot := range pol.Place(placement.User{Index: idx, Host: -1}) {
+		name := label(slot)
+		if _, ok := c.Server(name); ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// SetPlacement installs (or replaces) the cluster's placement policy after
+// construction — the path a policy that samples the cluster's own registry
+// (JSQ) must take, since the registry does not exist until NewClusterWith
+// returns. A nil name keeps the configured slot-to-server mapping.
+func (c *Cluster) SetPlacement(pol placement.Policy, name func(slot int) string) {
+	c.mu.Lock()
+	c.cfg.Placement = pol
+	if name != nil {
+		c.cfg.PlacementName = name
+	}
+	c.mu.Unlock()
 }
 
 // KillServer kills a server by name (see Server.Kill).

@@ -1,6 +1,8 @@
 package loadgen
 
 import (
+	"sort"
+
 	"github.com/largemail/largemail/internal/faults"
 	"github.com/largemail/largemail/internal/obs"
 )
@@ -37,6 +39,69 @@ type ServerLoad struct {
 	Rho      float64 `json:"rho"`      // ρ_j = L_j / M_j
 	QWait    float64 `json:"q_wait"`   // Q(ρ_j) predicted queueing wait
 	Deposits int64   `json:"deposits"` // observed local deposits this run
+}
+
+// MigrationResult is what one placement migration yielded. Drained lists the
+// message IDs the pre-handover drain delivered to the user out-of-band — the
+// engine must credit them to the retrieval ledger or the no-loss audit would
+// flag them missing. Moved is false when the migration was refused (a server
+// involved was down, or the drain could not prove the old mailboxes empty);
+// the drain may have yielded messages regardless.
+type MigrationResult struct {
+	User    int
+	Drained []string
+	Moved   bool
+}
+
+// PlacementRebalancer is the optional driver extension behind the online
+// rebalancing placement policy (internal/placement). RebalanceActive reports
+// whether the configured policy migrates on ticks; the engine then calls
+// RebalanceTick once per tick after Step and credits the drained IDs.
+type PlacementRebalancer interface {
+	RebalanceActive() bool
+	RebalanceTick(tick int) []MigrationResult
+}
+
+// migrationCooldown is how many ticks a migrated user is pinned before the
+// rebalancer may move them again. Without it a two-server region ping-pongs
+// its hottest users across the mean every tick — each hop pure drain cost.
+const migrationCooldown = 16
+
+// rankByHeat orders candidate users hottest-first and returns, aligned with
+// the returned order, each candidate's expected-traffic weight plus the
+// total. A user's weight is their own retrieved-copy count plus their host's
+// per-user share of observed host traffic: the workload's skew lives on
+// hosts, so at large populations — where most individual users have not yet
+// received anything and per-user counts carry no signal — a hot host's users
+// are statistically hot, and moving them sheds future load in expectation.
+// Ranking by personal counts alone would spend the migration budget on
+// whoever happened to be polled already; ignoring personal counts would
+// waste it on cold mailboxes of lukewarm hosts. Ties break by index for
+// determinism.
+func rankByHeat(users []int, recv, hostRecv map[int]int64,
+	hostOf func(int) int, hostUsers func(int) int) ([]int, []float64, float64) {
+	weight := func(u int) float64 {
+		h := hostOf(u)
+		w := float64(recv[u])
+		if n := hostUsers(h); n > 0 {
+			w += float64(hostRecv[h]) / float64(n)
+		}
+		return w
+	}
+	sort.Slice(users, func(i, j int) bool {
+		wi, wj := weight(users[i]), weight(users[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return users[i] < users[j]
+	})
+	var total float64
+	weights := make([]float64, len(users))
+	for i, u := range users {
+		weights[i] = weight(u)
+		total += weights[i]
+	}
+	return users, weights, total
 }
 
 // Driver is the transport contract of the workload engine: a mail system

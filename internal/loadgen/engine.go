@@ -25,6 +25,9 @@ type Config struct {
 	RetrieveEvery int
 	// Workload sets the per-message distributions.
 	Workload Workload
+	// Profile shapes the recipient draw over time (hot-spot, diurnal wave,
+	// flash crowd). The zero value keeps the historical uniform draw.
+	Profile Profile
 	// Schedule, when non-nil, is a compiled fault schedule injected as its
 	// ticks come due. Its presence disables the strict §3.1.2c poll audit —
 	// extra polls during failures are the algorithm working as designed.
@@ -55,6 +58,9 @@ func (c Config) withDefaults(pop Population) Config {
 		c.RetrieveEvery = 4
 	}
 	c.Workload = c.Workload.withDefaults()
+	if c.Profile.Kind != "" {
+		c.Profile = c.Profile.withDefaults()
+	}
 	if c.SettleRounds <= 0 {
 		c.SettleRounds = 3
 	}
@@ -72,6 +78,7 @@ type Report struct {
 	Polls      int  // CheckMail calls across all retrievals
 	Duplicates int  // agent-side dedup suppressions
 	Ticks      int  // main-loop ticks actually run
+	Migrations int  // placement migrations executed by the rebalance policy
 	Ok         bool // zero auditor violations
 
 	Violations map[string]int // violation totals by kind
@@ -148,16 +155,28 @@ func (e *Engine) touch(u int) {
 	}
 }
 
-// pickRecipient draws one recipient ≠ from, local to the sender's region
-// with probability LocalBias.
-func (e *Engine) pickRecipient(from int) int {
+// pickRecipient draws one recipient ≠ from. The baseline draw is local to
+// the sender's region with probability LocalBias; an active profile overrides
+// the host choice — hot-spot and in-window flash draws concentrate on the
+// hot host set, diurnal draws weight regions by the rolling wave.
+func (e *Engine) pickRecipient(from, tick int) int {
 	pop := e.drv.Population()
+	prof := e.cfg.Profile
 	for try := 0; try < 8; try++ {
 		var gh int
-		if e.rng.Float64() < e.cfg.Workload.LocalBias {
+		switch {
+		case prof.active(tick) && prof.Kind != "diurnal" && e.rng.Float64() < prof.HotFraction:
+			hot := prof.HotHosts
+			if hot > pop.TotalHosts() {
+				hot = pop.TotalHosts()
+			}
+			gh = e.rng.Intn(hot)
+		case prof.active(tick) && prof.Kind == "diurnal":
+			gh = e.diurnalHost(tick)
+		case e.rng.Float64() < e.cfg.Workload.LocalBias:
 			r := pop.RegionOf(from)
 			gh = r*pop.HostsPerRegion + e.rng.Intn(pop.HostsPerRegion)
-		} else {
+		default:
 			gh = e.rng.Intn(pop.TotalHosts())
 		}
 		n := pop.UsersOnHost(gh)
@@ -172,13 +191,42 @@ func (e *Engine) pickRecipient(from int) int {
 	return (from + 1) % pop.Users
 }
 
+// diurnalHost samples a host with its region drawn from the wave weights.
+func (e *Engine) diurnalHost(tick int) int {
+	pop := e.drv.Population()
+	total := 0.0
+	weights := make([]float64, pop.Regions)
+	for r := range weights {
+		weights[r] = e.cfg.Profile.regionWeight(r, pop.Regions, tick)
+		total += weights[r]
+	}
+	x := e.rng.Float64() * total
+	r := 0
+	for ; r < len(weights)-1; r++ {
+		if x < weights[r] {
+			break
+		}
+		x -= weights[r]
+	}
+	return r*pop.HostsPerRegion + e.rng.Intn(pop.HostsPerRegion)
+}
+
+// think samples the sender's pause until its next send; during a flash-crowd
+// window everyone types as fast as they can.
+func (e *Engine) think(tick int) int {
+	if e.cfg.Profile.Kind == "flash" && e.cfg.Profile.active(tick) {
+		return e.cfg.Workload.ThinkMin
+	}
+	return e.cfg.Workload.sampleThink(e.rng)
+}
+
 func (e *Engine) fire(s *session, tick int, rep *Report) {
 	w := e.cfg.Workload
 	n := w.sampleRecipients(e.rng)
 	rcpts := make([]int, 0, n)
 	seen := map[int]bool{s.user: true}
 	for len(rcpts) < n {
-		u := e.pickRecipient(s.user)
+		u := e.pickRecipient(s.user, tick)
 		if seen[u] {
 			break // small population: accept fewer recipients over looping
 		}
@@ -228,7 +276,12 @@ func (e *Engine) sweep(rep *Report) int {
 // message budget is spent — then drain, settle, and close the audit.
 func (e *Engine) Run() Report {
 	pop := e.drv.Population()
-	pollStrict := e.cfg.Schedule == nil && e.OnTick == nil
+	// An active rebalancer also relaxes the strict poll audit: every
+	// migration hands the user a fresh authority list, whose first retrieval
+	// legitimately polls the whole list.
+	rb, _ := e.drv.(PlacementRebalancer)
+	rebalancing := rb != nil && rb.RebalanceActive()
+	pollStrict := e.cfg.Schedule == nil && e.OnTick == nil && !rebalancing
 	e.aud = NewAuditors(pop.AuthorityLen, pollStrict)
 	var rep Report
 
@@ -254,13 +307,23 @@ func (e *Engine) Run() Report {
 		for _, s := range e.sessions {
 			if tick >= s.next && e.submitted < e.cfg.Messages {
 				e.fire(s, tick, &rep)
-				s.next = tick + e.cfg.Workload.sampleThink(e.rng)
+				s.next = tick + e.think(tick)
 			}
 		}
 		if tick > 0 && tick%e.cfg.RetrieveEvery == 0 {
 			e.sweep(&rep)
 		}
 		e.drv.Step(1)
+		if rebalancing {
+			for _, m := range rb.RebalanceTick(tick) {
+				if m.Moved {
+					rep.Migrations++
+				}
+				if len(m.Drained) > 0 {
+					e.CreditRetrieved(m.User, m.Drained)
+				}
+			}
+		}
 		if e.OnTick != nil {
 			e.OnTick(tick)
 		}

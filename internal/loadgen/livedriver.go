@@ -3,6 +3,7 @@ package loadgen
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/largemail/largemail/internal/faults"
@@ -10,6 +11,7 @@ import (
 	"github.com/largemail/largemail/internal/mail/mailstore"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/obs"
+	"github.com/largemail/largemail/internal/placement"
 	"github.com/largemail/largemail/internal/queueing"
 )
 
@@ -44,6 +46,23 @@ type LiveConfig struct {
 	DataDir string
 	// Fsync is the WAL fsync policy when DataDir is set.
 	Fsync mailstore.FsyncMode
+
+	// Policy selects the placement policy ("static", "jsq", "rebalance").
+	// Empty keeps the historical hard-wired round-robin path untouched;
+	// "static" routes the same round-robin lists through the placement seam.
+	Policy string
+	// JSQD is JSQ(d)'s sample width (0 = d=2).
+	JSQD int
+	// ServiceRate is each server's service capacity in deposits per tick;
+	// > 0 publishes arrival-rate ρ on the "<name>.rho" gauges and slows
+	// servers pushed past ρ=1 (injected latency), mirroring the sim driver's
+	// congestion loop on wall-clock time. Zero publishes placement-share ρ
+	// and leaves latency alone.
+	ServiceRate float64
+	// MaxMigrationsPerTick / HysteresisBand tune the rebalancer (zero =
+	// placement defaults).
+	MaxMigrationsPerTick int
+	HysteresisBand       float64
 }
 
 // LiveDriver drives the livenet transport: goroutine servers, wall-clock
@@ -59,6 +78,16 @@ type LiveDriver struct {
 
 	agents    map[int]*livenet.Agent
 	prevPolls map[int]int
+
+	// Placement-policy state (nil/empty when cfg.Policy == "").
+	policy   placement.Policy
+	world    placement.World
+	bySlot   []map[int]struct{} // per slot: materialized users homed there
+	rehomed  map[int]int        // users moved off their base placement → tick of the move
+	recv     map[int]int64      // per user: copies retrieved (the traffic signal migrations rank by)
+	recvHost map[int]int64      // per host: copies retrieved by its users (locates workload skew)
+	prevDep  []int64
+	arrEWMA  []float64
 }
 
 // NewLiveDriver builds the cluster and starts one goroutine per server.
@@ -67,6 +96,11 @@ func NewLiveDriver(cfg LiveConfig) (*LiveDriver, error) {
 	cfg.Pop = cfg.Pop.withDefaults()
 	if cfg.Tick <= 0 {
 		cfg.Tick = 2 * time.Millisecond
+	}
+	if cfg.Policy != "" {
+		if _, err := placement.ParseName(cfg.Policy); err != nil {
+			return nil, err
+		}
 	}
 	d := &LiveDriver{
 		cfg: cfg,
@@ -91,7 +125,49 @@ func NewLiveDriver(cfg LiveConfig) (*LiveDriver, error) {
 			return nil, err
 		}
 	}
+	if cfg.Policy != "" {
+		d.initPolicy()
+	}
 	return d, nil
+}
+
+// initPolicy builds the configured placement policy over the round-robin
+// reference — the live transport's historical static placement. Slot gs IS
+// server "S<gs>", so the placement default label convention applies as-is.
+func (d *LiveDriver) initPolicy() {
+	p := d.pop
+	d.world = placement.World{
+		Regions:          p.Regions,
+		ServersPerRegion: p.ServersPerRegion,
+		HostsPerRegion:   p.HostsPerRegion,
+		AuthorityLen:     p.AuthorityLen,
+	}
+	base := placement.NewRoundRobin(d.world)
+	pcfg := placement.Config{
+		World: d.world, Seed: int64(p.Users), D: d.cfg.JSQD,
+		Gauges:               d.cluster.Obs(),
+		MaxMigrationsPerTick: d.cfg.MaxMigrationsPerTick,
+		HysteresisBand:       d.cfg.HysteresisBand,
+	}
+	switch d.cfg.Policy {
+	case placement.NameJSQ:
+		d.policy = placement.NewJSQ(base, pcfg)
+	case placement.NameRebalance:
+		d.policy = placement.NewRebalancer(base, pcfg)
+	default:
+		d.policy = base
+	}
+	n := d.world.TotalServers()
+	d.bySlot = make([]map[int]struct{}, n)
+	for i := range d.bySlot {
+		d.bySlot[i] = make(map[int]struct{})
+	}
+	d.prevDep = make([]int64, n)
+	d.arrEWMA = make([]float64, n)
+	d.rehomed = make(map[int]int)
+	d.recv = make(map[int]int64)
+	d.recvHost = make(map[int]int64)
+	d.refreshGauges(1)
 }
 
 // Close stops the spool and every server goroutine.
@@ -121,7 +197,17 @@ func (d *LiveDriver) ensure(u int) (*livenet.Agent, names.Name, error) {
 	if ag, ok := d.agents[u]; ok {
 		return ag, name, nil
 	}
-	d.cluster.Directory().SetAuthority(name, d.authority(u))
+	list := d.authority(u)
+	if d.policy != nil {
+		if slots := d.policy.Place(placement.User{Index: u, Host: d.pop.HostOf(u)}); len(slots) > 0 {
+			list = make([]string, len(slots))
+			for i, s := range slots {
+				list[i] = d.serverName(s)
+			}
+			d.bySlot[slots[0]][u] = struct{}{}
+		}
+	}
+	d.cluster.Directory().SetAuthority(name, list)
 	ag, err := d.cluster.NewAgent(name)
 	if err != nil {
 		return nil, name, err
@@ -168,6 +254,10 @@ func (d *LiveDriver) Retrieve(u int) RetrieveResult {
 		return RetrieveResult{}
 	}
 	got := ag.GetMail()
+	if d.policy != nil {
+		d.recv[u] += int64(len(got))
+		d.recvHost[d.pop.HostOf(u)] += int64(len(got))
+	}
 	res := RetrieveResult{
 		Polls:        ag.Polls() - d.prevPolls[u],
 		LastChecking: ag.LastCheckingTime().UnixNano(),
@@ -179,11 +269,169 @@ func (d *LiveDriver) Retrieve(u int) RetrieveResult {
 	return res
 }
 
-// Step implements Driver: one tick is a short wall-clock sleep.
+// Step implements Driver: one tick is a short wall-clock sleep. With a
+// placement policy configured each Step also refreshes the per-server ρ and
+// placed gauges (qdepth is maintained inline by the servers).
 func (d *LiveDriver) Step(n int) {
 	if n > 0 {
 		time.Sleep(time.Duration(n) * d.cfg.Tick)
 	}
+	if d.policy != nil && n > 0 {
+		d.refreshGauges(n)
+	}
+}
+
+// refreshGauges publishes "<name>.rho" / "<name>.placed" for every server
+// from the deposit counters, mirroring the sim driver's loop: arrival-rate
+// EWMA over ServiceRate when the congestion model is on, placement share
+// otherwise; overloaded servers get injected latency proportional to their
+// overload (capped at 4 ticks).
+func (d *LiveDriver) refreshGauges(ticks int) {
+	reg := d.cluster.Obs()
+	perServer := 0
+	if d.pop.TotalServers() > 0 {
+		perServer = d.pop.Users / d.pop.TotalServers()
+	}
+	maxLoad := perServer + perServer/4 + 4
+	for slot := 0; slot < d.world.TotalServers(); slot++ {
+		name := d.serverName(slot)
+		dep := reg.Counter(name + ".deposits").Value()
+		perTick := float64(dep-d.prevDep[slot]) / float64(ticks)
+		d.arrEWMA[slot] = ewmaAlpha*perTick + (1-ewmaAlpha)*d.arrEWMA[slot]
+		d.prevDep[slot] = dep
+		var rho float64
+		if d.cfg.ServiceRate > 0 {
+			rho = d.arrEWMA[slot] / d.cfg.ServiceRate
+		} else if maxLoad > 0 {
+			rho = float64(len(d.bySlot[slot])) / float64(maxLoad)
+		}
+		fixed := int64(rho * placement.RhoScale)
+		reg.Gauge(name + ".rho").Set(fixed)
+		if peak := reg.Gauge(name + ".rho_peak"); fixed > peak.Value() {
+			peak.Set(fixed)
+		}
+		reg.Gauge(name + ".placed").Set(int64(len(d.bySlot[slot])))
+		if d.cfg.ServiceRate > 0 {
+			if s, ok := d.cluster.Server(name); ok {
+				var extra time.Duration
+				if over := rho - 1; over > 0 {
+					if over > 4 {
+						over = 4
+					}
+					extra = time.Duration(over * float64(d.cfg.Tick))
+				}
+				s.SetLatency(extra)
+			}
+		}
+	}
+}
+
+// RebalanceActive implements PlacementRebalancer.
+func (d *LiveDriver) RebalanceActive() bool {
+	return d.policy != nil && d.policy.Name() == placement.NameRebalance
+}
+
+// RebalanceTick implements PlacementRebalancer on the live transport. The
+// §3.1.4 handover is only attempted in calm conditions — empty spool (a
+// spooled entry is a deposit still in flight somewhere), every involved
+// server up and reachable, no servers owed a recovery visit — because only
+// then does a drain prove the old mailboxes empty; otherwise the user is
+// left put and the next tick retries.
+func (d *LiveDriver) RebalanceTick(tick int) []MigrationResult {
+	if d.policy == nil {
+		return nil
+	}
+	if d.cluster.SpoolDepth() > 0 {
+		return nil
+	}
+	migs := d.policy.Rebalance(d.Snapshot())
+	var out []MigrationResult
+	for _, mg := range migs {
+		users, weights, total := rankByHeat(d.liveUsersOnSlot(mg.From),
+			d.recv, d.recvHost, d.pop.HostOf, d.pop.UsersOnHost)
+		target := mg.Frac * total
+		var shed float64
+		moved := 0
+		for i, u := range users {
+			if moved >= mg.Count || (target > 0 && shed >= target) {
+				break
+			}
+			if last, ok := d.rehomed[u]; ok && tick-last < migrationCooldown {
+				continue // recently moved; let the load observation settle
+			}
+			res := d.migrateToSlot(u, mg.From, mg.To, tick)
+			if res.Moved {
+				moved++
+				shed += weights[i]
+			}
+			if res.Moved || len(res.Drained) > 0 {
+				out = append(out, res)
+			}
+		}
+	}
+	return out
+}
+
+func (d *LiveDriver) liveUsersOnSlot(slot int) []int {
+	if slot < 0 || slot >= len(d.bySlot) {
+		return nil
+	}
+	out := make([]int, 0, len(d.bySlot[slot]))
+	for u := range d.bySlot[slot] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// migrateToSlot re-homes one live user onto slot to: drain under the old
+// list, then swap the directory entry to a list led by the target with the
+// old servers kept as secondaries (the agent re-reads the directory on every
+// GetMail, so the swap is the whole handover).
+func (d *LiveDriver) migrateToSlot(u, from, to, tick int) MigrationResult {
+	res := MigrationResult{User: u}
+	ag := d.agents[u]
+	if ag == nil {
+		return res
+	}
+	name := d.pop.Name(u)
+	toName := d.serverName(to)
+	if s, ok := d.cluster.Server(toName); !ok || !s.Up() || !s.Reachable() {
+		return res
+	}
+	old := d.cluster.Directory().Authority(name)
+	for _, sv := range old {
+		if s, ok := d.cluster.Server(sv); !ok || !s.Up() || !s.Reachable() {
+			return res
+		}
+	}
+	if len(ag.PreviouslyUnavailable()) > 0 {
+		return res
+	}
+	for _, m := range ag.GetMail() {
+		res.Drained = append(res.Drained, m.ID.String())
+	}
+	d.recv[u] += int64(len(res.Drained)) // drained mail is traffic too
+	d.recvHost[d.pop.HostOf(u)] += int64(len(res.Drained))
+	d.prevPolls[u] = ag.Polls() // the drain's polls are not the next sweep's
+	if len(ag.PreviouslyUnavailable()) > 0 {
+		return res // a server failed mid-drain; keep the user put
+	}
+	newList := make([]string, 0, len(old)+1)
+	newList = append(newList, toName)
+	for _, sv := range old {
+		if sv != toName {
+			newList = append(newList, sv)
+		}
+	}
+	d.cluster.Directory().SetAuthority(name, newList)
+	delete(d.bySlot[from], u)
+	d.bySlot[to][u] = struct{}{}
+	d.rehomed[u] = tick
+	res.Moved = true
+	d.cluster.Obs().Counter("migrations_total").Inc()
+	d.cluster.Obs().Counter("migration_cost").Add(int64(len(res.Drained)))
+	return res
 }
 
 // Settle implements Driver: wait for the redelivery spool to drain.

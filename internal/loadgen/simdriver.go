@@ -15,6 +15,7 @@ import (
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/netsim"
 	"github.com/largemail/largemail/internal/obs"
+	"github.com/largemail/largemail/internal/placement"
 	"github.com/largemail/largemail/internal/queueing"
 	"github.com/largemail/largemail/internal/server"
 	"github.com/largemail/largemail/internal/sim"
@@ -61,6 +62,27 @@ type SimConfig struct {
 	DataDir string
 	// Fsync is the WAL fsync policy when DataDir is set.
 	Fsync mailstore.FsyncMode
+
+	// Policy selects the placement policy ("static", "jsq", "rebalance").
+	// Empty keeps the driver's historical hard-wired path — byte-identical
+	// behavior, no gauges, no policy object at all. "static" routes the same
+	// §3.1.1 lists through the placement.Policy seam (pinned equivalent).
+	Policy string
+	// JSQD is JSQ(d)'s sample width (0 = the classic d=2).
+	JSQD int
+	// ServiceRate is each server's service capacity in deposits per tick.
+	// When > 0 the driver closes the feedback loop that gives online
+	// policies something to win: per tick it estimates each server's
+	// utilization ρ as EWMA(deposit arrivals)/ServiceRate, publishes it on
+	// the "<server>.rho" gauge, and inflates the network delay of servers
+	// pushed past ρ=1 — queueing delay, §2.2's "minimize the mail delay" in
+	// observable form. Zero publishes placement-share ρ instead and leaves
+	// delays alone.
+	ServiceRate float64
+	// MaxMigrationsPerTick / HysteresisBand tune the rebalancer (zero =
+	// placement defaults: 32 moves/tick, ±25% band).
+	MaxMigrationsPerTick int
+	HysteresisBand       float64
 }
 
 // SimDriver drives the discrete-event transport: it builds its own regional
@@ -85,14 +107,27 @@ type SimDriver struct {
 	maxLoad   int                  // per-server capacity M_j
 
 	servers map[graph.NodeID]*server.Server
-	active  []graph.NodeID                 // wired servers, sorted
-	spares  [][]graph.NodeID               // per region, unwired spare nodes
+	active  []graph.NodeID                  // wired servers, sorted
+	spares  [][]graph.NodeID                // per region, unwired spare nodes
 	lists   map[graph.NodeID][]graph.NodeID // per-host authority lists, current
 
 	hosts   map[graph.NodeID]*client.Host
 	agents  map[int]*client.Agent
 	nameOf  map[int]names.Name // overrides for migrated users
 	hostIdx map[int]int        // overrides for migrated users' host index
+
+	// Placement-policy state (nil/empty when cfg.Policy == "": the legacy
+	// hard-wired path, untouched).
+	policy    placement.Policy
+	staticPol *placement.Static // base reference, for cache invalidation
+	world     placement.World
+	bySlot    []map[int]struct{} // per slot: materialized users homed there
+	rehomed   map[int]int        // users moved off their static placement → tick of the move
+	recv      map[int]int64      // per user: copies retrieved (the traffic signal migrations rank by)
+	recvHost  map[int]int64      // per host: copies retrieved by its users (locates workload skew)
+	prevDep   []int64            // per slot: deposits_local at last gauge tick
+	arrEWMA   []float64          // per slot: smoothed deposit arrivals/tick
+	ticks     int                // schedule ticks stepped so far (policy mode)
 }
 
 // NewSimDriver builds the simulated world for a population.
@@ -100,6 +135,11 @@ func NewSimDriver(cfg SimConfig) (*SimDriver, error) {
 	cfg.Pop = cfg.Pop.withDefaults()
 	if cfg.Tick <= 0 {
 		cfg.Tick = 10 * sim.Unit
+	}
+	if cfg.Policy != "" {
+		if _, err := placement.ParseName(cfg.Policy); err != nil {
+			return nil, err
+		}
 	}
 	p := cfg.Pop
 	d := &SimDriver{
@@ -171,6 +211,8 @@ func NewSimDriver(cfg SimConfig) (*SimDriver, error) {
 				BatchSize: cfg.BatchSize, FlushInterval: cfg.FlushInterval,
 				StoreShards: cfg.StoreShards, RetryTimeout: cfg.RetryTimeout,
 				DataDir: d.serverDataDir(sv), Fsync: cfg.Fsync,
+				PlacementReroute: d.onlinePolicy(),
+				SpreadRelay:      d.onlinePolicy(),
 			})
 			if err != nil {
 				return nil, err
@@ -190,16 +232,102 @@ func NewSimDriver(cfg SimConfig) (*SimDriver, error) {
 		}
 	}
 	sort.Slice(d.active, func(i, j int) bool { return d.active[i] < d.active[j] })
+	if cfg.Policy != "" {
+		if err := d.initPolicy(); err != nil {
+			return nil, err
+		}
+	}
 	return d, nil
+}
+
+// onlinePolicy reports whether the configured policy can change a user's
+// placement after registration — the modes that need deposit-time re-routing
+// on the servers.
+func (d *SimDriver) onlinePolicy() bool {
+	return d.cfg.Policy == placement.NameJSQ || d.cfg.Policy == placement.NameRebalance
+}
+
+// initPolicy builds the configured placement policy over the driver's
+// §3.1.1 assignments. The policy world indexes the wired fleet only: servers
+// added from the spare pool later keep working but stay outside JSQ sampling
+// and rebalancing.
+func (d *SimDriver) initPolicy() error {
+	p := d.pop
+	d.world = placement.World{
+		Regions:          p.Regions,
+		ServersPerRegion: p.ServersPerRegion,
+		HostsPerRegion:   p.HostsPerRegion,
+		AuthorityLen:     p.AuthorityLen,
+	}
+	static, err := placement.NewStatic(placement.StaticConfig{
+		World:    d.world,
+		Assigns:  d.assigns,
+		HostNode: hostID,
+		SlotOf:   d.nodeSlot,
+	})
+	if err != nil {
+		return err
+	}
+	d.staticPol = static
+	pcfg := placement.Config{
+		World: d.world, Seed: d.cfg.Seed, D: d.cfg.JSQD,
+		Gauges: d.reg, Label: d.slotLabel,
+		MaxMigrationsPerTick: d.cfg.MaxMigrationsPerTick,
+		HysteresisBand:       d.cfg.HysteresisBand,
+	}
+	switch d.cfg.Policy {
+	case placement.NameJSQ:
+		d.policy = placement.NewJSQ(static, pcfg)
+	case placement.NameRebalance:
+		d.policy = placement.NewRebalancer(static, pcfg)
+	default:
+		d.policy = static
+	}
+	n := d.world.TotalServers()
+	d.bySlot = make([]map[int]struct{}, n)
+	for i := range d.bySlot {
+		d.bySlot[i] = make(map[int]struct{})
+	}
+	d.rehomed = make(map[int]int)
+	d.recv = make(map[int]int64)
+	d.recvHost = make(map[int]int64)
+	d.prevDep = make([]int64, n)
+	d.arrEWMA = make([]float64, n)
+	d.refreshGauges() // publish zeros so JSQ's first samples resolve
+	return nil
+}
+
+// slotNode maps a placement slot (region-major over wired servers) to its
+// node ID; nodeSlot is the inverse (ok=false for spare-pool nodes, which are
+// outside the policy world). slotLabel names a slot's instruments with the
+// driver's raw server label, which counts spare slots — placement's default
+// "S<slot>" would collide with a different server whenever spares exist.
+func (d *SimDriver) slotNode(slot int) graph.NodeID {
+	slots := d.pop.ServersPerRegion + d.cfg.SpareServersPerRegion
+	return d.serverID(slot/d.pop.ServersPerRegion*slots + slot%d.pop.ServersPerRegion)
+}
+
+func (d *SimDriver) nodeSlot(id graph.NodeID) (int, bool) {
+	raw := int(id - simServerBase - 1)
+	slots := d.pop.ServersPerRegion + d.cfg.SpareServersPerRegion
+	r, j := raw/slots, raw%slots
+	if r < 0 || r >= d.pop.Regions || j >= d.pop.ServersPerRegion {
+		return 0, false
+	}
+	return r*d.pop.ServersPerRegion + j, true
+}
+
+func (d *SimDriver) slotLabel(slot int) string {
+	return serverLabel(int(d.slotNode(slot) - simServerBase - 1))
 }
 
 // hostID maps a global host index to its node ID; serverID likewise for a
 // global server index (region r, slot j → r*ServersPerRegion+j; spare slots
 // continue past the wired ones).
-func hostID(gh int) graph.NodeID   { return simHostBase + 1 + graph.NodeID(gh) }
+func hostID(gh int) graph.NodeID                  { return simHostBase + 1 + graph.NodeID(gh) }
 func (d *SimDriver) serverID(gs int) graph.NodeID { return simServerBase + 1 + graph.NodeID(gs) }
 
-func hostLabel(gh int) string { return fmt.Sprintf("H%d", gh) }
+func hostLabel(gh int) string   { return fmt.Sprintf("H%d", gh) }
 func serverLabel(gs int) string { return fmt.Sprintf("S%d", gs) }
 
 // serverDataDir returns the durable store directory for a server node, or
@@ -319,6 +447,27 @@ func (d *SimDriver) ensure(u int) (*client.Agent, error) {
 	gh := d.userHost(u)
 	h := hostID(gh)
 	list := d.lists[h]
+	if d.policy != nil {
+		if slots := d.policy.Place(placement.User{Index: u, Host: gh}); len(slots) > 0 {
+			static := list
+			list = make([]graph.NodeID, len(slots))
+			offStatic := len(slots) != len(static)
+			for i, s := range slots {
+				list[i] = d.slotNode(s)
+				if !offStatic && list[i] != static[i] {
+					offStatic = true
+				}
+			}
+			d.bySlot[slots[0]][u] = struct{}{}
+			if offStatic {
+				// A load-aware placement (JSQ sample, admission diversion)
+				// is a rehoming the moment it happens: refreshRegion must
+				// not snap the user back to the static list on the next
+				// reconfiguration — mail already sits on the chosen primary.
+				d.rehomed[u] = d.ticks
+			}
+		}
+	}
 	if len(list) == 0 {
 		return nil, fmt.Errorf("loadgen: host %d has no authority list", h)
 	}
@@ -375,6 +524,10 @@ func (d *SimDriver) Retrieve(u int) RetrieveResult {
 	before := a.Stats()
 	msgs := a.GetMail()
 	after := a.Stats()
+	if d.policy != nil {
+		d.recv[u] += int64(len(msgs))
+		d.recvHost[d.pop.HostOf(u)] += int64(len(msgs))
+	}
 	ids := make([]string, len(msgs))
 	for i, m := range msgs {
 		ids[i] = m.ID.String()
@@ -387,8 +540,71 @@ func (d *SimDriver) Retrieve(u int) RetrieveResult {
 	}
 }
 
-// Step implements Driver.
-func (d *SimDriver) Step(n int) { d.sched.RunFor(sim.Time(n) * d.cfg.Tick) }
+// Step implements Driver. With a placement policy configured, every tick
+// also refreshes the per-server gauges the policies observe and, when
+// ServiceRate closes the loop, the congestion delays.
+func (d *SimDriver) Step(n int) {
+	if d.policy == nil {
+		d.sched.RunFor(sim.Time(n) * d.cfg.Tick)
+		return
+	}
+	for i := 0; i < n; i++ {
+		d.sched.RunFor(d.cfg.Tick)
+		d.ticks++
+		d.refreshGauges()
+	}
+}
+
+// ewmaAlpha smooths per-tick deposit arrivals into the ρ estimate: high
+// enough to track a flash crowd within a few ticks, low enough that one
+// bursty tick does not trigger migrations on its own.
+const ewmaAlpha = 0.3
+
+// refreshGauges publishes each wired server's observability gauges —
+// "<label>.qdepth" (deposits − retrievals: mail buffered awaiting pickup),
+// "<label>.rho" (utilization, RhoScale fixed-point) and "<label>.placed"
+// (users homed there) — and, when ServiceRate > 0, applies the congestion
+// feedback: a server with ρ>1 gets extra per-message delay proportional to
+// its overload (capped at 4 ticks), which is what makes hot placement
+// decisions visibly slow and gives the online policies their signal.
+func (d *SimDriver) refreshGauges() {
+	for slot := 0; slot < d.world.TotalServers(); slot++ {
+		id := d.slotNode(slot)
+		srv, ok := d.servers[id]
+		if !ok {
+			continue // removed from service
+		}
+		label := d.slotLabel(slot)
+		dep := srv.Stats().Get("deposits_local")
+		d.reg.Gauge(label + ".qdepth").Set(dep - srv.Stats().Get("retrieved_msgs"))
+		d.arrEWMA[slot] = ewmaAlpha*float64(dep-d.prevDep[slot]) + (1-ewmaAlpha)*d.arrEWMA[slot]
+		d.prevDep[slot] = dep
+		var rho float64
+		if d.cfg.ServiceRate > 0 {
+			rho = d.arrEWMA[slot] / d.cfg.ServiceRate
+		} else if d.maxLoad > 0 {
+			rho = float64(len(d.bySlot[slot])) / float64(d.maxLoad)
+		}
+		fixed := int64(rho * placement.RhoScale)
+		d.reg.Gauge(label + ".rho").Set(fixed)
+		// Peak ρ survives the drain phase (where the EWMA decays to zero),
+		// so post-run reports see how hot the run actually got.
+		if peak := d.reg.Gauge(label + ".rho_peak"); fixed > peak.Value() {
+			peak.Set(fixed)
+		}
+		d.reg.Gauge(label + ".placed").Set(int64(len(d.bySlot[slot])))
+		if d.cfg.ServiceRate > 0 {
+			var extra sim.Time
+			if over := rho - 1; over > 0 {
+				if over > 4 {
+					over = 4
+				}
+				extra = sim.Time(over * float64(d.cfg.Tick))
+			}
+			d.net.SetExtraDelay(id, extra)
+		}
+	}
+}
 
 // Settle implements Driver: run the simulator to quiescence so retry timers
 // and in-flight transfers complete.
@@ -542,13 +758,183 @@ func (d *SimDriver) ServerLoads() []ServerLoad {
 	return out
 }
 
+// RebalanceActive implements PlacementRebalancer: only the rebalance policy
+// migrates on ticks.
+func (d *SimDriver) RebalanceActive() bool {
+	return d.policy != nil && d.policy.Name() == placement.NameRebalance
+}
+
+// RebalanceTick implements PlacementRebalancer: consult the policy with the
+// current snapshot and execute the migrations it emits through the §3.1.4
+// machinery. Returns one result per user whose authority list changed or
+// whose drain surfaced messages (the engine credits those to its ledger).
+func (d *SimDriver) RebalanceTick(tick int) []MigrationResult {
+	if d.policy == nil {
+		return nil
+	}
+	migs := d.policy.Rebalance(d.Snapshot())
+	var out []MigrationResult
+	for _, mg := range migs {
+		users, weights, total := rankByHeat(d.usersOnSlot(mg.From),
+			d.recv, d.recvHost, d.pop.HostOf, d.pop.UsersOnHost)
+		target := mg.Frac * total
+		var shed float64
+		moved := 0
+		for i, u := range users {
+			if moved >= mg.Count || (target > 0 && shed >= target) {
+				break
+			}
+			if last, ok := d.rehomed[u]; ok && tick-last < migrationCooldown {
+				continue // recently moved; let the load observation settle
+			}
+			res := d.migrateToSlot(u, mg.From, mg.To, tick)
+			if res.Moved {
+				moved++
+				shed += weights[i]
+			}
+			if res.Moved || len(res.Drained) > 0 {
+				out = append(out, res)
+			}
+		}
+	}
+	return out
+}
+
+// usersOnSlot returns the materialized users homed on a slot, sorted for
+// deterministic migration order.
+func (d *SimDriver) usersOnSlot(slot int) []int {
+	if slot < 0 || slot >= len(d.bySlot) {
+		return nil
+	}
+	out := make([]int, 0, len(d.bySlot[slot]))
+	for u := range d.bySlot[slot] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// migrateToSlot re-homes one user's mailbox service onto slot to — the
+// §3.1.4 handover, ordered so no message can strand:
+//
+//  1. Re-register: swap the directory to a fresh list led by the target
+//     whose backups come from OUTSIDE the old list. From this instant every
+//     transfer still in the network addressed under the old placement is
+//     misplaced on arrival and re-routes to the new list (the servers'
+//     deposit-time redirect, Config.PlacementReroute).
+//  2. Drain: empty the old mailboxes server-side. Both steps run inside the
+//     driver with no simulator event in between, so nothing can land on an
+//     old server after its drain.
+//
+// Draining first (through the agent's walk) and swapping after — the naive
+// order — leaves a window where an in-flight transfer lands on an old server
+// the §3.1.2c walk will never revisit, because the walk stops at the first
+// live stable server: the new primary.
+//
+// The migration is refused — not deferred, the next tick retries naturally —
+// while any involved server is down or the user's walk still owes visits to
+// recovered servers, because a drain under those conditions cannot prove the
+// old mailboxes are empty.
+func (d *SimDriver) migrateToSlot(u, from, to, tick int) MigrationResult {
+	res := MigrationResult{User: u}
+	a := d.agents[u]
+	if a == nil {
+		return res
+	}
+	toNode := d.slotNode(to)
+	if !d.net.IsUp(toNode) {
+		return res
+	}
+	old := a.Authority()
+	for _, sv := range old {
+		if !d.net.IsUp(sv) {
+			return res
+		}
+	}
+	if len(a.PreviouslyUnavailable()) > 0 {
+		return res
+	}
+	newList := d.migrationList(to, old)
+	name := d.UserName(u)
+	r := d.regionIndex(name.Region)
+	if err := d.dirs[r].SetAuthority(name, newList); err != nil {
+		return res
+	}
+	var drainedIDs []mail.MessageID
+	for _, sv := range old {
+		srv, ok := d.servers[sv]
+		if !ok {
+			continue
+		}
+		// Drain with the agent's dedup set: straggler copies (re-routed
+		// retries of mail the user already has) are removed but neither
+		// stamped nor credited.
+		for _, m := range srv.DrainMailbox(name, a.Seen) {
+			drainedIDs = append(drainedIDs, m.ID)
+		}
+	}
+	// The agent never saw the drain — seed its duplicate suppression, or a
+	// later straggler of a drained message would deliver as fresh.
+	for _, id := range a.NoteDelivered(drainedIDs) {
+		res.Drained = append(res.Drained, id.String())
+	}
+	d.recv[u] += int64(len(res.Drained)) // drained mail is traffic too
+	d.recvHost[d.pop.HostOf(u)] += int64(len(res.Drained))
+	if err := a.SetAuthority(newList); err != nil {
+		// Roll the directory back; the drained mail re-deposits nowhere, but
+		// the engine ledger is credited by the caller either way.
+		_ = d.dirs[r].SetAuthority(name, old)
+		return res
+	}
+	delete(d.bySlot[from], u)
+	d.bySlot[to][u] = struct{}{}
+	d.rehomed[u] = tick
+	res.Moved = true
+	d.reg.Counter("migrations_total").Inc()
+	d.reg.Counter("migration_cost").Add(int64(len(res.Drained)))
+	return res
+}
+
+// migrationList builds the §3.1.4 re-registration list: the target first,
+// then backups drawn from the target's region EXCLUDING every old server, so
+// in-flight transfers addressed under the old placement are recognizably
+// misplaced wherever they land. In a region too small to avoid the old
+// servers the list may be shorter than AuthorityLen — correctness over
+// redundancy for the (rare) migrated user.
+func (d *SimDriver) migrationList(to int, old []graph.NodeID) []graph.NodeID {
+	oldSet := make(map[graph.NodeID]bool, len(old))
+	for _, sv := range old {
+		oldSet[sv] = true
+	}
+	toNode := d.slotNode(to)
+	list := []graph.NodeID{toNode}
+	r := d.world.RegionOfSlot(to)
+	spr := d.world.ServersPerRegion
+	for i := 1; i < spr && len(list) < d.pop.AuthorityLen; i++ {
+		slot := r*spr + (to%spr+i)%spr
+		id := d.slotNode(slot)
+		if id == toNode || oldSet[id] || !d.net.IsUp(id) {
+			continue
+		}
+		list = append(list, id)
+	}
+	return list
+}
+
 // refreshRegion pushes region r's recomputed authority lists into the
 // per-host cache, the directory entries of every materialized user, and
 // their live agents — the §3.1.3 reconfiguration broadcast.
 func (d *SimDriver) refreshRegion(r int) error {
+	if d.staticPol != nil {
+		d.staticPol.Invalidate(r) // the assignment behind the policy changed
+	}
 	lists := d.assigns[r].AuthorityLists(d.pop.AuthorityLen)
 	for h, list := range lists {
 		d.lists[h] = list
+	}
+	inService := make(map[graph.NodeID]bool, len(lists))
+	for id := range d.assigns[r].Loads() {
+		inService[id] = true
 	}
 	for u, a := range d.agents {
 		name := d.UserName(u)
@@ -556,6 +942,20 @@ func (d *SimDriver) refreshRegion(r int) error {
 			continue
 		}
 		list := lists[hostID(d.userHost(u))]
+		if _, moved := d.rehomed[u]; moved {
+			// A rebalanced user keeps the list the policy gave them; the
+			// reconfiguration only strips servers leaving service. If that
+			// empties the list, fall back to the recomputed static one.
+			kept := make([]graph.NodeID, 0, len(a.Authority()))
+			for _, sv := range a.Authority() {
+				if inService[sv] {
+					kept = append(kept, sv)
+				}
+			}
+			if len(kept) > 0 {
+				list = kept
+			}
+		}
 		if len(list) == 0 {
 			continue
 		}
@@ -589,6 +989,8 @@ func (d *SimDriver) AddServer(r int) (string, error) {
 		BatchSize: d.cfg.BatchSize, FlushInterval: d.cfg.FlushInterval,
 		StoreShards: d.cfg.StoreShards, RetryTimeout: d.cfg.RetryTimeout,
 		DataDir: d.serverDataDir(id), Fsync: d.cfg.Fsync,
+		PlacementReroute: d.onlinePolicy(),
+		SpreadRelay:      d.onlinePolicy(),
 	})
 	if err != nil {
 		return "", err
@@ -718,5 +1120,18 @@ func (d *SimDriver) MigrateUser(u, newHost int) (drained []string, err error) {
 	d.agents[u] = na
 	d.nameOf[u] = newName
 	d.hostIdx[u] = newHost
+	if d.policy != nil {
+		// AddUsers/RemoveUsers changed both regions' assignments, and the
+		// migrated user is back on their static placement at the new host.
+		d.staticPol.Invalidate(oldR)
+		d.staticPol.Invalidate(newR)
+		for slot := range d.bySlot {
+			delete(d.bySlot[slot], u)
+		}
+		if s, ok := d.nodeSlot(list[0]); ok {
+			d.bySlot[s][u] = struct{}{}
+		}
+		delete(d.rehomed, u)
+	}
 	return drained, nil
 }

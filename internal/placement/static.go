@@ -1,0 +1,140 @@
+package placement
+
+import (
+	"fmt"
+
+	"github.com/largemail/largemail/internal/assign"
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/obs"
+)
+
+// StaticConfig wires the §3.1.1 optimizer into the Policy interface. The
+// driver keeps building the per-region assign.Assignment engines exactly as
+// before (they need the real topology); Static turns their authority lists
+// into slot-space Place answers, bit-compatible with reading the assignment
+// directly.
+type StaticConfig struct {
+	World World
+	// Assigns holds one ran §3.1.1 assignment per region.
+	Assigns []*assign.Assignment
+	// HostNode maps a global host index to its topology node; SlotOf maps a
+	// topology server node back to its global slot (ok=false for nodes that
+	// are not placeable servers).
+	HostNode func(gh int) graph.NodeID
+	// SlotOf maps a topology server node to its global slot.
+	SlotOf func(id graph.NodeID) (int, bool)
+}
+
+// Static is the reference policy: the §3.1.1 static optimum, re-homed. It
+// never rebalances — that is the point being raced against.
+type Static struct {
+	cfg   StaticConfig
+	lists []map[int][]int // per region: global host → slot list, lazily built
+}
+
+// NewStatic wraps ran per-region assignments as a Policy.
+func NewStatic(cfg StaticConfig) (*Static, error) {
+	if len(cfg.Assigns) != cfg.World.Regions {
+		return nil, fmt.Errorf("placement: %d assignments for %d regions",
+			len(cfg.Assigns), cfg.World.Regions)
+	}
+	if cfg.HostNode == nil || cfg.SlotOf == nil {
+		return nil, fmt.Errorf("placement: static policy needs HostNode and SlotOf")
+	}
+	return &Static{cfg: cfg, lists: make([]map[int][]int, cfg.World.Regions)}, nil
+}
+
+// Name implements Policy.
+func (s *Static) Name() string { return NameStatic }
+
+// Place implements Policy: the host's authority list from the region's
+// assignment, translated to slots.
+func (s *Static) Place(u User) []int {
+	gh := u.Host
+	if gh < 0 || gh >= s.cfg.World.Regions*s.cfg.World.HostsPerRegion {
+		return nil
+	}
+	r := s.cfg.World.RegionOfHost(gh)
+	if s.lists[r] == nil {
+		s.build(r)
+	}
+	return append([]int(nil), s.lists[r][gh]...)
+}
+
+// build materializes region r's host → slot lists from the assignment.
+func (s *Static) build(r int) {
+	w := s.cfg.World
+	m := make(map[int][]int, w.HostsPerRegion)
+	for node, list := range s.cfg.Assigns[r].AuthorityLists(w.AuthorityLen) {
+		gh := -1
+		for i := 0; i < w.HostsPerRegion; i++ {
+			if s.cfg.HostNode(r*w.HostsPerRegion+i) == node {
+				gh = r*w.HostsPerRegion + i
+				break
+			}
+		}
+		if gh < 0 {
+			continue
+		}
+		slots := make([]int, 0, len(list))
+		for _, sv := range list {
+			if slot, ok := s.cfg.SlotOf(sv); ok {
+				slots = append(slots, slot)
+			}
+		}
+		m[gh] = slots
+	}
+	s.lists[r] = m
+}
+
+// Rebalance implements Policy: the static optimum never moves anyone.
+func (s *Static) Rebalance(obs.Snapshot) []Migration { return nil }
+
+// Invalidate drops region r's cached lists after a reconfiguration
+// (AddServer/RemoveServer/Add-RemoveUsers re-ran the assignment).
+func (s *Static) Invalidate(r int) {
+	if r >= 0 && r < len(s.lists) {
+		s.lists[r] = nil
+	}
+}
+
+// RoundRobin is the live transport's historical static placement: region r's
+// slots assigned round-robin from the user's host offset. It exists so the
+// online policies compose over the same base on transports that run no
+// §3.1.1 assignment.
+type RoundRobin struct {
+	w World
+}
+
+// NewRoundRobin returns the round-robin reference policy.
+func NewRoundRobin(w World) *RoundRobin { return &RoundRobin{w: w} }
+
+// Name implements Policy.
+func (p *RoundRobin) Name() string { return NameStatic }
+
+// Place implements Policy.
+func (p *RoundRobin) Place(u User) []int {
+	w := p.w
+	gh := u.Host
+	if gh < 0 {
+		gh = u.Index
+	}
+	gh %= w.Regions * w.HostsPerRegion
+	if gh < 0 {
+		gh += w.Regions * w.HostsPerRegion
+	}
+	r := w.RegionOfHost(gh)
+	n := w.AuthorityLen
+	if n > w.ServersPerRegion {
+		n = w.ServersPerRegion
+	}
+	out := make([]int, 0, n)
+	start := gh % w.ServersPerRegion
+	for i := 0; i < n; i++ {
+		out = append(out, r*w.ServersPerRegion+(start+i)%w.ServersPerRegion)
+	}
+	return out
+}
+
+// Rebalance implements Policy.
+func (p *RoundRobin) Rebalance(obs.Snapshot) []Migration { return nil }

@@ -37,6 +37,45 @@ type Directory struct {
 	misses    int64
 	hitsCtr   *obs.Counter // nil until Instrument
 	missesCtr *obs.Counter
+
+	// onEvent, when set, observes every placement event after the cache entry
+	// for the touched name has been dropped. See OnPlacementEvent.
+	onEvent func(kind PlacementEvent, user names.Name)
+}
+
+// PlacementEvent classifies a directory write that changed where a name
+// resolves: every register/migrate/remove path funnels through exactly one
+// placementEvent call, so the resolution cache cannot be left stale by a new
+// placement policy reaching the directory through a path the older inline
+// invalidations did not cover.
+type PlacementEvent int
+
+// Placement event kinds, one per mutating directory entry point.
+const (
+	EventAuthority  PlacementEvent = iota // SetAuthority (register/migrate/remove)
+	EventRedirect                         // SetRedirect (§3.1.4 grace period start)
+	EventUnredirect                       // RemoveRedirect (grace period end)
+	EventGroup                            // SetGroup (distribution-list change)
+)
+
+// OnPlacementEvent installs a hook observing every placement event, called
+// after the event's cache invalidation. Policies and drivers use it to chain
+// their own caches (e.g. client authority lists) off directory truth.
+func (d *Directory) OnPlacementEvent(fn func(kind PlacementEvent, user names.Name)) {
+	d.onEvent = fn
+}
+
+// placementEvent is the single funnel for directory writes: it drops the
+// touched name's resolution-cache entry and notifies the hook. All mutating
+// entry points MUST route through here rather than touching d.cache inline,
+// and must call it AFTER the write commits — a hook (or anything it calls)
+// that re-Resolves the name must observe the new truth, not re-cache the
+// old entry the event was invalidating.
+func (d *Directory) placementEvent(kind PlacementEvent, user names.Name) {
+	delete(d.cache, user)
+	if d.onEvent != nil {
+		d.onEvent(kind, user)
+	}
 }
 
 // NewDirectory returns an empty directory for a region.
@@ -94,12 +133,12 @@ func (d *Directory) SetAuthority(user names.Name, servers []graph.NodeID) error 
 	if user.Region != d.region {
 		return fmt.Errorf("server: user %v is not in region %s", user, d.region)
 	}
-	delete(d.cache, user)
 	if len(servers) == 0 {
 		delete(d.authority, user)
-		return nil
+	} else {
+		d.authority[user] = append([]graph.NodeID(nil), servers...)
 	}
-	d.authority[user] = append([]graph.NodeID(nil), servers...)
+	d.placementEvent(EventAuthority, user)
 	return nil
 }
 
@@ -135,8 +174,8 @@ func (d *Directory) SetRedirect(old, new names.Name) error {
 	if old.Region != d.region {
 		return fmt.Errorf("server: redirect source %v is not in region %s", old, d.region)
 	}
-	delete(d.cache, old)
 	d.redirects[old] = new
+	d.placementEvent(EventRedirect, old)
 	return nil
 }
 
@@ -149,8 +188,8 @@ func (d *Directory) Redirect(old names.Name) (names.Name, bool) {
 // RemoveRedirect deletes a forwarding record (the end of the migration
 // grace period).
 func (d *Directory) RemoveRedirect(old names.Name) {
-	delete(d.cache, old)
 	delete(d.redirects, old)
+	d.placementEvent(EventUnredirect, old)
 }
 
 // SetGroup registers a distribution list: mail addressed to the group name
@@ -166,12 +205,12 @@ func (d *Directory) SetGroup(group names.Name, members []names.Name) error {
 	if _, isUser := d.authority[group]; isUser {
 		return fmt.Errorf("server: group %v collides with a registered user", group)
 	}
-	delete(d.cache, group)
 	if len(members) == 0 {
 		delete(d.groups, group)
-		return nil
+	} else {
+		d.groups[group] = append([]names.Name(nil), members...)
 	}
-	d.groups[group] = append([]names.Name(nil), members...)
+	d.placementEvent(EventGroup, group)
 	return nil
 }
 

@@ -91,6 +91,20 @@ type Config struct {
 	DataDir string
 	// Fsync is the WAL fsync policy when DataDir is set.
 	Fsync mailstore.FsyncMode
+	// PlacementReroute makes a deposit transfer that arrives at a server no
+	// longer in the recipient's authority list re-enter routing instead of
+	// depositing blind. Online placement policies (internal/placement) move
+	// users while transfers are in flight; without the re-check such a
+	// transfer parks mail on a server no retrieval walk visits any more.
+	// Off (the default), arrival behavior is byte-identical to the
+	// pre-placement server, which static deployments rely on.
+	PlacementReroute bool
+	// SpreadRelay rotates the inter-region relay entry point per message.
+	// §3.1.1: the relay function can be provided by any server of the
+	// region; always dispatching to the region list's head builds a fixed
+	// transit hot spot in front of whatever the placement policy chose.
+	// Off (the default) keeps the historical head-first dispatch.
+	SpreadRelay bool
 }
 
 // Server is a mail server process. Not safe for concurrent use; it runs on
@@ -104,6 +118,8 @@ type Server struct {
 
 	retention    mail.Retention
 	keepCopies   bool
+	reroute      bool
+	spreadRelay  bool
 	retryTimeout sim.Time
 	dataDir      string
 	fsync        mailstore.FsyncMode
@@ -118,6 +134,12 @@ type Server struct {
 	nextSeq   uint64
 	nextToken uint64
 	pending   map[uint64]*pendingTransfer
+	// rerouted remembers recipient copies this server already forwarded
+	// under the placement-reroute path. Retries of the same transfer (our
+	// ack racing the origin's timeout) must not each spawn another forward:
+	// the first forward sits in the pending ledger with its own retries, and
+	// under congestion the duplicates snowball into a transfer storm.
+	rerouted map[rerouteKey]bool
 
 	// Relay-batching state (inactive when batchSize <= 1): staged holds
 	// per-destination batches being filled; inflight holds flushed batches
@@ -130,6 +152,12 @@ type Server struct {
 
 	stats *obs.Registry
 	trace *obs.Tracer // nil-safe; shared across the deployment when set
+}
+
+// rerouteKey identifies one recipient copy for reroute dedup.
+type rerouteKey struct {
+	id   mail.MessageID
+	rcpt names.Name
 }
 
 // pendingTransfer is a queued server-to-server transfer awaiting its ack.
@@ -176,6 +204,8 @@ func New(cfg Config) (*Server, error) {
 		regions:      cfg.Regions,
 		retention:    cfg.Retention,
 		keepCopies:   cfg.KeepCopies,
+		reroute:      cfg.PlacementReroute,
+		spreadRelay:  cfg.SpreadRelay,
 		retryTimeout: cfg.RetryTimeout,
 		dataDir:      cfg.DataDir,
 		fsync:        cfg.Fsync,
@@ -183,6 +213,7 @@ func New(cfg Config) (*Server, error) {
 		store:        store,
 		online:       make(map[names.Name]graph.NodeID),
 		pending:      make(map[uint64]*pendingTransfer),
+		rerouted:     make(map[rerouteKey]bool),
 		batchSize:    cfg.BatchSize,
 		flushEvery:   cfg.FlushInterval,
 		staged:       make(map[graph.NodeID]*stagedBatch),
@@ -398,6 +429,13 @@ func (s *Server) Route(msg mail.Message, rcpt names.Name) {
 		s.stats.Inc("unroutable")
 		return
 	}
+	if s.spreadRelay && len(candidates) > 1 {
+		rot := int(msg.ID.Seq % uint64(len(candidates)))
+		rotated := make([]graph.NodeID, 0, len(candidates))
+		rotated = append(rotated, candidates[rot:]...)
+		rotated = append(rotated, candidates[:rot]...)
+		candidates = rotated
+	}
 	s.trace.Stamp(msg.ID.String(), obs.StageRelay, s.whereLabel())
 	s.enqueue(TransferForward, msg, rcpt, candidates)
 }
@@ -549,6 +587,29 @@ func (s *Server) handleTransfer(tr Transfer) {
 	_ = s.net.Send(s.id, tr.Origin, TransferAck{Token: tr.Token})
 	switch tr.Kind {
 	case TransferDeposit:
+		if s.reroute && s.misplacedDeposit(tr.Recipient) {
+			key := rerouteKey{id: tr.Msg.ID, rcpt: tr.Recipient}
+			switch {
+			case s.rerouted[key]:
+				// A retry of a copy already forwarded (our ack raced the
+				// origin's timeout). The first forward is in the pending
+				// ledger with its own retries; another would snowball.
+				s.stats.Inc("reroute_retries_dropped")
+				return
+			case tr.Msg.Expansions >= MaxGroupExpansions:
+				// A migration storm could bounce a copy between stale lists
+				// forever; past the cap, deposit here — the migration drain
+				// or redirect grace period picks it up.
+				s.stats.Inc("reroute_loops_dropped")
+			default:
+				s.stats.Inc("deposit_reroutes")
+				s.rerouted[key] = true
+				m := tr.Msg
+				m.Expansions++
+				s.Route(m, tr.Recipient)
+				return
+			}
+		}
 		s.depositLocal(tr.Msg, tr.Recipient)
 	case TransferForward:
 		s.stats.Inc("forwards_in")
@@ -559,6 +620,31 @@ func (s *Server) handleTransfer(tr Transfer) {
 		}
 		s.deliverLocal(tr.Msg, tr.Recipient)
 	}
+}
+
+// misplacedDeposit reports whether a deposit arriving here is for a user
+// whose current authority list no longer includes this server — i.e. the
+// transfer was addressed under a placement the policy has since changed.
+// Unknown users (empty list: redirects mid-grace, group names) are not
+// misplaced; deliverLocal handles those.
+func (s *Server) misplacedDeposit(rcpt names.Name) bool {
+	list := s.dir.Resolve(rcpt)
+	if len(list) == 0 || list[0] == s.id {
+		return false
+	}
+	for _, cand := range list {
+		if cand == s.id {
+			// A backup. §3.1.2b failover deposits are legitimate while the
+			// primary is unreachable — the agent observes the outage and its
+			// next walk polls the whole list. But a failover that lands
+			// AFTER the primary recovered (the origin gave up during an
+			// outage the agent never saw; congestion delivered the fallback
+			// late) would strand: the walk stops at the live primary. Treat
+			// it as misplaced so it re-routes to the primary.
+			return s.net.IsUp(list[0])
+		}
+	}
+	return true
 }
 
 func (s *Server) handleAck(ack TransferAck) {
@@ -696,8 +782,44 @@ func (s *Server) CheckMail(user names.Name) ([]mail.Stored, error) {
 	if evicted > 0 {
 		s.stats.Add("cleanup_evicted", int64(evicted))
 	}
+	if len(out) > 0 {
+		// Paired with "deposits_local" this gives the queue depth the JSQ(d)
+		// placement policy samples: deposits_local − retrieved_msgs.
+		s.stats.Add("retrieved_msgs", int64(len(out)))
+	}
 	s.stampRetrieved(out)
 	return out, nil
+}
+
+// DrainMailbox empties the user's mailbox for a placement-migration
+// handover, regardless of the archive (KeepCopies) option: this server is
+// leaving the user's authority list, and a copy it retains is a copy no
+// retrieval walk will ever visit. Copies the recipient already has — per
+// alreadySeen, typically the user agent's duplicate-suppression set; these
+// are straggler re-routed retries — are removed but not returned and not
+// stamped: they are not deliveries, and a second retrieve stamp would
+// double-sample the latency histograms with a bogus sojourn. All drained
+// copies still count toward "retrieved_msgs" so the qdepth gauge
+// (deposits − retrievals) returns to zero for the emptied mailbox.
+func (s *Server) DrainMailbox(user names.Name, alreadySeen func(mail.MessageID) bool) []mail.Stored {
+	var out []mail.Stored
+	ok := s.store.UpdateExisting(user, func(mb *mail.Mailbox) {
+		out = mb.Drain()
+	})
+	if !ok || len(out) == 0 {
+		return nil
+	}
+	fresh := out[:0]
+	for _, m := range out {
+		if m.Read || (alreadySeen != nil && alreadySeen(m.ID)) {
+			s.stats.Inc("drain_stale_discarded")
+			continue
+		}
+		fresh = append(fresh, m)
+	}
+	s.stats.Add("retrieved_msgs", int64(len(out)))
+	s.stampRetrieved(fresh)
+	return fresh
 }
 
 // stampRetrieved closes the lifecycle span of each collected message.

@@ -578,7 +578,15 @@ func (s *Server) opRegister(req Request) Response {
 	}
 	servers := req.Servers
 	if len(servers) == 0 {
-		servers = s.names // default: all servers, registration order
+		// A registration without an explicit list is a placement decision:
+		// the cluster's policy makes it when one is configured; otherwise
+		// fall back to the historical default (all servers, registration
+		// order).
+		if placed := s.cluster.PlaceUser(user); len(placed) > 0 {
+			servers = placed
+		} else {
+			servers = s.names
+		}
 	}
 	for _, n := range servers {
 		if _, ok := s.cluster.Server(n); !ok {
