@@ -29,6 +29,7 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzTBatch$$' -fuzztime 5s ./internal/wire/
 	go test -run '^$$' -fuzz '^FuzzBinaryFrame$$' -fuzztime 5s ./internal/wire/
 	go test -run '^$$' -fuzz '^FuzzWALRecord$$' -fuzztime 5s ./internal/mail/mailstore/
+	go test -run '^$$' -fuzz '^FuzzPredicateQuery$$' -fuzztime 5s ./internal/attr/
 
 # Relay-batching gate: the server-side batching fabric (coalescing, flush
 # watermarks, retry splitting, batch-size-1 equivalence) plus the O(1)
@@ -64,9 +65,20 @@ tier2-balance:
 	go test -race -run 'TestStaticPolicyBitCompat|TestJSQSpreadsHotspot|TestRebalancerMigrates|TestReconfigUnderRebalance|TestMigrationRacesKillRestart' ./internal/loadgen/
 	go test -race -run 'TestDirectoryPlacementEventFunnel' ./internal/server/
 
+# Tier-2 architecture slice: the §3.2/§3.3 shoot-out under the race detector —
+# the roaming scenario (overhead auditor, rehash reconfiguration, faults), the
+# E7/E8 exact-count property pins, the locind rehash-vs-in-flight race table,
+# the attr mass-distribution scenario (loss/bound/partial auditors under
+# chaos), and the convergecast node-kill regression.
+.PHONY: tier2-arch
+tier2-arch:
+	go test -race -run 'TestRoam|TestE7|TestRehash|TestAttrScenario|TestConvergecast' \
+		./internal/loadgen/ ./internal/locind/ ./internal/broadcast/
+	go test -race ./internal/attr/
+
 # Check: the full pre-merge gate.
 .PHONY: check
-check: tier1 tier1-race fuzz-smoke bench-relay tier2-durability tier2-wire tier2-balance
+check: tier1 tier1-race fuzz-smoke bench-relay tier2-durability tier2-wire tier2-balance tier2-arch
 
 # Mailbench: the capacity harness acceptance run — a million-user population
 # on 64 simulated servers, no faults, auditors on, capacity sweep written to
@@ -138,6 +150,26 @@ bench-balance:
 	go run ./cmd/mailbench -transport netsim -users 1000000 -servers 64 -seed 1 \
 		-messages 6000 -ticks 300 -sessions 256 -srate 4 -retry 200 \
 		-policy static,jsq,rebalance -profile flash:100:60 -append -o BENCH_PR8.json
+
+# Architecture bench: the acceptance run behind BENCH_PR9.json — the
+# three-architecture shoot-out at a million users on 64 servers. The §3.2
+# roaming scenario runs with live rehash reconfiguration, then again under
+# the chaos schedule; the §3.3 attribute-broadcast scenario likewise. Every
+# point runs with its auditors on (§3.2.2c overhead, exactly-once across
+# roams, no lost broadcast deliveries, bounded convergecast, partials
+# flagged); a syntax-architecture point heads the document for comparison.
+.PHONY: bench-arch
+bench-arch:
+	go run ./cmd/mailbench -transport netsim -users 1000000 -servers 64 -seed 1 \
+		-messages 6000 -ticks 300 -sessions 256 -retry 200 -o BENCH_PR9.json
+	go run ./cmd/mailbench -arch roaming -users 1000000 -servers 64 -seed 1 \
+		-messages 6000 -ticks 300 -sessions 256 -append -o BENCH_PR9.json
+	go run ./cmd/mailbench -arch roaming -users 1000000 -servers 64 -seed 1 \
+		-messages 6000 -ticks 300 -sessions 256 -faults -append -o BENCH_PR9.json
+	go run ./cmd/mailbench -arch attr -users 1000000 -servers 64 -seed 1 \
+		-ticks 300 -queries 60 -append -o BENCH_PR9.json
+	go run ./cmd/mailbench -arch attr -users 1000000 -servers 64 -seed 1 \
+		-ticks 300 -queries 60 -faults -append -o BENCH_PR9.json
 
 .PHONY: all
 all: tier2

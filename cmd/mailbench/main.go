@@ -16,6 +16,14 @@
 //	go run ./cmd/mailbench -users 1000000 -servers 64 -batch 1,4,16,64 -faults -o BENCH_PR5.json
 //	go run ./cmd/mailbench -users 1000000 -servers 64 -datadir /tmp/mb -faults -o BENCH_PR6.json
 //	go run ./cmd/mailbench -users 1000000 -servers 64 -policy static,jsq,rebalance -profile hotspot -o BENCH_PR8.json
+//	go run ./cmd/mailbench -arch roaming -users 1000000 -servers 64 -messages 6000 -ticks 300 -sessions 256
+//	go run ./cmd/mailbench -arch attr -users 1000000 -servers 64 -ticks 300 -queries 60 -faults
+//
+// -arch selects the paper architecture under test: syntax (default, the
+// §3.1 engine above), roaming (the §3.2 location-independent scenario with
+// live rehash reconfiguration and the §3.2.2c overhead auditor), or attr
+// (the §3.3 attribute mass-distribution scenario: predicate broadcasts down
+// the back-bone MST, convergecast aggregation, loss/bound/partial auditors).
 //
 // With -datadir every server journals its mailbox store under a per-run
 // subdirectory; the run reports WAL append throughput, and after the
@@ -75,6 +83,9 @@ type params struct {
 	profile loadgen.Profile // workload shape (hotspot/diurnal/flash)
 	profStr string          // the -profile flag value, for labels
 	srate   float64         // per-server service rate, deposits/tick (0 = auto with -policy)
+
+	arch    string // architecture: syntax (§3.1), roaming (§3.2), attr (§3.3)
+	queries int    // mass-distribution queries (-arch attr; 0 = scenario default)
 }
 
 // durPoint is one point of the -durability sweep.
@@ -107,9 +118,36 @@ func main() {
 	jsqd := flag.Int("d", 2, "JSQ(d) sample width (with -policy jsq)")
 	profileFlag := flag.String("profile", "", "workload profile: hotspot[:hosts[:frac%]], diurnal[:period], flash[:start:len] (empty = uniform)")
 	srate := flag.Float64("srate", 0, "per-server service rate in deposits/tick for the congestion model (0 = derived from the message budget when -policy is set)")
+	archFlag := flag.String("arch", "syntax", "architecture under test: syntax (§3.1 name-routed), roaming (§3.2 location-independent), attr (§3.3 attribute broadcast)")
+	queries := flag.Int("queries", 0, "mass-distribution queries per run (0 = scenario default; -arch attr only)")
 	appendDoc := flag.Bool("append", false, "append to an existing benchmark document instead of overwriting it")
 	out := flag.String("o", "BENCH_PR4.json", "benchmark document path (empty = stdout)")
 	flag.Parse()
+
+	switch *archFlag {
+	case "syntax", "roaming", "attr":
+	default:
+		fmt.Fprintf(os.Stderr, "mailbench: -arch: unknown architecture %q\n", *archFlag)
+		os.Exit(2)
+	}
+	if *archFlag != "syntax" {
+		// The roaming and attr scenarios run on their own netsim worlds;
+		// the syntax-only knobs have no meaning there.
+		if *transport != "netsim" {
+			fmt.Fprintf(os.Stderr, "mailbench: -arch %s requires -transport netsim\n", *archFlag)
+			os.Exit(2)
+		}
+		for flagName, set := range map[string]bool{
+			"-policy": *policyFlag != "", "-batch": *batchFlag != "",
+			"-datadir": *datadir != "", "-durability": *durabilityFlag != "",
+			"-profile": *profileFlag != "",
+		} {
+			if set {
+				fmt.Fprintf(os.Stderr, "mailbench: %s is not supported with -arch %s\n", flagName, *archFlag)
+				os.Exit(2)
+			}
+		}
+	}
 
 	profile, err := loadgen.ParseProfile(*profileFlag)
 	if err != nil {
@@ -223,7 +261,7 @@ func main() {
 					for _, proto := range protoSweep {
 						for _, inflight := range inflightSweep {
 							for _, pol := range policySweep {
-								res, bad, err := run(params{
+								p := params{
 									transport: *transport, users: users, servers: servers,
 									regions: *regions, seed: *seed, messages: *messages,
 									sessions: *sessions, ticks: *ticks,
@@ -233,7 +271,21 @@ func main() {
 									proto: proto, inflight: inflight,
 									policy: pol, jsqd: *jsqd,
 									profile: profile, profStr: *profileFlag, srate: *srate,
-								})
+									arch: *archFlag, queries: *queries,
+								}
+								var (
+									res benchfmt.Result
+									bad int
+									err error
+								)
+								switch p.arch {
+								case "roaming":
+									res, bad, err = runRoaming(p)
+								case "attr":
+									res, bad, err = runAttr(p)
+								default:
+									res, bad, err = run(p)
+								}
 								if err != nil {
 									fmt.Fprintln(os.Stderr, "mailbench:", err)
 									os.Exit(1)
@@ -308,7 +360,12 @@ func population(p params) loadgen.Population {
 // node whose store is torn down), so the fleet is split: the first half
 // crashes, the second half kill-restarts from disk.
 func faultProfile(drv loadgen.Driver, p params, ticks int) (*faults.Schedule, error) {
-	spec := drv.FaultSurface()
+	return compileChaos(drv.FaultSurface(), p, ticks)
+}
+
+// compileChaos applies the standard size-scaled chaos mix to any fault
+// surface (the attr scenario exposes one without being a loadgen.Driver).
+func compileChaos(spec faults.Spec, p params, ticks int) (*faults.Schedule, error) {
 	spec.Seed = p.seed
 	spec.Ticks = ticks
 	if len(spec.KillTargets) > 0 && len(spec.Servers) >= 2 {
@@ -540,6 +597,150 @@ func run(p params) (benchfmt.Result, int, error) {
 	return res, bad, nil
 }
 
+// runRoaming executes one §3.2 sweep point: the locind-backed RoamDriver
+// under the closed-loop engine, with roam waves and live rehash
+// reconfiguration layered on top and the §3.2.2c overhead auditor online.
+func runRoaming(p params) (benchfmt.Result, int, error) {
+	pop := population(p)
+	drv, err := loadgen.NewRoamDriver(loadgen.RoamConfig{Seed: p.seed, Pop: pop})
+	if err != nil {
+		return benchfmt.Result{}, 0, err
+	}
+	cfg := loadgen.Config{
+		Seed: p.seed, Messages: p.messages, Sessions: p.sessions, Ticks: p.ticks,
+	}
+	if p.faults {
+		sched, err := faultProfile(drv, p, p.ticks)
+		if err != nil {
+			return benchfmt.Result{}, 0, err
+		}
+		cfg.Schedule = sched
+	}
+
+	fmt.Printf("=== roaming users=%d servers=%d faults=%v seed=%d\n",
+		p.users, p.servers, p.faults, p.seed)
+	start := time.Now()
+	// RehashEvery 7 keeps the live rehash off-phase with the engine's
+	// retrieval sweep (period 4), so reconfiguration hits loaded mailboxes.
+	rep := loadgen.RunRoamScenario(drv, cfg, loadgen.RoamScenarioConfig{
+		Seed:        p.seed,
+		RehashEvery: 7,
+	})
+	elapsed := time.Since(start)
+
+	fmt.Printf("submitted %d messages (%d copies) in %d ticks, %d retrievals, "+
+		"%d polls, %d dup-suppressed — %s wall\n",
+		rep.Submitted, rep.Copies, rep.Ticks, rep.Retrievals, rep.Polls,
+		rep.Duplicates, elapsed.Round(time.Millisecond))
+
+	snap := drv.Snapshot()
+	fmt.Print(snap.LatencyTable("stage latency", float64(sim.Unit), "units").Render())
+	printUtilization(rep.Loads)
+	fmt.Printf("roaming: %d logins, %d consultations, %d roam alerts, "+
+		"%d rehash transfers moved %d deposits, %d deposit transfers\n",
+		snap.Counters["logins"], snap.Counters["consultations"],
+		snap.Counters["notify_roaming"], snap.Counters["rehash_transfers"],
+		snap.Counters["rehash_messages_moved"], snap.Counters["deposit_transfers"])
+
+	bad := reportAudit(rep.Ok, rep.Violations, rep.Examples,
+		"auditors: clean (exactly-once across roams, no-loss, §3.2.2c overhead-only-off-primary)")
+
+	m := metrics(rep, snap, elapsed, float64(sim.Unit))
+	for _, k := range []string{
+		"logins", "consultations", "notify_home", "notify_roaming",
+		"notify_probe_primary", "rehash_transfers", "rehash_messages_moved",
+		"deposit_transfers", "deposit_reroutes",
+	} {
+		m[k] = float64(snap.Counters[k])
+	}
+	return benchfmt.Result{
+		Name:       benchName(p),
+		Pkg:        "cmd/mailbench",
+		Iterations: 1,
+		Metrics:    m,
+	}, bad, nil
+}
+
+// runAttr executes one §3.3 sweep point: mass distribution over the
+// backbone-MST with convergecast aggregation and term-index content
+// retrieval, audited for loss, bounded completion, and flagged partials.
+func runAttr(p params) (benchfmt.Result, int, error) {
+	pop := population(p)
+	s, err := loadgen.NewAttrScenario(loadgen.AttrConfig{
+		Seed: p.seed, Pop: pop, Queries: p.queries, Ticks: p.ticks,
+	})
+	if err != nil {
+		return benchfmt.Result{}, 0, err
+	}
+	if p.faults {
+		sched, err := compileChaos(s.FaultSurface(), p, p.ticks)
+		if err != nil {
+			return benchfmt.Result{}, 0, err
+		}
+		s.SetSchedule(sched)
+	}
+
+	fmt.Printf("=== attr users=%d servers=%d faults=%v seed=%d\n",
+		p.users, p.servers, p.faults, p.seed)
+	start := time.Now()
+	rep := s.Run()
+	elapsed := time.Since(start)
+
+	fmt.Printf("%d distribution queries (%d copies delivered), %d content "+
+		"searches, %d partial summaries, %d skipped, depth ≤ %d, %d ticks — %s wall\n",
+		rep.Queries, rep.Deliveries, rep.ContentQueries, rep.Partial,
+		rep.Skipped, rep.MaxDepth, rep.Ticks, elapsed.Round(time.Millisecond))
+
+	snap := s.Snapshot()
+	// The attr scenario observes its latencies pre-scaled to sim units.
+	fmt.Print(snap.LatencyTable("broadcast latency", 1, "units").Render())
+
+	bad := reportAudit(rep.Ok, rep.Violations, rep.Examples,
+		"auditors: clean (no lost broadcast deliveries, bounded convergecast, partials flagged)")
+
+	m := map[string]float64{
+		"queries":         float64(rep.Queries),
+		"content_queries": float64(rep.ContentQueries),
+		"deliveries":      float64(rep.Deliveries),
+		"partial":         float64(rep.Partial),
+		"skipped":         float64(rep.Skipped),
+		"max_depth":       float64(rep.MaxDepth),
+		"ticks":           float64(rep.Ticks),
+		"violations":      0,
+		"ns/op":           float64(elapsed.Nanoseconds()),
+		"bcast_deposits":  float64(snap.Counters["bcast_deposits"]),
+	}
+	for _, v := range rep.Violations {
+		m["violations"] += float64(v)
+	}
+	addLatencyMetrics(m, snap, 1)
+	return benchfmt.Result{
+		Name:       benchName(p),
+		Pkg:        "cmd/mailbench",
+		Iterations: 1,
+		Metrics:    m,
+	}, bad, nil
+}
+
+// reportAudit prints the auditor verdict and returns the violation total.
+func reportAudit(ok bool, violations map[string]int, examples []string, cleanMsg string) int {
+	bad := 0
+	if ok {
+		fmt.Println(cleanMsg)
+		fmt.Println()
+		return 0
+	}
+	for k, v := range violations {
+		bad += v
+		fmt.Printf("VIOLATION %s: %d\n", k, v)
+	}
+	for _, ex := range examples {
+		fmt.Printf("  e.g. %s\n", ex)
+	}
+	fmt.Println()
+	return bad
+}
+
 // burstBatch is the tbatch size the wire throughput burst uses (the -batch
 // knob; 0/unset means single submit frames).
 func burstBatch(p params) int {
@@ -699,6 +900,9 @@ func measureRecovery(dataDir string, m map[string]float64) error {
 
 func benchName(p params) string {
 	name := fmt.Sprintf("Mailbench/%s/users=%d/servers=%d", p.transport, p.users, p.servers)
+	if p.arch != "" && p.arch != "syntax" {
+		name += "/arch=" + p.arch
+	}
 	if p.transport == "wire" {
 		name += fmt.Sprintf("/proto=%s/inflight=%d/batch=%d", p.proto, p.inflight, burstBatch(p))
 	} else if p.batch > 0 {
@@ -835,20 +1039,7 @@ func metrics(rep loadgen.Report, snap obs.Snapshot, elapsed time.Duration, scale
 		m["batch_splits"] = counterSum(snap, "batch_splits")
 		m["msgs_per_envelope"] = m["transfers_out"] / env
 	}
-	names := make([]string, 0, len(snap.Histograms))
-	for n := range snap.Histograms {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		h := snap.Histograms[n]
-		if h.Count == 0 {
-			continue
-		}
-		m[n+"_p50"] = h.P50 / scale
-		m[n+"_p95"] = h.P95 / scale
-		m[n+"_p99"] = h.P99 / scale
-	}
+	addLatencyMetrics(m, snap, scale)
 	var deposits int64
 	var totalLoad int
 	maxRho, sumRho, maxQ := 0.0, 0.0, 0.0
@@ -870,4 +1061,23 @@ func metrics(rep loadgen.Report, snap obs.Snapshot, elapsed time.Duration, scale
 		m["util_share_err"] = shareError(rep.Loads, totalLoad, deposits)
 	}
 	return m
+}
+
+// addLatencyMetrics flattens every non-empty histogram's quantiles into the
+// metric map, scaled to the transport's table unit.
+func addLatencyMetrics(m map[string]float64, snap obs.Snapshot, scale float64) {
+	names := make([]string, 0, len(snap.Histograms))
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		if h.Count == 0 {
+			continue
+		}
+		m[n+"_p50"] = h.P50 / scale
+		m[n+"_p95"] = h.P95 / scale
+		m[n+"_p99"] = h.P99 / scale
+	}
 }

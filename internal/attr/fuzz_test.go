@@ -1,0 +1,89 @@
+package attr
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/largemail/largemail/internal/names"
+)
+
+// FuzzPredicateQuery drives the predicate parser and matcher with arbitrary
+// query strings. For any input the parser accepts, the query must validate,
+// render to a canonical form that reparses to the same predicates (with the
+// canonical form a fixed point), and match deterministically against a
+// fixed profile set without panicking — across every operator, including
+// the edit-distance alias match.
+func FuzzPredicateQuery(f *testing.F) {
+	seeds := []string{
+		"city=boston",
+		"name^=jo",
+		"state?=ma|nh|vt",
+		"alias~jhonson",
+		"expertise=databases, city^=new",
+		"interest ?= sailing | chess ,  name ~ smiht",
+		"org-type=university, country=us, job-title^=prof",
+		"city=st=paul",
+		"a=b,c=d,e=f",
+		"=x",
+		"x=",
+		"x^~y",
+		"no operator here",
+		"nickname~x, nickname~x",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	profiles := fuzzProfiles()
+	f.Fuzz(func(t *testing.T, in string) {
+		q, err := ParseQuery(in)
+		if err != nil {
+			return // rejected input: nothing further to hold
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("parsed query fails Validate: %v (input %q)", err, in)
+		}
+		for _, p := range q.Predicates {
+			if strings.Contains(string(p.Type), ",") || strings.Contains(p.Pattern, ",") {
+				t.Fatalf("comma leaked into predicate %v (input %q)", p, in)
+			}
+		}
+		canon := q.String()
+		q2, err := ParseQuery(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q does not reparse: %v (input %q)", canon, err, in)
+		}
+		if !reflect.DeepEqual(q.Predicates, q2.Predicates) {
+			t.Fatalf("reparse changed predicates: %v != %v (input %q)", q.Predicates, q2.Predicates, in)
+		}
+		if again := q2.String(); again != canon {
+			t.Fatalf("canonical form not a fixed point: %q then %q (input %q)", canon, again, in)
+		}
+		// Matching must be total and deterministic, visibility honoured.
+		q.QuerierGroups = []string{"staff"}
+		for _, p := range profiles {
+			m1, m2 := q.Matches(p), q.Matches(p)
+			if m1 != m2 {
+				t.Fatalf("nondeterministic match for %v (input %q)", p.User, in)
+			}
+		}
+	})
+}
+
+func fuzzProfiles() []*Profile {
+	a := &Profile{User: names.Name{Region: "R1", Host: "h1", User: "alice"}, Groups: []string{"staff"}}
+	a.Add(TypeName, "Johnson", Public).
+		Add(TypeAlias, "Jonson", Public).
+		Add(TypeCity, "Boston", Public).
+		Add(TypeExpertise, "Databases", Restricted)
+	b := &Profile{User: names.Name{Region: "R1", Host: "h2", User: "bob"}}
+	b.Add(TypeName, "Smith", Public).
+		Add(TypeState, "MA", Public).
+		Add(TypeInterest, "sailing", Hidden)
+	c := &Profile{User: names.Name{Region: "R2", Host: "h3", User: "carol"}, Groups: []string{"faculty"}}
+	c.Add(TypeName, "st=paul resident", Public).
+		Add(TypeCity, "St. Paul", Public).
+		Add(TypeJobTitle, "professor", Restricted)
+	return []*Profile{a, b, c}
+}

@@ -1,0 +1,114 @@
+package attr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The predicate grammar, the sender-facing surface of §3.3's "send mail to
+// everyone matching these attributes":
+//
+//	query     = predicate *( "," predicate )
+//	predicate = type op pattern
+//	op        = "=" | "^=" | "?=" | "~"
+//
+// "=" is exact match, "^=" prefix, "?=" any of the |-separated
+// alternatives, and "~" fuzzy match within the misspelling budget. Type and
+// pattern are trimmed of surrounding space; the earliest operator
+// occurrence splits the predicate, so patterns may themselves contain
+// operator characters ("city=st. paul=mn" has type "city"). Commas cannot
+// appear in patterns — they always separate predicates.
+const maxQueryLen = 4096
+
+// opToken renders an operator in query syntax (Op.String is the
+// human-readable form used in error text, not the grammar).
+func opToken(o Op) string {
+	switch o {
+	case OpEquals:
+		return "="
+	case OpPrefix:
+		return "^="
+	case OpOneOf:
+		return "?="
+	case OpFuzzy:
+		return "~"
+	default:
+		return "="
+	}
+}
+
+// String renders the predicate in query syntax.
+func (p Predicate) String() string {
+	return string(p.Type) + opToken(p.Op) + p.Pattern
+}
+
+// String renders the query in canonical syntax: predicates in declaration
+// order, ", "-joined. ParseQuery(q.String()) reproduces q's predicates for
+// any query ParseQuery itself produced.
+func (q Query) String() string {
+	parts := make([]string, len(q.Predicates))
+	for i, p := range q.Predicates {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ParseQuery parses the comma-separated predicate syntax into a validated
+// query. The querier's groups are not part of the grammar; set them on the
+// returned query before matching against Restricted attributes.
+func ParseQuery(s string) (Query, error) {
+	if len(s) > maxQueryLen {
+		return Query{}, fmt.Errorf("attr: query longer than %d bytes", maxQueryLen)
+	}
+	var q Query
+	for _, part := range strings.Split(s, ",") {
+		p, err := parsePredicate(part)
+		if err != nil {
+			return Query{}, err
+		}
+		q.Predicates = append(q.Predicates, p)
+	}
+	if err := q.Validate(); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// parsePredicate splits one predicate at its earliest operator occurrence.
+func parsePredicate(s string) (Predicate, error) {
+	for i := 0; i < len(s); i++ {
+		var op Op
+		opLen := 1
+		switch {
+		case (s[i] == '^' || s[i] == '?') && i+1 < len(s) && s[i+1] == '=':
+			opLen = 2
+			if s[i] == '^' {
+				op = OpPrefix
+			} else {
+				op = OpOneOf
+			}
+		case s[i] == '=':
+			op = OpEquals
+		case s[i] == '~':
+			op = OpFuzzy
+		default:
+			continue
+		}
+		typ := strings.TrimSpace(s[:i])
+		pat := strings.TrimSpace(s[i+opLen:])
+		if typ == "" {
+			return Predicate{}, fmt.Errorf("attr: predicate %q has no type", s)
+		}
+		// A type ending in '^' or '?' would merge with a following "=" when
+		// rendered back ("a^" + "=" reads as "a" + "^="), so the canonical
+		// form would not round-trip. Reject the ambiguity outright.
+		if last := typ[len(typ)-1]; last == '^' || last == '?' {
+			return Predicate{}, fmt.Errorf("attr: predicate type %q ends in %q", typ, string(last))
+		}
+		if pat == "" {
+			return Predicate{}, fmt.Errorf("attr: predicate %q has no pattern", s)
+		}
+		return Predicate{Type: Type(typ), Op: op, Pattern: pat}, nil
+	}
+	return Predicate{}, fmt.Errorf("attr: predicate %q has no operator", s)
+}

@@ -1,0 +1,101 @@
+package attr
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseQueryForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []Predicate
+	}{
+		{"city=boston", []Predicate{{TypeCity, OpEquals, "boston"}}},
+		{"name ^= jo", []Predicate{{TypeName, OpPrefix, "jo"}}},
+		{"state?=ma|nh|vt", []Predicate{{TypeState, OpOneOf, "ma|nh|vt"}}},
+		{"alias~jhonson", []Predicate{{TypeAlias, OpFuzzy, "jhonson"}}},
+		{
+			"expertise=databases, city ^= new",
+			[]Predicate{{TypeExpertise, OpEquals, "databases"}, {TypeCity, OpPrefix, "new"}},
+		},
+		// The earliest operator splits; later operator characters belong to
+		// the pattern.
+		{"city=st=paul", []Predicate{{TypeCity, OpEquals, "st=paul"}}},
+		{"name~a^=b", []Predicate{{TypeName, OpFuzzy, "a^=b"}}},
+	}
+	for _, c := range cases {
+		q, err := ParseQuery(c.in)
+		if err != nil {
+			t.Fatalf("ParseQuery(%q): %v", c.in, err)
+		}
+		if !reflect.DeepEqual(q.Predicates, c.want) {
+			t.Fatalf("ParseQuery(%q) = %v, want %v", c.in, q.Predicates, c.want)
+		}
+	}
+}
+
+func TestParseQueryRejects(t *testing.T) {
+	bad := []string{
+		"",                           // no predicates
+		"city",                       // no operator
+		"=boston",                    // no type
+		"city=",                      // no pattern
+		"city=a,",                    // trailing empty predicate
+		" =x, city=b",                // empty type in conjunction
+		"a^=b, c",                    // second predicate missing operator
+		"x^~y",                       // type would end in '^' (ambiguous canonical form)
+		strings.Repeat("a=b,", 2048), // over the length cap
+	}
+	for _, in := range bad {
+		if _, err := ParseQuery(in); err == nil {
+			t.Fatalf("ParseQuery(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseQueryRoundTrip(t *testing.T) {
+	ins := []string{
+		"city=boston",
+		"name ^= jo ,  state?=ma|nh",
+		"alias~smiht, expertise=mail systems",
+	}
+	for _, in := range ins {
+		q, err := ParseQuery(in)
+		if err != nil {
+			t.Fatalf("ParseQuery(%q): %v", in, err)
+		}
+		canon := q.String()
+		q2, err := ParseQuery(canon)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", canon, err)
+		}
+		if !reflect.DeepEqual(q.Predicates, q2.Predicates) {
+			t.Fatalf("round trip of %q: %v != %v", in, q.Predicates, q2.Predicates)
+		}
+		if got := q2.String(); got != canon {
+			t.Fatalf("canonical form of %q not fixed: %q then %q", in, canon, got)
+		}
+	}
+}
+
+func TestParsedQueryMatches(t *testing.T) {
+	p := &Profile{}
+	p.Add(TypeCity, "Boston", Public).
+		Add(TypeExpertise, "Databases", Public).
+		Add(TypeName, "Johnson", Public)
+	q, err := ParseQuery("city=boston, name~Jonson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Matches(p) {
+		t.Fatal("parsed query should match the profile")
+	}
+	q, err = ParseQuery("city=boston, expertise=networks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Matches(p) {
+		t.Fatal("conjunction with a failing predicate must not match")
+	}
+}

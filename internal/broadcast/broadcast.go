@@ -74,13 +74,14 @@ type Tree struct {
 	// depth, so a slow-but-healthy deep subtree is not falsely marked
 	// unavailable while a dead immediate child is still detected after one
 	// base timeout.
-	depthVia map[graph.NodeID]map[graph.NodeID]int
-	eval     Evaluator
-	timeout  sim.Time
-	nodes    map[graph.NodeID]*bcastNode
-	nextID   uint64
-	results  map[uint64]Summary
-	done     map[uint64]bool
+	depthVia    map[graph.NodeID]map[graph.NodeID]int
+	eval        Evaluator
+	timeout     sim.Time
+	nodes       map[graph.NodeID]*bcastNode
+	nextID      uint64
+	results     map[uint64]Summary
+	done        map[uint64]bool
+	completedAt map[uint64]sim.Time
 }
 
 // Config for Setup.
@@ -106,16 +107,17 @@ func Setup(cfg Config) (*Tree, error) {
 		cfg.Eval = func(graph.NodeID, any) []any { return nil }
 	}
 	t := &Tree{
-		net:        cfg.Net,
-		adj:        cfg.Tree.Adjacency(),
-		regions:    make(map[graph.NodeID]string),
-		regionsVia: make(map[graph.NodeID]map[graph.NodeID]map[string]bool),
-		depthVia:   make(map[graph.NodeID]map[graph.NodeID]int),
-		eval:       cfg.Eval,
-		timeout:    cfg.Timeout,
-		nodes:      make(map[graph.NodeID]*bcastNode),
-		results:    make(map[uint64]Summary),
-		done:       make(map[uint64]bool),
+		net:         cfg.Net,
+		adj:         cfg.Tree.Adjacency(),
+		regions:     make(map[graph.NodeID]string),
+		regionsVia:  make(map[graph.NodeID]map[graph.NodeID]map[string]bool),
+		depthVia:    make(map[graph.NodeID]map[graph.NodeID]int),
+		eval:        cfg.Eval,
+		timeout:     cfg.Timeout,
+		nodes:       make(map[graph.NodeID]*bcastNode),
+		results:     make(map[uint64]Summary),
+		done:        make(map[uint64]bool),
+		completedAt: make(map[uint64]sim.Time),
 	}
 	ids := make([]graph.NodeID, 0, len(t.adj))
 	for id := range t.adj {
@@ -207,6 +209,30 @@ func (t *Tree) Start(origin graph.NodeID, payload any, targets map[string]bool) 
 func (t *Tree) Result(id uint64) (Summary, bool) {
 	s, ok := t.results[id]
 	return s, ok
+}
+
+// ResultAt returns the completed summary and the simulated time the
+// convergecast finished at the origin — the timestamp the bounded-completion
+// auditor checks against the depth-scaled timeout.
+func (t *Tree) ResultAt(id uint64) (Summary, sim.Time, bool) {
+	s, ok := t.results[id]
+	return s, t.completedAt[id], ok
+}
+
+// Timeout returns the per-edge parent wait.
+func (t *Tree) Timeout() sim.Time { return t.timeout }
+
+// MaxDepthFrom returns the depth in edges of the deepest subtree below
+// origin — the factor the origin's own wait scales with, and therefore the
+// worst-case convergecast bound multiplier.
+func (t *Tree) MaxDepthFrom(origin graph.NodeID) int {
+	max := 0
+	for _, d := range t.depthVia[origin] {
+		if d > max {
+			max = d
+		}
+	}
+	return max
 }
 
 // bcastNode is the per-node broadcast process.
@@ -320,6 +346,7 @@ func (n *bcastNode) finish(id uint64, pq *pendingQuery) {
 	if pq.parent == n.id {
 		n.tree.results[id] = s
 		n.tree.done[id] = true
+		n.tree.completedAt[id] = n.tree.net.Scheduler().Now()
 		return
 	}
 	_ = n.tree.net.Send(n.id, pq.parent, s)

@@ -37,6 +37,13 @@ type SimTarget struct {
 	// LinkRestore re-adds exactly what a LinkFail took away and replays of
 	// overlapping windows stay idempotent.
 	failed map[[2]graph.NodeID]float64
+
+	// Observer, when non-nil, is called after every successfully injected
+	// event. Scenario auditors use it to track which nodes the schedule has
+	// down at any moment — e.g. the convergecast auditor excuses subtrees of
+	// crashed servers from the no-loss check but then demands they be marked
+	// unavailable.
+	Observer func(Event)
 }
 
 // NewSimTarget wires an injector to a simulated network. tick is the
@@ -65,6 +72,16 @@ func linkKey(a, b graph.NodeID) [2]graph.NodeID {
 
 // Inject implements Injector on the simulated network.
 func (t *SimTarget) Inject(e Event) error {
+	if err := t.inject(e); err != nil {
+		return err
+	}
+	if t.Observer != nil {
+		t.Observer(e)
+	}
+	return nil
+}
+
+func (t *SimTarget) inject(e Event) error {
 	id, err := t.node(e.Target)
 	if err != nil {
 		return err

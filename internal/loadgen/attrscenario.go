@@ -1,0 +1,699 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"github.com/largemail/largemail/internal/attr"
+	"github.com/largemail/largemail/internal/broadcast"
+	"github.com/largemail/largemail/internal/faults"
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/mail"
+	"github.com/largemail/largemail/internal/mail/mailstore"
+	"github.com/largemail/largemail/internal/mst"
+	"github.com/largemail/largemail/internal/netsim"
+	"github.com/largemail/largemail/internal/obs"
+	"github.com/largemail/largemail/internal/sim"
+)
+
+// AttrConfig configures the attribute-broadcast scenario (§3.3): senders
+// address predicates, queries fan down the backbone-MST, matches deposit
+// into term-indexed mailstores, and responses convergecast back up.
+type AttrConfig struct {
+	Seed int64
+	Pop  Population
+	// Tick is the virtual length of one schedule tick (default 10 units).
+	Tick sim.Time
+	// Timeout is the broadcast parent's base per-edge wait (default 30).
+	Timeout sim.Time
+	// Groups is the number of interest groups users hash into (default 16).
+	Groups int
+	// Queries is how many mass-distribution queries to launch (default 20).
+	Queries int
+	// QueryEvery launches one query every n ticks (default 3).
+	QueryEvery int
+	// ContentEvery makes every k-th launch a content search against the
+	// mailstore term index instead of a profile broadcast (default 5).
+	ContentEvery int
+	// SweepEvery drains deposited copies every n ticks (default 4).
+	SweepEvery int
+	// Ticks runs the loop this long (default sized to the query schedule,
+	// raised to cover Schedule's horizon).
+	Ticks int
+	// Schedule, when non-nil, is a compiled fault schedule injected as its
+	// ticks come due.
+	Schedule *faults.Schedule
+}
+
+func (c AttrConfig) withDefaults() AttrConfig {
+	c.Pop = c.Pop.withDefaults()
+	if c.Tick <= 0 {
+		c.Tick = 10 * sim.Unit
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * sim.Unit
+	}
+	if c.Groups <= 0 {
+		c.Groups = 16
+	}
+	if c.Queries <= 0 {
+		c.Queries = 20
+	}
+	if c.QueryEvery <= 0 {
+		c.QueryEvery = 3
+	}
+	if c.ContentEvery <= 0 {
+		c.ContentEvery = 5
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = 4
+	}
+	if c.Ticks <= 0 {
+		c.Ticks = c.Queries*c.QueryEvery + 20
+	}
+	if c.Schedule != nil && c.Schedule.Horizon() > c.Ticks {
+		c.Ticks = c.Schedule.Horizon()
+	}
+	return c
+}
+
+// AttrReport is the outcome of an attribute-broadcast run.
+type AttrReport struct {
+	Ok         bool
+	Violations map[string]int
+	Examples   []string
+
+	Queries        int // mass-distribution queries completed
+	ContentQueries int // term-index searches completed
+	Skipped        int // launches skipped because the origin was down
+	Partial        int // queries whose summary carried unavailable subtrees
+	Deliveries     int // total copies deposited by mass distribution
+	MaxDepth       int // deepest convergecast depth seen from any origin
+	Ticks          int
+}
+
+// attrTerms is the pool of body terms content searches draw from.
+var attrTerms = []string{"budget", "offsite", "seminar", "deadline", "picnic"}
+
+// attrCities diversifies profiles so conjunctive predicates select strict
+// subsets of an interest group.
+var attrCities = []string{"boston", "cambridge", "salem", "medford", "quincy", "newton"}
+
+// distPayload is the downward payload of a mass-distribution query.
+type distPayload struct {
+	MsgID   mail.MessageID
+	Group   int // candidate pre-filter: only users in this interest group
+	Query   attr.Query
+	Subject string
+	Body    string
+}
+
+// contentPayload is the downward payload of a term search.
+type contentPayload struct{ Term string }
+
+// attrQuery is the in-flight bookkeeping for one broadcast.
+type attrQuery struct {
+	id          uint64
+	content     bool
+	origin      graph.NodeID
+	start       sim.Time
+	bound       sim.Time
+	deadAtStart []graph.NodeID
+	// mass distribution: the globally matching users.
+	truth map[int]bool
+	// content search: per-node users holding the term when the query left.
+	truthByNode map[graph.NodeID]map[int]bool
+}
+
+// AttrScenario drives the paper's third architecture: a servers-only
+// topology carrying a backbone-MST, broadcast/convergecast for delivery,
+// per-node term-indexed mailstores for retrieval, and auditors holding it
+// to no-lost-deliveries, flagged partials, and bounded completion.
+type AttrScenario struct {
+	cfg   AttrConfig
+	pop   Population
+	sched *sim.Scheduler
+	net   *netsim.Network
+	reg   *obs.Registry
+	tree  *broadcast.Tree
+	adj   map[graph.NodeID][]graph.NodeID
+	store map[graph.NodeID]*mailstore.Store
+	aud   *Auditors
+	rng   *rand.Rand
+
+	pending   map[uint64]*attrQuery
+	pendingID []uint64 // launch order, for deterministic completion sweeps
+	undrained map[graph.NodeID]map[int]bool
+	seq       int // launches so far; also the unique message-ID sequence
+
+	rep AttrReport
+}
+
+// NewAttrScenario builds the world: one node per server, rings intra- and
+// inter-region, the MST backbone over them, a broadcast tree on the MST,
+// and a term-indexed mailstore per node.
+func NewAttrScenario(cfg AttrConfig) (*AttrScenario, error) {
+	cfg = cfg.withDefaults()
+	s := &AttrScenario{
+		cfg:       cfg,
+		pop:       cfg.Pop,
+		sched:     sim.New(cfg.Seed),
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5deece66d)),
+		reg:       obs.NewRegistry(),
+		store:     make(map[graph.NodeID]*mailstore.Store),
+		pending:   make(map[uint64]*attrQuery),
+		undrained: make(map[graph.NodeID]map[int]bool),
+	}
+	g := s.buildTopology()
+	s.net = netsim.New(s.sched, g)
+	bb, err := mst.Backbone(g, true)
+	if err != nil {
+		return nil, err
+	}
+	s.adj = bb.Combined.Adjacency()
+	for gs := 0; gs < s.pop.TotalServers(); gs++ {
+		st := mailstore.New(4)
+		st.EnableTermIndex()
+		s.store[roamServerID(gs)] = st
+	}
+	s.tree, err = broadcast.Setup(broadcast.Config{
+		Net:     s.net,
+		Tree:    bb.Combined,
+		Eval:    s.eval,
+		Timeout: cfg.Timeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.aud = NewAuditors(s.pop.AuthorityLen, false)
+	return s, nil
+}
+
+// buildTopology wires servers only: intra-region rings (weight ~1) and an
+// inter-region ring (weight ~2), the same shape the other drivers use minus
+// the hosts (in §3.3 every message transits servers; user hosts contribute
+// no routing). GHS needs globally distinct weights, so each edge carries a
+// deterministic epsilon.
+func (s *AttrScenario) buildTopology() *graph.Graph {
+	p := s.pop
+	g := graph.New()
+	spr := p.ServersPerRegion
+	eps := 0
+	jitter := func(base float64) float64 {
+		eps++
+		return base + float64(eps)/1024
+	}
+	for r := 0; r < p.Regions; r++ {
+		region := p.RegionName(r)
+		for j := 0; j < spr; j++ {
+			gs := r*spr + j
+			g.MustAddNode(graph.Node{
+				ID: roamServerID(gs), Label: serverLabel(gs),
+				Region: region, Kind: graph.KindServer,
+			})
+		}
+		for j := 0; j < spr; j++ {
+			next := (j + 1) % spr
+			if next == j {
+				break
+			}
+			g.MustAddEdge(roamServerID(r*spr+j), roamServerID(r*spr+next), jitter(1))
+			if spr == 2 {
+				break
+			}
+		}
+	}
+	for r := 0; r < p.Regions && p.Regions > 1; r++ {
+		next := (r + 1) % p.Regions
+		if next == r {
+			break
+		}
+		g.MustAddEdge(roamServerID(r*spr), roamServerID(next*spr), jitter(2))
+		if p.Regions == 2 {
+			break
+		}
+	}
+	return g
+}
+
+// homeServer returns the global server index user u's mailbox lives on.
+func (s *AttrScenario) homeServer(u int) int {
+	return s.pop.RegionOf(u)*s.pop.ServersPerRegion + s.pop.HostOf(u)%s.pop.ServersPerRegion
+}
+
+// profileOf synthesizes user u's attribute profile deterministically — the
+// population is virtual, so profiles are derived, not stored.
+func (s *AttrScenario) profileOf(u int) *attr.Profile {
+	p := &attr.Profile{User: s.pop.Name(u)}
+	p.Add(attr.TypeInterest, fmt.Sprintf("g%d", u%s.cfg.Groups), attr.Public).
+		Add(attr.TypeCity, attrCities[u%len(attrCities)], attr.Public).
+		Add(attr.TypeName, fmt.Sprintf("user%d", u), attr.Public)
+	return p
+}
+
+// matchingOn enumerates group candidates homed on server gs and verifies
+// each against the real matcher.
+func (s *AttrScenario) matchingOn(gs, group int, q attr.Query) []int {
+	var out []int
+	for u := group; u < s.pop.Users; u += s.cfg.Groups {
+		if s.homeServer(u) != gs {
+			continue
+		}
+		if q.Matches(s.profileOf(u)) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// eval is the broadcast Evaluator: mass distribution deposits a copy for
+// every local match (and ledgers it owed), content search reads the term
+// index. Items are matched user indices either way.
+func (s *AttrScenario) eval(node graph.NodeID, payload any) []any {
+	switch p := payload.(type) {
+	case distPayload:
+		gs := int(node - simServerBase - 1)
+		users := s.matchingOn(gs, p.Group, p.Query)
+		items := make([]any, 0, len(users))
+		now := s.sched.Now()
+		for _, u := range users {
+			s.store[node].Deposit(s.pop.Name(u), mail.Message{
+				ID: p.MsgID, Subject: p.Subject, Body: p.Body, SubmittedAt: now,
+			}, now)
+			if s.undrained[node] == nil {
+				s.undrained[node] = make(map[int]bool)
+			}
+			s.undrained[node][u] = true
+			s.reg.Inc("bcast_deposits")
+			items = append(items, u)
+		}
+		s.aud.RecordSubmit(p.MsgID.String(), users)
+		return items
+	case contentPayload:
+		var items []any
+		for _, name := range s.store[node].SearchTerm(p.Term) {
+			if u, ok := parseUserToken(name.User); ok {
+				items = append(items, u)
+			}
+		}
+		return items
+	}
+	return nil
+}
+
+func parseUserToken(tok string) (int, bool) {
+	if len(tok) < 2 || tok[0] != 'u' {
+		return 0, false
+	}
+	u, err := strconv.Atoi(tok[1:])
+	return u, err == nil
+}
+
+// downNodes lists tree nodes currently down, excluding the origin.
+func (s *AttrScenario) downNodes(origin graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	for gs := 0; gs < s.pop.TotalServers(); gs++ {
+		id := roamServerID(gs)
+		if id != origin && !s.net.IsUp(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// launch starts one query from the home server of a random sender. Content
+// searches only leave when nothing else is in flight, so the term index is
+// stable under them.
+func (s *AttrScenario) launch(content bool) {
+	seq := s.seq
+	s.seq++
+	sender := s.rng.Intn(s.pop.Users)
+	origin := roamServerID(s.homeServer(sender))
+	if content && len(s.pending) > 0 {
+		content = false // don't stall the schedule; send a distribution instead
+	}
+	if !s.net.IsUp(origin) {
+		s.rep.Skipped++
+		return
+	}
+	if d := s.tree.MaxDepthFrom(origin); d > s.rep.MaxDepth {
+		s.rep.MaxDepth = d
+	}
+	q := &attrQuery{origin: origin, start: s.sched.Now(), content: content}
+	q.bound = q.start + s.cfg.Timeout*sim.Time(s.tree.MaxDepthFrom(origin)) + sim.Unit
+	q.deadAtStart = s.downNodes(origin)
+
+	var payload any
+	if content {
+		term := attrTerms[s.rng.Intn(len(attrTerms))]
+		q.truthByNode = make(map[graph.NodeID]map[int]bool)
+		for gs := 0; gs < s.pop.TotalServers(); gs++ {
+			id := roamServerID(gs)
+			holders := make(map[int]bool)
+			for _, name := range s.store[id].SearchTerm(term) {
+				if u, ok := parseUserToken(name.User); ok {
+					holders[u] = true
+				}
+			}
+			if len(holders) > 0 {
+				q.truthByNode[id] = holders
+			}
+		}
+		payload = contentPayload{Term: term}
+	} else {
+		group := s.rng.Intn(s.cfg.Groups)
+		qs := fmt.Sprintf("interest=g%d", group)
+		if s.rng.Intn(3) == 0 {
+			city := attrCities[s.rng.Intn(len(attrCities))]
+			qs += fmt.Sprintf(", city^=%s", city[:3])
+		}
+		query, err := attr.ParseQuery(qs)
+		if err != nil {
+			s.aud.RecordViolation(ViolationBroadcastLoss, "unparseable query "+qs)
+			return
+		}
+		q.truth = make(map[int]bool)
+		for u := group; u < s.pop.Users; u += s.cfg.Groups {
+			if query.Matches(s.profileOf(u)) {
+				q.truth[u] = true
+			}
+		}
+		term := attrTerms[s.rng.Intn(len(attrTerms))]
+		payload = distPayload{
+			MsgID:   mail.MessageID{Node: origin, Seq: uint64(seq) + 1},
+			Group:   group,
+			Query:   query,
+			Subject: "bulletin " + qs,
+			Body:    fmt.Sprintf("%s notice for group g%d", term, group),
+		}
+	}
+	id, err := s.tree.Start(origin, payload, nil)
+	if err != nil {
+		s.rep.Skipped++
+		return
+	}
+	q.id = id
+	s.pending[id] = q
+	s.pendingID = append(s.pendingID, id)
+}
+
+// excused returns every node in a subtree rooted at an unavailable child —
+// users homed there are excused from the delivery audit for this query.
+func (s *AttrScenario) excused(origin graph.NodeID, roots []graph.NodeID) map[graph.NodeID]bool {
+	if len(roots) == 0 {
+		return nil
+	}
+	// Parent relation from this origin.
+	parent := map[graph.NodeID]graph.NodeID{origin: origin}
+	queue := []graph.NodeID{origin}
+	for len(queue) > 0 {
+		at := queue[0]
+		queue = queue[1:]
+		for _, nb := range s.adj[at] {
+			if _, seen := parent[nb]; !seen {
+				parent[nb] = at
+				queue = append(queue, nb)
+			}
+		}
+	}
+	out := make(map[graph.NodeID]bool)
+	for _, r := range roots {
+		stack := []graph.NodeID{r}
+		for len(stack) > 0 {
+			at := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if out[at] {
+				continue
+			}
+			out[at] = true
+			for _, nb := range s.adj[at] {
+				if nb != parent[at] {
+					stack = append(stack, nb)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// harvest audits every completed in-flight query.
+func (s *AttrScenario) harvest() {
+	remaining := s.pendingID[:0]
+	for _, id := range s.pendingID {
+		q := s.pending[id]
+		sum, at, ok := s.tree.ResultAt(id)
+		if !ok {
+			remaining = append(remaining, id)
+			continue
+		}
+		delete(s.pending, id)
+		s.audit(q, sum, at)
+	}
+	s.pendingID = remaining
+}
+
+// audit holds one completed query to the §3.3 invariants.
+func (s *AttrScenario) audit(q *attrQuery, sum broadcast.Summary, at sim.Time) {
+	// Bounded completion: the origin's own depth-scaled timer is the worst
+	// case; exceeding it means a parent failed to time out on a dead child.
+	if at > q.bound {
+		s.aud.RecordViolation(ViolationConvergecastBound,
+			fmt.Sprintf("query %d finished at %d, bound %d", q.id, at, q.bound))
+	}
+	excused := s.excused(q.origin, sum.Unavailable)
+	if len(sum.Unavailable) > 0 {
+		s.rep.Partial++
+	}
+	// Positive E6: children dead for the query's whole lifetime must be
+	// flagged unavailable, never silently merged.
+	if len(sum.Unavailable) == 0 {
+		for _, id := range q.deadAtStart {
+			if !s.net.IsUp(id) {
+				s.aud.RecordViolation(ViolationPartialUnflagged,
+					fmt.Sprintf("query %d: node %d dead throughout but summary claims complete", q.id, id))
+				break
+			}
+		}
+	}
+	got := make(map[int]bool)
+	for _, it := range sum.Items {
+		u, ok := it.(int)
+		if !ok {
+			s.aud.RecordViolation(ViolationBroadcastLoss,
+				fmt.Sprintf("query %d: non-user item %v", q.id, it))
+			continue
+		}
+		if got[u] {
+			s.aud.RecordViolation(ViolationBroadcastLoss,
+				fmt.Sprintf("query %d: u%d summarized twice", q.id, u))
+		}
+		got[u] = true
+	}
+	if q.content {
+		s.rep.ContentQueries++
+		s.auditContent(q, got, excused)
+		lat := float64(at-q.start) / float64(sim.Unit)
+		s.reg.Histogram("lat_convergecast", nil).Observe(lat)
+		return
+	}
+	s.rep.Queries++
+	s.rep.Deliveries += len(got)
+	truth := make([]int, 0, len(q.truth))
+	for u := range q.truth {
+		truth = append(truth, u)
+	}
+	sort.Ints(truth)
+	for _, u := range truth {
+		if got[u] {
+			continue
+		}
+		if excused[roamServerID(s.homeServer(u))] {
+			continue
+		}
+		if len(sum.Unavailable) == 0 {
+			s.aud.RecordViolation(ViolationPartialUnflagged,
+				fmt.Sprintf("query %d: u%d missing from a summary claiming completeness", q.id, u))
+		} else {
+			s.aud.RecordViolation(ViolationBroadcastLoss,
+				fmt.Sprintf("query %d: u%d missing though its node responded", q.id, u))
+		}
+	}
+	for u := range got {
+		if !q.truth[u] {
+			s.aud.RecordViolation(ViolationBroadcastLoss,
+				fmt.Sprintf("query %d: bogus delivery claim for u%d", q.id, u))
+		}
+	}
+	lat := float64(at-q.start) / float64(sim.Unit)
+	s.reg.Histogram("lat_broadcast", nil).Observe(lat)
+}
+
+// auditContent compares a term search against the per-node index snapshot
+// taken at launch (the index is stable in flight: content queries only leave
+// when nothing else is pending, and sweeps pause while they run).
+func (s *AttrScenario) auditContent(q *attrQuery, got map[int]bool, excused map[graph.NodeID]bool) {
+	truthAll := make(map[int]bool)
+	for node, holders := range q.truthByNode {
+		if excused[node] {
+			continue
+		}
+		for u := range holders {
+			truthAll[u] = true
+			if !got[u] {
+				s.aud.RecordViolation(ViolationBroadcastLoss,
+					fmt.Sprintf("content query %d: u%d's indexed copy not reported", q.id, u))
+			}
+		}
+	}
+	for u := range got {
+		home := roamServerID(s.homeServer(u))
+		if excused[home] {
+			continue // evaluated before its subtree's summary was lost
+		}
+		if !truthAll[u] && !q.truthByNode[home][u] {
+			s.aud.RecordViolation(ViolationBroadcastLoss,
+				fmt.Sprintf("content query %d: bogus holder claim for u%d", q.id, u))
+		}
+	}
+}
+
+// sweep drains deposited copies from live nodes into the retrieval ledger.
+// Paused while a content query is in flight so its ground truth stays fixed.
+func (s *AttrScenario) sweep() {
+	for _, q := range s.pending {
+		if q.content {
+			return
+		}
+	}
+	nodes := make([]graph.NodeID, 0, len(s.undrained))
+	for id := range s.undrained {
+		nodes = append(nodes, id)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, node := range nodes {
+		if !s.net.IsUp(node) {
+			continue // a crashed store is unreachable until recovery
+		}
+		users := make([]int, 0, len(s.undrained[node]))
+		for u := range s.undrained[node] {
+			users = append(users, u)
+		}
+		sort.Ints(users)
+		for _, u := range users {
+			ids := make([]string, 0, 1)
+			for _, st := range s.store[node].Drain(s.pop.Name(u)) {
+				ids = append(ids, st.ID.String())
+			}
+			s.aud.CreditRetrieved(u, ids)
+		}
+		delete(s.undrained, node)
+	}
+}
+
+// Run executes the scenario: launch queries on schedule, inject faults,
+// harvest completions, sweep deposits, then settle, force a pair of content
+// searches through the quiet world, and close the ledger.
+func (s *AttrScenario) Run() AttrReport {
+	inj := faults.NewSimTarget(s.net, s.nodeMap(), s.cfg.Tick)
+	var events []faults.Event
+	if s.cfg.Schedule != nil {
+		events = s.cfg.Schedule.Events
+	}
+	next := 0
+	launched := 0
+	for tick := 0; tick < s.cfg.Ticks; tick++ {
+		for next < len(events) && events[next].Tick <= tick {
+			_ = inj.Inject(events[next])
+			next++
+		}
+		if launched < s.cfg.Queries && tick%s.cfg.QueryEvery == 0 {
+			s.launch(launched > 0 && launched%s.cfg.ContentEvery == 0)
+			launched++
+		}
+		s.sched.RunFor(s.cfg.Tick)
+		s.harvest()
+		if tick > 0 && tick%s.cfg.SweepEvery == 0 {
+			s.sweep()
+		}
+	}
+	for next < len(events) { // close remaining fault windows
+		_ = inj.Inject(events[next])
+		next++
+	}
+	s.sched.Run()
+	s.harvest()
+
+	// Quiet-world epilogue: one more distribution through the healthy tree
+	// loads the term indexes, then two content searches read them back
+	// before the closing sweep drains everything into the ledger.
+	s.launch(false)
+	s.sched.Run()
+	s.harvest()
+	for i := 0; i < 2; i++ {
+		s.launch(true)
+		s.sched.Run()
+		s.harvest()
+	}
+	s.sweep()
+	s.aud.FinishOutstanding()
+
+	s.rep.Ok = s.aud.Ok()
+	s.rep.Violations = s.aud.Counts()
+	s.rep.Examples = s.aud.Violations()
+	s.rep.Ticks = s.cfg.Ticks
+	return s.rep
+}
+
+func (s *AttrScenario) nodeMap() map[string]graph.NodeID {
+	nodes := make(map[string]graph.NodeID)
+	for gs := 0; gs < s.pop.TotalServers(); gs++ {
+		nodes[serverLabel(gs)] = roamServerID(gs)
+	}
+	return nodes
+}
+
+// SetSchedule installs a compiled fault schedule after construction (the
+// surface needs the built scenario) and stretches the run past its horizon.
+func (s *AttrScenario) SetSchedule(sched *faults.Schedule) {
+	s.cfg.Schedule = sched
+	if sched != nil && sched.Horizon() > s.cfg.Ticks {
+		s.cfg.Ticks = sched.Horizon()
+	}
+}
+
+// FaultSurface lists what the chaos schedule may break: server crashes and
+// latency only. Drops are excluded — broadcast queries and summaries are
+// fire-and-forget, so a dropped edge message loses data without any node
+// being observably at fault; the paper's answer to that is the timeout
+// machinery already exercised by crashes.
+func (s *AttrScenario) FaultSurface() faults.Spec {
+	spec := faults.Spec{}
+	for gs := 0; gs < s.pop.TotalServers(); gs++ {
+		spec.Servers = append(spec.Servers, serverLabel(gs))
+	}
+	return spec
+}
+
+// Tree exposes the broadcast tree (tests assert on depth and timeout).
+func (s *AttrScenario) Tree() *broadcast.Tree { return s.tree }
+
+// Network exposes the simulated network.
+func (s *AttrScenario) Network() *netsim.Network { return s.net }
+
+// Store returns the mailstore of global server gs.
+func (s *AttrScenario) Store(gs int) *mailstore.Store { return s.store[roamServerID(gs)] }
+
+// Snapshot returns counters and histograms (lat_broadcast,
+// lat_convergecast, bcast_deposits, net_*).
+func (s *AttrScenario) Snapshot() obs.Snapshot {
+	snap := s.reg.Snapshot()
+	if snap.Counters == nil {
+		snap.Counters = make(map[string]int64)
+	}
+	for k, v := range s.net.Stats().Counters() {
+		snap.Counters["net_"+k] = v
+	}
+	return snap
+}

@@ -13,6 +13,12 @@ const (
 	ViolationMonotone   = "monotone_lct"    // LastCheckingTime moved backwards
 	ViolationPolls      = "poll_efficiency" // §3.1.2c ≈1-poll guarantee broken
 	ViolationTraceGap   = "trace_gap"       // committed message with incomplete span chain
+
+	// Architecture-scenario kinds (the §3.2 / §3.3 shoot-out auditors).
+	ViolationRoamOverhead      = "roam_overhead"      // §3.2.2c: consultation for a user at their primary host
+	ViolationBroadcastLoss     = "broadcast_loss"     // matching live user missed a broadcast copy
+	ViolationConvergecastBound = "convergecast_bound" // convergecast completed past the timeout bound
+	ViolationPartialUnflagged  = "partial_unflagged"  // incomplete aggregate not marked partial
 )
 
 // maxViolationDetail caps the per-violation examples kept; totals keep
@@ -138,6 +144,11 @@ func (a *Auditors) RecordRetrieve(u int, res RetrieveResult) {
 				u, res.Polls))
 	}
 }
+
+// RecordViolation ledgers a scenario-specific invariant breach detected
+// outside the built-in checks — the roaming-overhead and broadcast auditors
+// feed their findings through here so every report shares one funnel.
+func (a *Auditors) RecordViolation(kind, detail string) { a.violate(kind, detail) }
 
 // RecordTraceGaps ledgers the final trace audit: each entry is a committed
 // message ID whose lifecycle span chain is missing or incomplete.

@@ -1,0 +1,433 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"github.com/largemail/largemail/internal/faults"
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/locind"
+	"github.com/largemail/largemail/internal/names"
+	"github.com/largemail/largemail/internal/netsim"
+	"github.com/largemail/largemail/internal/obs"
+	"github.com/largemail/largemail/internal/queueing"
+	"github.com/largemail/largemail/internal/sim"
+)
+
+// RoamConfig configures a RoamDriver.
+type RoamConfig struct {
+	Seed int64
+	Pop  Population
+	// Tick is the virtual length of one schedule tick (default 10 units).
+	Tick sim.Time
+	// Subgroups is each region's hash modulus (default 2 × servers/region).
+	Subgroups int
+	// AckTimeout overrides the deposit-retry timeout (0 = locind default).
+	AckTimeout sim.Time
+}
+
+// OverheadEvent is one piece of roaming-tracking work a delivery incurred,
+// reported by the locind overhead hook: "consult" per location query issued,
+// "roam_alert" when a consultation located a roamed user.
+type OverheadEvent struct {
+	User  int
+	Event string
+}
+
+// RoamDriver drives the paper's second architecture (§3.2, limited
+// location-independent access) behind the same Driver contract as the
+// syntax-directed SimDriver: one locind.System per region federated over a
+// shared regional topology, hash sub-group authority lists instead of
+// host-derived ones, and agents that roam between hosts without renames.
+//
+// Retrieval in this design polls the whole live authority list every call
+// (locind keeps no LastCheckingTime), so the strict §3.1.2c poll audit does
+// not apply: run this driver through RunRoamScenario (which always installs
+// an OnTick hook, disabling that audit) or under a fault schedule.
+type RoamDriver struct {
+	cfg   RoamConfig
+	pop   Population
+	sched *sim.Scheduler
+	net   *netsim.Network
+	topo  *graph.Graph
+
+	reg   *obs.Registry
+	trace *obs.Tracer
+
+	fed     *locind.Federation
+	systems []*locind.System // per region
+
+	agents  map[int]*locind.Agent
+	loginOK map[int]bool // user's last Login attempt succeeded
+	order   []int        // materialized users, in first-touch order
+
+	overhead []OverheadEvent
+	maxLoad  int
+}
+
+// roamServerID maps a global server index to its node ID (no spare slots in
+// the roaming topology).
+func roamServerID(gs int) graph.NodeID { return simServerBase + 1 + graph.NodeID(gs) }
+
+// NewRoamDriver builds the federated location-independent world.
+func NewRoamDriver(cfg RoamConfig) (*RoamDriver, error) {
+	cfg.Pop = cfg.Pop.withDefaults()
+	if cfg.Tick <= 0 {
+		cfg.Tick = 10 * sim.Unit
+	}
+	p := cfg.Pop
+	if cfg.Subgroups <= 0 {
+		cfg.Subgroups = 2 * p.ServersPerRegion
+	}
+	d := &RoamDriver{
+		cfg:     cfg,
+		pop:     p,
+		sched:   sim.New(cfg.Seed),
+		fed:     locind.NewFederation(),
+		agents:  make(map[int]*locind.Agent),
+		loginOK: make(map[int]bool),
+	}
+	d.reg = obs.NewRegistry()
+	sched := d.sched
+	d.trace = obs.NewTracer(func() int64 { return int64(sched.Now()) }, d.reg)
+
+	d.topo = d.buildTopology()
+	d.net = netsim.New(d.sched, d.topo)
+
+	perServer := p.Users / p.TotalServers()
+	d.maxLoad = perServer + perServer/4 + 4
+
+	for r := 0; r < p.Regions; r++ {
+		servers := make([]graph.NodeID, p.ServersPerRegion)
+		for j := range servers {
+			servers[j] = roamServerID(r*p.ServersPerRegion + j)
+		}
+		sys, err := locind.NewSystem(locind.Config{
+			Region:     p.RegionName(r),
+			Net:        d.net,
+			Servers:    servers,
+			Subgroups:  cfg.Subgroups,
+			ListLen:    p.AuthorityLen,
+			AckTimeout: cfg.AckTimeout,
+			Stats:      d.reg,
+			Trace:      d.trace,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: region %d: %w", r, err)
+		}
+		for i := 0; i < p.HostsPerRegion; i++ {
+			gh := r*p.HostsPerRegion + i
+			if _, err := sys.AddHost(fmt.Sprintf("h%d", gh), hostID(gh)); err != nil {
+				return nil, err
+			}
+		}
+		if err := d.fed.Add(sys); err != nil {
+			return nil, err
+		}
+		sys.SetOverheadHook(d.noteOverhead)
+		d.systems = append(d.systems, sys)
+	}
+	return d, nil
+}
+
+// buildTopology mirrors the SimDriver wiring without spare slots: host
+// spokes (weight 1), intra-region server rings (weight 1), inter-region ring
+// (weight 2).
+func (d *RoamDriver) buildTopology() *graph.Graph {
+	p := d.pop
+	g := graph.New()
+	spr := p.ServersPerRegion
+	for r := 0; r < p.Regions; r++ {
+		region := p.RegionName(r)
+		for j := 0; j < spr; j++ {
+			gs := r*spr + j
+			g.MustAddNode(graph.Node{
+				ID: roamServerID(gs), Label: serverLabel(gs),
+				Region: region, Kind: graph.KindServer,
+			})
+		}
+		for j := 0; j < spr; j++ {
+			next := (j + 1) % spr
+			if next == j {
+				break
+			}
+			g.MustAddEdge(roamServerID(r*spr+j), roamServerID(r*spr+next), 1)
+			if spr == 2 {
+				break
+			}
+		}
+		for i := 0; i < p.HostsPerRegion; i++ {
+			gh := r*p.HostsPerRegion + i
+			g.MustAddNode(graph.Node{
+				ID: hostID(gh), Label: hostLabel(gh),
+				Region: region, Kind: graph.KindHost,
+			})
+			g.MustAddEdge(hostID(gh), roamServerID(r*spr+i%spr), 1)
+		}
+	}
+	for r := 0; r < p.Regions && p.Regions > 1; r++ {
+		next := (r + 1) % p.Regions
+		if next == r {
+			break
+		}
+		g.MustAddEdge(roamServerID(r*spr), roamServerID(next*spr), 2)
+		if p.Regions == 2 {
+			break
+		}
+	}
+	return g
+}
+
+// noteOverhead buffers one overhead-hook event for DrainOverheadEvents.
+func (d *RoamDriver) noteOverhead(user names.Name, event string) {
+	if len(user.User) < 2 || user.User[0] != 'u' {
+		return
+	}
+	idx, err := strconv.Atoi(user.User[1:])
+	if err != nil {
+		return
+	}
+	d.overhead = append(d.overhead, OverheadEvent{User: idx, Event: event})
+}
+
+// DrainOverheadEvents returns the overhead events recorded since the last
+// drain. The §3.2.2c auditor consumes them each tick.
+func (d *RoamDriver) DrainOverheadEvents() []OverheadEvent {
+	out := d.overhead
+	d.overhead = nil
+	return out
+}
+
+// Scheduler exposes the simulation clock.
+func (d *RoamDriver) Scheduler() *sim.Scheduler { return d.sched }
+
+// Network exposes the simulated network.
+func (d *RoamDriver) Network() *netsim.Network { return d.net }
+
+// System returns region r's locind system.
+func (d *RoamDriver) System(r int) *locind.System { return d.systems[r] }
+
+// Population implements Driver.
+func (d *RoamDriver) Population() Population { return d.pop }
+
+// Tracer implements Driver.
+func (d *RoamDriver) Tracer() *obs.Tracer { return d.trace }
+
+// LoginOK reports whether user u's last login attempt succeeded — users the
+// overhead auditor may hold to the at-primary-means-no-consultation rule.
+func (d *RoamDriver) LoginOK(u int) bool { return d.loginOK[u] }
+
+// Materialized returns the users touched so far, in first-touch order.
+func (d *RoamDriver) Materialized() []int { return d.order }
+
+// CurrentHost returns u's current global host index (primary until roamed).
+func (d *RoamDriver) CurrentHost(u int) int {
+	if a, ok := d.agents[u]; ok {
+		return int(a.CurrentHost() - simHostBase - 1)
+	}
+	return d.pop.HostOf(u)
+}
+
+// ensure materializes user u: an agent at their primary host plus a login
+// announcement. A login that failed (all region servers down) is retried on
+// the next touch.
+func (d *RoamDriver) ensure(u int) (*locind.Agent, error) {
+	if a, ok := d.agents[u]; ok {
+		if !d.loginOK[u] {
+			d.loginOK[u] = a.Login() == nil
+		}
+		return a, nil
+	}
+	sys := d.systems[d.pop.RegionOf(u)]
+	a, err := sys.NewAgent(d.pop.Name(u))
+	if err != nil {
+		return nil, err
+	}
+	d.agents[u] = a
+	d.order = append(d.order, u)
+	d.loginOK[u] = a.Login() == nil
+	return a, nil
+}
+
+// Roam moves user u to another host inside their region (no rename — the
+// defining property of §3.2) and logs in there. The engine's auditors keep
+// holding the user to exactly-once delivery across the move.
+func (d *RoamDriver) Roam(u, gh int) error {
+	a, err := d.ensure(u)
+	if err != nil {
+		return err
+	}
+	if gh/d.pop.HostsPerRegion != d.pop.RegionOf(u) {
+		return fmt.Errorf("loadgen: host %d outside u%d's region", gh, u)
+	}
+	if err := a.MoveTo(hostID(gh)); err != nil {
+		return err
+	}
+	d.loginOK[u] = a.Login() == nil
+	return nil
+}
+
+// Rehash changes every region's hash modulus — the live reconfiguration of
+// §3.2.3c — and returns the total mailboxes migrated.
+func (d *RoamDriver) Rehash(k int) (int, error) {
+	moved := 0
+	for _, sys := range d.systems {
+		m, err := sys.Rehash(k)
+		moved += m
+		if err != nil {
+			return moved, err
+		}
+	}
+	return moved, nil
+}
+
+// Submit implements Driver: the nearest live server to the sender's current
+// host accepts in-process — the commit point; an error means nothing was
+// accepted.
+func (d *RoamDriver) Submit(from int, to []int, subject, body string) (string, error) {
+	fa, err := d.ensure(from)
+	if err != nil {
+		return "", err
+	}
+	toNames := make([]names.Name, len(to))
+	for i, u := range to {
+		if _, err := d.ensure(u); err != nil {
+			return "", err
+		}
+		toNames[i] = d.pop.Name(u)
+	}
+	sys := d.systems[d.pop.RegionOf(from)]
+	sid, err := sys.NearestServer(fa.CurrentHost())
+	if err != nil {
+		return "", err
+	}
+	srv, ok := sys.Server(sid)
+	if !ok {
+		return "", fmt.Errorf("loadgen: no server process on node %d", sid)
+	}
+	id, err := srv.Accept(fa.User(), toNames, subject, body)
+	if err != nil {
+		return "", err
+	}
+	return id.String(), nil
+}
+
+// Retrieve implements Driver. locind's GetMail polls every live authority
+// server each call, so Polls ≈ the authority length by design here.
+func (d *RoamDriver) Retrieve(u int) RetrieveResult {
+	a, err := d.ensure(u)
+	if err != nil {
+		return RetrieveResult{}
+	}
+	p0, dup0 := a.Polls(), a.Duplicates()
+	msgs := a.GetMail()
+	ids := make([]string, len(msgs))
+	where := hostLabel(d.CurrentHost(u))
+	for i, m := range msgs {
+		ids[i] = m.ID.String()
+		d.trace.Stamp(ids[i], obs.StageRetrieve, where)
+	}
+	return RetrieveResult{
+		IDs:          ids,
+		Polls:        a.Polls() - p0,
+		Duplicates:   a.Duplicates() - dup0,
+		LastChecking: int64(d.sched.Now()),
+	}
+}
+
+// Step implements Driver.
+func (d *RoamDriver) Step(n int) { d.sched.RunFor(sim.Time(n) * d.cfg.Tick) }
+
+// Settle implements Driver.
+func (d *RoamDriver) Settle() { d.sched.Run() }
+
+// Snapshot implements Driver: the shared locind counters and histograms
+// (deposits, consultations, notify_*, lat_roam_resolve, ...) plus network
+// counters.
+func (d *RoamDriver) Snapshot() obs.Snapshot {
+	snap := d.reg.Snapshot()
+	if snap.Counters == nil {
+		snap.Counters = make(map[string]int64)
+	}
+	for k, v := range d.net.Stats().Counters() {
+		snap.Counters["net_"+k] = v
+	}
+	return snap
+}
+
+// Injector implements Driver.
+func (d *RoamDriver) Injector() faults.Injector {
+	nodes := make(map[string]graph.NodeID)
+	for gh := 0; gh < d.pop.TotalHosts(); gh++ {
+		nodes[hostLabel(gh)] = hostID(gh)
+	}
+	for gs := 0; gs < d.pop.TotalServers(); gs++ {
+		nodes[serverLabel(gs)] = roamServerID(gs)
+	}
+	return faults.NewSimTarget(d.net, nodes, d.cfg.Tick)
+}
+
+// FaultSurface implements Driver. Same safety reasoning as the SimDriver:
+// servers take crashes and latency (deposit retries plus the Recovered
+// re-dispatch cover them), only hosts take drops (host-bound traffic is
+// probes and alerts, which no delivery invariant depends on — retrieval
+// polls the servers directly), and only ≥3-server rings risk link cuts.
+// No kill targets: the roaming driver's stores are memory-only.
+func (d *RoamDriver) FaultSurface() faults.Spec {
+	p := d.pop
+	spec := faults.Spec{}
+	for gs := 0; gs < p.TotalServers(); gs++ {
+		spec.Servers = append(spec.Servers, serverLabel(gs))
+	}
+	for gh := 0; gh < p.TotalHosts(); gh++ {
+		spec.DropTargets = append(spec.DropTargets, hostLabel(gh))
+	}
+	if p.ServersPerRegion >= 3 {
+		for r := 0; r < p.Regions; r++ {
+			for j := 0; j < p.ServersPerRegion; j++ {
+				next := (j + 1) % p.ServersPerRegion
+				if next == j {
+					break
+				}
+				spec.Links = append(spec.Links, [2]string{
+					serverLabel(r*p.ServersPerRegion + j),
+					serverLabel(r*p.ServersPerRegion + next),
+				})
+			}
+		}
+	}
+	return spec
+}
+
+// ServerLoads implements Driver: hash sub-groups spread users uniformly, so
+// the prediction is the uniform share; observed deposits come from each
+// server's counter.
+func (d *RoamDriver) ServerLoads() []ServerLoad {
+	p := d.pop
+	perServer := p.Users / p.TotalServers()
+	rho := float64(perServer) / float64(d.maxLoad)
+	var out []ServerLoad
+	for r, sys := range d.systems {
+		ids := make([]graph.NodeID, 0, p.ServersPerRegion)
+		for j := 0; j < p.ServersPerRegion; j++ {
+			ids = append(ids, roamServerID(r*p.ServersPerRegion+j))
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			sl := ServerLoad{
+				Name:    serverLabel(int(id - simServerBase - 1)),
+				Region:  p.RegionName(r),
+				Load:    perServer,
+				MaxLoad: d.maxLoad,
+				Rho:     rho,
+				QWait:   queueing.Wait(rho),
+			}
+			if srv, ok := sys.Server(id); ok {
+				sl.Deposits = srv.Deposits()
+			}
+			out = append(out, sl)
+		}
+	}
+	return out
+}

@@ -68,6 +68,7 @@ type Agent struct {
 	notifications []Alert
 	polls         int
 	retrievals    int
+	dupes         int
 	pollCost      float64
 }
 
@@ -116,6 +117,13 @@ func (a *Agent) Polls() int { return a.polls }
 
 // Retrievals reports how many GetMail calls the agent has made.
 func (a *Agent) Retrievals() int { return a.retrievals }
+
+// Duplicates reports how many already-seen copies the agent's polls have
+// suppressed (retried deposits that landed twice across a fault window).
+func (a *Agent) Duplicates() int { return a.dupes }
+
+// LoggedIn reports whether the agent currently has an announced presence.
+func (a *Agent) LoggedIn() bool { return a.loggedIn }
 
 // PollCost reports the cumulative round-trip cost of the agent's polls,
 // including any remote-access inflation.
@@ -217,6 +225,7 @@ func (a *Agent) getMail(from graph.NodeID, costFactor float64) []mail.Stored {
 		}
 		for _, m := range msgs {
 			if a.seen[m.ID] {
+				a.dupes++
 				continue
 			}
 			a.seen[m.ID] = true

@@ -177,6 +177,13 @@ type Config struct {
 	ListLen int
 	// AckTimeout for deposit retries; zero means 8 paper time units.
 	AckTimeout sim.Time
+	// Stats, when non-nil, is used instead of a private registry — a
+	// federation's regions can then share one registry and their counters
+	// aggregate.
+	Stats *obs.Registry
+	// Trace, when non-nil, stamps the message lifecycle (submit, deposit)
+	// so a workload harness can run its trace-completeness audit.
+	Trace *obs.Tracer
 }
 
 // System is one region's location-independent mail system.
@@ -192,7 +199,22 @@ type System struct {
 	procs  map[graph.NodeID]*Server
 	hostPs map[graph.NodeID]*Hostd
 	stats  *obs.Registry
+	trace  *obs.Tracer // nil when lifecycle stamping is off
 	fed    *Federation // nil outside a federation
+
+	// onOverhead, when set via SetOverheadHook, observes every piece of
+	// roaming-tracking work a delivery incurs: one "consult" event per
+	// LocQuery issued and one "roam_alert" when a consultation located a
+	// roamed user. The §3.2.2c auditor uses it to verify that overhead is
+	// only ever incurred for users who actually left their primary host.
+	onOverhead func(user names.Name, event string)
+}
+
+// SetOverheadHook installs the roaming-overhead observer (see §3.2.2c:
+// consultation traffic must only occur for users off their primary host).
+// Pass nil to remove it. Must not be called while the scheduler is running.
+func (s *System) SetOverheadHook(fn func(user names.Name, event string)) {
+	s.onOverhead = fn
 }
 
 // NewSystem registers a Server process on every server node. Host processes
@@ -216,6 +238,10 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.AckTimeout <= 0 {
 		cfg.AckTimeout = 8 * sim.Unit
 	}
+	reg := cfg.Stats
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &System{
 		region:     cfg.Region,
 		net:        cfg.Net,
@@ -226,7 +252,8 @@ func NewSystem(cfg Config) (*System, error) {
 		ackTimeout: cfg.AckTimeout,
 		procs:      make(map[graph.NodeID]*Server),
 		hostPs:     make(map[graph.NodeID]*Hostd),
-		stats:      obs.NewRegistry(),
+		stats:      reg,
+		trace:      cfg.Trace,
 	}
 	for tok, id := range cfg.Hosts {
 		s.hosts[tok] = id
@@ -256,6 +283,11 @@ func (s *System) Region() string { return s.region }
 
 // Subgroups returns the current hash modulus.
 func (s *System) Subgroups() int { return s.subgroups }
+
+// Servers returns the current rotation, in authority order.
+func (s *System) Servers() []graph.NodeID {
+	return append([]graph.NodeID(nil), s.servers...)
+}
 
 // Server returns the server process on a node.
 func (s *System) Server(id graph.NodeID) (*Server, bool) {
@@ -323,34 +355,50 @@ func (s *System) Rehash(k int) (moved int, err error) {
 	serverIDs := append([]graph.NodeID(nil), s.servers...)
 	sort.Slice(serverIDs, func(i, j int) bool { return serverIDs[i] < serverIDs[j] })
 	for _, sid := range serverIDs {
-		p := s.procs[sid]
-		users := make([]names.Name, 0, len(p.mailboxes))
-		for u := range p.mailboxes {
-			users = append(users, u)
-		}
-		sort.Slice(users, func(i, j int) bool { return users[i].String() < users[j].String() })
-		for _, u := range users {
-			auth := s.AuthorityFor(u)
-			keep := false
-			for _, a := range auth {
-				if a == sid {
-					keep = true
-					break
-				}
-			}
-			if keep {
-				continue
-			}
-			msgs := p.mailboxes[u].Drain()
-			if len(msgs) == 0 {
-				continue
-			}
-			s.stats.Inc("rehash_transfers")
-			moved++
-			_ = s.net.Send(sid, auth[0], MailboxTransfer{User: u, Msgs: msgs})
-		}
+		moved += s.evacuate(s.procs[sid])
 	}
 	return moved, nil
+}
+
+// evacuate re-routes every buffered message on p whose sub-group authority
+// no longer includes p, through the normal acked per-message deposit path,
+// so reconfiguration cannot lose mail: a target that is down mid-rehash is
+// covered by the same retry machinery as any other deposit. It returns the
+// number of mailboxes moved.
+func (s *System) evacuate(p *Server) (moved int) {
+	users := make([]names.Name, 0, len(p.mailboxes))
+	for u := range p.mailboxes {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i].String() < users[j].String() })
+	for _, u := range users {
+		auth := s.AuthorityFor(u)
+		keep := false
+		for _, a := range auth {
+			if a == p.id {
+				keep = true
+				break
+			}
+		}
+		if keep {
+			continue
+		}
+		msgs := p.mailboxes[u].Drain()
+		if len(msgs) == 0 {
+			continue
+		}
+		s.stats.Inc("rehash_transfers")
+		moved++
+		for _, st := range msgs {
+			// The copy leaves this server still undelivered: drop it from the
+			// suppression memory, or a later reconfiguration routing it back
+			// here would swallow it as a duplicate re-deposit.
+			p.mailboxes[u].Forget(st.ID)
+			s.stats.Inc("rehash_messages_moved")
+			p.route(st.Message, u)
+		}
+	}
+	return moved
 }
 
 // AddServer appends a server to the region (registering its process) and
@@ -373,6 +421,39 @@ func (s *System) AddServer(id graph.NodeID) error {
 	s.servers = append(s.servers, id)
 	_, err := s.Rehash(s.subgroups)
 	return err
+}
+
+// RemoveServer takes a server out of the region's rotation: no sub-group's
+// authority list includes it afterwards, and its buffered mail is re-routed
+// through the normal acked deposit path. The process stays registered on
+// the network, so in-flight deposits addressed to it are bounced back into
+// rotation by the stale-authority guard rather than stranded. It returns
+// how many mailboxes moved.
+func (s *System) RemoveServer(id graph.NodeID) (moved int, err error) {
+	p, ok := s.procs[id]
+	if !ok {
+		return 0, fmt.Errorf("locind: server %d not present", id)
+	}
+	idx := -1
+	for i, sid := range s.servers {
+		if sid == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("locind: server %d already removed", id)
+	}
+	if len(s.servers) == 1 {
+		return 0, ErrNoServers
+	}
+	s.servers = append(s.servers[:idx:idx], s.servers[idx+1:]...)
+	if s.listLen > len(s.servers) {
+		s.listLen = len(s.servers)
+	}
+	moved = s.evacuate(p)
+	m, err := s.Rehash(s.subgroups)
+	return moved + m, err
 }
 
 // otherServers returns the servers except exclude, in preference order.

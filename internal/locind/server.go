@@ -1,12 +1,14 @@
 package locind
 
 import (
+	"fmt"
 	"sort"
 
 	"github.com/largemail/largemail/internal/graph"
 	"github.com/largemail/largemail/internal/mail"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/netsim"
+	"github.com/largemail/largemail/internal/obs"
 	"github.com/largemail/largemail/internal/sim"
 )
 
@@ -28,6 +30,7 @@ type Server struct {
 	nextToken uint64
 	pending   map[uint64]*pendingDeposit
 	notifying map[uint64]*pendingNotify
+	deposits  int64
 }
 
 type pendingDeposit struct {
@@ -46,6 +49,7 @@ type pendingNotify struct {
 	user    names.Name
 	msgID   mail.MessageID
 	consult []graph.NodeID // servers still to ask
+	started sim.Time       // when the notification began, for lat_roam_resolve
 }
 
 // ID returns the server's node.
@@ -108,7 +112,22 @@ func (p *Server) Receive(env netsim.Envelope) {
 	}
 }
 
-func (p *Server) onSubmit(m Submit) {
+func (p *Server) onSubmit(m Submit) { p.submit(m) }
+
+// Accept is the in-process submission entry point used by workload
+// harnesses: it commits the message exactly as a Submit payload would (same
+// routing, same counters) and returns the assigned ID so the caller can
+// ledger the submission at its commit point. A down server rejects without
+// side effects.
+func (p *Server) Accept(from names.Name, to []names.Name, subject, body string) (mail.MessageID, error) {
+	if !p.sys.net.IsUp(p.id) {
+		return mail.MessageID{}, ErrNoServerUp
+	}
+	id := p.submit(Submit{From: from, To: to, Subject: subject, Body: body})
+	return id, nil
+}
+
+func (p *Server) submit(m Submit) mail.MessageID {
 	p.nextSeq++
 	msg := mail.Message{
 		ID:          mail.MessageID{Node: p.id, Seq: p.nextSeq},
@@ -119,6 +138,9 @@ func (p *Server) onSubmit(m Submit) {
 		SubmittedAt: p.sys.net.Scheduler().Now(),
 	}
 	p.sys.stats.Inc("submissions")
+	if p.sys.trace != nil {
+		p.sys.trace.Stamp(msg.ID.String(), obs.StageSubmit, serverWhere(p.id))
+	}
 	for _, rcpt := range msg.To {
 		if rcpt.Region != p.sys.region {
 			p.forwardRemote(msg, rcpt)
@@ -126,6 +148,7 @@ func (p *Server) onSubmit(m Submit) {
 		}
 		p.route(msg, rcpt)
 	}
+	return msg.ID
 }
 
 // route deposits at the recipient's sub-group authority list.
@@ -151,6 +174,10 @@ func (p *Server) dispatch(tok uint64) {
 	pd, ok := p.pending[tok]
 	if !ok || !p.sys.net.IsUp(p.id) {
 		return
+	}
+	if pd.timer != nil {
+		p.sys.net.Scheduler().Cancel(pd.timer)
+		pd.timer = nil
 	}
 	n := len(pd.candidates)
 	target := pd.candidates[pd.next%n]
@@ -233,13 +260,37 @@ func (p *Server) mailbox(user names.Name) *mail.Mailbox {
 }
 
 func (p *Server) depositLocal(msg mail.Message, rcpt names.Name) {
+	// Stale-authority guard: a rehash or server removal may have raced this
+	// deposit while it was in flight. A server no longer on the recipient's
+	// authority list must bounce the message back into rotation — buffering
+	// it here would strand it where no retrieval will look.
+	member := false
+	for _, a := range p.sys.AuthorityFor(rcpt) {
+		if a == p.id {
+			member = true
+			break
+		}
+	}
+	if !member {
+		p.sys.stats.Inc("deposit_reroutes")
+		p.route(msg, rcpt)
+		return
+	}
 	if !p.mailbox(rcpt).Deposit(msg, p.sys.net.Scheduler().Now()) {
 		p.sys.stats.Inc("duplicate_deposits")
 		return
 	}
 	p.sys.stats.Inc("deposits")
+	p.deposits++
+	if p.sys.trace != nil {
+		p.sys.trace.Stamp(msg.ID.String(), obs.StageDeposit, serverWhere(p.id))
+	}
 	p.notify(rcpt, msg.ID)
 }
+
+// Deposits returns how many fresh messages this server has buffered over
+// its lifetime — a per-server load signal for the workload harness.
+func (p *Server) Deposits() int64 { return p.deposits }
 
 // notify runs §3.2.2c: "from the user name, the primary location of the
 // user can be obtained. The server can send an alert signal to the user if
@@ -259,7 +310,11 @@ func (p *Server) notify(user names.Name, id mail.MessageID) {
 	}
 	p.nextToken++
 	tok := p.nextToken
-	p.notifying[tok] = &pendingNotify{user: user, msgID: id, consult: p.sys.otherServers(p.id)}
+	p.notifying[tok] = &pendingNotify{
+		user: user, msgID: id,
+		consult: p.sys.otherServers(p.id),
+		started: p.sys.net.Scheduler().Now(),
+	}
 	p.sys.stats.Inc("notify_probe_primary")
 	_ = p.sys.net.Send(p.id, primary, NotifyProbe{User: user, ID: id, Server: p.id, Token: tok})
 }
@@ -288,6 +343,9 @@ func (p *Server) consultNext(tok uint64, pn *pendingNotify) {
 			continue
 		}
 		p.sys.stats.Inc("consultations")
+		if p.sys.onOverhead != nil {
+			p.sys.onOverhead(pn.user, "consult")
+		}
 		_ = p.sys.net.Send(p.id, next, LocQuery{User: pn.user, From: p.id, Token: tok})
 		return
 	}
@@ -311,6 +369,11 @@ func (p *Server) onLocReply(m LocReply) {
 		return
 	}
 	p.sys.stats.Inc("notify_roaming")
+	if p.sys.onOverhead != nil {
+		p.sys.onOverhead(pn.user, "roam_alert")
+	}
+	elapsed := p.sys.net.Scheduler().Now() - pn.started
+	p.sys.stats.Histogram("lat_roam_resolve", nil).Observe(float64(elapsed))
 	_ = p.sys.net.Send(p.id, m.Host, Alert{User: pn.user, ID: pn.msgID, Server: p.id})
 	delete(p.notifying, m.Token)
 }
@@ -325,6 +388,23 @@ func (p *Server) onLogin(m LoginMsg) {
 	}
 }
 
+// Recovered implements netsim.Recoverer: coming back up, the server
+// re-dispatches every pending deposit. While it was down its retry timers
+// refused to re-arm (dispatch is a no-op on a down origin) and any acks in
+// flight to it were dropped, so without this kick a message accepted just
+// before the crash would strand in the pending table forever.
+func (p *Server) Recovered(at sim.Time) {
+	toks := make([]uint64, 0, len(p.pending))
+	for tok := range p.pending {
+		toks = append(toks, tok)
+	}
+	sort.Slice(toks, func(i, j int) bool { return toks[i] < toks[j] })
+	for _, tok := range toks {
+		p.sys.stats.Inc("recovery_redispatches")
+		p.dispatch(tok)
+	}
+}
+
 func (p *Server) onMailboxTransfer(m MailboxTransfer) {
 	mb := p.mailbox(m.User)
 	now := p.sys.net.Scheduler().Now()
@@ -335,6 +415,9 @@ func (p *Server) onMailboxTransfer(m MailboxTransfer) {
 	}
 }
 
+// serverWhere labels a server node for trace stamps.
+func serverWhere(id graph.NodeID) string { return fmt.Sprintf("s%d", id) }
+
 // Users returns the users with mailboxes on this server, sorted.
 func (p *Server) Users() []names.Name {
 	out := make([]names.Name, 0, len(p.mailboxes))
@@ -344,3 +427,6 @@ func (p *Server) Users() []names.Name {
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out
 }
+
+// PendingLen reports deposits awaiting acks on this server (ledger size).
+func (p *Server) PendingLen() int { return len(p.pending) }

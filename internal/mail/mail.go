@@ -211,6 +211,20 @@ func (b *Mailbox) MarkRead(id MessageID) bool {
 	return false
 }
 
+// Forget removes an ID from the duplicate-suppression memory. Migration-style
+// drains use it when a still-undelivered message leaves this mailbox for
+// another server: the moving copy must stay depositable here, or a later
+// reconfiguration routing it back would swallow it as a duplicate. Not
+// journaled — callers that persist mailboxes must not combine it with
+// journaling. It reports whether the ID was present.
+func (b *Mailbox) Forget(id MessageID) bool {
+	if !b.seen[id] {
+		return false
+	}
+	delete(b.seen, id)
+	return true
+}
+
 // Suppress adds an ID to the duplicate-suppression memory without storing a
 // message, reporting whether the ID was new. Snapshots use it to persist the
 // seen-set of drained messages separately from the stored ones.

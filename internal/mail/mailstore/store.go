@@ -38,6 +38,10 @@ type shard struct {
 	boxes map[names.Name]*mail.Mailbox
 	msgs  int64
 	bytes int64
+	// terms is the optional per-shard term index (see termindex.go): term →
+	// users whose buffered mail contains it, with per-user reference counts.
+	// nil until EnableTermIndex.
+	terms map[string]map[names.Name]int
 }
 
 // Store is a lock-striped mailbox store. The zero value is not usable;
@@ -148,18 +152,16 @@ func (s *Store) View(user names.Name, fn func(*mail.Mailbox)) bool {
 }
 
 // Deposit stores a message for a user, reporting whether it was newly stored
-// (false for duplicates).
+// (false for duplicates). With the term index enabled, a fresh deposit's
+// terms are indexed under the same shard lock.
 func (s *Store) Deposit(user names.Name, m mail.Message, at sim.Time) bool {
-	fresh := false
-	s.Update(user, func(mb *mail.Mailbox) { fresh = mb.Deposit(m, at) })
-	return fresh
+	return s.depositIndexed(user, m, at)
 }
 
-// Drain removes and returns the user's stored messages in arrival order.
+// Drain removes and returns the user's stored messages in arrival order,
+// releasing their term-index references.
 func (s *Store) Drain(user names.Name) []mail.Stored {
-	var out []mail.Stored
-	s.UpdateExisting(user, func(mb *mail.Mailbox) { out = mb.Drain() })
-	return out
+	return s.drainIndexed(user)
 }
 
 // Peek returns the user's stored messages without removing them.

@@ -1,0 +1,198 @@
+package mailstore
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/largemail/largemail/internal/mail"
+	"github.com/largemail/largemail/internal/names"
+	"github.com/largemail/largemail/internal/sim"
+)
+
+// Term-index limits: tokens shorter than minTermLen or longer than
+// maxTermLen are not indexed, and one message contributes at most
+// maxTermsPerMsg distinct terms, so a pathological body cannot blow up the
+// index.
+const (
+	minTermLen     = 2
+	maxTermLen     = 32
+	maxTermsPerMsg = 64
+)
+
+// Terms tokenizes a message's subject and body into its indexable terms:
+// lower-cased runs of letters and digits, length-bounded, de-duplicated,
+// capped at maxTermsPerMsg, in first-appearance order.
+func Terms(subject, body string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	emit := func(tok string) {
+		if len(tok) < minTermLen || len(tok) > maxTermLen || seen[tok] {
+			return
+		}
+		seen[tok] = true
+		out = append(out, tok)
+	}
+	split := func(s string) {
+		start := -1
+		for i, r := range s {
+			alnum := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9'
+			if alnum {
+				if start < 0 {
+					start = i
+				}
+				continue
+			}
+			if start >= 0 {
+				emit(strings.ToLower(s[start:i]))
+				start = -1
+			}
+			if len(out) >= maxTermsPerMsg {
+				return
+			}
+		}
+		if start >= 0 && len(out) < maxTermsPerMsg {
+			emit(strings.ToLower(s[start:]))
+		}
+	}
+	split(subject)
+	if len(out) < maxTermsPerMsg {
+		split(body)
+	}
+	return out
+}
+
+// EnableTermIndex turns on the per-shard term index, rebuilding it from the
+// messages already buffered. The index maps each term to the users whose
+// buffered mail contains it, and is maintained by Deposit and Drain under
+// the same shard lock as the mailbox mutation — content retrieval (the §3.3
+// attribute queries that address message content rather than profiles) then
+// reads the durable store, not a side structure that can drift.
+//
+// Mutations made through raw Update/UpdateExisting closures bypass the
+// index; stores that enable it must route message flow through
+// Deposit/Drain (both transports do).
+func (s *Store) EnableTermIndex() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.terms = make(map[string]map[names.Name]int)
+		for u, mb := range sh.boxes {
+			for _, st := range mb.Peek() {
+				sh.indexAdd(u, st.Message)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// TermIndexed reports whether the term index is on.
+func (s *Store) TermIndexed() bool {
+	sh := &s.shards[0]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.terms != nil
+}
+
+// indexAdd references every term of m for user. Caller holds the shard lock.
+func (sh *shard) indexAdd(user names.Name, m mail.Message) {
+	for _, t := range Terms(m.Subject, m.Body) {
+		users := sh.terms[t]
+		if users == nil {
+			users = make(map[names.Name]int)
+			sh.terms[t] = users
+		}
+		users[user]++
+	}
+}
+
+// indexRemove drops one reference per term of m for user. Caller holds the
+// shard lock.
+func (sh *shard) indexRemove(user names.Name, m mail.Message) {
+	for _, t := range Terms(m.Subject, m.Body) {
+		users := sh.terms[t]
+		if users == nil {
+			continue
+		}
+		if users[user]--; users[user] <= 0 {
+			delete(users, user)
+			if len(users) == 0 {
+				delete(sh.terms, t)
+			}
+		}
+	}
+}
+
+// SearchTerm returns the users with at least one buffered message containing
+// the term (case-insensitive), sorted by name. It returns nil when the index
+// is disabled.
+func (s *Store) SearchTerm(term string) []names.Name {
+	term = strings.ToLower(strings.TrimSpace(term))
+	if term == "" {
+		return nil
+	}
+	var out []names.Name
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for u := range sh.terms[term] {
+			out = append(out, u)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// depositIndexed is the native Deposit body: mailbox mutation, counter
+// reconciliation, WAL append and index maintenance under one shard lock.
+func (s *Store) depositIndexed(user names.Name, m mail.Message, at sim.Time) bool {
+	i := s.shardIndex(user)
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	mb, ok := sh.boxes[user]
+	if !ok {
+		mb = mail.NewMailbox(user)
+		if s.w != nil {
+			mb.EnableJournal()
+		}
+		sh.boxes[user] = mb
+	}
+	l0, b0 := mb.Len(), mb.Bytes()
+	fresh := mb.Deposit(m, at)
+	sh.msgs += int64(mb.Len() - l0)
+	sh.bytes += int64(mb.Bytes() - b0)
+	if s.w != nil {
+		s.logOps(i, user, mb)
+	}
+	if fresh && sh.terms != nil {
+		sh.indexAdd(user, m)
+	}
+	return fresh
+}
+
+// drainIndexed is the native Drain body; drained messages release their
+// index references.
+func (s *Store) drainIndexed(user names.Name) []mail.Stored {
+	i := s.shardIndex(user)
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	mb, ok := sh.boxes[user]
+	if !ok {
+		return nil
+	}
+	l0, b0 := mb.Len(), mb.Bytes()
+	out := mb.Drain()
+	sh.msgs += int64(mb.Len() - l0)
+	sh.bytes += int64(mb.Bytes() - b0)
+	if s.w != nil {
+		s.logOps(i, user, mb)
+	}
+	if sh.terms != nil {
+		for _, st := range out {
+			sh.indexRemove(user, st.Message)
+		}
+	}
+	return out
+}

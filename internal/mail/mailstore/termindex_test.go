@@ -1,0 +1,104 @@
+package mailstore
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/mail"
+	"github.com/largemail/largemail/internal/names"
+	"github.com/largemail/largemail/internal/sim"
+)
+
+func termUser(i int) names.Name {
+	return names.Name{Region: "R1", Host: fmt.Sprintf("h%d", i%4), User: fmt.Sprintf("u%d", i)}
+}
+
+func termMsg(seq uint64, subject, body string) mail.Message {
+	return mail.Message{
+		ID:      mail.MessageID{Node: graph.NodeID(1), Seq: seq},
+		Subject: subject,
+		Body:    body,
+	}
+}
+
+func TestTermsTokenizer(t *testing.T) {
+	got := Terms("Budget Q3: budget review!", "numbers 42 and x")
+	want := []string{"budget", "q3", "review", "numbers", "42", "and"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Terms = %v, want %v", got, want)
+	}
+	// Single-char tokens drop, over-long tokens drop, cap holds.
+	long := ""
+	for i := 0; i < 40; i++ {
+		long += "x"
+	}
+	if got := Terms("a b "+long, ""); len(got) != 0 {
+		t.Fatalf("want no terms from short/long tokens, got %v", got)
+	}
+	big := ""
+	for i := 0; i < 2*maxTermsPerMsg; i++ {
+		big += fmt.Sprintf("tok%d ", i)
+	}
+	if got := Terms(big, ""); len(got) != maxTermsPerMsg {
+		t.Fatalf("cap: got %d terms, want %d", len(got), maxTermsPerMsg)
+	}
+}
+
+func TestTermIndexDepositSearchDrain(t *testing.T) {
+	s := New(4)
+	s.EnableTermIndex()
+	u1, u2 := termUser(1), termUser(2)
+	s.Deposit(u1, termMsg(1, "quarterly budget", "see attached"), sim.Unit)
+	s.Deposit(u2, termMsg(2, "lunch", "budget for the offsite"), sim.Unit)
+	s.Deposit(u2, termMsg(3, "reminder", "offsite budget again"), sim.Unit)
+
+	got := s.SearchTerm("Budget")
+	want := []names.Name{u1, u2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SearchTerm(budget) = %v, want %v", got, want)
+	}
+	if got := s.SearchTerm("lunch"); !reflect.DeepEqual(got, []names.Name{u2}) {
+		t.Fatalf("SearchTerm(lunch) = %v", got)
+	}
+	if got := s.SearchTerm("nosuch"); got != nil {
+		t.Fatalf("SearchTerm(nosuch) = %v, want nil", got)
+	}
+
+	// Duplicate deposits must not double-count references.
+	s.Deposit(u1, termMsg(1, "quarterly budget", "see attached"), 2*sim.Unit)
+
+	// Draining u2 removes both its references; u1 remains.
+	if n := len(s.Drain(u2)); n != 2 {
+		t.Fatalf("drained %d messages, want 2", n)
+	}
+	if got := s.SearchTerm("budget"); !reflect.DeepEqual(got, []names.Name{u1}) {
+		t.Fatalf("after drain SearchTerm(budget) = %v, want [%v]", got, u1)
+	}
+	if n := len(s.Drain(u1)); n != 1 {
+		t.Fatalf("drained %d messages, want 1", n)
+	}
+	if got := s.SearchTerm("budget"); got != nil {
+		t.Fatalf("after full drain SearchTerm(budget) = %v, want nil", got)
+	}
+}
+
+func TestEnableTermIndexRebuildsExisting(t *testing.T) {
+	s := New(2)
+	u := termUser(7)
+	s.Deposit(u, termMsg(9, "archive migration", ""), sim.Unit)
+	if s.TermIndexed() {
+		t.Fatal("index should be off before EnableTermIndex")
+	}
+	if got := s.SearchTerm("archive"); got != nil {
+		t.Fatalf("search with index off = %v, want nil", got)
+	}
+	s.EnableTermIndex()
+	if !s.TermIndexed() {
+		t.Fatal("index should be on")
+	}
+	if got := s.SearchTerm("archive"); !reflect.DeepEqual(got, []names.Name{u}) {
+		t.Fatalf("rebuilt SearchTerm(archive) = %v, want [%v]", got, u)
+	}
+}
