@@ -76,9 +76,21 @@ tier2-arch:
 		./internal/loadgen/ ./internal/locind/ ./internal/broadcast/
 	go test -race ./internal/attr/
 
+# Tier-2 attr-prune slice: the selective-multicast machinery under the race
+# detector — the sketch unit tests (churn no-false-negative property, FP
+# bound), the Distribute≡Start pruning property and stale-fail-open pins in
+# internal/broadcast, the wire query verb, and the scenario-level
+# pruned-vs-unpruned equivalence plus chaos auditors in internal/loadgen.
+.PHONY: tier2-attr-prune
+tier2-attr-prune:
+	go test -race ./internal/sketch/
+	go test -race -run 'TestDistribute|TestStaleSketch|TestPrunedNodeSet|TestRefresh' ./internal/broadcast/
+	go test -race -run 'TestQuery|TestSketch|TestSearchTerms' ./internal/wire/ ./internal/mail/mailstore/
+	go test -race -run 'TestAttrPrune|TestAttrPruned' ./internal/loadgen/
+
 # Check: the full pre-merge gate.
 .PHONY: check
-check: tier1 tier1-race fuzz-smoke bench-relay tier2-durability tier2-wire tier2-balance tier2-arch
+check: tier1 tier1-race fuzz-smoke bench-relay tier2-durability tier2-wire tier2-balance tier2-arch tier2-attr-prune
 
 # Mailbench: the capacity harness acceptance run — a million-user population
 # on 64 simulated servers, no faults, auditors on, capacity sweep written to
@@ -170,6 +182,22 @@ bench-arch:
 		-ticks 300 -queries 60 -append -o BENCH_PR9.json
 	go run ./cmd/mailbench -arch attr -users 1000000 -servers 64 -seed 1 \
 		-ticks 300 -queries 60 -faults -append -o BENCH_PR9.json
+
+# Attr-prune bench: the acceptance run behind BENCH_PR10.json — E22, the
+# selective multicast vs E21's exhaustive broadcast at a million users on 64
+# servers. Point one replays E21 exactly (-noprune); point two runs the same
+# seed with sketch pruning (identical match sets, auditors checking every
+# pruned subtree for false negatives); point three adds the chaos schedule
+# with a periodic refresh cadence, so stale caches must fail open while
+# crashes produce flagged partials.
+.PHONY: bench-attr
+bench-attr:
+	go run ./cmd/mailbench -arch attr -users 1000000 -servers 64 -seed 1 \
+		-ticks 300 -queries 60 -noprune -o BENCH_PR10.json
+	go run ./cmd/mailbench -arch attr -users 1000000 -servers 64 -seed 1 \
+		-ticks 300 -queries 60 -append -o BENCH_PR10.json
+	go run ./cmd/mailbench -arch attr -users 1000000 -servers 64 -seed 1 \
+		-ticks 300 -queries 60 -faults -sketchrefresh 8 -append -o BENCH_PR10.json
 
 .PHONY: all
 all: tier2

@@ -86,6 +86,9 @@ type params struct {
 
 	arch    string // architecture: syntax (§3.1), roaming (§3.2), attr (§3.3)
 	queries int    // mass-distribution queries (-arch attr; 0 = scenario default)
+
+	noprune       bool // -arch attr: disable sketch pruning (exhaustive baseline)
+	sketchRefresh int  // -arch attr: periodic sketch refresh cadence in ticks (0 = on demand)
 }
 
 // durPoint is one point of the -durability sweep.
@@ -120,6 +123,8 @@ func main() {
 	srate := flag.Float64("srate", 0, "per-server service rate in deposits/tick for the congestion model (0 = derived from the message budget when -policy is set)")
 	archFlag := flag.String("arch", "syntax", "architecture under test: syntax (§3.1 name-routed), roaming (§3.2 location-independent), attr (§3.3 attribute broadcast)")
 	queries := flag.Int("queries", 0, "mass-distribution queries per run (0 = scenario default; -arch attr only)")
+	noprune := flag.Bool("noprune", false, "disable sketch pruning of content queries — the exhaustive E21 baseline (-arch attr only)")
+	sketchRefresh := flag.Int("sketchrefresh", 0, "refresh subtree sketches every N ticks instead of before each pruned launch; leaves stale windows that must fail open (-arch attr only)")
 	appendDoc := flag.Bool("append", false, "append to an existing benchmark document instead of overwriting it")
 	out := flag.String("o", "BENCH_PR4.json", "benchmark document path (empty = stdout)")
 	flag.Parse()
@@ -128,6 +133,10 @@ func main() {
 	case "syntax", "roaming", "attr":
 	default:
 		fmt.Fprintf(os.Stderr, "mailbench: -arch: unknown architecture %q\n", *archFlag)
+		os.Exit(2)
+	}
+	if *archFlag != "attr" && (*noprune || *sketchRefresh != 0) {
+		fmt.Fprintf(os.Stderr, "mailbench: -noprune/-sketchrefresh require -arch attr\n")
 		os.Exit(2)
 	}
 	if *archFlag != "syntax" {
@@ -272,6 +281,7 @@ func main() {
 									policy: pol, jsqd: *jsqd,
 									profile: profile, profStr: *profileFlag, srate: *srate,
 									arch: *archFlag, queries: *queries,
+									noprune: *noprune, sketchRefresh: *sketchRefresh,
 								}
 								var (
 									res benchfmt.Result
@@ -668,6 +678,7 @@ func runAttr(p params) (benchfmt.Result, int, error) {
 	pop := population(p)
 	s, err := loadgen.NewAttrScenario(loadgen.AttrConfig{
 		Seed: p.seed, Pop: pop, Queries: p.queries, Ticks: p.ticks,
+		DisablePrune: p.noprune, SketchRefreshEvery: p.sketchRefresh,
 	})
 	if err != nil {
 		return benchfmt.Result{}, 0, err
@@ -680,8 +691,8 @@ func runAttr(p params) (benchfmt.Result, int, error) {
 		s.SetSchedule(sched)
 	}
 
-	fmt.Printf("=== attr users=%d servers=%d faults=%v seed=%d\n",
-		p.users, p.servers, p.faults, p.seed)
+	fmt.Printf("=== attr users=%d servers=%d faults=%v seed=%d prune=%v sketchrefresh=%d\n",
+		p.users, p.servers, p.faults, p.seed, !p.noprune, p.sketchRefresh)
 	start := time.Now()
 	rep := s.Run()
 	elapsed := time.Since(start)
@@ -690,6 +701,12 @@ func runAttr(p params) (benchfmt.Result, int, error) {
 		"searches, %d partial summaries, %d skipped, depth ≤ %d, %d ticks — %s wall\n",
 		rep.Queries, rep.Deliveries, rep.ContentQueries, rep.Partial,
 		rep.Skipped, rep.MaxDepth, rep.Ticks, elapsed.Round(time.Millisecond))
+	if rep.ContentQueries > 0 {
+		fmt.Printf("content fan-out: %d/%d mailboxes visited (%.1f%%), %d subtrees/%d nodes pruned, "+
+			"%d sketch FPs, %d stale fail-opens, %d refreshes\n",
+			rep.CQMailboxes, rep.CQMailboxesFull, pct(rep.CQMailboxes, rep.CQMailboxesFull),
+			rep.PrunedSubtrees, rep.PrunedNodes, rep.SketchFP, rep.StaleOpen, rep.Refreshes)
+	}
 
 	snap := s.Snapshot()
 	// The attr scenario observes its latencies pre-scaled to sim units.
@@ -709,6 +726,18 @@ func runAttr(p params) (benchfmt.Result, int, error) {
 		"violations":      0,
 		"ns/op":           float64(elapsed.Nanoseconds()),
 		"bcast_deposits":  float64(snap.Counters["bcast_deposits"]),
+
+		"attr_pruned_subtrees": float64(rep.PrunedSubtrees),
+		"attr_pruned_nodes":    float64(rep.PrunedNodes),
+		"attr_visited_nodes":   float64(rep.VisitedNodes),
+		"attr_sketch_fp":       float64(rep.SketchFP),
+		"attr_stale_open":      float64(rep.StaleOpen),
+		"sketch_refreshes":     float64(rep.Refreshes),
+		"cq_mailboxes":         float64(rep.CQMailboxes),
+		"cq_mailboxes_full":    float64(rep.CQMailboxesFull),
+	}
+	if rep.CQMailboxesFull > 0 {
+		m["cq_visit_ratio"] = float64(rep.CQMailboxes) / float64(rep.CQMailboxesFull)
 	}
 	for _, v := range rep.Violations {
 		m["violations"] += float64(v)
@@ -720,6 +749,14 @@ func runAttr(p params) (benchfmt.Result, int, error) {
 		Iterations: 1,
 		Metrics:    m,
 	}, bad, nil
+}
+
+// pct renders a/b as a percentage, 0 when b is zero.
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
 }
 
 // reportAudit prints the auditor verdict and returns the violation total.
@@ -902,6 +939,12 @@ func benchName(p params) string {
 	name := fmt.Sprintf("Mailbench/%s/users=%d/servers=%d", p.transport, p.users, p.servers)
 	if p.arch != "" && p.arch != "syntax" {
 		name += "/arch=" + p.arch
+	}
+	if p.noprune {
+		name += "/noprune"
+	}
+	if p.sketchRefresh > 0 {
+		name += fmt.Sprintf("/sketchrefresh=%d", p.sketchRefresh)
 	}
 	if p.transport == "wire" {
 		name += fmt.Sprintf("/proto=%s/inflight=%d/batch=%d", p.proto, p.inflight, burstBatch(p))

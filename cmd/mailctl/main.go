@@ -5,6 +5,7 @@
 //	mailctl -addr 127.0.0.1:7425 register R1.h1.alice [s1 s2]
 //	mailctl -timeout 2s submit R1.h2.bob R1.h1.alice "subject" "body"
 //	mailctl getmail R1.h1.alice
+//	mailctl query "content=budget"
 //	mailctl status [-json]
 //	mailctl crash s1 | recover s1
 //
@@ -42,7 +43,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("need a command: register | submit | getmail | status | crash | recover")
+		return fmt.Errorf("need a command: register | submit | getmail | query | status | crash | recover")
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -108,6 +109,26 @@ func run(args []string) error {
 			return nil
 		}
 		renderStatus(snap)
+	case "query":
+		if len(rest) != 2 {
+			return fmt.Errorf(`usage: query "<content=term[, content=term...]>"`)
+		}
+		res, err := c.QueryContext(ctx, rest[1])
+		if err != nil {
+			return err
+		}
+		for _, u := range res.Matches {
+			fmt.Println(u)
+		}
+		st := res.Stats
+		fmt.Printf("%d match(es); %d server(s): %d visited, %d pruned", len(res.Matches), st.Servers, st.Visited, st.Pruned)
+		if st.SketchFP > 0 {
+			fmt.Printf(" (%d sketch false positive(s))", st.SketchFP)
+		}
+		if st.Unavailable > 0 {
+			fmt.Printf(", %d unavailable — result may be partial", st.Unavailable)
+		}
+		fmt.Println()
 	case "crash", "recover":
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: %s <server>", cmd)

@@ -13,6 +13,10 @@
 // buffered mail by WAL replay. -fsync always trades a disk flush per
 // mutation for surviving OS crashes, not just process deaths.
 //
+// Term indexes (and the sketches the wire query verb probes) are on by
+// default; -termindex=false sheds their deposit-path cost on clusters that
+// never serve queries.
+//
 // Stop with SIGINT/SIGTERM; the daemon drains connections and shuts the
 // cluster down.
 package main
@@ -47,6 +51,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "wire worker-pool size (0 = GOMAXPROCS)")
 	policyFlag := fs.String("policy", "", "placement policy for registrations that name no servers: static|jsq|rebalance (empty = all servers, registration order)")
 	jsqd := fs.Int("d", 2, "JSQ(d) sample width (with -policy jsq)")
+	termIndex := fs.Bool("termindex", true, "maintain per-store term indexes and sketches (serves the query verb)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,7 +70,7 @@ func run(args []string) error {
 		names[i] = strings.TrimSpace(names[i])
 	}
 	srv, err := wire.NewServerWith(*listen, names, wire.ServerConfig{
-		Cluster:     livenet.ClusterConfig{DataDir: *datadir, Fsync: fsync},
+		Cluster:     livenet.ClusterConfig{DataDir: *datadir, Fsync: fsync, TermIndex: *termIndex},
 		WireWorkers: *workers,
 	})
 	if err != nil {

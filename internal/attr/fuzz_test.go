@@ -30,6 +30,9 @@ func FuzzPredicateQuery(f *testing.F) {
 		"x^~y",
 		"no operator here",
 		"nickname~x, nickname~x",
+		"content=budget",
+		"content=budget, interest=g3",
+		"content~ofsite",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -59,6 +62,29 @@ func FuzzPredicateQuery(f *testing.F) {
 		}
 		if again := q2.String(); again != canon {
 			t.Fatalf("canonical form not a fixed point: %q then %q (input %q)", canon, again, in)
+		}
+		// MarshalText/UnmarshalText is the same fixed point: marshalling
+		// yields the canonical form, and unmarshalling it reproduces the
+		// predicates exactly.
+		text, err := q.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText on parsed query: %v (input %q)", err, in)
+		}
+		if string(text) != canon {
+			t.Fatalf("MarshalText %q != canonical %q (input %q)", text, canon, in)
+		}
+		var q3 Query
+		if err := q3.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText of canonical form %q: %v (input %q)", text, err, in)
+		}
+		if !reflect.DeepEqual(q.Predicates, q3.Predicates) {
+			t.Fatalf("text round trip changed predicates: %v != %v (input %q)", q.Predicates, q3.Predicates, in)
+		}
+		// The planner must be total and consistent: probe terms only on the
+		// pruned route, and every probe term a normalized single token.
+		plan := PlanQuery(q)
+		if (plan.Route == RoutePruned) != (len(plan.Terms) > 0) {
+			t.Fatalf("plan route/terms inconsistent: %v %v (input %q)", plan.Route, plan.Terms, in)
 		}
 		// Matching must be total and deterministic, visibility honoured.
 		q.QuerierGroups = []string{"staff"}

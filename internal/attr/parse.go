@@ -74,6 +74,38 @@ func ParseQuery(s string) (Query, error) {
 	return q, nil
 }
 
+// MarshalText renders the query in its canonical text form — the same
+// syntax ParseQuery reads — making attr.Query the unit that crosses
+// machine boundaries (the wire `query` verb, tooling) instead of ad-hoc
+// strings. QuerierGroups are transport metadata, not part of the grammar,
+// and are not serialized; carry them beside the text when they matter.
+// Marshalling a query that did not come from ParseQuery may fail to
+// round-trip if its patterns embed commas or its types embed operators;
+// UnmarshalText rejects those forms, so a Marshal/Unmarshal pair either
+// reproduces the predicates exactly or errors — it never silently reshapes
+// them.
+func (q Query) MarshalText() ([]byte, error) {
+	if len(q.String()) > maxQueryLen {
+		return nil, fmt.Errorf("attr: query longer than %d bytes", maxQueryLen)
+	}
+	return []byte(q.String()), nil
+}
+
+// UnmarshalText parses the canonical text form in place. The fixed point
+// FuzzPredicateQuery pins — parse, render, reparse yields identical
+// predicates — holds for this pair by construction, since both sides defer
+// to ParseQuery/String.
+func (q *Query) UnmarshalText(text []byte) error {
+	parsed, err := ParseQuery(string(text))
+	if err != nil {
+		return err
+	}
+	groups := q.QuerierGroups
+	*q = parsed
+	q.QuerierGroups = groups
+	return nil
+}
+
 // parsePredicate splits one predicate at its earliest operator occurrence.
 func parsePredicate(s string) (Predicate, error) {
 	for i := 0; i < len(s); i++ {

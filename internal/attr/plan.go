@@ -1,0 +1,68 @@
+package attr
+
+import "github.com/largemail/largemail/internal/sketch"
+
+// TypeContent addresses message *content* rather than profile attributes: a
+// predicate like "content=budget" asks for users whose buffered mail
+// contains the term. Content predicates are evaluated by the mailbox
+// store's term index, not by Profile.Matches — profiles carry no content
+// attribute, so a content predicate in a profile match is simply never
+// satisfied (conjunction semantics make the whole query false there).
+const TypeContent Type = "content"
+
+// Route says how the broadcast layer should carry a query down the backbone
+// tree.
+type Route int
+
+const (
+	// RouteBroadcast visits every reachable node: the §3.3 mass
+	// distribution, and any query whose predicates a sketch cannot decide.
+	RouteBroadcast Route = iota + 1
+	// RoutePruned may skip subtrees whose cached term sketch proves no
+	// message matches: the selective multicast.
+	RoutePruned
+)
+
+func (r Route) String() string {
+	switch r {
+	case RouteBroadcast:
+		return "broadcast"
+	case RoutePruned:
+		return "pruned"
+	default:
+		return "Route(?)"
+	}
+}
+
+// Plan is the planner's verdict on one query.
+type Plan struct {
+	Route Route
+	// Terms are the normalized content terms every match must contain —
+	// the sketch probes. Non-empty exactly when Route == RoutePruned.
+	Terms []string
+}
+
+// PlanQuery classifies a query as prunable or broadcast-only. A query is
+// prunable when at least one conjunct is an exact-match content predicate
+// whose pattern normalizes to a single index token: every matching message
+// must contain that token, so a subtree sketch that excludes it is a proof
+// of no match below. Prefix, one-of and fuzzy content predicates cannot be
+// checked against a Bloom sketch (the matching token set is open-ended) and
+// contribute no probe terms; profile predicates never do. Pruning on the
+// decidable subset stays sound under conjunction — the other predicates can
+// only shrink the match set further.
+func PlanQuery(q Query) Plan {
+	var terms []string
+	for _, p := range q.Predicates {
+		if p.Type != TypeContent || p.Op != OpEquals {
+			continue
+		}
+		if t, ok := sketch.NormalizeTerm(p.Pattern); ok {
+			terms = append(terms, t)
+		}
+	}
+	if len(terms) == 0 {
+		return Plan{Route: RouteBroadcast}
+	}
+	return Plan{Route: RoutePruned, Terms: terms}
+}

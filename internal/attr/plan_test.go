@@ -1,0 +1,76 @@
+package attr
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlanQueryRoutes(t *testing.T) {
+	cases := []struct {
+		query string
+		route Route
+		terms []string
+	}{
+		{"content=budget", RoutePruned, []string{"budget"}},
+		{"content=Budget", RoutePruned, []string{"budget"}}, // normalized
+		{"content=budget, content=offsite", RoutePruned, []string{"budget", "offsite"}},
+		// A profile conjunct does not block pruning on the content term.
+		{"content=budget, city=boston", RoutePruned, []string{"budget"}},
+		// Fuzzy/prefix/one-of content predicates are sketch-undecidable.
+		{"content~budget", RouteBroadcast, nil},
+		{"content^=bud", RouteBroadcast, nil},
+		{"content?=a|b", RouteBroadcast, nil},
+		// Pure profile queries broadcast.
+		{"interest=g3", RouteBroadcast, nil},
+		// Patterns that are not single index tokens cannot be probed.
+		{"content=two words", RouteBroadcast, nil},
+		{"content=x", RouteBroadcast, nil}, // below min term length
+	}
+	for _, c := range cases {
+		q, err := ParseQuery(c.query)
+		if err != nil {
+			t.Fatalf("ParseQuery(%q): %v", c.query, err)
+		}
+		plan := PlanQuery(q)
+		if plan.Route != c.route || !reflect.DeepEqual(plan.Terms, c.terms) {
+			t.Fatalf("PlanQuery(%q) = %v %v, want %v %v",
+				c.query, plan.Route, plan.Terms, c.route, c.terms)
+		}
+	}
+}
+
+func TestQueryTextRoundTrip(t *testing.T) {
+	src := "content=budget, interest=g3, name~alise"
+	var q Query
+	if err := q.UnmarshalText([]byte(src)); err != nil {
+		t.Fatal(err)
+	}
+	text, err := q.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Query
+	if err := back.UnmarshalText(text); err != nil {
+		t.Fatalf("reparse of canonical form %q: %v", text, err)
+	}
+	if !reflect.DeepEqual(q.Predicates, back.Predicates) {
+		t.Fatalf("round trip changed predicates: %+v vs %+v", q.Predicates, back.Predicates)
+	}
+}
+
+func TestUnmarshalTextKeepsQuerierGroups(t *testing.T) {
+	q := Query{QuerierGroups: []string{"g1"}}
+	if err := q.UnmarshalText([]byte("content=budget")); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.QuerierGroups) != 1 || q.QuerierGroups[0] != "g1" {
+		t.Fatal("UnmarshalText dropped QuerierGroups")
+	}
+}
+
+func TestUnmarshalTextRejectsGarbage(t *testing.T) {
+	var q Query
+	if err := q.UnmarshalText([]byte("no operator here")); err == nil {
+		t.Fatal("want error for predicate without operator")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"github.com/largemail/largemail/internal/mst"
 	"github.com/largemail/largemail/internal/netsim"
 	"github.com/largemail/largemail/internal/sim"
+	"github.com/largemail/largemail/internal/sketch"
 )
 
 // Errors reported by the package.
@@ -46,6 +47,10 @@ type Query struct {
 	// Targets restricts evaluation and propagation to these regions;
 	// nil means everywhere.
 	Targets map[string]bool
+	// Prune lets nodes skip child branches whose cached subtree sketch
+	// proves no match (see prune.go). Set by Distribute, never by Start, so
+	// existing callers keep exhaustive semantics.
+	Prune bool
 }
 
 // Summary is the upward message: one child subtree's combined response.
@@ -58,6 +63,13 @@ type Summary struct {
 	Unavailable []graph.NodeID
 	// Nodes counts the nodes that evaluated the query.
 	Nodes int
+	// Pruned lists the roots of subtrees skipped because their cached term
+	// sketch proved no match below — excused by proof, unlike Unavailable's
+	// excused-by-timeout. Audits treat the two very differently: a pruned
+	// subtree that actually held a match is a correctness violation.
+	Pruned []graph.NodeID
+	// PrunedNodes counts the nodes under those roots.
+	PrunedNodes int
 }
 
 // Tree runs broadcast/convergecast over a fixed spanning tree on a simulated
@@ -82,6 +94,18 @@ type Tree struct {
 	results     map[uint64]Summary
 	done        map[uint64]bool
 	completedAt map[uint64]sim.Time
+
+	// Sketch-pruning state (see prune.go). nodesVia[n][nb] lists every node
+	// in the subtree hanging off n through nb; sketchVia/genVia cache that
+	// subtree's aggregated term sketch and the generation sum it was built
+	// at. Nil hooks disable pruning entirely.
+	sketchFn    func(graph.NodeID) (*sketch.Filter, uint64)
+	sketchGenFn func(graph.NodeID) uint64
+	nodesVia    map[graph.NodeID]map[graph.NodeID][]graph.NodeID
+	sketchVia   map[graph.NodeID]map[graph.NodeID]*sketch.Filter
+	genVia      map[graph.NodeID]map[graph.NodeID]uint64
+	refreshes   int
+	pstats      map[uint64]*PruneStats
 }
 
 // Config for Setup.
@@ -93,6 +117,14 @@ type Config struct {
 	// Timeout is how long a parent waits for a child's summary before
 	// marking the subtree unavailable. Zero means 50 paper time units.
 	Timeout sim.Time
+	// Sketch returns a node's current term sketch snapshot and staleness
+	// generation (typically mailstore.Store.Sketch). Nil disables pruning;
+	// Distribute then behaves exactly like Start.
+	Sketch func(graph.NodeID) (*sketch.Filter, uint64)
+	// SketchGen returns only the generation — the cheap freshness probe
+	// consulted on every prune decision (typically Store.SketchGen). Must
+	// be non-nil whenever Sketch is.
+	SketchGen func(graph.NodeID) uint64
 }
 
 // Setup registers a broadcast process on every node of the tree.
@@ -118,6 +150,15 @@ func Setup(cfg Config) (*Tree, error) {
 		results:     make(map[uint64]Summary),
 		done:        make(map[uint64]bool),
 		completedAt: make(map[uint64]sim.Time),
+		sketchFn:    cfg.Sketch,
+		sketchGenFn: cfg.SketchGen,
+		nodesVia:    make(map[graph.NodeID]map[graph.NodeID][]graph.NodeID),
+		sketchVia:   make(map[graph.NodeID]map[graph.NodeID]*sketch.Filter),
+		genVia:      make(map[graph.NodeID]map[graph.NodeID]uint64),
+		pstats:      make(map[uint64]*PruneStats),
+	}
+	if t.sketchFn != nil && t.sketchGenFn == nil {
+		return nil, errors.New("broadcast: Sketch hook without SketchGen")
 	}
 	ids := make([]graph.NodeID, 0, len(t.adj))
 	for id := range t.adj {
@@ -165,12 +206,29 @@ func (t *Tree) computeRegionsVia(ids []graph.NodeID) {
 	for _, id := range ids {
 		t.regionsVia[id] = make(map[graph.NodeID]map[string]bool)
 		t.depthVia[id] = make(map[graph.NodeID]int)
+		t.nodesVia[id] = make(map[graph.NodeID][]graph.NodeID)
+		t.sketchVia[id] = make(map[graph.NodeID]*sketch.Filter)
+		t.genVia[id] = make(map[graph.NodeID]uint64)
 		for _, nb := range t.adj[id] {
 			acc := make(map[string]bool)
 			t.depthVia[id][nb] = collect(nb, id, acc)
 			t.regionsVia[id][nb] = acc
+			t.nodesVia[id][nb] = t.collectNodes(nb, id, nil)
 		}
 	}
+}
+
+// collectNodes lists the subtree reached from `from` through `at`, the node
+// set a cached subtree sketch summarises (and the set excused-by-proof when
+// that branch is pruned).
+func (t *Tree) collectNodes(at, from graph.NodeID, acc []graph.NodeID) []graph.NodeID {
+	acc = append(acc, at)
+	for _, nb := range t.adj[at] {
+		if nb != from {
+			acc = t.collectNodes(nb, at, acc)
+		}
+	}
+	return acc
 }
 
 // wantBranch reports whether a targeted query needs to travel from node to
@@ -191,6 +249,10 @@ func (t *Tree) wantBranch(node, nb graph.NodeID, targets map[string]bool) bool {
 // returns the query ID; the result is available via Result once the
 // convergecast completes (run the scheduler).
 func (t *Tree) Start(origin graph.NodeID, payload any, targets map[string]bool) (uint64, error) {
+	return t.start(origin, payload, targets, false)
+}
+
+func (t *Tree) start(origin graph.NodeID, payload any, targets map[string]bool, prune bool) (uint64, error) {
 	node, ok := t.nodes[origin]
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrUnknownNode, origin)
@@ -200,7 +262,7 @@ func (t *Tree) Start(origin graph.NodeID, payload any, targets map[string]bool) 
 	}
 	t.nextID++
 	id := t.nextID
-	q := Query{ID: id, Origin: origin, Payload: payload, Targets: targets}
+	q := Query{ID: id, Origin: origin, Payload: payload, Targets: targets, Prune: prune}
 	node.begin(q, origin) // origin is its own parent sentinel
 	return id, nil
 }
@@ -250,6 +312,13 @@ type pendingQuery struct {
 	nodes    int
 	timer    *sim.Event
 	finished bool
+	// pruned/prunedNodes accumulate this node's own sketch-pruned branches
+	// plus those reported by children; sketchPassed marks children whose
+	// subtree sketch claimed a possible match, so an empty summary from
+	// them can be counted as a Bloom false positive.
+	pruned       []graph.NodeID
+	prunedNodes  int
+	sketchPassed map[graph.NodeID]bool
 }
 
 // Receive implements netsim.Handler.
@@ -273,6 +342,7 @@ func (n *bcastNode) begin(q Query, parent graph.NodeID) {
 		pq.items = append(pq.items, n.tree.eval(n.id, q.Payload)...)
 		pq.nodes = 1
 	}
+	probe := n.tree.probeTerms(q)
 	for _, nb := range n.tree.adj[n.id] {
 		if nb == parent && parent != n.id {
 			continue
@@ -282,6 +352,19 @@ func (n *bcastNode) begin(q Query, parent graph.NodeID) {
 		}
 		if !n.tree.wantBranch(n.id, nb, q.Targets) {
 			continue
+		}
+		if probe != nil {
+			switch verdict, covered := n.tree.checkBranch(n.id, nb, probe, q.ID); verdict {
+			case branchPrune:
+				pq.pruned = append(pq.pruned, nb)
+				pq.prunedNodes += covered
+				continue
+			case branchPass:
+				if pq.sketchPassed == nil {
+					pq.sketchPassed = make(map[graph.NodeID]bool)
+				}
+				pq.sketchPassed[nb] = true
+			}
 		}
 		pq.waiting[nb] = true
 		_ = n.tree.net.Send(n.id, nb, q)
@@ -312,6 +395,13 @@ func (n *bcastNode) onSummary(s Summary, from graph.NodeID) {
 	pq.items = append(pq.items, s.Items...)
 	pq.unavail = append(pq.unavail, s.Unavailable...)
 	pq.nodes += s.Nodes
+	pq.pruned = append(pq.pruned, s.Pruned...)
+	pq.prunedNodes += s.PrunedNodes
+	if pq.sketchPassed[from] && len(s.Items) == 0 && len(s.Unavailable) == 0 {
+		// The subtree sketch said "maybe" but the whole subtree held
+		// nothing: a Bloom false positive we paid a visit for.
+		n.tree.pruneStats(s.ID).FPSubtrees++
+	}
 	if len(pq.waiting) == 0 {
 		if pq.timer != nil {
 			n.tree.net.Scheduler().Cancel(pq.timer)
@@ -342,7 +432,10 @@ func (n *bcastNode) onTimeout(id uint64) {
 // result at the origin.
 func (n *bcastNode) finish(id uint64, pq *pendingQuery) {
 	pq.finished = true
-	s := Summary{ID: id, From: n.id, Items: pq.items, Unavailable: pq.unavail, Nodes: pq.nodes}
+	s := Summary{
+		ID: id, From: n.id, Items: pq.items, Unavailable: pq.unavail,
+		Nodes: pq.nodes, Pruned: pq.pruned, PrunedNodes: pq.prunedNodes,
+	}
 	if pq.parent == n.id {
 		n.tree.results[id] = s
 		n.tree.done[id] = true

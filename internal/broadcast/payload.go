@@ -1,0 +1,52 @@
+package broadcast
+
+import (
+	"github.com/largemail/largemail/internal/attr"
+	"github.com/largemail/largemail/internal/graph"
+	"github.com/largemail/largemail/internal/mail"
+)
+
+// Typed query/result payloads shared between the broadcast layer and its
+// drivers (internal/loadgen, examples). These replace the stringly
+// scenario-private structs that previously rode the tree — matched users
+// crossed the convergecast as space-joined "u<n>" tokens reparsed at the
+// origin — so summaries now carry data the compiler can check.
+
+// AttrQuery is the downward payload of the §3.3 attribute architecture:
+// either a mass distribution (deposit the message at every matching
+// mailbox) or a content search (report who holds matching mail).
+type AttrQuery struct {
+	// MsgID identifies the distributed message; zero for content searches.
+	MsgID mail.MessageID
+	// Group is the driver's audience index (profiles carry "g<n>" interest
+	// attributes); -1 when the audience is defined by Query alone.
+	Group int
+	// Query is the attribute predicate. For distributions it selects the
+	// audience; for content searches the planner (attr.PlanQuery) decides
+	// whether its content terms allow the pruned route.
+	Query attr.Query
+	// Subject and Body are the message text for distributions; their terms
+	// feed the per-store sketch and term index on deposit.
+	Subject string
+	Body    string
+	// Distribute distinguishes the two modes: true deposits, false
+	// searches.
+	Distribute bool
+}
+
+// SketchTerms implements Probe. Distributions never prune — depositing
+// must reach every audience mailbox regardless of what mail is already
+// buffered below. Content searches prune on the planner's probe terms.
+func (q AttrQuery) SketchTerms() []string {
+	if q.Distribute {
+		return nil
+	}
+	return attr.PlanQuery(q.Query).Terms
+}
+
+// UserMatch is the upward item: one matched user at one node. It is the
+// typed replacement for the "u<n>" string tokens.
+type UserMatch struct {
+	User int
+	Node graph.NodeID
+}

@@ -28,6 +28,7 @@ import (
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/obs"
 	"github.com/largemail/largemail/internal/placement"
+	"github.com/largemail/largemail/internal/sketch"
 )
 
 // Errors reported by livenet operations. The availability and naming errors
@@ -335,6 +336,36 @@ func (s *Server) StoredBytes() (int64, error) {
 	return n, err
 }
 
+// Search returns the users on this server whose buffered mail contains every
+// term, in sorted order — the per-store leg of a wire `query`. It requires
+// the cluster's term index (ClusterConfig.TermIndex); without it the store
+// returns nothing, which opQuery surfaces as an explicit refusal instead.
+func (s *Server) Search(terms []string) ([]names.Name, error) {
+	var out []names.Name
+	err := s.call(func(st *serverState) {
+		out = st.store.SearchTerms(terms)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Sketch returns the store's term sketch and its staleness generation, nil
+// when the term index is off. The wire query planner probes it to skip
+// servers that provably hold no match without paying a Search round-trip.
+func (s *Server) Sketch() (*sketch.Filter, uint64, error) {
+	var f *sketch.Filter
+	var gen uint64
+	err := s.call(func(st *serverState) {
+		f, gen = st.store.Sketch()
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, gen, nil
+}
+
 // loop serves one run generation. The channels are passed explicitly — not
 // read from the struct — so a Restart that swaps in a new generation cannot
 // race with an old goroutine still draining its own.
@@ -452,6 +483,11 @@ type ClusterConfig struct {
 	// PlacementName maps a policy slot to a server name (default
 	// placement.DefaultLabel, "S<slot>" — mailbench/maild's convention).
 	PlacementName func(slot int) string
+	// TermIndex turns on every store's per-shard term index and sketch
+	// (mailstore.EnableTermIndex), the structures behind the wire `query`
+	// verb. Off by default: index maintenance rides the deposit/drain hot
+	// path, and clusters that never serve queries should not pay for it.
+	TermIndex bool
 }
 
 // Cluster is a set of live servers sharing a directory.
@@ -493,14 +529,24 @@ func (c *Cluster) Durable() bool { return c.cfg.DataDir != "" }
 
 // newStore builds one server's mailbox store per the cluster config.
 func (c *Cluster) newStore(name string) (*mailstore.Store, error) {
+	var st *mailstore.Store
+	var err error
 	if c.cfg.DataDir == "" {
-		return mailstore.New(c.cfg.StoreShards), nil
+		st = mailstore.New(c.cfg.StoreShards)
+	} else {
+		st, err = mailstore.OpenOptions(mailstore.Options{
+			Dir:    filepath.Join(c.cfg.DataDir, name),
+			Shards: c.cfg.StoreShards,
+			Fsync:  c.cfg.Fsync,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	return mailstore.OpenOptions(mailstore.Options{
-		Dir:    filepath.Join(c.cfg.DataDir, name),
-		Shards: c.cfg.StoreShards,
-		Fsync:  c.cfg.Fsync,
-	})
+	if c.cfg.TermIndex {
+		st.EnableTermIndex()
+	}
+	return st, nil
 }
 
 // Directory returns the cluster's shared directory.

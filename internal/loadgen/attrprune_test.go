@@ -1,0 +1,123 @@
+package loadgen
+
+import (
+	"testing"
+
+	"github.com/largemail/largemail/internal/faults"
+)
+
+// TestAttrPrunedMatchesUnpruned is the scenario-level property pin: the same
+// seeded workload run with and without sketch pruning must produce identical
+// match activity — same queries, same deliveries, zero auditor violations on
+// both sides — while the pruned run provably skips nodes. False negatives
+// would surface as ViolationBroadcastLoss in the pruned run's audit (every
+// launch-time holder inside a pruned subtree is checked).
+func TestAttrPrunedMatchesUnpruned(t *testing.T) {
+	run := func(disable bool) AttrReport {
+		s := newAttrScenario(t, AttrConfig{
+			Seed:         7,
+			Pop:          Population{Users: 500, Regions: 2, ServersPerRegion: 4},
+			Queries:      24,
+			DisablePrune: disable,
+		})
+		return s.Run()
+	}
+	pruned, base := run(false), run(true)
+	requireAttrClean(t, pruned)
+	requireAttrClean(t, base)
+	if pruned.Queries != base.Queries || pruned.ContentQueries != base.ContentQueries ||
+		pruned.Deliveries != base.Deliveries {
+		t.Fatalf("pruning changed workload outcomes:\npruned %+v\nbase   %+v", pruned, base)
+	}
+	if base.PrunedSubtrees != 0 || base.PrunedNodes != 0 {
+		t.Fatalf("DisablePrune run still pruned: %+v", base)
+	}
+	if pruned.PrunedNodes == 0 {
+		t.Fatalf("pruned run skipped nothing — sketches never proved absence: %+v", pruned)
+	}
+	// The committed-bench acceptance in miniature: pruned content queries
+	// must walk at most half the mailboxes the exhaustive path walks.
+	if pruned.CQMailboxesFull == 0 ||
+		pruned.CQMailboxes*2 > pruned.CQMailboxesFull {
+		t.Fatalf("pruned queries visited %d of %d mailboxes, want <= 50%%",
+			pruned.CQMailboxes, pruned.CQMailboxesFull)
+	}
+}
+
+// TestAttrPruneStaleFailsOpen runs with a periodic refresh cadence, leaving
+// windows where distributions make the cached subtree sketches stale. Every
+// content query launched inside such a window must fail open — visit and
+// find the holders — and the run must stay violation-free.
+func TestAttrPruneStaleFailsOpen(t *testing.T) {
+	s := newAttrScenario(t, AttrConfig{
+		Seed:               11,
+		Pop:                Population{Users: 500, Regions: 2, ServersPerRegion: 4},
+		Queries:            30,
+		SketchRefreshEvery: 16, // sparse: most content launches see stale caches
+	})
+	rep := s.Run()
+	requireAttrClean(t, rep)
+	if rep.ContentQueries == 0 {
+		t.Fatalf("no content queries: %+v", rep)
+	}
+	if rep.StaleOpen == 0 {
+		t.Fatalf("sparse refresh cadence produced no stale fail-opens: %+v", rep)
+	}
+	snap := s.Snapshot()
+	if snap.Counters["attr_sketch_stale_open"] != int64(rep.StaleOpen) {
+		t.Fatalf("obs counter attr_sketch_stale_open=%d, report %d",
+			snap.Counters["attr_sketch_stale_open"], rep.StaleOpen)
+	}
+}
+
+// TestAttrPruneChaos is the chaos regression: crashes and latency under
+// pruned content queries, auditors still clean — pruning must not eat
+// matches, mask dead subtrees, or break the completion bound.
+func TestAttrPruneChaos(t *testing.T) {
+	s := newAttrScenario(t, AttrConfig{
+		Seed:               13,
+		Pop:                Population{Users: 400, Regions: 3, ServersPerRegion: 3},
+		Queries:            24,
+		SketchRefreshEvery: 8, // stale windows AND faults at once
+	})
+	spec := s.FaultSurface()
+	spec.Seed = 13
+	spec.Ticks = 60
+	spec.Crashes = 4
+	spec.Latencies = 3
+	sched, err := faults.Compile(spec)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	s.SetSchedule(&sched)
+	rep := s.Run()
+	requireAttrClean(t, rep)
+	if rep.Queries == 0 || rep.ContentQueries == 0 {
+		t.Fatalf("no activity: %+v", rep)
+	}
+	if rep.Partial == 0 {
+		t.Fatalf("no partial summaries under a crash schedule: %+v", rep)
+	}
+}
+
+// TestAttrPruneDeterminism pins that the pruned route stays bit-stable
+// across runs, including the new accounting fields.
+func TestAttrPruneDeterminism(t *testing.T) {
+	run := func() AttrReport {
+		s := newAttrScenario(t, AttrConfig{
+			Seed:    5,
+			Pop:     Population{Users: 300, Regions: 2, ServersPerRegion: 3},
+			Queries: 24,
+		})
+		return s.Run()
+	}
+	a, b := run(), run()
+	if a.Queries != b.Queries || a.ContentQueries != b.ContentQueries ||
+		a.Deliveries != b.Deliveries || a.PrunedSubtrees != b.PrunedSubtrees ||
+		a.PrunedNodes != b.PrunedNodes || a.VisitedNodes != b.VisitedNodes ||
+		a.SketchFP != b.SketchFP || a.StaleOpen != b.StaleOpen ||
+		a.CQMailboxes != b.CQMailboxes || a.CQMailboxesFull != b.CQMailboxesFull {
+		t.Fatalf("same seed, different pruned runs:\n%+v\n%+v", a, b)
+	}
+	requireAttrClean(t, a)
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"strconv"
 
 	"github.com/largemail/largemail/internal/attr"
 	"github.com/largemail/largemail/internal/broadcast"
@@ -16,6 +15,7 @@ import (
 	"github.com/largemail/largemail/internal/netsim"
 	"github.com/largemail/largemail/internal/obs"
 	"github.com/largemail/largemail/internal/sim"
+	"github.com/largemail/largemail/internal/sketch"
 )
 
 // AttrConfig configures the attribute-broadcast scenario (§3.3): senders
@@ -45,6 +45,16 @@ type AttrConfig struct {
 	// Schedule, when non-nil, is a compiled fault schedule injected as its
 	// ticks come due.
 	Schedule *faults.Schedule
+	// DisablePrune routes content searches over the exhaustive Start path
+	// even when the planner says they could prune — the E21-compatible
+	// baseline. Zero value: pruning on.
+	DisablePrune bool
+	// SketchRefreshEvery re-aggregates the subtree sketches every n ticks.
+	// 0 (the default) refreshes on demand right before each prunable
+	// launch instead — maximal pruning; a periodic cadence deliberately
+	// leaves windows where deposits make caches stale, exercising the
+	// fail-open rule (the faults-on bench point uses this).
+	SketchRefreshEvery int
 }
 
 func (c AttrConfig) withDefaults() AttrConfig {
@@ -92,6 +102,19 @@ type AttrReport struct {
 	Deliveries     int // total copies deposited by mass distribution
 	MaxDepth       int // deepest convergecast depth seen from any origin
 	Ticks          int
+
+	// Selective-multicast accounting (content queries only).
+	PrunedSubtrees int // branch skips proven by fresh subtree sketches
+	PrunedNodes    int // nodes excused by those proofs
+	VisitedNodes   int // nodes that actually evaluated a content query
+	SketchFP       int // sketch-passed subtrees that then held no match
+	StaleOpen      int // stale caches that failed open (visited anyway)
+	Refreshes      int // sketch aggregation phases run
+	// CQMailboxes counts mailboxes on the nodes content queries visited;
+	// CQMailboxesFull is what the same queries would have walked unpruned
+	// (every node's mailboxes) — the E21 comparison numerator/denominator.
+	CQMailboxes     int64
+	CQMailboxesFull int64
 }
 
 // attrTerms is the pool of body terms content searches draw from.
@@ -101,22 +124,11 @@ var attrTerms = []string{"budget", "offsite", "seminar", "deadline", "picnic"}
 // subsets of an interest group.
 var attrCities = []string{"boston", "cambridge", "salem", "medford", "quincy", "newton"}
 
-// distPayload is the downward payload of a mass-distribution query.
-type distPayload struct {
-	MsgID   mail.MessageID
-	Group   int // candidate pre-filter: only users in this interest group
-	Query   attr.Query
-	Subject string
-	Body    string
-}
-
-// contentPayload is the downward payload of a term search.
-type contentPayload struct{ Term string }
-
 // attrQuery is the in-flight bookkeeping for one broadcast.
 type attrQuery struct {
 	id          uint64
 	content     bool
+	pruneRoute  bool // launched via Distribute (planner said prunable)
 	origin      graph.NodeID
 	start       sim.Time
 	bound       sim.Time
@@ -179,10 +191,12 @@ func NewAttrScenario(cfg AttrConfig) (*AttrScenario, error) {
 		s.store[roamServerID(gs)] = st
 	}
 	s.tree, err = broadcast.Setup(broadcast.Config{
-		Net:     s.net,
-		Tree:    bb.Combined,
-		Eval:    s.eval,
-		Timeout: cfg.Timeout,
+		Net:       s.net,
+		Tree:      bb.Combined,
+		Eval:      s.eval,
+		Timeout:   cfg.Timeout,
+		Sketch:    func(id graph.NodeID) (*sketch.Filter, uint64) { return s.store[id].Sketch() },
+		SketchGen: func(id graph.NodeID) uint64 { return s.store[id].SketchGen() },
 	})
 	if err != nil {
 		return nil, err
@@ -268,12 +282,18 @@ func (s *AttrScenario) matchingOn(gs, group int, q attr.Query) []int {
 	return out
 }
 
-// eval is the broadcast Evaluator: mass distribution deposits a copy for
-// every local match (and ledgers it owed), content search reads the term
-// index. Items are matched user indices either way.
+// eval is the broadcast Evaluator. The payload is the typed
+// broadcast.AttrQuery shared with the tree layer: a mass distribution
+// deposits a copy for every local match (and ledgers it owed), a content
+// search evaluates the planner's terms against the term index. Items are
+// broadcast.UserMatch either way — the typed convergecast currency that
+// replaced space-joined "u<n>" tokens.
 func (s *AttrScenario) eval(node graph.NodeID, payload any) []any {
-	switch p := payload.(type) {
-	case distPayload:
+	p, ok := payload.(broadcast.AttrQuery)
+	if !ok {
+		return nil
+	}
+	if p.Distribute {
 		gs := int(node - simServerBase - 1)
 		users := s.matchingOn(gs, p.Group, p.Query)
 		items := make([]any, 0, len(users))
@@ -287,28 +307,28 @@ func (s *AttrScenario) eval(node graph.NodeID, payload any) []any {
 			}
 			s.undrained[node][u] = true
 			s.reg.Inc("bcast_deposits")
-			items = append(items, u)
+			items = append(items, broadcast.UserMatch{User: u, Node: node})
 		}
 		s.aud.RecordSubmit(p.MsgID.String(), users)
 		return items
-	case contentPayload:
-		var items []any
-		for _, name := range s.store[node].SearchTerm(p.Term) {
-			if u, ok := parseUserToken(name.User); ok {
-				items = append(items, u)
-			}
-		}
-		return items
 	}
-	return nil
+	var items []any
+	for _, u := range s.contentHolders(node, attr.PlanQuery(p.Query).Terms) {
+		items = append(items, broadcast.UserMatch{User: u, Node: node})
+	}
+	return items
 }
 
-func parseUserToken(tok string) (int, bool) {
-	if len(tok) < 2 || tok[0] != 'u' {
-		return 0, false
+// contentHolders resolves the users on a node whose buffered mail contains
+// every term, as population indices.
+func (s *AttrScenario) contentHolders(node graph.NodeID, terms []string) []int {
+	var out []int
+	for _, name := range s.store[node].SearchTerms(terms) {
+		if u, ok := s.pop.UserIndex(name); ok {
+			out = append(out, u)
+		}
 	}
-	u, err := strconv.Atoi(tok[1:])
-	return u, err == nil
+	return out
 }
 
 // downNodes lists tree nodes currently down, excluding the origin.
@@ -345,23 +365,29 @@ func (s *AttrScenario) launch(content bool) {
 	q.bound = q.start + s.cfg.Timeout*sim.Time(s.tree.MaxDepthFrom(origin)) + sim.Unit
 	q.deadAtStart = s.downNodes(origin)
 
-	var payload any
+	var payload broadcast.AttrQuery
+	pruned := false
 	if content {
 		term := attrTerms[s.rng.Intn(len(attrTerms))]
+		query, err := attr.ParseQuery("content=" + term)
+		if err != nil {
+			s.aud.RecordViolation(ViolationBroadcastLoss, "unparseable content query "+term)
+			return
+		}
+		plan := attr.PlanQuery(query)
+		pruned = plan.Route == attr.RoutePruned && !s.cfg.DisablePrune
 		q.truthByNode = make(map[graph.NodeID]map[int]bool)
 		for gs := 0; gs < s.pop.TotalServers(); gs++ {
 			id := roamServerID(gs)
 			holders := make(map[int]bool)
-			for _, name := range s.store[id].SearchTerm(term) {
-				if u, ok := parseUserToken(name.User); ok {
-					holders[u] = true
-				}
+			for _, u := range s.contentHolders(id, plan.Terms) {
+				holders[u] = true
 			}
 			if len(holders) > 0 {
 				q.truthByNode[id] = holders
 			}
 		}
-		payload = contentPayload{Term: term}
+		payload = broadcast.AttrQuery{Group: -1, Query: query}
 	} else {
 		group := s.rng.Intn(s.cfg.Groups)
 		qs := fmt.Sprintf("interest=g%d", group)
@@ -381,15 +407,30 @@ func (s *AttrScenario) launch(content bool) {
 			}
 		}
 		term := attrTerms[s.rng.Intn(len(attrTerms))]
-		payload = distPayload{
-			MsgID:   mail.MessageID{Node: origin, Seq: uint64(seq) + 1},
-			Group:   group,
-			Query:   query,
-			Subject: "bulletin " + qs,
-			Body:    fmt.Sprintf("%s notice for group g%d", term, group),
+		payload = broadcast.AttrQuery{
+			MsgID:      mail.MessageID{Node: origin, Seq: uint64(seq) + 1},
+			Group:      group,
+			Query:      query,
+			Subject:    "bulletin " + qs,
+			Body:       fmt.Sprintf("%s notice for group g%d", term, group),
+			Distribute: true,
 		}
 	}
-	id, err := s.tree.Start(origin, payload, nil)
+	var id uint64
+	var err error
+	if pruned {
+		// On-demand aggregation keeps caches maximally fresh; a periodic
+		// cadence instead leaves the staleness windows the fail-open rule
+		// is audited under.
+		if s.cfg.SketchRefreshEvery == 0 {
+			s.rep.Refreshes++
+			s.tree.RefreshSketches()
+		}
+		q.pruneRoute = true
+		id, err = s.tree.Distribute(origin, payload, nil)
+	} else {
+		id, err = s.tree.Start(origin, payload, nil)
+	}
 	if err != nil {
 		s.rep.Skipped++
 		return
@@ -463,14 +504,21 @@ func (s *AttrScenario) audit(q *attrQuery, sum broadcast.Summary, at sim.Time) {
 			fmt.Sprintf("query %d finished at %d, bound %d", q.id, at, q.bound))
 	}
 	excused := s.excused(q.origin, sum.Unavailable)
+	// Subtrees in sum.Pruned are excused *by proof*: a fresh sketch showed
+	// no possible match below, so they owe no items and no unavailability
+	// flag — but any ground-truth match inside one is a false negative,
+	// checked in auditContent.
+	prunedSet := s.excused(q.origin, sum.Pruned)
 	if len(sum.Unavailable) > 0 {
 		s.rep.Partial++
 	}
 	// Positive E6: children dead for the query's whole lifetime must be
-	// flagged unavailable, never silently merged.
+	// flagged unavailable, never silently merged. A dead node inside a
+	// pruned subtree is the exception: it was excused by proof, not
+	// silently merged, so completeness claims stay honest without it.
 	if len(sum.Unavailable) == 0 {
 		for _, id := range q.deadAtStart {
-			if !s.net.IsUp(id) {
+			if !s.net.IsUp(id) && !prunedSet[id] {
 				s.aud.RecordViolation(ViolationPartialUnflagged,
 					fmt.Sprintf("query %d: node %d dead throughout but summary claims complete", q.id, id))
 				break
@@ -479,24 +527,37 @@ func (s *AttrScenario) audit(q *attrQuery, sum broadcast.Summary, at sim.Time) {
 	}
 	got := make(map[int]bool)
 	for _, it := range sum.Items {
-		u, ok := it.(int)
+		m, ok := it.(broadcast.UserMatch)
 		if !ok {
 			s.aud.RecordViolation(ViolationBroadcastLoss,
 				fmt.Sprintf("query %d: non-user item %v", q.id, it))
 			continue
 		}
-		if got[u] {
+		if got[m.User] {
 			s.aud.RecordViolation(ViolationBroadcastLoss,
-				fmt.Sprintf("query %d: u%d summarized twice", q.id, u))
+				fmt.Sprintf("query %d: u%d summarized twice", q.id, m.User))
 		}
-		got[u] = true
+		if prunedSet[m.Node] {
+			s.aud.RecordViolation(ViolationBroadcastLoss,
+				fmt.Sprintf("query %d: item from u%d@%d inside a pruned subtree", q.id, m.User, m.Node))
+		}
+		got[m.User] = true
 	}
 	if q.content {
 		s.rep.ContentQueries++
-		s.auditContent(q, got, excused)
+		s.auditContent(q, got, excused, prunedSet)
+		s.recordPrune(q, sum, prunedSet)
 		lat := float64(at-q.start) / float64(sim.Unit)
 		s.reg.Histogram("lat_convergecast", nil).Observe(lat)
 		return
+	}
+	if len(sum.Pruned) > 0 {
+		// Distributions must deposit at every audience mailbox; the tree
+		// never prunes them (AttrQuery.SketchTerms is nil when
+		// Distribute=true). Seeing a pruned root here means that contract
+		// broke.
+		s.aud.RecordViolation(ViolationBroadcastLoss,
+			fmt.Sprintf("query %d: distribution pruned %d subtrees", q.id, len(sum.Pruned)))
 	}
 	s.rep.Queries++
 	s.rep.Deliveries += len(got)
@@ -533,10 +594,24 @@ func (s *AttrScenario) audit(q *attrQuery, sum broadcast.Summary, at sim.Time) {
 // auditContent compares a term search against the per-node index snapshot
 // taken at launch (the index is stable in flight: content queries only leave
 // when nothing else is pending, and sweeps pause while they run).
-func (s *AttrScenario) auditContent(q *attrQuery, got map[int]bool, excused map[graph.NodeID]bool) {
+//
+// The two excusal sets have opposite contracts. A node under an unavailable
+// root is excused outright: its summary was lost, so nothing can be said
+// about its holders. A node under a *pruned* root is excused only from
+// being visited — the sketch proved it holds nothing, so any launch-time
+// holder there is a pruning false negative, the one violation the
+// selective multicast must never commit.
+func (s *AttrScenario) auditContent(q *attrQuery, got map[int]bool, excused, prunedSet map[graph.NodeID]bool) {
 	truthAll := make(map[int]bool)
 	for node, holders := range q.truthByNode {
 		if excused[node] {
+			continue
+		}
+		if prunedSet[node] {
+			for u := range holders {
+				s.aud.RecordViolation(ViolationBroadcastLoss,
+					fmt.Sprintf("content query %d: u%d@%d held a match inside a pruned subtree (false negative)", q.id, u, node))
+			}
 			continue
 		}
 		for u := range holders {
@@ -555,6 +630,31 @@ func (s *AttrScenario) auditContent(q *attrQuery, got map[int]bool, excused map[
 		if !truthAll[u] && !q.truthByNode[home][u] {
 			s.aud.RecordViolation(ViolationBroadcastLoss,
 				fmt.Sprintf("content query %d: bogus holder claim for u%d", q.id, u))
+		}
+	}
+}
+
+// recordPrune folds one content query's pruning ledger into the report and
+// the obs counters, including the mailboxes-visited accounting the E22
+// comparison against E21 is built on.
+func (s *AttrScenario) recordPrune(q *attrQuery, sum broadcast.Summary, prunedSet map[graph.NodeID]bool) {
+	st := s.tree.QueryPruneStats(q.id)
+	s.rep.PrunedSubtrees += st.PrunedSubtrees
+	s.rep.PrunedNodes += st.PrunedNodes
+	s.rep.VisitedNodes += sum.Nodes
+	s.rep.SketchFP += st.FPSubtrees
+	s.rep.StaleOpen += st.StaleOpen
+	s.reg.Add("attr_pruned_subtrees", int64(st.PrunedSubtrees))
+	s.reg.Add("attr_pruned_nodes", int64(st.PrunedNodes))
+	s.reg.Add("attr_visited_nodes", int64(sum.Nodes))
+	s.reg.Add("attr_sketch_fp", int64(st.FPSubtrees))
+	s.reg.Add("attr_sketch_stale_open", int64(st.StaleOpen))
+	for gs := 0; gs < s.pop.TotalServers(); gs++ {
+		id := roamServerID(gs)
+		boxes := int64(s.store[id].NumUsers())
+		s.rep.CQMailboxesFull += boxes
+		if !prunedSet[id] {
+			s.rep.CQMailboxes += boxes
 		}
 	}
 }
@@ -607,6 +707,10 @@ func (s *AttrScenario) Run() AttrReport {
 		for next < len(events) && events[next].Tick <= tick {
 			_ = inj.Inject(events[next])
 			next++
+		}
+		if s.cfg.SketchRefreshEvery > 0 && tick%s.cfg.SketchRefreshEvery == 0 {
+			s.rep.Refreshes++
+			s.tree.RefreshSketches()
 		}
 		if launched < s.cfg.Queries && tick%s.cfg.QueryEvery == 0 {
 			s.launch(launched > 0 && launched%s.cfg.ContentEvery == 0)

@@ -22,6 +22,7 @@ package loadgen
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"github.com/largemail/largemail/internal/names"
 )
@@ -97,6 +98,22 @@ func (p Population) Name(u int) names.Name {
 
 // RegionName returns the token for a region index.
 func (p Population) RegionName(r int) string { return fmt.Sprintf("R%d", r) }
+
+// UserIndex inverts Name: the population index behind a syntax-directed
+// name's user token ("u<index>"), with false for tokens that are not a
+// valid index in this population. The typed counterpart drivers use instead
+// of reparsing name strings by hand.
+func (p Population) UserIndex(n names.Name) (int, bool) {
+	tok := n.User
+	if len(tok) < 2 || tok[0] != 'u' {
+		return 0, false
+	}
+	u, err := strconv.Atoi(tok[1:])
+	if err != nil || u < 0 || u >= p.Users {
+		return 0, false
+	}
+	return u, true
+}
 
 // Workload describes the per-message distributions of the closed-loop
 // sessions: how many recipients, how large a body, how long a user thinks

@@ -1,0 +1,91 @@
+package mailstore
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/largemail/largemail/internal/mail"
+	"github.com/largemail/largemail/internal/names"
+)
+
+func skName(i int) names.Name {
+	return names.Name{Region: "R0", Host: "h0", User: fmt.Sprintf("u%d", i)}
+}
+
+func skMsg(id int, body string) mail.Message {
+	return mail.Message{
+		ID:      mail.MessageID{Node: 7, Seq: uint64(id)},
+		From:    skName(999),
+		Subject: "s",
+		Body:    body,
+	}
+}
+
+func TestSketchTracksDepositDrain(t *testing.T) {
+	s := New(4)
+	s.EnableTermIndex()
+
+	f, gen0 := s.Sketch()
+	if f == nil {
+		t.Fatal("Sketch nil with index enabled")
+	}
+	if f.MayContain("budget") {
+		t.Fatal("empty store claims to contain budget")
+	}
+
+	s.Deposit(skName(1), skMsg(1, "the budget meeting"), 0)
+	f, gen1 := s.Sketch()
+	if !f.MayContain("budget") || !f.MayContain("meeting") {
+		t.Fatal("sketch missing deposited terms")
+	}
+	if gen1 == gen0 {
+		t.Fatal("generation did not advance on deposit")
+	}
+
+	// Draining the only holder must clear the term and advance the
+	// generation again.
+	s.Drain(skName(1))
+	f, gen2 := s.Sketch()
+	if f.MayContain("budget") {
+		t.Fatal("sketch still contains budget after drain")
+	}
+	if gen2 == gen1 {
+		t.Fatal("generation did not advance on drain")
+	}
+	if got := s.SketchGen(); got != gen2 {
+		t.Fatalf("SketchGen %d != Sketch generation %d", got, gen2)
+	}
+}
+
+func TestSketchSharedTermSurvivesPartialDrain(t *testing.T) {
+	s := New(4)
+	s.EnableTermIndex()
+	s.Deposit(skName(1), skMsg(1, "offsite"), 0)
+	s.Deposit(skName(2), skMsg(2, "offsite"), 0)
+	s.Drain(skName(1))
+	f, _ := s.Sketch()
+	if !f.MayContain("offsite") {
+		t.Fatal("term lost while another mailbox still holds it")
+	}
+}
+
+func TestSketchDisabledWithoutIndex(t *testing.T) {
+	s := New(4)
+	if f, gen := s.Sketch(); f != nil || gen != 0 {
+		t.Fatal("Sketch must be nil while the term index is off")
+	}
+}
+
+func TestSketchRebuildOnEnable(t *testing.T) {
+	// EnableTermIndex after the fact must fold already-buffered mail into
+	// the sketch, matching the index rebuild.
+	s := New(4)
+	s.Deposit(skName(3), skMsg(3, "seminar deadline"), 0)
+	s.EnableTermIndex()
+	f, _ := s.Sketch()
+	for _, tm := range []string{"seminar", "deadline"} {
+		if !f.MayContain(tm) {
+			t.Fatalf("rebuilt sketch missing %q", tm)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"github.com/largemail/largemail/internal/mail"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/sim"
+	"github.com/largemail/largemail/internal/sketch"
 )
 
 // DefaultShards is the shard count used when New is given n <= 0. 16 keeps
@@ -42,6 +43,11 @@ type shard struct {
 	// users whose buffered mail contains it, with per-user reference counts.
 	// nil until EnableTermIndex.
 	terms map[string]map[names.Name]int
+	// sk summarises the live term set as a counting Bloom filter (see
+	// sketch.go); skGen counts sketch mutations so cached aggregates built
+	// from a Snapshot can detect staleness. nil until EnableTermIndex.
+	sk    *sketch.Counting
+	skGen uint64
 }
 
 // Store is a lock-striped mailbox store. The zero value is not usable;

@@ -7,6 +7,7 @@ import (
 	"github.com/largemail/largemail/internal/mail"
 	"github.com/largemail/largemail/internal/names"
 	"github.com/largemail/largemail/internal/sim"
+	"github.com/largemail/largemail/internal/sketch"
 )
 
 // Term-index limits: tokens shorter than minTermLen or longer than
@@ -76,6 +77,8 @@ func (s *Store) EnableTermIndex() {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		sh.terms = make(map[string]map[names.Name]int)
+		sh.sk = sketch.NewCounting()
+		sh.skGen++
 		for u, mb := range sh.boxes {
 			for _, st := range mb.Peek() {
 				sh.indexAdd(u, st.Message)
@@ -100,6 +103,9 @@ func (sh *shard) indexAdd(user names.Name, m mail.Message) {
 		if users == nil {
 			users = make(map[names.Name]int)
 			sh.terms[t] = users
+			// First reference in this shard: the term joins the sketch.
+			sh.sk.Add(t)
+			sh.skGen++
 		}
 		users[user]++
 	}
@@ -117,6 +123,9 @@ func (sh *shard) indexRemove(user names.Name, m mail.Message) {
 			delete(users, user)
 			if len(users) == 0 {
 				delete(sh.terms, t)
+				// Last reference gone: counting filters subtract exactly.
+				sh.sk.Remove(t)
+				sh.skGen++
 			}
 		}
 	}
@@ -138,6 +147,30 @@ func (s *Store) SearchTerm(term string) []names.Name {
 			out = append(out, u)
 		}
 		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// SearchTerms returns the users whose buffered mail contains every one of
+// the terms (conjunction), sorted by name — the evaluation form of a
+// planned content query's probe terms. Nil for an empty term list or a
+// disabled index.
+func (s *Store) SearchTerms(terms []string) []names.Name {
+	if len(terms) == 0 {
+		return nil
+	}
+	hold := make(map[names.Name]int)
+	for _, t := range terms {
+		for _, u := range s.SearchTerm(t) {
+			hold[u]++
+		}
+	}
+	var out []names.Name
+	for u, n := range hold {
+		if n == len(terms) {
+			out = append(out, u)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out

@@ -56,9 +56,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
+	"github.com/largemail/largemail/internal/attr"
 	"github.com/largemail/largemail/internal/livenet"
 	"github.com/largemail/largemail/internal/mail"
 	"github.com/largemail/largemail/internal/mailerr"
@@ -83,6 +85,7 @@ const ProtocolVersion = 3
 const (
 	protoTBatch = 2 // tbatch verb
 	protoBinary = 3 // binary framing, tags, getmail polls
+	protoQuery  = 3 // query verb (sketch-pruned content search)
 )
 
 // writeStallTimeout bounds one response write. A peer that stops reading
@@ -108,6 +111,9 @@ type Request struct {
 	Binary bool `json:"binary,omitempty"`
 	// Msgs carries the batch on tbatch requests (protocol version ≥ 2).
 	Msgs []BatchMsg `json:"msgs,omitempty"`
+	// Query carries an attr.Query in its canonical text form on query
+	// requests (protocol version ≥ 3), e.g. "content=budget".
+	Query string `json:"query,omitempty"`
 }
 
 // BatchMsg is one message of a tbatch request. The whole batch shares the
@@ -192,6 +198,24 @@ type Response struct {
 	// Status carries the versioned observability snapshot on status
 	// responses.
 	Status *StatusSnapshot `json:"status,omitempty"`
+	// Matches lists the users holding a match on query responses, sorted and
+	// deduplicated across servers; QueryStats accounts the fan-out.
+	Matches    []string    `json:"matches,omitempty"`
+	QueryStats *QueryStats `json:"query_stats,omitempty"`
+}
+
+// QueryStats accounts one wire query's fan-out over the cluster: every
+// server was either searched (Visited), skipped on a sketch proof of absence
+// (Pruned), or down (Unavailable) — so Visited+Pruned+Unavailable = Servers,
+// and a client can tell a complete result from a partial one.
+type QueryStats struct {
+	Servers     int `json:"servers"`
+	Visited     int `json:"visited"`
+	Pruned      int `json:"pruned,omitempty"`
+	Unavailable int `json:"unavailable,omitempty"`
+	// SketchFP counts visited servers whose sketch passed the probe but whose
+	// search then returned nothing: Bloom false positives.
+	SketchFP int `json:"sketch_fp,omitempty"`
 }
 
 // ServerConfig tunes a wire server beyond the cluster it fronts.
@@ -222,6 +246,7 @@ type Server struct {
 	pool       *server.WorkPool
 	queueDepth int
 	maxProto   int
+	termIndex  bool // cluster runs the term index; query verb is servable
 
 	bytesIn   *obs.Counter
 	bytesOut  *obs.Counter
@@ -288,6 +313,7 @@ func NewServerWith(addr string, serverNames []string, cfg ServerConfig) (*Server
 		pool:       server.NewWorkPool(cfg.WireWorkers),
 		queueDepth: cfg.QueueDepth,
 		maxProto:   maxProto,
+		termIndex:  cfg.Cluster.TermIndex,
 		bytesIn:    reg.Counter("wire_bytes_in"),
 		bytesOut:   reg.Counter("wire_bytes_out"),
 		decodeLat:  reg.Histogram("lat_wire_decode", nil),
@@ -527,6 +553,8 @@ func (s *Server) dispatch(req Request, st *connState) Response {
 		return s.opSubmit(req)
 	case "tbatch":
 		return s.opTBatch(req, st.ver)
+	case "query":
+		return s.opQuery(req, st.ver)
 	case "checkmail":
 		return s.opCheckMail(req)
 	case "getmail":
@@ -666,6 +694,78 @@ func parseNames(raw []string) ([]names.Name, error) {
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// opQuery serves the first-class Query API over the wire: a canonical
+// attr.Query text ("content=budget") fans out across the cluster's stores,
+// probing each server's live term sketch first and searching only servers
+// the sketch cannot prove empty. v1/v2 connections are refused the same way
+// tbatch refuses them — negotiate with hello first.
+//
+// Only fully content-equality queries are servable here: profile predicates
+// need the directory's profile store, which lives with the broadcast fabric
+// (internal/loadgen), not behind the wire — and a silently dropped conjunct
+// would widen the match set, the one direction a query must never err in.
+func (s *Server) opQuery(req Request, ver int) Response {
+	if ver < protoQuery {
+		return fail("query requires protocol version %d; negotiate with hello first", protoQuery)
+	}
+	if !s.termIndex {
+		return fail("query requires the term index; start the server with it enabled")
+	}
+	q, err := attr.ParseQuery(req.Query)
+	if err != nil {
+		return fail("query: %v", err)
+	}
+	plan := attr.PlanQuery(q)
+	if plan.Route != attr.RoutePruned || len(plan.Terms) != len(q.Predicates) {
+		return fail("query %q: only exact-match content predicates are served over the wire", req.Query)
+	}
+	stats := QueryStats{Servers: len(s.names)}
+	set := make(map[string]bool)
+	for _, n := range s.names {
+		srv, ok := s.cluster.Server(n)
+		if !ok {
+			stats.Unavailable++
+			continue
+		}
+		f, _, err := srv.Sketch()
+		if err != nil {
+			stats.Unavailable++
+			continue
+		}
+		if f != nil {
+			pruned := false
+			for _, t := range plan.Terms {
+				if !f.MayContain(t) {
+					pruned = true
+					break
+				}
+			}
+			if pruned {
+				stats.Pruned++
+				continue
+			}
+		}
+		users, err := srv.Search(plan.Terms)
+		if err != nil {
+			stats.Unavailable++
+			continue
+		}
+		stats.Visited++
+		if f != nil && len(users) == 0 {
+			stats.SketchFP++
+		}
+		for _, u := range users {
+			set[u.String()] = true
+		}
+	}
+	matches := make([]string, 0, len(set))
+	for u := range set {
+		matches = append(matches, u)
+	}
+	sort.Strings(matches)
+	return Response{OK: true, Matches: matches, QueryStats: &stats}
 }
 
 func (s *Server) opCheckMail(req Request) Response {
@@ -1230,6 +1330,40 @@ func (c *Client) GetMail(user string) ([]Message, error) {
 func (c *Client) GetMailContext(ctx context.Context, user string) ([]Message, error) {
 	resp, err := c.DoContext(ctx, Request{Op: "getmail", User: user})
 	return resp.Messages, err
+}
+
+// QueryResult is a wire query's answer: the matching users plus the
+// fan-out accounting (servers visited, pruned on sketch proof, unavailable).
+type QueryResult struct {
+	Matches []string
+	Stats   QueryStats
+}
+
+// Query runs a content query ("content=budget", conjunctions with commas)
+// across the cluster's mailbox stores. Requires a protocol version ≥ 3
+// server; older peers refuse the verb after the lazy hello pins the version.
+func (c *Client) Query(query string) (QueryResult, error) {
+	return c.QueryContext(context.Background(), query)
+}
+
+// QueryContext is Query honoring a context.
+func (c *Client) QueryContext(ctx context.Context, query string) (QueryResult, error) {
+	ver, err := c.negotiate(ctx)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	if ver < protoQuery {
+		return QueryResult{}, fmt.Errorf("wire: query requires protocol version %d, server speaks %d", protoQuery, ver)
+	}
+	resp, err := c.DoContext(ctx, Request{Op: "query", Query: query})
+	if err != nil {
+		return QueryResult{}, err
+	}
+	out := QueryResult{Matches: resp.Matches}
+	if resp.QueryStats != nil {
+		out.Stats = *resp.QueryStats
+	}
+	return out, nil
 }
 
 // Status reports per-server availability and deposit counts.
